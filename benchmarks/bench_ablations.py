@@ -1,0 +1,162 @@
+"""Ablation benches for the design decisions the paper discusses.
+
+A1 — reads via atomic broadcast vs direct reads (§3.4 last paragraph:
+     rarely-updated zones can skip ABC for reads at no extra cost).
+A2 — pragmatic single-gateway client vs full multicast/majority client.
+A3 — threshold-signing every response (the rejected Reiter–Birman-style
+     design of §3.4: "the costs ... would be prohibitive").
+A4 — OptTE trial-and-error subset growth with t (exponential worst case,
+     §3.5: "works only for relatively small n").
+A5 — optimistic fast path vs fall-back epoch change cost in the ABC.
+"""
+
+from __future__ import annotations
+
+import math
+from statistics import mean
+
+import pytest
+
+from benchmarks.conftest import build_service
+from repro.config import ServiceConfig
+from repro.core.service import ReplicatedNameService
+from repro.dns import constants as c
+from repro.sim.machines import lan_setup, paper_setup
+
+
+def test_a1_read_path_ablation(benchmark):
+    """Reads without ABC cost what an unreplicated read costs (§3.4)."""
+
+    def run():
+        with_abc = build_service("(4,0)", "optte")
+        direct = ReplicatedNameService(
+            ServiceConfig(n=4, t=1, reads_via_abc=False),
+            topology=paper_setup(4),
+        )
+        return (
+            with_abc.query("www.example.com.", c.TYPE_A).latency,
+            direct.query("www.example.com.", c.TYPE_A).latency,
+        )
+
+    abc_read, direct_read = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nA1: read via ABC {abc_read:.3f}s, direct read {direct_read:.3f}s")
+    benchmark.extra_info.update(abc_read=abc_read, direct_read=direct_read)
+    # Direct reads skip the WAN agreement round entirely.
+    assert direct_read < abc_read / 2
+
+
+def test_a2_client_model_ablation(benchmark):
+    """Full (multicast + majority vote) vs pragmatic client latency."""
+
+    def run():
+        pragmatic = ReplicatedNameService(
+            ServiceConfig(n=4, t=1), topology=paper_setup(4), client_model="pragmatic"
+        )
+        full = ReplicatedNameService(
+            ServiceConfig(n=4, t=1), topology=paper_setup(4), client_model="full"
+        )
+        return (
+            pragmatic.query("www.example.com.", c.TYPE_A).latency,
+            full.query("www.example.com.", c.TYPE_A).latency,
+        )
+
+    pragmatic_read, full_read = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nA2: pragmatic read {pragmatic_read:.3f}s, full client {full_read:.3f}s")
+    benchmark.extra_info.update(pragmatic=pragmatic_read, full=full_read)
+    # The full client waits for n-t responses including remote replicas,
+    # so it cannot beat the gateway-local pragmatic client by much.
+    assert full_read > pragmatic_read * 0.8
+
+
+def test_a3_sign_every_response(benchmark):
+    """Threshold-signing each read response is prohibitive (§3.4)."""
+
+    def run():
+        normal = build_service("(4,0)", "optte")
+        signing = ReplicatedNameService(
+            ServiceConfig(n=4, t=1, sign_every_response=True),
+            topology=paper_setup(4),
+        )
+        return (
+            mean(
+                normal.query("www.example.com.", c.TYPE_A).latency
+                for _ in range(3)
+            ),
+            mean(
+                signing.query("www.example.com.", c.TYPE_A).latency
+                for _ in range(3)
+            ),
+        )
+
+    normal_read, signed_read = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nA3: plain read {normal_read:.3f}s, threshold-signed read {signed_read:.3f}s")
+    benchmark.extra_info.update(plain=normal_read, signed=signed_read)
+    # One threshold signature per read multiplies read latency severalfold.
+    assert signed_read > 2.5 * normal_read
+
+
+def test_a4_optte_subset_growth(benchmark):
+    """OptTE's worst-case assemblies grow as C(2t+1, t+1) (§3.5)."""
+    from tests.crypto.test_protocols import run_protocol
+    from repro.crypto.params import demo_threshold_key
+
+    def run():
+        measurements = {}
+        for n, t in ((4, 1), (7, 2), (10, 3)):
+            key = demo_threshold_key(n, t, 384)
+            corrupted = set(range(t))
+
+            def bad_first(item):
+                sender, _, _ = item
+                return (0 if sender in corrupted else 1, sender)
+
+            protocols = run_protocol(key, "optte", corrupted=corrupted, order=bad_first)
+            honest_attempts = [
+                p.attempts for i, p in enumerate(protocols) if i not in corrupted
+            ]
+            measurements[(n, t)] = (max(honest_attempts), math.comb(2 * t + 1, t + 1))
+        return measurements
+
+    measurements = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nA4: OptTE assembly attempts under adversarial share ordering")
+    for (n, t), (attempts, bound) in measurements.items():
+        print(f"  n={n:<3} t={t}:  {attempts:>3} attempts (bound C(2t+1,t+1) = {bound})")
+        assert attempts <= bound
+    # Worst-case work grows with t.
+    assert measurements[(10, 3)][1] > measurements[(4, 1)][1]
+
+
+def test_a5_abc_fallback_cost(benchmark):
+    """Epoch change (leader crash -> ABA -> new epoch) vs fast path."""
+
+    def run():
+        fast = build_service("(4,0)*", "optte")
+        fast_read = fast.query("www.example.com.", c.TYPE_A).latency
+
+        crashed = ReplicatedNameService(
+            ServiceConfig(n=4, t=1, abc_timeout=1.0, client_timeout=120.0),
+            topology=lan_setup(4),
+            gateway=1,  # client talks to replica 1; leader 0 is crashed
+        )
+        from repro.core.faults import CorruptionMode
+
+        crashed.corrupt(0, CorruptionMode.CRASH)
+        recovery_read = crashed.query("www.example.com.", c.TYPE_A).latency
+        epoch_changes = crashed.replicas[1].abc.stats["epoch_changes"]
+        follow_up = crashed.query("ns1.example.com.", c.TYPE_A).latency
+        return fast_read, recovery_read, epoch_changes, follow_up
+
+    fast_read, recovery_read, epoch_changes, follow_up = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(
+        f"\nA5: fast-path read {fast_read:.3f}s; first read through leader "
+        f"crash {recovery_read:.3f}s ({epoch_changes} epoch change); "
+        f"next read {follow_up:.3f}s"
+    )
+    benchmark.extra_info.update(
+        fast=fast_read, recovery=recovery_read, after=follow_up
+    )
+    assert epoch_changes >= 1
+    assert recovery_read > 1.0  # dominated by the suspicion timeout
+    assert follow_up < recovery_read / 3  # new epoch is fast again

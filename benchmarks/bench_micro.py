@@ -1,0 +1,125 @@
+"""Real wall-clock micro-benchmarks of this implementation's substrates.
+
+Not paper tables — these measure the Python implementation itself (wire
+codec, zone lookups, update engine, RBC round) so regressions in the
+substrate are visible independently of the simulated results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dns import constants as c
+from repro.dns.message import Message, make_query
+from repro.dns.name import Name
+from repro.dns.rdata import A
+from repro.dns.server import AuthoritativeServer
+from repro.dns.update import UpdateProcessor
+from repro.dns.zonefile import parse_zone_text
+
+ZONE_TEXT = """
+$ORIGIN bench.example.
+$TTL 3600
+@ IN SOA ns1.bench.example. admin.bench.example. ( 1 7200 900 604800 300 )
+  IN NS ns1
+ns1 IN A 192.0.2.1
+"""
+
+
+@pytest.fixture(scope="module")
+def big_zone():
+    zone = parse_zone_text(ZONE_TEXT)
+    for i in range(500):
+        zone.add_rdata(
+            Name.from_text(f"host{i}.bench.example."),
+            c.TYPE_A,
+            3600,
+            A(f"10.{(i >> 8) & 0xFF}.{i & 0xFF}.1"),
+        )
+    return zone
+
+
+def test_wire_encode(benchmark, big_zone):
+    server = AuthoritativeServer(big_zone)
+    response = server.handle_query(
+        make_query(Name.from_text("host42.bench.example."), c.TYPE_A)
+    )
+    wire = benchmark(response.to_wire)
+    assert wire
+
+
+def test_wire_decode(benchmark, big_zone):
+    server = AuthoritativeServer(big_zone)
+    wire = server.handle_query(
+        make_query(Name.from_text("host42.bench.example."), c.TYPE_A)
+    ).to_wire()
+    message = benchmark(Message.from_wire, wire)
+    assert message.answers
+
+
+def test_query_engine_throughput(benchmark, big_zone):
+    server = AuthoritativeServer(big_zone)
+    query = make_query(Name.from_text("host123.bench.example."), c.TYPE_A)
+    response = benchmark(server.handle_query, query)
+    assert response.rcode == c.RCODE_NOERROR
+
+
+def test_update_engine(benchmark, big_zone):
+    from repro.dns.message import RR, make_update
+
+    def apply_update():
+        zone = big_zone.copy()
+        update = make_update(zone.origin)
+        update.authority.append(
+            RR(
+                Name.from_text("fresh.bench.example."),
+                c.TYPE_A,
+                c.CLASS_IN,
+                300,
+                A("10.9.9.9"),
+            )
+        )
+        return UpdateProcessor(zone).apply(update)
+
+    result = benchmark(apply_update)
+    assert result.ok
+
+
+def test_zone_digest(benchmark, big_zone):
+    digest = benchmark(big_zone.digest)
+    assert len(digest) == 32
+
+
+def test_canonical_zone_iteration(benchmark, big_zone):
+    count = benchmark(lambda: sum(1 for _ in big_zone))
+    assert count > 500
+
+
+def test_rbc_round_on_sim(benchmark):
+    """One complete reliable-broadcast round among four simulated nodes."""
+    from tests.broadcast.test_rbc import build
+    from tests.broadcast.harness import make_lan
+
+    def round_trip():
+        net = make_lan(4)
+        rbcs, routers, delivered = build(4, 1, net)
+        routers[0].send_all(rbcs[0].broadcast("sid", b"payload"))
+        net.run()
+        return delivered
+
+    delivered = benchmark(round_trip)
+    assert all(delivered[i].get("sid") == b"payload" for i in range(4))
+
+
+def test_threshold_sign_512(benchmark):
+    """End-to-end threshold signature at the service's default key size."""
+    from repro.crypto.params import demo_threshold_key
+
+    public, shares = demo_threshold_key(4, 1, 512)
+
+    def sign():
+        sig_shares = [s.generate_share(b"bench message") for s in shares[:2]]
+        return public.assemble(b"bench message", sig_shares)
+
+    signature = benchmark(sign)
+    public.verify_signature(b"bench message", signature)

@@ -1,0 +1,97 @@
+"""Table 1 (machines) and Figure 1 (topology RTTs) regeneration.
+
+Table 1 is an *input* of the evaluation: this bench prints our encoding of
+it and asserts it matches the paper.  Figure 1's round-trip times are
+measured by actually ping-ponging messages across the simulated links.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.machines import (
+    PAPER_MACHINES,
+    PAPER_SITE_RTTS,
+    Topology,
+    site_rtt,
+)
+from repro.sim.network import SimNetwork
+
+
+def test_table1_machines(benchmark):
+    """Print Table 1 and check the encoded inventory."""
+
+    def render() -> str:
+        lines = [
+            "Table 1. Details of machines used in the experiments.",
+            f"{'Location':<10} {'#':>2} {'OS':<12} {'CPU':<12} {'MHz':>5} {'Java':<10}",
+        ]
+        seen = {}
+        for machine in PAPER_MACHINES:
+            key = (machine.location, machine.os, machine.cpu, machine.mhz, machine.java)
+            seen[key] = seen.get(key, 0) + 1
+        for (location, os_, cpu, mhz, java), count in seen.items():
+            lines.append(
+                f"{location:<10} {count:>2} {os_:<12} {cpu:<12} {mhz:>5} {java:<10}"
+            )
+        return "\n".join(lines)
+
+    table = benchmark(render)
+    print("\n" + table)
+    locations = [m.location for m in PAPER_MACHINES]
+    assert locations.count("Zurich") == 4
+    assert len(PAPER_MACHINES) == 7
+    mhz = {m.location: m.mhz for m in PAPER_MACHINES}
+    assert mhz == {"Zurich": 266, "New York": 300, "Austin": 1260, "San Jose": 930}
+
+
+def test_figure1_rtts(benchmark):
+    """Ping across every simulated link; measured RTT must match Figure 1."""
+    sites = ["Zurich", "New York", "Austin", "San Jose"]
+    representatives = {}
+    for i, machine in enumerate(PAPER_MACHINES):
+        representatives.setdefault(machine.location, i)
+
+    def ping_all():
+        topology = Topology(list(PAPER_MACHINES))
+        results = {}
+        for a in sites:
+            for b in sites:
+                if sites.index(a) >= sites.index(b):
+                    continue
+                net = SimNetwork(topology, cpu_jitter=0.0)
+                src, dst = representatives[a], representatives[b]
+                done = []
+                net.node(dst).set_handler(
+                    lambda s, p, dst=dst: net.node(dst).send(s, b"pong")
+                )
+                net.node(src).set_handler(lambda s, p: done.append(net.sim.now))
+                net.node(src).run_local(0.0, lambda: net.node(src).send(dst, b"ping"))
+                net.run()
+                results[(a, b)] = done[0]
+        return results
+
+    measured = benchmark(ping_all)
+    print("\nFigure 1: measured round-trip times on simulated links (ms)")
+    for (a, b), rtt in measured.items():
+        configured = site_rtt(a, b)
+        print(f"  {a:<10} <-> {b:<10} {rtt * 1000:7.1f}  (configured {configured * 1000:.1f})")
+        assert rtt == pytest.approx(configured, rel=0.01)
+
+
+def test_lan_latency_negligible(benchmark):
+    """The paper: Zurich-LAN link latencies are negligible (§5.2)."""
+
+    def lan_ping():
+        topology = Topology(list(PAPER_MACHINES[:4]))
+        net = SimNetwork(topology, cpu_jitter=0.0)
+        done = []
+        net.node(1).set_handler(lambda s, p: net.node(1).send(s, b"pong"))
+        net.node(0).set_handler(lambda s, p: done.append(net.sim.now))
+        net.node(0).run_local(0.0, lambda: net.node(0).send(1, b"ping"))
+        net.run()
+        return done[0]
+
+    rtt = benchmark(lan_ping)
+    print(f"\nZurich LAN RTT: {rtt * 1000:.2f} ms")
+    assert rtt < 0.001  # well under a millisecond

@@ -1,0 +1,139 @@
+"""Table 3: breakdown of one BASIC threshold signature.
+
+Two reproductions of the same table:
+
+* **wall-clock** — pytest-benchmark times this implementation's own
+  primitives on a 1024-bit modulus; the *relative* split must match the
+  paper's profile (share generation and verification together dominate,
+  assembly is small, final verification is negligible);
+* **simulated** — the calibrated cost model's absolute numbers, which are
+  the paper's values by construction, printed for the record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.costmodel import (
+    GENERATE_SHARE_BARE,
+    GENERATE_PROOF,
+    TABLE3_ASSEMBLE,
+    TABLE3_GENERATE_WITH_PROOF,
+    TABLE3_VERIFY_SHARE,
+    TABLE3_VERIFY_SIGNATURE,
+)
+from repro.crypto.params import demo_threshold_key
+
+MESSAGE = b"table3 benchmark: one SIG record's worth of canonical RRset data"
+
+
+@pytest.fixture(scope="module")
+def key_1024():
+    return demo_threshold_key(4, 1, 1024)
+
+
+@pytest.fixture(scope="module")
+def prepared(key_1024):
+    public, shares = key_1024
+    with_proof = shares[0].generate_share_with_proof(MESSAGE)
+    bare = [s.generate_share(MESSAGE) for s in shares[:2]]
+    signature = public.assemble(MESSAGE, bare)
+    return public, shares, with_proof, bare, signature
+
+
+def test_generate_share_with_proof(benchmark, key_1024):
+    """Table 3 row 1: 'generate share' (share value + correctness proof)."""
+    _, shares = key_1024
+    result = benchmark(shares[0].generate_share_with_proof, MESSAGE)
+    assert result.proof is not None
+
+
+def test_verify_share(benchmark, prepared):
+    """Table 3 row 2: 'verify share' (checking the correctness proof)."""
+    public, _, with_proof, _, _ = prepared
+    benchmark(public.verify_share, MESSAGE, with_proof)
+
+
+def test_assemble_signature(benchmark, prepared):
+    """Table 3 row 3: 'assemble sig.' from t+1 shares."""
+    public, _, _, bare, _ = prepared
+    result = benchmark(public.assemble, MESSAGE, bare)
+    public.verify_signature(MESSAGE, result)
+
+
+def test_verify_signature(benchmark, prepared):
+    """Table 3 row 4: 'verify sig.' (plain RSA verify, e = 65537)."""
+    public, _, _, _, signature = prepared
+    benchmark(public.verify_signature, MESSAGE, signature)
+
+
+def test_table3_relative_breakdown(benchmark, key_1024):
+    """Measure all four ops together and check the relative profile."""
+    import time
+
+    public, shares = key_1024
+
+    def profile():
+        timings = {}
+        start = time.perf_counter()
+        share = shares[0].generate_share_with_proof(MESSAGE)
+        timings["generate share"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        public.verify_share(MESSAGE, share)
+        timings["verify share"] = time.perf_counter() - start
+
+        bare = [s.generate_share(MESSAGE) for s in shares[:2]]
+        start = time.perf_counter()
+        signature = public.assemble(MESSAGE, bare)
+        timings["assemble sig."] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        public.verify_signature(MESSAGE, signature)
+        timings["verify sig."] = time.perf_counter() - start
+        return timings
+
+    timings = benchmark.pedantic(profile, rounds=3, iterations=1)
+    total = sum(timings.values())
+    paper_relative = {
+        "generate share": 49.6,
+        "verify share": 47.2,
+        "assemble sig.": 3.0,
+        "verify sig.": 0.2,
+    }
+    print("\nTable 3 (BASIC threshold signature breakdown, 1024-bit modulus)")
+    print(f"{'operation':<16}{'measured s':>11}{'measured %':>12}{'paper %':>9}")
+    for op, seconds in timings.items():
+        print(
+            f"{op:<16}{seconds:>11.4f}{100 * seconds / total:>11.1f}%"
+            f"{paper_relative[op]:>8.1f}%"
+        )
+    benchmark.extra_info.update(
+        {op: round(seconds, 5) for op, seconds in timings.items()}
+    )
+    # Shape: generation+verification dominate (>90%), final verify ~free.
+    dominant = timings["generate share"] + timings["verify share"]
+    assert dominant / total > 0.85
+    assert timings["verify sig."] / total < 0.05
+    assert timings["assemble sig."] < timings["verify share"]
+
+
+def test_table3_simulated_absolute(benchmark):
+    """The calibrated cost model reproduces the paper's absolute values."""
+
+    def model():
+        return {
+            "generate share": GENERATE_SHARE_BARE + GENERATE_PROOF,
+            "verify share": TABLE3_VERIFY_SHARE,
+            "assemble sig.": TABLE3_ASSEMBLE,
+            "verify sig.": TABLE3_VERIFY_SIGNATURE,
+        }
+
+    costs = benchmark(model)
+    total = sum(costs.values())
+    print("\nTable 3 (simulated 266 MHz reference machine, seconds)")
+    for op, seconds in costs.items():
+        print(f"  {op:<16}{seconds:>7.3f}  ({100 * seconds / total:4.1f}%)")
+    assert costs["generate share"] == pytest.approx(TABLE3_GENERATE_WITH_PROOF)
+    assert 100 * costs["generate share"] / total == pytest.approx(49.6, abs=1.0)
+    assert 100 * costs["verify share"] / total == pytest.approx(47.2, abs=1.0)

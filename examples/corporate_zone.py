@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: a multinational corporation's zone.
+
+Figure 1's deployment — a cluster of name servers in Zurich (close to
+where most queries arise) plus remote replicas in New York, Austin, and
+San Jose — serving a corporate zone with dynamic updates, compared across
+the three threshold-signing protocols.
+
+Run:  python examples/corporate_zone.py
+"""
+
+from repro.config import ServiceConfig
+from repro.core.service import ReplicatedNameService
+from repro.dns import constants as c
+from repro.sim.machines import PAPER_SITE_RTTS, paper_setup
+
+CORPORATE_ZONE = """
+$ORIGIN corp.example.
+$TTL 3600
+@      IN SOA ns-zrh1.corp.example. hostmaster.corp.example. ( 2004060100 7200 900 2419200 300 )
+       IN NS ns-zrh1
+       IN NS ns-zrh2
+       IN NS ns-nyc
+       IN NS ns-sjc
+       IN MX 10 mail-zrh
+       IN MX 20 mail-nyc
+ns-zrh1 IN A 198.51.100.1
+ns-zrh2 IN A 198.51.100.2
+ns-nyc  IN A 203.0.113.1
+ns-sjc  IN A 203.0.113.65
+mail-zrh IN A 198.51.100.25
+mail-nyc IN A 203.0.113.25
+www     IN A 198.51.100.80
+intranet IN A 198.51.100.81
+vpn     IN A 198.51.100.82
+"""
+
+
+def main() -> None:
+    print("Figure 1 topology (avg round-trip times):")
+    for (a, b), rtt in PAPER_SITE_RTTS.items():
+        if a != b:
+            print(f"  {a:<10} <-> {b:<10} {rtt * 1000:6.1f} ms")
+
+    print("\nServing corp.example from 7 replicas (Zurich x4, NY, Austin, San Jose)")
+    print(f"{'protocol':<10}{'read':>9}{'add':>9}{'delete':>9}   (simulated seconds)")
+    for protocol in ("basic", "optproof", "optte"):
+        service = ReplicatedNameService(
+            ServiceConfig(n=7, t=2, signing_protocol=protocol),
+            topology=paper_setup(7),
+            zone_text=CORPORATE_ZONE,
+        )
+        read = service.query("www.corp.example.", c.TYPE_A).latency
+        # A laptop gets a DHCP lease and registers itself (dynamic DNS):
+        _, _, add = service.nsupdate_add(
+            "laptop-042.corp.example.", c.TYPE_A, 300, "198.51.100.142"
+        )
+        _, _, delete = service.nsupdate_delete("laptop-042.corp.example.")
+        print(f"{protocol:<10}{read:>9.3f}{add:>9.2f}{delete:>9.2f}")
+        assert service.states_consistent()
+
+    print("\nWith OptTE, a dynamic-DNS registration completes in a couple of")
+    print("seconds across three continents while the zone key never exists")
+    print("in one place — any 3 of the 7 servers sign, no 2 can forge.")
+
+
+if __name__ == "__main__":
+    main()

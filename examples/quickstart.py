@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: a Byzantine-fault-tolerant DNS zone in a few lines.
+
+Builds the paper's replicated name service — four authoritative servers,
+threshold-shared zone key, atomic broadcast — on the deterministic
+simulator, then performs a signed read, a dynamic add, and a delete.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.config import ServiceConfig
+from repro.core.service import ReplicatedNameService
+from repro.dns import constants as c
+from repro.sim.machines import lan_setup
+
+
+def main() -> None:
+    # n = 4 servers tolerating t = 1 Byzantine corruption, OptTE signing.
+    config = ServiceConfig(n=4, t=1, signing_protocol="optte")
+    service = ReplicatedNameService(config, topology=lan_setup(4))
+    print(f"zone {service.zone_origin.to_text()} served by {config.n} replicas "
+          f"(tolerating {config.t} Byzantine)")
+
+    # A DNSSEC read: the client verifies the threshold-produced SIG records.
+    op = service.query("www.example.com.", c.TYPE_A)
+    print(f"\n$ dig www.example.com A         ({op.latency * 1000:.0f} ms simulated)")
+    print(f"  rcode={c.rcode_to_text(op.response.rcode)}  "
+          f"signature-verified={op.verified}")
+    for rr in op.response.answers:
+        print(f"  {rr.to_text()[:100]}")
+
+    # A dynamic update: all four replicas agree on the order, apply it,
+    # and jointly sign the new records with the shared zone key.
+    op = service.add_record("api.example.com.", c.TYPE_A, 300, "192.0.2.10")
+    print(f"\n$ nsupdate add api.example.com  ({op.latency:.2f} s simulated)")
+    print(f"  rcode={c.rcode_to_text(op.response.rcode)}")
+    print(f"  replica states consistent: {service.states_consistent()}")
+    print(f"  all zone signatures valid: {service.verify_all_zones()} SIGs checked")
+
+    # Read it back — freshly signed by the distributed key.
+    op = service.query("api.example.com.", c.TYPE_A)
+    print(f"\n$ dig api.example.com A         ({op.latency * 1000:.0f} ms simulated)")
+    print(f"  signature-verified={op.verified}")
+
+    # And delete it again.
+    op = service.delete_name("api.example.com.")
+    print(f"\n$ nsupdate delete api.example.com  ({op.latency:.2f} s simulated)")
+    op = service.query("api.example.com.", c.TYPE_A)
+    print(f"  now: {c.rcode_to_text(op.response.rcode)}")
+
+
+if __name__ == "__main__":
+    main()

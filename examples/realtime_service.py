@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The same service in real time: asyncio instead of the simulator.
+
+Every protocol in this repository is sans-IO, so the exact replica and
+client objects that run on the deterministic simulator also run
+concurrently on an asyncio bus with real wall-clock timing and real
+crypto costs.  This example serves a zone live, issues concurrent
+queries, performs a signed dynamic update, and survives a corrupted
+signer — all in a couple of wall-clock seconds.
+
+Run:  python examples/realtime_service.py
+"""
+
+import asyncio
+import time
+
+from repro.config import ServiceConfig
+from repro.core.faults import CorruptionMode
+from repro.dns import constants as c
+from repro.net.local import AsyncNameService
+
+
+async def main() -> None:
+    service = AsyncNameService(ServiceConfig(n=4, t=1, signing_protocol="optte"))
+    print("4-replica service live on the asyncio bus (t=1 Byzantine tolerated)")
+
+    start = time.perf_counter()
+    results = await asyncio.gather(
+        service.query("www.example.com.", c.TYPE_A),
+        service.query("ns1.example.com.", c.TYPE_A),
+        service.query("ns2.example.com.", c.TYPE_A),
+    )
+    elapsed = time.perf_counter() - start
+    print(f"\n3 concurrent signed reads in {elapsed * 1000:.1f} ms wall-clock:")
+    for op in results:
+        answer = op.response.answers[0].to_text() if op.response.answers else "-"
+        print(f"  {answer[:60]:<60} verified={op.verified}")
+
+    start = time.perf_counter()
+    op = await service.add_record("live.example.com.", c.TYPE_A, 300, "192.0.2.123")
+    elapsed = time.perf_counter() - start
+    print(f"\nthreshold-signed dynamic update in {elapsed * 1000:.1f} ms wall-clock "
+          f"(rcode {c.rcode_to_text(op.response.rcode)})")
+    await service.settle()
+    print(f"  states consistent: {service.states_consistent()}, "
+          f"SIGs verified: {service.verify_all_zones()}")
+
+    service.replicas[2].corrupt(CorruptionMode.BAD_SHARES)
+    start = time.perf_counter()
+    op = await service.add_record("survivor.example.com.", c.TYPE_A, 300, "192.0.2.7")
+    elapsed = time.perf_counter() - start
+    print(f"\nupdate with a corrupted signer in {elapsed * 1000:.1f} ms "
+          f"(rcode {c.rcode_to_text(op.response.rcode)})")
+    await service.settle()
+    print(f"  zone still verifies on honest replicas: "
+          f"{service.verify_all_zones()} SIGs")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

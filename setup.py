@@ -1,0 +1,16 @@
+"""Setup shim for offline editable installs (no `wheel` package available)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Secure Distributed DNS: BFT replicated DNS zone service with "
+        "threshold-signed DNSSEC (reproduction of Cachin & Samar, DSN 2004)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro.crypto": ["data/*.json"]},
+    python_requires=">=3.10",
+)

@@ -1,0 +1,29 @@
+"""Asynchronous BFT broadcast substrate (our SINTRA equivalent).
+
+Implements the protocol stack the paper's prototype obtained from SINTRA:
+
+* Bracha reliable broadcast (:mod:`repro.broadcast.rbc`)
+* threshold-signature common coin (:mod:`repro.broadcast.coin`)
+* randomized asynchronous binary Byzantine agreement
+  (:mod:`repro.broadcast.aba`)
+* optimistic atomic broadcast with a leader fast path and an
+  agreement-based fall-back (:mod:`repro.broadcast.abc`)
+
+All protocols are sans-IO: they consume ``(sender, message)`` events and
+emit outgoing messages plus timer requests, so the same code runs on the
+discrete-event simulator and the asyncio transport.  The model is the
+paper's: ``n > 3t``, asynchronous authenticated reliable point-to-point
+links, Byzantine corruptions.
+"""
+
+from repro.broadcast.rbc import ReliableBroadcast
+from repro.broadcast.coin import CommonCoin
+from repro.broadcast.aba import BinaryAgreement
+from repro.broadcast.abc import AtomicBroadcast
+
+__all__ = [
+    "ReliableBroadcast",
+    "CommonCoin",
+    "BinaryAgreement",
+    "AtomicBroadcast",
+]

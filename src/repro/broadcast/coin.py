@@ -1,0 +1,96 @@
+"""Common coin from threshold signatures (Cachin–Kursawe–Shoup style).
+
+Each replica holds a share of a dedicated *coin key* (an ``(n, t)``
+threshold RSA key distinct from the zone key).  The coin for
+``(sid, round)`` is obtained by threshold-signing the string
+``coin/<sid>/<round>``: since the signature is unique and unpredictable
+without ``t+1`` shares, hashing it yields an unbiased bit that the
+adversary cannot learn before honest parties reveal their shares.  This
+is exactly how SINTRA's binary agreement obtained its randomness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.broadcast.messages import CoinShare
+from repro.crypto.shoup import SignatureShare, ThresholdKeyShare
+from repro.errors import AssemblyError, ConfigError
+
+Outgoing = Tuple[int, object]
+BROADCAST = -1
+
+
+def _coin_message(sid: str, round_: int) -> bytes:
+    return f"coin/{sid}/{round_}".encode()
+
+
+class CommonCoin:
+    """Per-replica coin endpoint; sessions keyed by (sid, round).
+
+    Shares are verified with their correctness proofs, so ``t`` corrupted
+    replicas can neither fix nor bias the coin.
+    """
+
+    def __init__(
+        self,
+        key_share: ThresholdKeyShare,
+        me: int,
+        on_value: Callable[[str, int, int], None],
+    ) -> None:
+        self.key_share = key_share
+        self.public = key_share.public
+        self.me = me
+        self._on_value = on_value
+        self._shares: Dict[Tuple[str, int], Dict[int, SignatureShare]] = {}
+        self._values: Dict[Tuple[str, int], int] = {}
+        self._requested: Set[Tuple[str, int]] = set()
+
+    def value(self, sid: str, round_: int) -> Optional[int]:
+        return self._values.get((sid, round_))
+
+    def request(self, sid: str, round_: int) -> List[Outgoing]:
+        """Reveal our share for this coin; returns messages to send."""
+        key = (sid, round_)
+        if key in self._requested:
+            return []
+        self._requested.add(key)
+        message = _coin_message(sid, round_)
+        share = self.key_share.generate_share_with_proof(message)
+        out: List[Outgoing] = [(BROADCAST, CoinShare(sid, round_, share))]
+        self._accept_share(sid, round_, self.me, share)
+        return out
+
+    def on_message(self, sender: int, msg: object) -> List[Outgoing]:
+        if not isinstance(msg, CoinShare):
+            return []
+        self._accept_share(msg.sid, msg.round, sender, msg.share)
+        return []
+
+    def _accept_share(
+        self, sid: str, round_: int, sender: int, share: SignatureShare
+    ) -> None:
+        key = (sid, round_)
+        if key in self._values:
+            return
+        message = _coin_message(sid, round_)
+        if share.index != sender + 1:
+            return  # a replica may only contribute its own share
+        if not self.public.share_is_valid(message, share):
+            return
+        pool = self._shares.setdefault(key, {})
+        pool[share.index] = share
+        if len(pool) < self.public.t + 1:
+            return
+        try:
+            signature = self.public.assemble(
+                message, list(pool.values())[: self.public.t + 1]
+            )
+        except AssemblyError:
+            return
+        if not self.public.signature_is_valid(message, signature):
+            return
+        value = hashlib.sha256(signature).digest()[0] & 1
+        self._values[key] = value
+        self._on_value(sid, round_, value)

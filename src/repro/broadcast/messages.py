@@ -1,0 +1,192 @@
+"""Message types of the broadcast/agreement protocols.
+
+Messages are immutable dataclasses.  Transports in this repository are
+in-process (deterministic simulator or asyncio bus), so messages travel
+as objects; the DNS payloads they carry have their own RFC wire format.
+Every message names its protocol instance (``sid`` — session id), so one
+pair of nodes can run many protocol instances over one link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.crypto.protocols import SigningMessage
+from repro.crypto.shoup import SignatureShare
+
+
+# --------------------------------------------------------------------------
+# Reliable broadcast (Bracha)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RbcSend:
+    sid: str
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class RbcEcho:
+    sid: str
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class RbcReady:
+    sid: str
+    digest: bytes
+
+
+# --------------------------------------------------------------------------
+# Common coin (threshold-signature based)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoinShare:
+    sid: str
+    round: int
+    share: SignatureShare
+
+
+# --------------------------------------------------------------------------
+# Binary agreement (randomized, coin-based)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AbaEst:
+    sid: str
+    round: int
+    value: int  # 0 or 1
+
+
+@dataclass(frozen=True)
+class AbaAux:
+    sid: str
+    round: int
+    value: int
+
+
+@dataclass(frozen=True)
+class AbaDecided:
+    sid: str
+    value: int
+
+
+# --------------------------------------------------------------------------
+# Optimistic atomic broadcast
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AbcInitiate:
+    """A request enters the system: sent to all replicas (incl. the leader)."""
+
+    request_id: str
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class AbcOrder:
+    """Leader's fast-path sequencing of one request."""
+
+    epoch: int
+    seq: int
+    request_id: str
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class AbcPrepare:
+    """First-phase echo: replica ``signer`` vouches for (epoch, seq, digest)."""
+
+    epoch: int
+    seq: int
+    digest: bytes
+    signer: int
+    signature: bytes
+
+
+@dataclass(frozen=True)
+class AbcCommit:
+    """Second-phase echo, sent only by replicas holding a prepare certificate."""
+
+    epoch: int
+    seq: int
+    digest: bytes
+    signer: int
+    signature: bytes
+
+
+@dataclass(frozen=True)
+class PrepareCertificate:
+    """2t+1 signed prepares — transferable proof that (seq, digest) is safe."""
+
+    epoch: int
+    seq: int
+    digest: bytes
+    payload: bytes
+    signatures: Tuple[Tuple[int, bytes], ...]  # (signer, signature) pairs
+
+
+@dataclass(frozen=True)
+class AbcComplain:
+    """Leader-suspicion vote for the current epoch."""
+
+    epoch: int
+    complainer: int
+
+
+@dataclass(frozen=True)
+class AbcEpochFinal:
+    """A replica's closing state for an epoch (sent during fall-back).
+
+    Carries every prepare certificate the replica holds at or above its
+    delivered watermark, plus its undelivered pending requests so the new
+    leader can re-propose them.
+    """
+
+    epoch: int
+    sender: int
+    delivered_seq: int
+    certificates: Tuple[PrepareCertificate, ...]
+    pending: Tuple[Tuple[str, bytes], ...]  # (request_id, payload)
+
+
+@dataclass(frozen=True)
+class AbcNewEpoch:
+    """New leader's epoch-start message: the adopted certified prefix."""
+
+    epoch: int  # the NEW epoch
+    certificates: Tuple[PrepareCertificate, ...]
+    start_seq: int
+
+
+@dataclass(frozen=True)
+class WrapperSigning:
+    """Envelope for threshold-signing traffic between Wrapper modules.
+
+    Signing messages are point-to-point (§3.3), outside atomic broadcast.
+    """
+
+    inner: SigningMessage
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """Client-to-replica DNS request (wire bytes, possibly TSIG-signed)."""
+
+    request_id: str
+    wire: bytes
+
+
+@dataclass(frozen=True)
+class ClientResponse:
+    """Replica-to-client DNS response."""
+
+    request_id: str
+    wire: bytes
+    replica: int

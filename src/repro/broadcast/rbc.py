@@ -1,0 +1,151 @@
+"""Bracha reliable broadcast (the classic asynchronous BFT primitive).
+
+Guarantees that if any honest replica delivers a payload for a session,
+every honest replica eventually delivers the *same* payload — even if the
+broadcaster is Byzantine.  Used by the fall-back path of the atomic
+broadcast and available as a building block in its own right (SINTRA
+exposed the same primitive).
+
+Protocol (n > 3t):
+
+1. broadcaster sends ``SEND(m)`` to all;
+2. on first ``SEND(m)``: broadcast ``ECHO(m)``;
+3. on ``2t+1`` matching ``ECHO``s (or ``t+1`` ``READY``s): broadcast
+   ``READY(digest(m))``;
+4. on ``2t+1`` matching ``READY``s: deliver ``m``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.broadcast.messages import RbcEcho, RbcReady, RbcSend
+from repro.errors import ConfigError
+
+Outgoing = Tuple[int, object]
+BROADCAST = -1
+
+
+def _digest(payload: bytes) -> bytes:
+    return hashlib.sha256(payload).digest()
+
+
+class RbcInstance:
+    """State of one reliable-broadcast session at one replica."""
+
+    def __init__(self, n: int, t: int, me: int, sid: str) -> None:
+        self.n = n
+        self.t = t
+        self.me = me
+        self.sid = sid
+        self.payload: Optional[bytes] = None
+        self.delivered: Optional[bytes] = None
+        self._echoes: Dict[bytes, Set[int]] = {}
+        self._readies: Dict[bytes, Set[int]] = {}
+        self._payload_by_digest: Dict[bytes, bytes] = {}
+        self._sent_echo = False
+        self._sent_ready = False
+
+    def broadcast(self, payload: bytes) -> List[Outgoing]:
+        """Called at the broadcaster to start the session."""
+        return [(BROADCAST, RbcSend(self.sid, payload))]
+
+    def on_message(self, sender: int, msg: object) -> List[Outgoing]:
+        out: List[Outgoing] = []
+        if isinstance(msg, RbcSend):
+            out.extend(self._on_send(sender, msg))
+        elif isinstance(msg, RbcEcho):
+            out.extend(self._on_echo(sender, msg))
+        elif isinstance(msg, RbcReady):
+            out.extend(self._on_ready(sender, msg))
+        return out
+
+    def _on_send(self, sender: int, msg: RbcSend) -> List[Outgoing]:
+        if self._sent_echo:
+            return []
+        self._sent_echo = True
+        self._payload_by_digest[_digest(msg.payload)] = msg.payload
+        echo = RbcEcho(self.sid, msg.payload)
+        # Echo to everyone, then process our own echo locally.
+        return [(BROADCAST, echo)] + self._on_echo(self.me, echo)
+
+    def _on_echo(self, sender: int, msg: RbcEcho) -> List[Outgoing]:
+        digest = _digest(msg.payload)
+        self._payload_by_digest[digest] = msg.payload
+        voters = self._echoes.setdefault(digest, set())
+        if sender in voters:
+            return []
+        voters.add(sender)
+        if len(voters) >= 2 * self.t + 1 and not self._sent_ready:
+            return self._send_ready(digest)
+        return []
+
+    def _on_ready(self, sender: int, msg: RbcReady) -> List[Outgoing]:
+        voters = self._readies.setdefault(msg.digest, set())
+        if sender in voters:
+            return []
+        voters.add(sender)
+        out: List[Outgoing] = []
+        if len(voters) >= self.t + 1 and not self._sent_ready:
+            out.extend(self._send_ready(msg.digest))
+        if (
+            len(self._readies.get(msg.digest, ())) >= 2 * self.t + 1
+            and self.delivered is None
+            and msg.digest in self._payload_by_digest
+        ):
+            self.delivered = self._payload_by_digest[msg.digest]
+        return out
+
+    def _send_ready(self, digest: bytes) -> List[Outgoing]:
+        self._sent_ready = True
+        ready = RbcReady(self.sid, digest)
+        out: List[Outgoing] = [(BROADCAST, ready)]
+        out.extend(self._on_ready(self.me, ready))
+        return out
+
+
+class ReliableBroadcast:
+    """Session multiplexer: one per replica, any number of concurrent sids."""
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        me: int,
+        deliver: Callable[[str, bytes], None],
+    ) -> None:
+        if n <= 3 * t:
+            raise ConfigError("reliable broadcast requires n > 3t")
+        self.n = n
+        self.t = t
+        self.me = me
+        self._deliver = deliver
+        self._instances: Dict[str, RbcInstance] = {}
+
+    def _instance(self, sid: str) -> RbcInstance:
+        if sid not in self._instances:
+            self._instances[sid] = RbcInstance(self.n, self.t, self.me, sid)
+        return self._instances[sid]
+
+    def broadcast(self, sid: str, payload: bytes) -> List[Outgoing]:
+        instance = self._instance(sid)
+        out = instance.broadcast(payload)
+        # The broadcaster also processes its own SEND.
+        out.extend(self.on_message(self.me, RbcSend(sid, payload)))
+        return out
+
+    def on_message(self, sender: int, msg: object) -> List[Outgoing]:
+        sid = getattr(msg, "sid", None)
+        if sid is None:
+            return []
+        instance = self._instance(sid)
+        already = instance.delivered is not None
+        out = instance.on_message(sender, msg)
+        if instance.delivered is not None and not already:
+            self._deliver(sid, instance.delivered)
+        return out
+
+    def delivered(self, sid: str) -> Optional[bytes]:
+        instance = self._instances.get(sid)
+        return instance.delivered if instance else None

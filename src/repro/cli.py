@@ -1,0 +1,264 @@
+"""Command-line interface: the operational tools of the paper's prototype.
+
+Subcommands mirror the utilities the prototype relied on:
+
+* ``keygen``   — the trusted initialization of §4.3: deal zone/coin/auth
+  keys for an (n, t) deployment and write one key file per replica.
+* ``signzone`` — the "special command ... to sign the zone data using the
+  distributed key" (§4.3): sign a master file with key shares.
+* ``verifyzone`` — DNSSEC-verify every SIG in a signed zone file.
+* ``dig``      — resolve a name against a simulated deployment.
+* ``nsupdate`` — add/delete records against a simulated deployment.
+* ``bench``    — run one Table 2 cell and print read/add/delete latency.
+
+Run ``python -m repro.cli <subcommand> --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.config import ServiceConfig
+from repro.dns import constants as c
+
+
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-n", type=int, default=4, help="number of replicas")
+    parser.add_argument("-t", type=int, default=1, help="corruptions tolerated")
+    parser.add_argument(
+        "--protocol",
+        choices=("basic", "optproof", "optte"),
+        default="optte",
+        help="threshold signing protocol",
+    )
+    parser.add_argument(
+        "--wan",
+        action="store_true",
+        help="use the paper's Figure 1 WAN topology instead of the LAN",
+    )
+    parser.add_argument(
+        "--corrupt",
+        type=int,
+        default=0,
+        metavar="K",
+        help="simulate K corrupted servers (paper placement)",
+    )
+
+
+def _build_service(args: argparse.Namespace):
+    from repro.core.service import ReplicatedNameService
+    from repro.sim.machines import lan_setup, paper_setup
+
+    topology = paper_setup(args.n) if args.wan else lan_setup(args.n)
+    service = ReplicatedNameService(
+        ServiceConfig(n=args.n, t=args.t, signing_protocol=args.protocol),
+        topology=topology,
+        zone_text=_load_zone_text(args),
+    )
+    if args.corrupt:
+        service.corrupt_paper_style(args.corrupt)
+    return service
+
+
+def _load_zone_text(args: argparse.Namespace) -> str:
+    from repro.core.service import DEFAULT_ZONE
+
+    zone_file = getattr(args, "zone_file", None)
+    if zone_file:
+        with open(zone_file, "r", encoding="utf-8") as handle:
+            return handle.read()
+    return DEFAULT_ZONE
+
+
+def cmd_keygen(args: argparse.Namespace) -> int:
+    from repro.core.keytool import generate_deployment, save_replica_keys
+
+    config = ServiceConfig(n=args.n, t=args.t)
+    deployment = generate_deployment(
+        config, zone_bits=args.bits, use_demo_primes=not args.fresh_primes
+    )
+    os.makedirs(args.out, exist_ok=True)
+    for keys in deployment.replicas:
+        path = os.path.join(args.out, f"replica-{keys.index}.keys")
+        save_replica_keys(keys, path)
+        print(f"wrote {path}")
+    key_record = deployment.zone_key_record
+    print(
+        f"zone key: {deployment.zone_public.modulus.bit_length()}-bit RSA, "
+        f"({config.n},{config.t})-shared, key tag {key_record.key_tag()}"
+    )
+    print("distribute each file to its replica over a secure channel (§4.3)")
+    return 0
+
+
+def cmd_signzone(args: argparse.Namespace) -> int:
+    from repro.core.keytool import generate_deployment
+    from repro.core.service import local_threshold_signer
+    from repro.dns import dnssec
+    from repro.dns.zonefile import parse_zone_file, write_zone_file
+
+    config = ServiceConfig(n=args.n, t=args.t)
+    deployment = generate_deployment(config, zone_bits=args.bits)
+    zone = parse_zone_file(args.zone_file)
+    key_record = deployment.zone_key_record
+    zone.add_rdata(zone.origin, c.TYPE_KEY, 3600, key_record)
+    signer = local_threshold_signer(
+        deployment.zone_public, [r.zone_share for r in deployment.replicas]
+    )
+    count = dnssec.sign_zone_locally(zone, key_record, signer)
+    out = args.out or args.zone_file + ".signed"
+    write_zone_file(zone, out)
+    print(f"signed {count} RRsets with the ({args.n},{args.t})-threshold key")
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_verifyzone(args: argparse.Namespace) -> int:
+    from repro.dns import dnssec
+    from repro.dns.zonefile import parse_zone_file
+
+    zone = parse_zone_file(args.zone_file)
+    key_rrset = dnssec.zone_key_rrset(zone)
+    if key_rrset is None:
+        print("error: zone has no apex KEY record", file=sys.stderr)
+        return 1
+    key = key_rrset.rdatas[0]
+    count = dnssec.verify_zone(zone, key)  # type: ignore[arg-type]
+    print(f"OK: {count} signatures verified against key tag {key.key_tag()}")  # type: ignore[union-attr]
+    return 0
+
+
+def cmd_dig(args: argparse.Namespace) -> int:
+    service = _build_service(args)
+    rtype = c.type_from_text(args.rtype)
+    op = service.query(args.name, rtype)
+    print(op.response.to_text())
+    print(
+        f";; simulated query time: {op.latency * 1000:.0f} ms; "
+        f"signatures verified: {op.verified}"
+    )
+    return 0 if op.response.rcode == c.RCODE_NOERROR else 1
+
+
+def cmd_nsupdate(args: argparse.Namespace) -> int:
+    service = _build_service(args)
+    if args.action == "add":
+        if not args.rdata:
+            print("error: add needs rdata", file=sys.stderr)
+            return 2
+        read_op, op, total = service.nsupdate_add(
+            args.name, c.type_from_text(args.rtype), args.ttl, " ".join(args.rdata)
+        )
+    else:
+        read_op, op, total = service.nsupdate_delete(args.name)
+    print(f"rcode: {c.rcode_to_text(op.response.rcode)}")
+    print(
+        f"simulated time: {total:.2f} s "
+        f"(read {read_op.latency:.2f} + update {op.latency:.2f})"
+    )
+    print(f"replica states consistent: {service.states_consistent()}")
+    return 0 if op.response.rcode == c.RCODE_NOERROR else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from statistics import mean
+
+    from repro.core.service import ReplicatedNameService
+    from repro.sim.machines import lan_setup, paper_setup
+
+    label = args.setup
+    reads, adds, deletes = [], [], []
+    for seed in range(args.repetitions):
+        topology = (
+            lan_setup(args.n) if label.endswith("*") or not args.wan
+            else paper_setup(args.n)
+        )
+        service = ReplicatedNameService(
+            ServiceConfig(n=args.n, t=args.t, signing_protocol=args.protocol),
+            topology=paper_setup(args.n) if args.wan else lan_setup(args.n),
+            seed=seed,
+        )
+        if args.corrupt:
+            service.corrupt_paper_style(args.corrupt)
+        reads.append(service.query("www.example.com.", c.TYPE_A).latency)
+        _, _, add = service.nsupdate_add(
+            "bench.example.com.", c.TYPE_A, 3600, "192.0.2.99"
+        )
+        _, _, delete = service.nsupdate_delete("bench.example.com.")
+        adds.append(add)
+        deletes.append(delete)
+    print(
+        f"(n={args.n}, k={args.corrupt}) {args.protocol}: "
+        f"read {mean(reads):.3f} s, add {mean(adds):.2f} s, "
+        f"delete {mean(deletes):.2f} s  ({args.repetitions} runs)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Secure Distributed DNS tools"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("keygen", help="deal threshold keys for a deployment")
+    p.add_argument("-n", type=int, default=4)
+    p.add_argument("-t", type=int, default=1)
+    p.add_argument("--bits", type=int, default=1024, help="zone key modulus bits")
+    p.add_argument("--out", default="keys", help="output directory")
+    p.add_argument(
+        "--fresh-primes",
+        action="store_true",
+        help="generate fresh safe primes (slow) instead of the demo pool",
+    )
+    p.set_defaults(func=cmd_keygen)
+
+    p = sub.add_parser("signzone", help="sign a zone file with a threshold key")
+    p.add_argument("zone_file")
+    p.add_argument("-n", type=int, default=4)
+    p.add_argument("-t", type=int, default=1)
+    p.add_argument("--bits", type=int, default=1024)
+    p.add_argument("--out", default=None)
+    p.set_defaults(func=cmd_signzone)
+
+    p = sub.add_parser("verifyzone", help="verify all SIGs in a signed zone file")
+    p.add_argument("zone_file")
+    p.set_defaults(func=cmd_verifyzone)
+
+    p = sub.add_parser("dig", help="query a simulated deployment")
+    p.add_argument("name")
+    p.add_argument("rtype", nargs="?", default="A")
+    p.add_argument("--zone-file", default=None)
+    _add_service_args(p)
+    p.set_defaults(func=cmd_dig)
+
+    p = sub.add_parser("nsupdate", help="update a simulated deployment")
+    p.add_argument("action", choices=("add", "delete"))
+    p.add_argument("name")
+    p.add_argument("rtype", nargs="?", default="A")
+    p.add_argument("rdata", nargs="*")
+    p.add_argument("--ttl", type=int, default=300)
+    p.add_argument("--zone-file", default=None)
+    _add_service_args(p)
+    p.set_defaults(func=cmd_nsupdate)
+
+    p = sub.add_parser("bench", help="run one Table 2 cell")
+    p.add_argument("--setup", default="(4,0)")
+    p.add_argument("--repetitions", type=int, default=3)
+    _add_service_args(p)
+    p.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Service-level configuration.
+
+Mirrors the Wrapper's configuration file (§4.1): the values of ``n`` and
+``t``, the identities of all servers, and which threshold-signature
+protocol to use — plus the knobs this reproduction adds for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.protocols import ALL_PROTOCOLS, PROTOCOL_OPTTE
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration shared by every replica of one replicated zone."""
+
+    n: int
+    t: int
+    signing_protocol: str = PROTOCOL_OPTTE
+    signed_zone: bool = True
+    require_tsig: bool = False
+    # §3.4 last paragraph: in rarely-updated zones, reads can skip atomic
+    # broadcast entirely.  Ablation A1 flips this.
+    reads_via_abc: bool = True
+    # Ablation A3 (the rejected Reiter–Birman design): threshold-sign every
+    # response so unmodified clients get full G1.
+    sign_every_response: bool = False
+    # Leader-suspicion timeout of the optimistic atomic broadcast (seconds).
+    abc_timeout: float = 30.0
+    # Client request timeout before retrying the next server (§3.4).
+    client_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigError("need at least one server")
+        if self.t < 0:
+            raise ConfigError("t cannot be negative")
+        if self.n > 1 and self.n <= 3 * self.t:
+            raise ConfigError(
+                f"Byzantine fault tolerance requires n > 3t (got n={self.n}, "
+                f"t={self.t})"
+            )
+        if self.signing_protocol not in ALL_PROTOCOLS:
+            raise ConfigError(
+                f"unknown signing protocol {self.signing_protocol!r}; "
+                f"choose from {ALL_PROTOCOLS}"
+            )
+
+    @property
+    def quorum(self) -> int:
+        """Responses a full-model client needs before majority voting."""
+        return self.n - self.t
+
+    @property
+    def replicated(self) -> bool:
+        return self.n > 1

@@ -1,0 +1,28 @@
+"""The paper's contribution: the secure replicated name service.
+
+* :mod:`repro.core.keytool` — trusted key generation/distribution (§4.3)
+* :mod:`repro.core.replica` — Wrapper + named as one replica (§4.1, §4.2)
+* :mod:`repro.core.client` — dig/nsupdate equivalents, pragmatic (§3.4)
+  and full (§3.3) client models
+* :mod:`repro.core.faults` — corrupted-server behaviours (§4.4)
+* :mod:`repro.core.service` — assembles a whole deployment on the
+  simulator
+* :mod:`repro.core.oracle` — trusted / weak-trusted server specifications
+  used to check goals G1/G1' in tests
+"""
+
+from repro.core.keytool import Deployment, generate_deployment
+from repro.core.replica import ReplicaServer
+from repro.core.client import PragmaticClient, FullClient
+from repro.core.service import ReplicatedNameService
+from repro.core.faults import CorruptionMode
+
+__all__ = [
+    "Deployment",
+    "generate_deployment",
+    "ReplicaServer",
+    "PragmaticClient",
+    "FullClient",
+    "ReplicatedNameService",
+    "CorruptionMode",
+]

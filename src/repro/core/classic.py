@@ -1,0 +1,148 @@
+"""Classic primary/secondary DNS replication — the design the paper replaces.
+
+§1: "The authoritative servers of every zone ... are usually divided
+into a primary and one or more secondary servers.  The original zone
+data is kept at the primary server and the secondary servers
+periodically obtain it from the primary ... This means that an attacker
+may corrupt the data of all servers by compromising the primary alone."
+
+This module implements exactly that architecture on the simulator —
+dynamic updates go to the primary, secondaries poll the SOA serial and
+pull the zone via AXFR — so the repository contains the baseline whose
+single point of failure motivates the whole paper.  The contrast is
+exercised by tests and the security-comparison example.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.dns import constants as c
+from repro.dns.axfr import transfer_zone
+from repro.dns.message import Message, make_response
+from repro.dns.server import AuthoritativeServer
+from repro.dns.update import UpdateProcessor
+from repro.dns.zone import Zone
+from repro.dns.zonefile import parse_zone_text
+from repro.errors import WireFormatError
+from repro.sim.kernel import Simulator
+from repro.sim.machines import Topology, lan_setup
+from repro.sim.network import SimNetwork
+from repro.broadcast.messages import ClientRequest, ClientResponse
+
+
+class ClassicServer:
+    """One conventional name server (primary or secondary)."""
+
+    def __init__(self, index: int, zone: Zone, node, is_primary: bool) -> None:
+        self.index = index
+        self.zone = zone
+        self.node = node
+        self.is_primary = is_primary
+        self.server = AuthoritativeServer(zone, include_sigs=False)
+        self.processor = UpdateProcessor(zone)
+        self.compromised = False
+        self._evil_zone: Optional[Zone] = None
+        node.set_handler(self.on_message)
+
+    def compromise(self, rewrite: Callable[[Zone], None]) -> None:
+        """The attacker takes this server over and rewrites its zone data."""
+        self.compromised = True
+        rewrite(self.zone)
+        self.zone.bump_serial()  # a higher serial makes secondaries pull it
+
+    def on_message(self, sender: int, msg: object) -> None:
+        if not isinstance(msg, ClientRequest):
+            return
+        try:
+            request = Message.from_wire(msg.wire)
+        except WireFormatError:
+            return
+        if request.opcode == c.OPCODE_UPDATE:
+            if not self.is_primary:
+                response = make_response(request, c.RCODE_NOTAUTH)
+            else:
+                response, result = self.processor.respond(request)
+        else:
+            response = self.server.handle_query(request)
+        self.node.send(
+            sender,
+            ClientResponse(
+                request_id=msg.request_id,
+                wire=response.to_wire(),
+                replica=self.index,
+            ),
+        )
+
+
+class ClassicZoneService:
+    """A primary + secondaries deployment with periodic AXFR refresh."""
+
+    def __init__(
+        self,
+        zone_text: str,
+        server_count: int = 4,
+        topology: Optional[Topology] = None,
+        refresh_interval: float = 5.0,
+    ) -> None:
+        if topology is None:
+            topology = lan_setup(server_count)
+        self.net = SimNetwork(topology, cpu_jitter=0.0)
+        base = parse_zone_text(zone_text)
+        self.zone_origin = base.origin
+        self.servers: List[ClassicServer] = [
+            ClassicServer(i, base.copy(), self.net.node(i), is_primary=(i == 0))
+            for i in range(server_count)
+        ]
+        self.refresh_interval = refresh_interval
+        self._schedule_refresh()
+
+    @property
+    def primary(self) -> ClassicServer:
+        return self.servers[0]
+
+    @property
+    def secondaries(self) -> List[ClassicServer]:
+        return self.servers[1:]
+
+    # -- master/slave refresh --------------------------------------------------
+
+    def _schedule_refresh(self) -> None:
+        self.net.sim.schedule(self.refresh_interval, self._refresh)
+
+    def _refresh(self) -> None:
+        """Secondaries compare serials and AXFR from the primary."""
+        for secondary in self.secondaries:
+            if self.primary.zone.serial != secondary.zone.serial:
+                fresh = transfer_zone(self.primary.zone)
+                secondary.zone._nodes = fresh._nodes  # noqa: SLF001
+        self._schedule_refresh()
+
+    # -- experiment API -----------------------------------------------------------
+
+    def query(self, name, rtype: int, server: int = 0) -> Message:
+        """Ask one server directly (classic clients pick any NS)."""
+        from repro.dns.message import make_query
+        from repro.dns.name import Name
+
+        qname = Name.from_text(name) if isinstance(name, str) else name
+        responses: List[Message] = []
+        client = getattr(self, "_client", None)
+        if client is None:
+            client = self.net.add_node(self.net.topology.machine(0), colocated_with=0)
+            self._client = client
+        client.set_handler(
+            lambda s, m: responses.append(Message.from_wire(m.wire))
+            if isinstance(m, ClientResponse)
+            else None
+        )
+        query = make_query(qname, rtype)
+        client.run_local(0.0, lambda: client.send(server, ClientRequest("q", query.to_wire())))
+        self.net.sim.run(condition=lambda: bool(responses))
+        return responses[0]
+
+    def run_for(self, seconds: float) -> None:
+        self.net.sim.run(until=self.net.sim.now + seconds)
+
+    def serials(self) -> List[int]:
+        return [server.zone.serial for server in self.servers]

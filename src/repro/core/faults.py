@@ -1,0 +1,108 @@
+"""Corrupted-server behaviours for fault-injection experiments.
+
+The paper's prototype can "configure a server to misbehave and to mimic a
+corrupted server.  A server that is corrupted in this way inverts all the
+bits in its signature share before sending it to the others" (§4.4) — the
+behaviour Table 2's ``(4,1)``, ``(7,1)``, ``(7,2)`` rows measure.  This
+module implements that behaviour plus the other corruption modes the
+tests and ablations use.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.broadcast.messages import ClientResponse, WrapperSigning
+from repro.crypto.protocols import SigningMessage
+from repro.crypto.shoup import SignatureShare
+
+
+class CorruptionMode(enum.Enum):
+    """How a corrupted replica misbehaves."""
+
+    HONEST = "honest"
+    #: §4.4 — invert every bit of outgoing signature shares.
+    BAD_SHARES = "bad_shares"
+    #: Crash fault: the replica stops sending and processing entirely.
+    CRASH = "crash"
+    #: Ignore client requests (breaks G2 for clients that only contact us).
+    MUTE_TO_CLIENTS = "mute_to_clients"
+    #: Answer reads from a stale snapshot (the §3.4 replay-style attack
+    #: that weak correctness G1' permits but full G1 does not).
+    STALE_READS = "stale_reads"
+
+
+def _invert_bits(value: int, modulus: int) -> int:
+    """Invert all bits of a share value within the modulus width."""
+    width = modulus.bit_length()
+    return (value ^ ((1 << width) - 1)) % modulus
+
+
+def tampered_zone_share(share):
+    """A corrupted replica's view of its zone-key share.
+
+    §4.4's corrupted server "inverts all the bits in its signature share
+    before sending it to the others".  We corrupt the *key share* itself,
+    which is equivalent for every receiver and additionally means the
+    corrupted server cannot quietly assemble valid signatures from its
+    own (secretly correct) share — the behaviour Table 2's corruption
+    rows exhibit.
+    """
+    from repro.crypto.shoup import ThresholdKeyShare
+
+    return ThresholdKeyShare(
+        index=share.index,
+        secret=share.secret ^ ((1 << 64) - 1),
+        public=share.public,
+    )
+
+
+@dataclass
+class FaultInjector:
+    """Outgoing-message filter attached to a corrupted replica."""
+
+    mode: CorruptionMode = CorruptionMode.HONEST
+    modulus: int = 0  # zone key modulus, needed for bit inversion
+    corrupted_sessions: Set[str] = field(default_factory=set)
+
+    @property
+    def is_corrupted(self) -> bool:
+        return self.mode is not CorruptionMode.HONEST
+
+    def transform_outgoing(self, msg: object) -> Optional[object]:
+        """Rewrite (or swallow) an outgoing message; ``None`` drops it."""
+        if self.mode is CorruptionMode.HONEST:
+            return msg
+        if self.mode is CorruptionMode.CRASH:
+            return None
+        if self.mode is CorruptionMode.BAD_SHARES:
+            return self._corrupt_share(msg)
+        if self.mode is CorruptionMode.MUTE_TO_CLIENTS and isinstance(
+            msg, ClientResponse
+        ):
+            return None
+        return msg
+
+    def _corrupt_share(self, msg: object) -> object:
+        if not isinstance(msg, WrapperSigning):
+            return msg
+        inner = msg.inner
+        if inner.is_final:
+            # A corrupted server never helps its peers converge: any final
+            # signature it would send out is garbled.
+            self.corrupted_sessions.add(inner.sign_id)
+            bad_sig = bytes(b ^ 0xFF for b in inner.signature)
+            return WrapperSigning(SigningMessage.final(inner.sign_id, bad_sig))
+        if not inner.is_share or inner.share is None:
+            return msg
+        self.corrupted_sessions.add(inner.sign_id)
+        bad_share = SignatureShare(
+            index=inner.share.index,
+            value=_invert_bits(inner.share.value, self.modulus),
+            proof=inner.share.proof,
+        )
+        return WrapperSigning(
+            SigningMessage.share_message(inner.sign_id, bad_share)
+        )

@@ -1,0 +1,85 @@
+"""Specification oracles: the trusted server and the weak trusted server.
+
+§3.1 defines correctness against an abstract *trusted server* that always
+follows the specification; §3.4 weakens it to the *weak trusted server*
+that may answer reads from any previous state and may ignore requests.
+The test suite replays a client workload against both the replicated
+service and these oracles to check goals G1 (correctness) and G1' (weak
+correctness) mechanically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.dns import constants as c
+from repro.dns.message import Message
+from repro.dns.server import AuthoritativeServer
+from repro.dns.update import UpdateProcessor
+from repro.dns.zone import Zone
+
+
+class TrustedServer:
+    """The §3.1 ideal: processes every request, in order, per the spec."""
+
+    def __init__(self, zone: Zone) -> None:
+        self.zone = zone.copy()
+        self.server = AuthoritativeServer(self.zone, include_sigs=False)
+        self.processor = UpdateProcessor(self.zone)
+        self.history: List[Zone] = [self.zone.copy()]
+
+    def process(self, request: Message) -> Message:
+        """Execute one request and return the specified response."""
+        if request.opcode == c.OPCODE_UPDATE:
+            response, result = self.processor.respond(request)
+            if result.data_changed:
+                self.history.append(self.zone.copy())
+            return response
+        return self.server.handle_query(request)
+
+    def state_digest(self) -> bytes:
+        return self.zone.digest()
+
+
+class WeakTrustedServer(TrustedServer):
+    """The §3.4 relaxation: reads may reflect *any* earlier state.
+
+    :meth:`acceptable_read_answers` enumerates the answers the weak
+    trusted server could legitimately return for a read — the response of
+    the query evaluated against every historical state.  A response is
+    *approximate* (G1') iff it appears in this set.
+    """
+
+    def acceptable_read_answers(self, request: Message) -> List[bytes]:
+        answers = []
+        for snapshot in self.history:
+            server = AuthoritativeServer(snapshot, include_sigs=False)
+            answers.append(self._answer_key(server.handle_query(request)))
+        return answers
+
+    def is_approximate(self, request: Message, response: Message) -> bool:
+        """Check G1': does ``response`` match some historical state?"""
+        key = self._answer_key(response)
+        return key in self.acceptable_read_answers(request)
+
+    @staticmethod
+    def _answer_key(response: Message) -> bytes:
+        """Compare responses by rcode + answer content, ignoring SIGs."""
+        parts = [bytes([response.rcode])]
+        for rr in response.answers:
+            if rr.rtype == c.TYPE_SIG:
+                continue
+            rdata_wire = rr.rdata.to_wire() if rr.rdata is not None else b""
+            parts.append(
+                rr.name.canonical_wire()
+                + rr.rtype.to_bytes(2, "big")
+                + rdata_wire
+            )
+        return b"|".join(sorted(parts))
+
+
+def responses_match(spec: Message, actual: Message) -> bool:
+    """G1 comparison: same rcode and same non-SIG answer content."""
+    return WeakTrustedServer._answer_key(spec) == WeakTrustedServer._answer_key(
+        actual
+    )

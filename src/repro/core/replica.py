@@ -1,0 +1,460 @@
+"""One replica of the replicated name service: Wrapper + named (§4).
+
+The replica glues together everything below it:
+
+* the **atomic broadcast** endpoint that totally orders client requests
+  (reads *and* writes, §3.3),
+* the **DNS engine** (query processing and RFC 2136 updates) executing
+  delivered requests deterministically,
+* the **threshold signing coordinator** that computes SIG records for
+  dynamic updates in the signed zone — sequentially, one record at a
+  time, exactly as the modified named did (§4.2, §5.2),
+* the **fault injector** that can make this replica behave as a
+  corrupted server (§4.4).
+
+Like named, request execution is serialized: while an update's signature
+tasks are in flight, subsequently delivered requests wait in the
+execution queue — this preserves the deterministic order across replicas.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.broadcast.abc import AtomicBroadcast
+from repro.broadcast.messages import (
+    AbcOrder,
+    AbcPrepare,
+    ClientRequest,
+    ClientResponse,
+    WrapperSigning,
+)
+from repro.config import ServiceConfig
+from repro.core.faults import CorruptionMode, FaultInjector
+from repro.core.keytool import Deployment
+from repro.crypto.costmodel import CostModel
+from repro.crypto.protocols import SigningCoordinator, SigningMessage
+from repro.dns import constants as c
+from repro.dns import dnssec
+from repro.dns.dnssec import SigningPolicy, SigningTask
+from repro.dns.message import Message, make_response
+from repro.dns.server import AuthoritativeServer
+from repro.dns.tsig import TsigKeyring, verify_message
+from repro.dns.update import UpdateProcessor
+from repro.dns.zone import Zone
+from repro.errors import TsigError, WireFormatError
+from repro.sim.network import SimNode
+
+
+def encode_request(client: int, wire: bytes) -> bytes:
+    """ABC payload: the requesting client's node id plus the DNS wire."""
+    return struct.pack(">I", client) + wire
+
+
+def decode_request(payload: bytes) -> Tuple[int, bytes]:
+    (client,) = struct.unpack_from(">I", payload, 0)
+    return client, payload[4:]
+
+
+@dataclass
+class _PendingUpdate:
+    """An update waiting for its threshold signatures."""
+
+    request_id: str
+    client: int
+    response_wire: bytes
+    tasks: List[SigningTask]
+    index: int = 0
+    wire_hash: bytes = b""
+
+    @property
+    def current(self) -> SigningTask:
+        return self.tasks[self.index]
+
+    @property
+    def finished(self) -> bool:
+        return self.index >= len(self.tasks)
+
+
+@dataclass
+class _PendingSignedRead:
+    """A read whose *response* is being threshold-signed (ablation A3)."""
+
+    request_id: str
+    client: int
+    response_wire: bytes
+    task: SigningTask
+
+
+class ReplicaServer:
+    """One authoritative server of the replicated zone."""
+
+    def __init__(
+        self,
+        index: int,
+        deployment: Deployment,
+        zone: Zone,
+        node: SimNode,
+        costs: Optional[CostModel] = None,
+        signing_policy: Optional[SigningPolicy] = None,
+    ) -> None:
+        self.index = index
+        self.deployment = deployment
+        self.config: ServiceConfig = deployment.config
+        self.zone = zone
+        self.node = node
+        self.costs = costs if costs is not None else CostModel()
+        self.policy = signing_policy if signing_policy is not None else SigningPolicy()
+
+        self.server = AuthoritativeServer(zone)
+        self.processor = UpdateProcessor(zone)
+        self.keyring = TsigKeyring()
+        self.keyring.add(deployment.tsig_key)
+        self.fault = FaultInjector(modulus=deployment.zone_public.modulus)
+        self._stale_zone = zone.copy()
+        self._stale_server = AuthoritativeServer(self._stale_zone)
+
+        keys = deployment.replicas[index]
+        self.coordinator = SigningCoordinator(
+            self.config.signing_protocol, keys.zone_share
+        )
+        if self.config.replicated:
+            self.abc: Optional[AtomicBroadcast] = AtomicBroadcast(
+                n=self.config.n,
+                t=self.config.t,
+                me=index,
+                auth_key=keys.auth_key.private,
+                auth_public=list(deployment.auth_public),
+                coin_key=keys.coin_share,
+                deliver=self._on_deliver,
+                send=self._send,
+                schedule=node.schedule_timer,
+                timeout=self.config.abc_timeout,
+            )
+        else:
+            self.abc = None
+
+        self._exec_queue: Deque[Tuple[str, int, bytes]] = deque()
+        self._busy = False
+        self._pending_update: Optional[_PendingUpdate] = None
+        self._pending_read: Optional[_PendingSignedRead] = None
+        self._task_data: Dict[str, bytes] = {}
+        # Responses already produced, keyed by request-wire hash.  Clients
+        # retry by resending the same message (§3.4); the atomic broadcast
+        # deduplicates it, so replicas must replay the cached response.
+        self._response_cache: Dict[bytes, bytes] = {}
+
+        # Statistics for benchmarks.
+        self.stats: Dict[str, int] = {
+            "queries": 0,
+            "updates": 0,
+            "signatures_completed": 0,
+            "tsig_failures": 0,
+        }
+
+        node.set_handler(self.on_message)
+
+    # ------------------------------------------------------------------
+    # corruption control
+    # ------------------------------------------------------------------
+
+    def corrupt(self, mode: CorruptionMode) -> None:
+        """Turn this replica into a corrupted server (§4.4)."""
+        from repro.core.faults import tampered_zone_share
+
+        self.fault.mode = mode
+        if mode is CorruptionMode.CRASH:
+            self.node.dropped = True
+        if mode is CorruptionMode.BAD_SHARES:
+            bad = tampered_zone_share(
+                self.deployment.replicas[self.index].zone_share
+            )
+            self.coordinator = SigningCoordinator(
+                self.config.signing_protocol, bad
+            )
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+
+    def on_message(self, sender: int, msg: object) -> None:
+        self.node.charge(self.costs.message_handling)
+        if isinstance(msg, ClientRequest):
+            self._on_client_request(sender, msg)
+        elif isinstance(msg, WrapperSigning):
+            self._on_signing_message(sender, msg)
+        else:
+            self._on_abc_message(sender, msg)
+
+    def _on_client_request(self, client: int, msg: ClientRequest) -> None:
+        """Gateway role: accept a client request and disseminate it (§3.4)."""
+        cached = self._response_cache.get(hashlib.sha256(msg.wire).digest())
+        if cached is not None:
+            self._send(
+                client,
+                ClientResponse(
+                    request_id=msg.request_id, wire=cached, replica=self.index
+                ),
+            )
+            return
+        opcode = self._peek_opcode(msg.wire)
+        if opcode is None:
+            self._respond_error(client, msg.wire, c.RCODE_FORMERR)
+            return
+        if self.abc is None:
+            # Unreplicated base case: execute directly (the (1,0) row).
+            self._execute(msg.request_id, client, msg.wire)
+            return
+        if opcode == c.OPCODE_QUERY and not self.config.reads_via_abc:
+            # Rarely-updated-zone mode (§3.4 last ¶): serve reads locally.
+            self._execute(msg.request_id, client, msg.wire)
+            return
+        self.abc.a_broadcast(encode_request(client, msg.wire))
+
+    def _on_signing_message(self, sender: int, msg: WrapperSigning) -> None:
+        outs = self.coordinator.on_message(sender, msg.inner)
+        self.node.charge_ops(self.coordinator.drain_ops(), self.costs)
+        self._send_signing(outs)
+        self._check_signing_progress()
+
+    def _on_abc_message(self, sender: int, msg: object) -> None:
+        if self.abc is None:
+            return
+        # Charge the broadcast layer's authentication work.
+        if isinstance(msg, AbcOrder):
+            self.node.charge(self.costs.auth_sign)  # we sign our prepare
+        elif isinstance(msg, AbcPrepare):
+            self.node.charge(self.costs.auth_verify)
+        self.abc.on_message(sender, msg)
+
+    # ------------------------------------------------------------------
+    # execution (the deterministic state machine)
+    # ------------------------------------------------------------------
+
+    def _on_deliver(self, rid: str, payload: bytes) -> None:
+        client, wire = decode_request(payload)
+        self._exec_queue.append((rid, client, wire))
+        self._drain_exec_queue()
+
+    def _drain_exec_queue(self) -> None:
+        while not self._busy and self._exec_queue:
+            rid, client, wire = self._exec_queue.popleft()
+            self._execute(rid, client, wire)
+
+    def _execute(self, rid: str, client: int, wire: bytes) -> None:
+        self.node.charge(self.costs.dns_processing)
+        opcode = self._peek_opcode(wire)
+        if opcode == c.OPCODE_UPDATE:
+            self._execute_update(rid, client, wire)
+        else:
+            self._execute_query(rid, client, wire)
+
+    def _execute_query(self, rid: str, client: int, wire: bytes) -> None:
+        self.stats["queries"] += 1
+        try:
+            query = Message.from_wire(wire)
+        except WireFormatError:
+            self._respond_error(client, wire, c.RCODE_FORMERR)
+            return
+        if self.fault.mode is CorruptionMode.STALE_READS:
+            response = self._stale_server.handle_query(query)
+        else:
+            response = self.server.handle_query(query)
+        response_wire = response.to_wire()
+        self._response_cache[hashlib.sha256(wire).digest()] = response_wire
+        if self.config.sign_every_response:
+            self._start_response_signing(rid, client, response_wire)
+            return
+        self._respond(rid, client, response_wire)
+
+    def _execute_update(self, rid: str, client: int, wire: bytes) -> None:
+        self.stats["updates"] += 1
+        update: Optional[Message] = None
+        if self.config.require_tsig:
+            try:
+                update, _ = verify_message(wire, self.keyring, now=None)
+            except TsigError:
+                self.stats["tsig_failures"] += 1
+                self._respond_error(client, wire, c.RCODE_REFUSED)
+                return
+        if update is None:
+            try:
+                update = Message.from_wire(wire)
+            except WireFormatError:
+                self._respond_error(client, wire, c.RCODE_FORMERR)
+                return
+        response, result = self.processor.respond(update)
+        response_wire = response.to_wire()
+        wire_hash = hashlib.sha256(wire).digest()
+        if not (self.config.signed_zone and result.ok and result.data_changed):
+            self._response_cache[wire_hash] = response_wire
+            self._respond(rid, client, response_wire)
+            return
+        tasks = dnssec.signing_tasks_for_update(
+            self.zone, result, self.deployment.zone_key_record, self.policy
+        )
+        if not tasks:
+            self._response_cache[wire_hash] = response_wire
+            self._respond(rid, client, response_wire)
+            return
+        self._busy = True
+        self._pending_update = _PendingUpdate(
+            request_id=rid,
+            client=client,
+            response_wire=response_wire,
+            tasks=tasks,
+            wire_hash=wire_hash,
+        )
+        self._start_current_task()
+
+    # ------------------------------------------------------------------
+    # threshold signing orchestration
+    # ------------------------------------------------------------------
+
+    def _start_current_task(self) -> None:
+        assert self._pending_update is not None
+        if self.abc is None:
+            # Unreplicated base case: named signs locally with its own
+            # key, like unmodified BIND (4 SIGs per add, 2 per delete —
+            # the (1,0) row of Table 2).
+            pending = self._pending_update
+            self._pending_update = None
+            self._busy = False
+            keys = self.deployment.replicas[self.index].zone_share
+            for task in pending.tasks:
+                share = keys.generate_share(task.data)
+                signature = keys.public.assemble(task.data, [share])
+                self.node.charge(self.costs.local_sign)
+                dnssec.attach_signature(self.zone, task, signature)
+                self.stats["signatures_completed"] += 1
+            self._respond(pending.request_id, pending.client, pending.response_wire)
+            self._drain_exec_queue()
+            return
+        task = self._pending_update.current
+        self._task_data[task.sign_id] = task.data
+        outs = self.coordinator.sign(task.sign_id, task.data)
+        self.node.charge_ops(self.coordinator.drain_ops(), self.costs)
+        self._send_signing(outs)
+        self._check_signing_progress()
+
+    def _start_response_signing(
+        self, rid: str, client: int, response_wire: bytes
+    ) -> None:
+        """Ablation A3: threshold-sign the response itself."""
+        sign_id = "resp-" + hashlib.sha256(response_wire).hexdigest()[:24]
+        task = SigningTask(
+            sign_id=sign_id,
+            name=self.zone.origin,
+            rtype=0,
+            data=response_wire,
+            template=None,  # type: ignore[arg-type]
+            ttl=0,
+        )
+        self._busy = True
+        self._pending_read = _PendingSignedRead(
+            request_id=rid, client=client, response_wire=response_wire, task=task
+        )
+        outs = self.coordinator.sign(sign_id, response_wire)
+        self.node.charge_ops(self.coordinator.drain_ops(), self.costs)
+        self._send_signing(outs)
+        self._check_signing_progress()
+
+    def _check_signing_progress(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._pending_update is not None:
+                task = self._pending_update.current
+                signature = self.coordinator.result(task.sign_id)
+                if signature is not None:
+                    dnssec.attach_signature(self.zone, task, signature)
+                    self.stats["signatures_completed"] += 1
+                    self._pending_update.index += 1
+                    if self._pending_update.finished:
+                        done = self._pending_update
+                        self._pending_update = None
+                        self._busy = False
+                        if done.wire_hash:
+                            self._response_cache[done.wire_hash] = done.response_wire
+                        self._respond(done.request_id, done.client, done.response_wire)
+                        self._drain_exec_queue()
+                    else:
+                        self._start_current_task()
+                        progressed = False  # _start_current_task loops itself
+            elif self._pending_read is not None:
+                signature = self.coordinator.result(self._pending_read.task.sign_id)
+                if signature is not None:
+                    done = self._pending_read
+                    self._pending_read = None
+                    self._busy = False
+                    self.stats["signatures_completed"] += 1
+                    self._respond(
+                        done.request_id,
+                        done.client,
+                        done.response_wire,
+                        threshold_sig=signature,
+                    )
+                    self._drain_exec_queue()
+
+    # ------------------------------------------------------------------
+    # outgoing plumbing
+    # ------------------------------------------------------------------
+
+    def _send_signing(self, outs: List[Tuple[int, SigningMessage]]) -> None:
+        for dest, inner in outs:
+            envelope = WrapperSigning(inner)
+            if dest == -1:  # broadcast to all other replicas
+                for peer in range(self.config.n):
+                    if peer != self.index:
+                        self._send(peer, envelope)
+            else:
+                self._send(dest, envelope)
+
+    def _send(self, dest: int, msg: object) -> None:
+        transformed = self.fault.transform_outgoing(msg)
+        if transformed is None:
+            return
+        self.node.send(dest, transformed)
+
+    def _respond(
+        self, rid: str, client: int, wire: bytes, threshold_sig: bytes = b""
+    ) -> None:
+        # Clients correlate responses by the DNS message id inside the
+        # wire (as dig/nsupdate do); the request_id is informational.
+        if threshold_sig:
+            response: ClientResponse = _SignedClientResponse(
+                request_id=rid, wire=wire, replica=self.index, signature=threshold_sig
+            )
+        else:
+            response = ClientResponse(request_id=rid, wire=wire, replica=self.index)
+        self._send(client, response)
+
+    def _respond_error(self, client: int, wire: bytes, rcode: int) -> None:
+        try:
+            query = Message.from_wire(wire)
+            response = make_response(query, rcode)
+            response_wire = response.to_wire()
+        except WireFormatError:
+            response_wire = b""
+        rid = hashlib.sha256(wire).hexdigest()[:32]
+        self._send(
+            client,
+            ClientResponse(request_id=rid, wire=response_wire, replica=self.index),
+        )
+
+    @staticmethod
+    def _peek_opcode(wire: bytes) -> Optional[int]:
+        if len(wire) < 12:
+            return None
+        return (struct.unpack_from(">H", wire, 2)[0] >> 11) & 0xF
+
+
+@dataclass(frozen=True)
+class _SignedClientResponse(ClientResponse):
+    """Response carrying a threshold signature (ablation A3 only)."""
+
+    signature: bytes = b""

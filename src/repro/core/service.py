@@ -1,0 +1,265 @@
+"""Assembling a whole replicated-name-service deployment on the simulator.
+
+:class:`ReplicatedNameService` wires together the topology, key material,
+replicas, and a client, then exposes a synchronous experiment API: each
+``query`` / ``nsupdate_add`` / ``nsupdate_delete`` call drives the
+simulator until the client accepts a response and returns the completed
+operation with its simulated latency.  The benchmark harness, examples,
+and integration tests all sit on top of this class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.config import ServiceConfig
+from repro.core.client import CompletedOp, FullClient, PragmaticClient
+from repro.core.faults import CorruptionMode
+from repro.core.keytool import Deployment, generate_deployment
+from repro.core.replica import ReplicaServer
+from repro.crypto.costmodel import CostModel
+from repro.crypto.shoup import ThresholdKeyShare, ThresholdPublicKey
+from repro.dns import constants as c
+from repro.dns import dnssec
+from repro.dns.dnssec import SigningPolicy
+from repro.dns.name import Name
+from repro.dns.rdata import Rdata, rdata_from_text
+from repro.dns.zone import Zone
+from repro.dns.zonefile import parse_zone_text
+from repro.errors import ConfigError, TimeoutError_
+from repro.sim.machines import (
+    MachineSpec,
+    Topology,
+    lan_setup,
+    paper_setup,
+)
+from repro.sim.network import SimNetwork
+
+# The paper's client machine: a host on the Zurich LAN.
+CLIENT_MACHINE = MachineSpec(
+    "client", "Zurich", "Linux 2.2.x", "P II", 266, "IBM 1.4.1"
+)
+
+DEFAULT_ZONE = """
+$ORIGIN example.com.
+$TTL 3600
+@   IN SOA ns1.example.com. admin.example.com. ( 100 7200 900 604800 300 )
+    IN NS ns1
+    IN NS ns2
+ns1 IN A 192.0.2.1
+ns2 IN A 192.0.2.2
+www IN A 192.0.2.80
+"""
+
+
+def local_threshold_signer(
+    public: ThresholdPublicKey, shares: Sequence[ThresholdKeyShare]
+) -> Callable[[bytes], bytes]:
+    """A signing callable combining ``t+1`` shares in one process.
+
+    Used by the trusted setup step (§4.3's "special command ... to sign
+    the zone data using the distributed key") and by tests as the oracle
+    for what the distributed protocol must produce.
+    """
+
+    chosen = list(shares[: public.t + 1])
+    if len(chosen) < public.t + 1:
+        raise ConfigError("need t+1 shares to sign")
+
+    def signer(data: bytes) -> bytes:
+        sig_shares = [share.generate_share(data) for share in chosen]
+        signature = public.assemble(data, sig_shares)
+        public.verify_signature(data, signature)
+        return signature
+
+    return signer
+
+
+class ReplicatedNameService:
+    """A complete simulated deployment of the secure replicated zone."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        topology: Optional[Topology] = None,
+        zone_text: str = DEFAULT_ZONE,
+        client_model: str = "pragmatic",
+        costs: Optional[CostModel] = None,
+        deployment: Optional[Deployment] = None,
+        gateway: int = 0,
+        verify_signatures: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        if topology is None:
+            topology = lan_setup(config.n) if config.n <= 4 else paper_setup(config.n)
+        if len(topology) != config.n:
+            raise ConfigError(
+                f"topology has {len(topology)} machines but config.n={config.n}"
+            )
+        self.topology = topology
+        self.costs = costs if costs is not None else CostModel()
+        self.net = SimNetwork(topology, costs=self.costs, seed=seed)
+        self.deployment = (
+            deployment if deployment is not None else generate_deployment(config)
+        )
+
+        # Build and (if configured) sign the initial zone — the trusted
+        # setup step: all replicas start from the same signed zone file.
+        base_zone = parse_zone_text(zone_text)
+        self.zone_origin = base_zone.origin
+        if config.signed_zone:
+            key_record = self.deployment.zone_key_record
+            base_zone.add_rdata(base_zone.origin, c.TYPE_KEY, 3600, key_record)
+            signer = local_threshold_signer(
+                self.deployment.zone_public,
+                [r.zone_share for r in self.deployment.replicas],
+            )
+            dnssec.sign_zone_locally(base_zone, key_record, signer)
+        self.initial_zone = base_zone
+
+        self.replicas: List[ReplicaServer] = []
+        for i in range(config.n):
+            replica = ReplicaServer(
+                index=i,
+                deployment=self.deployment,
+                zone=base_zone.copy(),
+                node=self.net.node(i),
+                costs=self.costs,
+            )
+            self.replicas.append(replica)
+
+        client_node = self.net.add_node(CLIENT_MACHINE, colocated_with=gateway)
+        client_args = dict(
+            node=client_node,
+            config=config,
+            replica_ids=list(range(config.n)),
+            zone_origin=self.zone_origin,
+            zone_key=self.deployment.zone_key_record if config.signed_zone else None,
+            tsig_key=self.deployment.tsig_key if config.require_tsig else None,
+            costs=self.costs,
+            verify_signatures=verify_signatures,
+        )
+        if client_model == "pragmatic":
+            self.client = PragmaticClient(gateway=gateway, **client_args)
+        elif client_model == "full":
+            self.client = FullClient(**client_args)
+        else:
+            raise ConfigError(f"unknown client model {client_model!r}")
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def corrupt(self, replica: int, mode: CorruptionMode) -> None:
+        self.replicas[replica].corrupt(mode)
+
+    def corrupt_paper_style(self, k: int) -> None:
+        """The paper's corruption placement (§5.1): with one corruption, a
+        Zurich server; with two, the Zurich server and the Austin one."""
+        if k >= 1:
+            zurich = self._first_at("Zurich", exclude=(0,))
+            self.replicas[zurich].corrupt(CorruptionMode.BAD_SHARES)
+        if k >= 2:
+            austin = self._first_at("Austin")
+            self.replicas[austin].corrupt(CorruptionMode.BAD_SHARES)
+        if k >= 3:
+            raise ConfigError("the paper corrupts at most two servers")
+
+    def _first_at(self, location: str, exclude: Tuple[int, ...] = ()) -> int:
+        for i in range(self.config.n):
+            if i in exclude:
+                continue
+            if self.topology.machine(i).location == location:
+                return i
+        raise ConfigError(f"no replica at {location}")
+
+    # ------------------------------------------------------------------
+    # synchronous experiment API
+    # ------------------------------------------------------------------
+
+    def _await_op(self, issue: Callable[[Callable], int], limit: float = 600.0) -> CompletedOp:
+        box: List[CompletedOp] = []
+        issue(box.append)
+        deadline = self.net.sim.now + limit
+        self.net.sim.run(until=deadline, condition=lambda: bool(box))
+        # Let any same-time events settle.
+        if not box:
+            raise TimeoutError_(
+                f"operation did not complete within {limit} simulated seconds"
+            )
+        return box[0]
+
+    def query(self, name: str | Name, rtype: int = c.TYPE_A) -> CompletedOp:
+        """dig-style read; drives the simulation until the client accepts."""
+        qname = Name.from_text(name) if isinstance(name, str) else name
+        return self._await_op(
+            lambda cb: self.client.query(qname, rtype, cb)
+        )
+
+    def add_record(
+        self, name: str | Name, rtype: int, ttl: int, rdata_text: str
+    ) -> CompletedOp:
+        """Raw update: add one record (no preceding read)."""
+        owner = Name.from_text(name) if isinstance(name, str) else name
+        rdata = rdata_from_text(rtype, rdata_text.split(), self.zone_origin)
+        return self._await_op(
+            lambda cb: self.client.add_record(owner, rtype, ttl, rdata, cb)
+        )
+
+    def delete_name(self, name: str | Name) -> CompletedOp:
+        owner = Name.from_text(name) if isinstance(name, str) else name
+        return self._await_op(lambda cb: self.client.delete_name(owner, cb))
+
+    def nsupdate_add(
+        self, name: str | Name, rtype: int, ttl: int, rdata_text: str
+    ) -> Tuple[CompletedOp, CompletedOp, float]:
+        """nsupdate semantics: a read precedes the add (§5.2).
+
+        Returns ``(read_op, add_op, total_latency)`` — Table 2's "Add"
+        numbers correspond to ``total_latency``.
+        """
+        read_op = self.query(self.zone_origin, c.TYPE_SOA)
+        add_op = self.add_record(name, rtype, ttl, rdata_text)
+        return read_op, add_op, read_op.latency + add_op.latency
+
+    def nsupdate_delete(self, name: str | Name) -> Tuple[CompletedOp, CompletedOp, float]:
+        """nsupdate semantics: a read precedes the delete."""
+        read_op = self.query(self.zone_origin, c.TYPE_SOA)
+        delete_op = self.delete_name(name)
+        return read_op, delete_op, read_op.latency + delete_op.latency
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def settle(self, limit: float = 600.0) -> None:
+        """Drain in-flight work: run the simulation until quiescent.
+
+        The experiment API returns as soon as the *client* accepts a
+        response; replicas that lag (slower machines finishing their last
+        signature) settle here before state comparisons.
+        """
+        self.net.sim.run(until=self.net.sim.now + limit)
+
+    def honest_replicas(self) -> List[ReplicaServer]:
+        return [r for r in self.replicas if not r.fault.is_corrupted]
+
+    def zone_digests(self) -> List[bytes]:
+        """State fingerprints of all honest replicas (must agree)."""
+        self.settle()
+        return [r.zone.digest() for r in self.honest_replicas()]
+
+    def states_consistent(self) -> bool:
+        digests = self.zone_digests()
+        return len(set(digests)) == 1
+
+    def verify_all_zones(self) -> int:
+        """DNSSEC-verify every honest replica's zone; returns #signatures."""
+        self.settle()
+        total = 0
+        for replica in self.honest_replicas():
+            total += dnssec.verify_zone(
+                replica.zone, self.deployment.zone_key_record
+            )
+        return total

@@ -1,0 +1,47 @@
+"""Cryptographic substrate: RSA, PKCS#1, and Shoup threshold RSA.
+
+The paper signs DNSSEC ``SIG`` records with 1024-bit RSA / SHA-1 / PKCS#1,
+where the private zone key is `(n, t)`-shared using Shoup's practical
+threshold signature scheme (Eurocrypt 2000).  This package implements the
+whole stack in pure Python so that signature *shares* (which no mainstream
+crypto library exposes) are first-class objects.
+"""
+
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, RsaPrivateKey, generate_rsa_keypair
+from repro.crypto.shoup import (
+    ThresholdDealer,
+    ThresholdPublicKey,
+    ThresholdKeyShare,
+    SignatureShare,
+    deal_threshold_key,
+)
+from repro.crypto.protocols import (
+    BasicSigningProtocol,
+    OptProofSigningProtocol,
+    OptTESigningProtocol,
+    SigningCoordinator,
+    make_signing_protocol,
+    PROTOCOL_BASIC,
+    PROTOCOL_OPTPROOF,
+    PROTOCOL_OPTTE,
+)
+
+__all__ = [
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "RsaPrivateKey",
+    "generate_rsa_keypair",
+    "ThresholdDealer",
+    "ThresholdPublicKey",
+    "ThresholdKeyShare",
+    "SignatureShare",
+    "deal_threshold_key",
+    "BasicSigningProtocol",
+    "OptProofSigningProtocol",
+    "OptTESigningProtocol",
+    "SigningCoordinator",
+    "make_signing_protocol",
+    "PROTOCOL_BASIC",
+    "PROTOCOL_OPTPROOF",
+    "PROTOCOL_OPTTE",
+]

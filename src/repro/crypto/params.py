@@ -1,0 +1,78 @@
+"""Pre-generated safe-prime parameters for tests, examples, and benchmarks.
+
+Safe-prime search is the one genuinely slow step of Shoup key generation in
+pure Python, so the repository ships a small pool of pre-generated safe
+prime pairs (``data/safe_primes.json``).  These are *demo parameters*: fine
+for reproducing the paper's experiments, not for production deployments —
+a real deployment runs :class:`repro.crypto.shoup.ThresholdDealer` with
+freshly generated primes.
+
+The paper's experiments use 1024-bit RSA moduli (§5.1).  Our benchmarks use
+the shipped 1024-bit pair (two 512-bit safe primes) for wall-clock micro
+benchmarks and smaller moduli for fast protocol tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from importlib import resources
+from typing import Dict, Iterator, List, Tuple
+
+from repro.crypto.shoup import (
+    ThresholdKeyShare,
+    ThresholdPublicKey,
+    deal_threshold_key,
+)
+from repro.errors import KeyGenerationError
+
+_CACHE: Dict[int, List[Tuple[int, int]]] = {}
+_CURSORS: Dict[int, Iterator[Tuple[int, int]]] = {}
+
+
+def _load() -> Dict[int, List[Tuple[int, int]]]:
+    if not _CACHE:
+        raw = (
+            resources.files("repro.crypto")
+            .joinpath("data/safe_primes.json")
+            .read_text()
+        )
+        data = json.loads(raw)
+        for bits, pairs in data.items():
+            _CACHE[int(bits)] = [(int(p), int(q)) for p, q in pairs]
+    return _CACHE
+
+
+def available_prime_bits() -> Tuple[int, ...]:
+    """Bit sizes (per prime) for which pre-generated pairs exist."""
+    return tuple(sorted(_load()))
+
+
+def safe_prime_pair(bits: int) -> Tuple[int, int]:
+    """Return a pre-generated pair of distinct ``bits``-bit safe primes.
+
+    Successive calls cycle through the pool so repeated test keys differ.
+    """
+    pool = _load()
+    if bits not in pool:
+        raise KeyGenerationError(
+            f"no pre-generated {bits}-bit safe primes; "
+            f"available: {available_prime_bits()}"
+        )
+    if bits not in _CURSORS:
+        _CURSORS[bits] = itertools.cycle(pool[bits])
+    return next(_CURSORS[bits])
+
+
+def demo_threshold_key(
+    n: int, t: int, modulus_bits: int = 512
+) -> Tuple[ThresholdPublicKey, Tuple[ThresholdKeyShare, ...]]:
+    """Deal an ``(n, t)`` threshold key from pre-generated safe primes.
+
+    ``modulus_bits`` is the RSA modulus size; each safe prime has half
+    that many bits.  The sharing polynomial itself is freshly random.
+    """
+    p, q = safe_prime_pair(modulus_bits // 2)
+    return deal_threshold_key(
+        n=n, t=t, bits=modulus_bits, prime_p=p, prime_q=q
+    )

@@ -1,0 +1,58 @@
+"""EMSA-PKCS1-v1_5 message encoding with SHA-1 (RFC 2313 / RFC 8017 §9.2).
+
+The paper's zone signatures are "1024-bit RSA moduli with SHA-1 and PKCS #1
+encoding" (§5.1); DNSSEC's RSA/SHA-1 algorithm (RFC 2535 / 3110) uses
+exactly this encoding, so signatures produced by the threshold scheme are
+byte-identical to what an unmodified single-key signer would produce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import CryptoError
+
+# DER prefix of the DigestInfo structure for SHA-1 (RFC 8017 §9.2 note 1).
+_SHA1_DIGEST_INFO_PREFIX = bytes.fromhex("3021300906052b0e03021a05000414")
+
+SHA1_DIGEST_SIZE = 20
+
+
+def sha1(data: bytes) -> bytes:
+    """SHA-1 digest (the hash the paper and RFC 2535 DNSSEC use)."""
+    return hashlib.sha1(data).digest()
+
+
+def emsa_pkcs1_v15_encode(message: bytes, em_len: int) -> bytes:
+    """Encode ``message`` into an ``em_len``-byte PKCS#1 v1.5 block.
+
+    ``em_len`` is the RSA modulus size in bytes.  The result is
+    ``0x00 0x01 PS 0x00 DigestInfo`` where PS is at least eight 0xFF bytes.
+    """
+    digest_info = _SHA1_DIGEST_INFO_PREFIX + sha1(message)
+    if em_len < len(digest_info) + 11:
+        raise CryptoError(
+            f"modulus too small for PKCS#1 encoding: need {len(digest_info) + 11} "
+            f"bytes, have {em_len}"
+        )
+    padding = b"\xff" * (em_len - len(digest_info) - 3)
+    return b"\x00\x01" + padding + b"\x00" + digest_info
+
+
+def emsa_pkcs1_v15_verify(message: bytes, em: bytes) -> bool:
+    """Constant-structure comparison of the expected encoding against ``em``."""
+    try:
+        expected = emsa_pkcs1_v15_encode(message, len(em))
+    except CryptoError:
+        return False
+    return expected == em
+
+
+def encode_to_int(message: bytes, modulus: int) -> int:
+    """PKCS#1-encode ``message`` for ``modulus`` and return it as an integer.
+
+    This integer is the value ``x`` that the (threshold) RSA signing
+    operation raises to the private exponent.
+    """
+    em_len = (modulus.bit_length() + 7) // 8
+    return int.from_bytes(emsa_pkcs1_v15_encode(message, em_len), "big")

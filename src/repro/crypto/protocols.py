@@ -1,0 +1,548 @@
+"""The three threshold-signing protocols of the paper (§3.3, §3.5).
+
+* **BASIC** — every server broadcasts its share *with* a correctness proof;
+  receivers verify each share and assemble ``t+1`` valid ones.
+* **OptProof** — shares are broadcast *without* proofs; the first ``t+1``
+  are optimistically assembled and only the final signature is verified.
+  If that fails, the server asks everyone to resend shares with proofs and
+  proceeds as in BASIC, while in parallel accepting a valid final
+  signature from any peer.
+* **OptTE** — shares are broadcast without proofs and assembly proceeds by
+  trial and error over all ``t+1``-subsets of up to ``2t+1`` collected
+  shares; since at most ``t`` shares are invalid, some subset succeeds.
+
+The protocol classes are *sans-IO*: they consume ``(sender, message)``
+events and return lists of outgoing messages, so the same implementation
+runs on the discrete-event simulator (benchmarks) and on the asyncio
+transport (examples).  Every cryptographic operation performed is recorded
+in an operation log so the simulator can charge calibrated CPU time per
+operation (this is how Table 2 and Table 3 shapes are reproduced).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.crypto.shoup import (
+    SignatureShare,
+    ThresholdKeyShare,
+    ThresholdPublicKey,
+)
+from repro.errors import AssemblyError, ConfigError, InvalidShare
+from repro.util.serialization import (
+    pack_bytes,
+    pack_str,
+    pack_u8,
+    unpack_bytes,
+    unpack_str,
+    unpack_u8,
+)
+
+PROTOCOL_BASIC = "basic"
+PROTOCOL_OPTPROOF = "optproof"
+PROTOCOL_OPTTE = "optte"
+
+ALL_PROTOCOLS = (PROTOCOL_BASIC, PROTOCOL_OPTPROOF, PROTOCOL_OPTTE)
+
+# Operation names used in the op log (match Table 3's row labels).
+OP_GENERATE_SHARE = "generate_share"
+OP_GENERATE_PROOF = "generate_proof"
+OP_VERIFY_SHARE = "verify_share"
+OP_ASSEMBLE = "assemble"
+OP_VERIFY_SIGNATURE = "verify_signature"
+
+BROADCAST = -1  # destination meaning "all other replicas"
+
+_MSG_SHARE = 1
+_MSG_PROOF_REQUEST = 2
+_MSG_FINAL = 3
+
+
+@dataclass(frozen=True)
+class SigningMessage:
+    """Wire message of the signing protocols.
+
+    ``kind`` is one of share / proof-request / final; ``sign_id`` names the
+    signing session (derived from the record being signed, identical on
+    every replica).
+    """
+
+    kind: int
+    sign_id: str
+    share: Optional[SignatureShare] = None
+    signature: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        out = pack_u8(self.kind) + pack_str(self.sign_id)
+        if self.kind == _MSG_SHARE:
+            assert self.share is not None
+            out += self.share.to_bytes()
+        elif self.kind == _MSG_FINAL:
+            out += pack_bytes(self.signature)
+        return out
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SigningMessage":
+        kind, offset = unpack_u8(data, 0)
+        sign_id, offset = unpack_str(data, offset)
+        share = None
+        signature = b""
+        if kind == _MSG_SHARE:
+            share, offset = SignatureShare.from_bytes(data, offset)
+        elif kind == _MSG_FINAL:
+            signature, offset = unpack_bytes(data, offset)
+        return cls(kind=kind, sign_id=sign_id, share=share, signature=signature)
+
+    @classmethod
+    def share_message(cls, sign_id: str, share: SignatureShare) -> "SigningMessage":
+        return cls(kind=_MSG_SHARE, sign_id=sign_id, share=share)
+
+    @classmethod
+    def proof_request(cls, sign_id: str) -> "SigningMessage":
+        return cls(kind=_MSG_PROOF_REQUEST, sign_id=sign_id)
+
+    @classmethod
+    def final(cls, sign_id: str, signature: bytes) -> "SigningMessage":
+        return cls(kind=_MSG_FINAL, sign_id=sign_id, signature=signature)
+
+    @property
+    def is_share(self) -> bool:
+        return self.kind == _MSG_SHARE
+
+    @property
+    def is_proof_request(self) -> bool:
+        return self.kind == _MSG_PROOF_REQUEST
+
+    @property
+    def is_final(self) -> bool:
+        return self.kind == _MSG_FINAL
+
+
+Outgoing = Tuple[int, SigningMessage]  # (destination replica id or BROADCAST, msg)
+
+
+class SigningProtocol:
+    """Base class: one instance per replica per signing session."""
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        key_share: ThresholdKeyShare,
+        sign_id: str,
+        message: bytes,
+    ) -> None:
+        self.key_share = key_share
+        self.public: ThresholdPublicKey = key_share.public
+        self.sign_id = sign_id
+        self.message = message
+        self.signature: Optional[bytes] = None
+        self._ops: List[Tuple[str, int]] = []
+        self._shares: Dict[int, SignatureShare] = {}
+        self._arrival_order: List[int] = []
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.signature is not None
+
+    def start(self) -> List[Outgoing]:
+        """Generate and broadcast this replica's own share."""
+        raise NotImplementedError
+
+    def on_message(self, sender: int, msg: SigningMessage) -> List[Outgoing]:
+        """Feed a received protocol message; returns messages to send."""
+        raise NotImplementedError
+
+    # -- op accounting --------------------------------------------------------
+
+    def record_op(self, op: str, count: int = 1) -> None:
+        self._ops.append((op, count))
+
+    def drain_ops(self) -> List[Tuple[str, int]]:
+        """Return and clear the log of crypto ops performed since last call."""
+        ops, self._ops = self._ops, []
+        return ops
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _accept_final(self, msg: SigningMessage) -> bool:
+        """Validate and adopt a final signature received from a peer."""
+        self.record_op(OP_VERIFY_SIGNATURE)
+        if self.public.signature_is_valid(self.message, msg.signature):
+            self.signature = msg.signature
+            return True
+        return False
+
+    def _store_share(self, share: SignatureShare) -> bool:
+        """Store a share by sender index; returns False on duplicates.
+
+        A proof-carrying share may replace a previously stored bare share
+        (needed by OptProof's fall-back phase).
+        """
+        existing = self._shares.get(share.index)
+        if existing is not None and (existing.proof or not share.proof):
+            return False
+        if existing is None:
+            self._arrival_order.append(share.index)
+        self._shares[share.index] = share
+        return True
+
+
+class BasicSigningProtocol(SigningProtocol):
+    """Unoptimized protocol: every share carries and gets a verified proof."""
+
+    name = PROTOCOL_BASIC
+
+    def __init__(self, key_share, sign_id, message) -> None:
+        super().__init__(key_share, sign_id, message)
+        self._valid: Dict[int, SignatureShare] = {}
+
+    def start(self) -> List[Outgoing]:
+        if self._started:
+            return []
+        self._started = True
+        share = self.key_share.generate_share_with_proof(self.message)
+        self.record_op(OP_GENERATE_SHARE)
+        self.record_op(OP_GENERATE_PROOF)
+        out: List[Outgoing] = [(BROADCAST, SigningMessage.share_message(self.sign_id, share))]
+        # Our own share is trusted without verification (we computed it);
+        # _try_finish revalidates it defensively if assembly ever fails.
+        self._own_index = share.index
+        self._valid[share.index] = share
+        out.extend(self._try_finish())
+        return out
+
+    def on_message(self, sender: int, msg: SigningMessage) -> List[Outgoing]:
+        if self.done:
+            return []
+        if msg.is_final:
+            self._accept_final(msg)
+            return []
+        if not msg.is_share or msg.share is None:
+            return []
+        if not self._store_share(msg.share):
+            return []
+        if msg.share.index in self._valid:
+            return []
+        self.record_op(OP_VERIFY_SHARE)
+        if self.public.share_is_valid(self.message, msg.share):
+            self._valid[msg.share.index] = msg.share
+        return self._try_finish()
+
+    def _try_finish(self) -> List[Outgoing]:
+        if self.done or len(self._valid) < self.public.t + 1:
+            return []
+        shares = list(self._valid.values())[: self.public.t + 1]
+        self.record_op(OP_ASSEMBLE)
+        try:
+            signature = self.public.assemble(self.message, shares)
+        except AssemblyError:
+            signature = None
+        self.record_op(OP_VERIFY_SIGNATURE)
+        if signature is not None and self.public.signature_is_valid(
+            self.message, signature
+        ):
+            self.signature = signature
+            return []
+        # Assembly from verified shares cannot fail — unless our own,
+        # never-verified share is bad (we might BE the corrupted server).
+        # Re-validate it; if bogus, drop it and wait for more shares.
+        own = self._valid.get(getattr(self, "_own_index", -1))
+        if own is not None:
+            self.record_op(OP_VERIFY_SHARE)
+            if not self.public.share_is_valid(self.message, own):
+                del self._valid[own.index]
+        return []
+
+
+class OptProofSigningProtocol(SigningProtocol):
+    """Optimistic protocol with proofs generated/verified only on demand."""
+
+    name = PROTOCOL_OPTPROOF
+
+    def __init__(self, key_share, sign_id, message) -> None:
+        super().__init__(key_share, sign_id, message)
+        self._own_share: Optional[SignatureShare] = None
+        self._fallback = False
+        self._valid: Dict[int, SignatureShare] = {}
+        self._optimistic_tried = False
+
+    def start(self) -> List[Outgoing]:
+        if self._started:
+            return []
+        self._started = True
+        self._own_share = self.key_share.generate_share(self.message)
+        self.record_op(OP_GENERATE_SHARE)
+        # Per §3.5 the server assembles the first t+1 shares it *receives*;
+        # its own share is sent to the others but not put in the pool.
+        return [
+            (BROADCAST, SigningMessage.share_message(self.sign_id, self._own_share))
+        ]
+
+    def on_message(self, sender: int, msg: SigningMessage) -> List[Outgoing]:
+        if self.done:
+            return []
+        if msg.is_final:
+            if self._accept_final(msg):
+                return []
+            return []
+        if msg.is_proof_request:
+            return self._answer_proof_request()
+        if not msg.is_share or msg.share is None:
+            return []
+        if not self._store_share(msg.share):
+            return []
+        out: List[Outgoing] = []
+        if not self._fallback:
+            out.extend(self._try_optimistic())
+        if self._fallback and not self.done:
+            out.extend(self._try_fallback(msg.share))
+        return out
+
+    def _try_optimistic(self) -> List[Outgoing]:
+        """Assemble the first ``t+1`` bare shares and verify the result."""
+        needed = self.public.t + 1
+        if self._optimistic_tried or len(self._shares) < needed:
+            return []
+        self._optimistic_tried = True
+        shares = list(self._shares.values())[:needed]
+        self.record_op(OP_ASSEMBLE)
+        try:
+            signature = self.public.assemble(self.message, shares)
+        except AssemblyError:
+            signature = None
+        self.record_op(OP_VERIFY_SIGNATURE)
+        if signature is not None and self.public.signature_is_valid(
+            self.message, signature
+        ):
+            self.signature = signature
+            return [(BROADCAST, SigningMessage.final(self.sign_id, signature))]
+        # Some collected share was bogus: request proofs from everyone and
+        # fall back to verified assembly; keep accepting a final in parallel.
+        self._fallback = True
+        out: List[Outgoing] = [
+            (BROADCAST, SigningMessage.proof_request(self.sign_id))
+        ]
+        out.extend(self._answer_proof_request())
+        # Re-examine shares that already carry proofs (none yet, typically).
+        for share in list(self._shares.values()):
+            out.extend(self._try_fallback(share))
+        return out
+
+    def _answer_proof_request(self) -> List[Outgoing]:
+        """Resend our share, now with a correctness proof attached."""
+        if self._own_share is None:
+            return []
+        if self._own_share.proof is None:
+            proof = self.key_share.prove(self.message, self._own_share)
+            self.record_op(OP_GENERATE_PROOF)
+            self._own_share = self._own_share.with_proof(proof)
+            self._store_share(self._own_share)
+            self._valid[self._own_share.index] = self._own_share
+        return [
+            (BROADCAST, SigningMessage.share_message(self.sign_id, self._own_share))
+        ]
+
+    def _try_fallback(self, share: SignatureShare) -> List[Outgoing]:
+        """BASIC-style verified processing of proof-carrying shares."""
+        if share.proof is None or share.index in self._valid:
+            return []
+        self.record_op(OP_VERIFY_SHARE)
+        if not self.public.share_is_valid(self.message, share):
+            return []
+        self._valid[share.index] = share
+        if len(self._valid) < self.public.t + 1:
+            return []
+        chosen = list(self._valid.values())[: self.public.t + 1]
+        self.record_op(OP_ASSEMBLE)
+        try:
+            signature = self.public.assemble(self.message, chosen)
+        except AssemblyError:
+            signature = None
+        self.record_op(OP_VERIFY_SIGNATURE)
+        if signature is None or not self.public.signature_is_valid(
+            self.message, signature
+        ):
+            # Our own never-verified share may be the bad one (we might BE
+            # the corrupted server); re-validate and drop it if so.
+            own = self._own_share
+            if own is not None and own.index in self._valid and own.proof:
+                self.record_op(OP_VERIFY_SHARE)
+                if not self.public.share_is_valid(self.message, own):
+                    del self._valid[own.index]
+            return []
+        self.signature = signature
+        # Unlike the optimistic success case, fall-back completion does not
+        # broadcast the final signature — it proceeds "in the same way as
+        # the unoptimized algorithm" (§3.5), which sends nothing extra.
+        return []
+
+
+class OptTESigningProtocol(SigningProtocol):
+    """Optimistic protocol with trial-and-error subset assembly.
+
+    Collects up to ``2t+1`` bare shares and tries every ``t+1``-subset; at
+    most ``t`` shares are invalid, so a valid subset must exist among any
+    ``2t+1``.  Exponential in the worst case but fastest for practical
+    ``n`` (§3.5, Table 2).
+    """
+
+    name = PROTOCOL_OPTTE
+
+    def __init__(self, key_share, sign_id, message) -> None:
+        super().__init__(key_share, sign_id, message)
+        self._tried: Set[Tuple[int, ...]] = set()
+        self.attempts = 0  # exposed for the A4 ablation bench
+
+    def start(self) -> List[Outgoing]:
+        if self._started:
+            return []
+        self._started = True
+        share = self.key_share.generate_share(self.message)
+        self.record_op(OP_GENERATE_SHARE)
+        # As in OptProof, assembly draws on the shares *received* (§3.5);
+        # the local share is only sent to the other servers.
+        return [
+            (BROADCAST, SigningMessage.share_message(self.sign_id, share))
+        ]
+
+    def on_message(self, sender: int, msg: SigningMessage) -> List[Outgoing]:
+        if self.done:
+            return []
+        if msg.is_final:
+            self._accept_final(msg)
+            return []
+        if not msg.is_share or msg.share is None:
+            return []
+        if not self._store_share(msg.share):
+            return []
+        return self._try_subsets()
+
+    def _candidate_subsets(self) -> Iterator[Tuple[int, ...]]:
+        # The paper caps collection at 2t+1 shares (§3.5): among any 2t+1
+        # there are at most t invalid ones, so some (t+1)-subset works.
+        # Shares are considered in arrival order, earliest first.
+        limit = 2 * self.public.t + 1
+        indices = self._arrival_order[:limit]
+        size = self.public.t + 1
+        if len(indices) < size:
+            return iter(())
+        return (
+            tuple(sorted(combo))
+            for combo in itertools.combinations(indices, size)
+        )
+
+    def _try_subsets(self) -> List[Outgoing]:
+        for subset in self._candidate_subsets():
+            if subset in self._tried:
+                continue
+            self._tried.add(subset)
+            self.attempts += 1
+            shares = [self._shares[i] for i in subset]
+            self.record_op(OP_ASSEMBLE)
+            try:
+                signature = self.public.assemble(self.message, shares)
+            except AssemblyError:
+                continue
+            self.record_op(OP_VERIFY_SIGNATURE)
+            if self.public.signature_is_valid(self.message, signature):
+                self.signature = signature
+                return [(BROADCAST, SigningMessage.final(self.sign_id, signature))]
+        return []
+
+
+_PROTOCOL_CLASSES = {
+    PROTOCOL_BASIC: BasicSigningProtocol,
+    PROTOCOL_OPTPROOF: OptProofSigningProtocol,
+    PROTOCOL_OPTTE: OptTESigningProtocol,
+}
+
+
+def make_signing_protocol(
+    name: str,
+    key_share: ThresholdKeyShare,
+    sign_id: str,
+    message: bytes,
+) -> SigningProtocol:
+    """Instantiate a signing protocol by configuration name."""
+    try:
+        cls = _PROTOCOL_CLASSES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown signing protocol {name!r}; choose from {ALL_PROTOCOLS}"
+        ) from None
+    return cls(key_share, sign_id, message)
+
+
+class SigningCoordinator:
+    """Multiplexes concurrent signing sessions for one replica.
+
+    The Wrapper's signing dispatcher (§4.1) hands each SIG-record signing
+    request to the coordinator; messages for sessions that have not started
+    locally yet are buffered until the local state machine reaches the same
+    update and calls :meth:`sign`.
+    """
+
+    def __init__(self, protocol_name: str, key_share: ThresholdKeyShare) -> None:
+        if protocol_name not in _PROTOCOL_CLASSES:
+            raise ConfigError(f"unknown signing protocol {protocol_name!r}")
+        self.protocol_name = protocol_name
+        self.key_share = key_share
+        self.sessions: Dict[str, SigningProtocol] = {}
+        self._pending: Dict[str, List[Tuple[int, SigningMessage]]] = {}
+        self._completed: Dict[str, bytes] = {}
+
+    def sign(self, sign_id: str, message: bytes) -> List[Outgoing]:
+        """Start (or resume) a signing session for ``message``."""
+        if sign_id in self._completed:
+            return []
+        if sign_id in self.sessions:
+            return []
+        protocol = make_signing_protocol(
+            self.protocol_name, self.key_share, sign_id, message
+        )
+        self.sessions[sign_id] = protocol
+        out = protocol.start()
+        for sender, msg in self._pending.pop(sign_id, []):
+            if protocol.done:
+                break
+            out.extend(protocol.on_message(sender, msg))
+        if protocol.done:
+            self._finish(sign_id, protocol)
+        return out
+
+    def on_message(self, sender: int, msg: SigningMessage) -> List[Outgoing]:
+        """Route an incoming signing message to its session."""
+        if msg.sign_id in self._completed:
+            return []
+        protocol = self.sessions.get(msg.sign_id)
+        if protocol is None:
+            self._pending.setdefault(msg.sign_id, []).append((sender, msg))
+            return []
+        out = protocol.on_message(sender, msg)
+        if protocol.done:
+            self._finish(msg.sign_id, protocol)
+        return out
+
+    def _finish(self, sign_id: str, protocol: SigningProtocol) -> None:
+        assert protocol.signature is not None
+        self._completed[sign_id] = protocol.signature
+
+    def result(self, sign_id: str) -> Optional[bytes]:
+        """The assembled signature for a completed session, if any."""
+        return self._completed.get(sign_id)
+
+    def session(self, sign_id: str) -> Optional[SigningProtocol]:
+        return self.sessions.get(sign_id)
+
+    def drain_ops(self) -> List[Tuple[str, int]]:
+        """Collect op logs from all sessions (for simulator cost charging)."""
+        ops: List[Tuple[str, int]] = []
+        for protocol in self.sessions.values():
+            ops.extend(protocol.drain_ops())
+        return ops

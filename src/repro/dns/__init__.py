@@ -1,0 +1,49 @@
+"""Pure-Python DNS substrate: the `named` the Wrapper proxies to.
+
+Implements the DNS data model (RFC 1034/1035), wire format, zone storage,
+master-file I/O, authoritative query processing, RFC 2136 dynamic updates,
+TSIG-style transaction signatures, and RFC 2535-era DNSSEC zone signing —
+everything the paper's modified BIND provided.
+"""
+
+from repro.dns.name import Name, root_name
+from repro.dns.rdata import (
+    Rdata,
+    A,
+    AAAA,
+    NS,
+    CNAME,
+    PTR,
+    MX,
+    TXT,
+    SOA,
+    KEY,
+    SIG,
+)
+from repro.dns.rrset import RRset
+from repro.dns.message import Message, Question, make_query, make_response
+from repro.dns.zone import Zone
+from repro.dns.server import AuthoritativeServer
+
+__all__ = [
+    "Name",
+    "root_name",
+    "Rdata",
+    "A",
+    "AAAA",
+    "NS",
+    "CNAME",
+    "PTR",
+    "MX",
+    "TXT",
+    "SOA",
+    "KEY",
+    "SIG",
+    "RRset",
+    "Message",
+    "Question",
+    "make_query",
+    "make_response",
+    "Zone",
+    "AuthoritativeServer",
+]

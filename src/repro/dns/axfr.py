@@ -1,0 +1,78 @@
+"""Zone transfer (AXFR, RFC 5936-style) for classic primary/secondary DNS.
+
+The paper's §1 describes how conventional DNS replicates a zone: the
+original data lives at the primary server and secondaries periodically
+obtain it via zone transfer — "this means that an attacker may corrupt
+the data of all servers by compromising the primary alone."  This module
+implements that transfer mechanism so the repository contains the
+baseline design the paper's replicated service replaces (see
+:mod:`repro.core.classic` and ablation benchmarks).
+
+An AXFR response carries the entire zone as a record stream that begins
+and ends with the SOA record.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dns import constants as c
+from repro.dns.message import Message, Question, RR, make_response, rrset_to_rrs
+from repro.dns.name import Name
+from repro.dns.zone import Zone
+from repro.errors import WireFormatError, ZoneError
+
+TYPE_AXFR = 252  # QTYPE only
+
+
+def make_axfr_query(zone_origin: Name, msg_id: int = 0) -> Message:
+    """Build the AXFR request a secondary sends to the primary."""
+    query = Message(msg_id=msg_id, opcode=c.OPCODE_QUERY)
+    query.questions.append(Question(zone_origin, TYPE_AXFR, c.CLASS_IN))
+    return query
+
+
+def build_axfr_response(zone: Zone, query: Message) -> Message:
+    """Serialize the full zone: SOA first, everything, SOA again."""
+    response = make_response(query)
+    response.set_flag(c.FLAG_AA)
+    soa_rrs = rrset_to_rrs(zone.soa_rrset)
+    response.answers.extend(soa_rrs)
+    for rrset in zone:
+        if rrset.name == zone.origin and rrset.rtype == c.TYPE_SOA:
+            continue
+        response.answers.extend(rrset_to_rrs(rrset))
+    response.answers.extend(soa_rrs)
+    return response
+
+
+def apply_axfr_response(response: Message) -> Zone:
+    """Reconstruct a zone from an AXFR record stream.
+
+    Validates the SOA framing; raises :class:`WireFormatError` on a
+    malformed stream.
+    """
+    answers: List[RR] = response.answers
+    if len(answers) < 2:
+        raise WireFormatError("AXFR stream too short")
+    first, last = answers[0], answers[-1]
+    if first.rtype != c.TYPE_SOA or last.rtype != c.TYPE_SOA:
+        raise WireFormatError("AXFR stream must be SOA-framed")
+    if first.rdata != last.rdata or first.name != last.name:
+        raise WireFormatError("AXFR opening and closing SOA differ")
+    zone = Zone(first.name)
+    try:
+        zone.add_rdata(first.name, c.TYPE_SOA, first.ttl, first.rdata)
+        for rr in answers[1:-1]:
+            if rr.rdata is None:
+                raise WireFormatError("empty rdata inside AXFR stream")
+            zone.add_rdata(rr.name, rr.rtype, rr.ttl, rr.rdata)
+    except ZoneError as exc:
+        raise WireFormatError(f"bad AXFR content: {exc}") from exc
+    return zone
+
+
+def transfer_zone(primary_zone: Zone) -> Zone:
+    """Direct in-process transfer (build + apply), used by secondaries."""
+    query = make_axfr_query(primary_zone.origin)
+    return apply_axfr_response(build_axfr_response(primary_zone, query))

@@ -1,0 +1,149 @@
+"""DNS protocol constants (RFC 1035, 2136, 2535).
+
+Numeric values match the IANA registries so wire messages produced here
+are byte-compatible with real DNS software.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Resource record types
+# --------------------------------------------------------------------------
+
+TYPE_A = 1
+TYPE_NS = 2
+TYPE_CNAME = 5
+TYPE_SOA = 6
+TYPE_PTR = 12
+TYPE_MX = 15
+TYPE_TXT = 16
+TYPE_KEY = 25     # RFC 2535 zone key record (predecessor of DNSKEY)
+TYPE_SIG = 24     # RFC 2535 signature record (predecessor of RRSIG)
+TYPE_AAAA = 28
+TYPE_NXT = 30     # RFC 2535 authenticated denial (predecessor of NSEC)
+TYPE_TSIG = 250   # RFC 2845 transaction signature (meta-RR)
+TYPE_ANY = 255    # QTYPE only
+
+TYPE_NAMES = {
+    TYPE_A: "A",
+    TYPE_NS: "NS",
+    TYPE_CNAME: "CNAME",
+    TYPE_SOA: "SOA",
+    TYPE_PTR: "PTR",
+    TYPE_MX: "MX",
+    TYPE_TXT: "TXT",
+    TYPE_KEY: "KEY",
+    TYPE_SIG: "SIG",
+    TYPE_AAAA: "AAAA",
+    TYPE_NXT: "NXT",
+    TYPE_TSIG: "TSIG",
+    TYPE_ANY: "ANY",
+}
+
+TYPE_VALUES = {name: value for value, name in TYPE_NAMES.items()}
+
+
+def type_to_text(rtype: int) -> str:
+    return TYPE_NAMES.get(rtype, f"TYPE{rtype}")
+
+
+def type_from_text(text: str) -> int:
+    text = text.upper()
+    if text in TYPE_VALUES:
+        return TYPE_VALUES[text]
+    if text.startswith("TYPE") and text[4:].isdigit():
+        return int(text[4:])
+    raise ValueError(f"unknown RR type {text!r}")
+
+
+# --------------------------------------------------------------------------
+# Classes
+# --------------------------------------------------------------------------
+
+CLASS_IN = 1
+CLASS_NONE = 254  # RFC 2136: delete specific RR
+CLASS_ANY = 255   # RFC 2136: delete RRset / prerequisite wildcards
+
+CLASS_NAMES = {CLASS_IN: "IN", CLASS_NONE: "NONE", CLASS_ANY: "ANY"}
+CLASS_VALUES = {name: value for value, name in CLASS_NAMES.items()}
+
+
+def class_to_text(rclass: int) -> str:
+    return CLASS_NAMES.get(rclass, f"CLASS{rclass}")
+
+
+def class_from_text(text: str) -> int:
+    text = text.upper()
+    if text in CLASS_VALUES:
+        return CLASS_VALUES[text]
+    if text.startswith("CLASS") and text[5:].isdigit():
+        return int(text[5:])
+    raise ValueError(f"unknown class {text!r}")
+
+
+# --------------------------------------------------------------------------
+# Opcodes (RFC 1035 §4.1.1, RFC 2136 §1)
+# --------------------------------------------------------------------------
+
+OPCODE_QUERY = 0
+OPCODE_UPDATE = 5
+
+OPCODE_NAMES = {OPCODE_QUERY: "QUERY", OPCODE_UPDATE: "UPDATE"}
+
+# --------------------------------------------------------------------------
+# Response codes (RFC 1035 §4.1.1, RFC 2136 §2.2)
+# --------------------------------------------------------------------------
+
+RCODE_NOERROR = 0
+RCODE_FORMERR = 1
+RCODE_SERVFAIL = 2
+RCODE_NXDOMAIN = 3
+RCODE_NOTIMP = 4
+RCODE_REFUSED = 5
+RCODE_YXDOMAIN = 6
+RCODE_YXRRSET = 7
+RCODE_NXRRSET = 8
+RCODE_NOTAUTH = 9
+RCODE_NOTZONE = 10
+
+RCODE_NAMES = {
+    RCODE_NOERROR: "NOERROR",
+    RCODE_FORMERR: "FORMERR",
+    RCODE_SERVFAIL: "SERVFAIL",
+    RCODE_NXDOMAIN: "NXDOMAIN",
+    RCODE_NOTIMP: "NOTIMP",
+    RCODE_REFUSED: "REFUSED",
+    RCODE_YXDOMAIN: "YXDOMAIN",
+    RCODE_YXRRSET: "YXRRSET",
+    RCODE_NXRRSET: "NXRRSET",
+    RCODE_NOTAUTH: "NOTAUTH",
+    RCODE_NOTZONE: "NOTZONE",
+}
+
+
+def rcode_to_text(rcode: int) -> str:
+    return RCODE_NAMES.get(rcode, f"RCODE{rcode}")
+
+
+# --------------------------------------------------------------------------
+# Header flag bits (within the 16-bit flags word, RFC 1035 §4.1.1)
+# --------------------------------------------------------------------------
+
+FLAG_QR = 0x8000  # response
+FLAG_AA = 0x0400  # authoritative answer
+FLAG_TC = 0x0200  # truncated
+FLAG_RD = 0x0100  # recursion desired
+FLAG_RA = 0x0080  # recursion available
+FLAG_AD = 0x0020  # authentic data (DNSSEC)
+FLAG_CD = 0x0010  # checking disabled (DNSSEC)
+
+# --------------------------------------------------------------------------
+# DNSSEC signature algorithm numbers (RFC 2535 §3.2)
+# --------------------------------------------------------------------------
+
+ALG_RSASHA1 = 5   # RSA/SHA-1, the algorithm the paper's prototype uses
+
+# Limits (RFC 1035 §2.3.4)
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 255
+MAX_UDP_SIZE = 512

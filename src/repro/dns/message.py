@@ -1,0 +1,282 @@
+"""DNS messages: header, question, and resource record sections.
+
+The same :class:`Message` structure carries queries, responses, and
+RFC 2136 UPDATE messages (where the four sections are reinterpreted as
+Zone / Prerequisite / Update / Additional).  Messages round-trip through
+the compressed wire format byte-for-byte semantically.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+from repro.dns import constants as c
+from repro.dns.name import Name
+from repro.dns.rdata import Rdata, decode_rdata
+from repro.dns.rrset import RRset
+from repro.dns.wire import WireReader, WireWriter
+from repro.errors import WireFormatError
+
+
+@dataclass(frozen=True)
+class Question:
+    """A question section entry (QNAME, QTYPE, QCLASS)."""
+
+    name: Name
+    rtype: int
+    rclass: int = c.CLASS_IN
+
+    def to_text(self) -> str:
+        return (
+            f"{self.name.to_text()} {c.class_to_text(self.rclass)} "
+            f"{c.type_to_text(self.rtype)}"
+        )
+
+
+@dataclass(frozen=True)
+class RR:
+    """A single resource record as carried in a message section.
+
+    Update messages use the class field for semantics (NONE = delete this
+    RR, ANY = delete RRset), so sections hold individual RRs rather than
+    RRsets.  ``rdata`` is ``None`` for the empty-rdata records RFC 2136
+    prerequisites and RRset-deletes use.
+    """
+
+    name: Name
+    rtype: int
+    rclass: int
+    ttl: int
+    rdata: Rdata | None
+
+    def to_text(self) -> str:
+        rdata_text = self.rdata.to_text() if self.rdata is not None else ""
+        return (
+            f"{self.name.to_text()} {self.ttl} {c.class_to_text(self.rclass)} "
+            f"{c.type_to_text(self.rtype)} {rdata_text}".rstrip()
+        )
+
+
+def rrset_to_rrs(rrset: RRset) -> List[RR]:
+    return [
+        RR(rrset.name, rrset.rtype, rrset.rclass, rrset.ttl, rdata)
+        for rdata in rrset
+    ]
+
+
+def rrs_to_rrsets(rrs: List[RR]) -> List[RRset]:
+    """Group adjacent-compatible RRs into RRsets (preserving order)."""
+    grouped: Dict[Tuple[Name, int, int], List[RR]] = {}
+    order: List[Tuple[Name, int, int]] = []
+    for rr in rrs:
+        key = (rr.name, rr.rtype, rr.rclass)
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(rr)
+    rrsets = []
+    for key in order:
+        members = grouped[key]
+        ttl = min(m.ttl for m in members)
+        rrsets.append(
+            RRset(key[0], key[1], ttl, [m.rdata for m in members], key[2])
+        )
+    return rrsets
+
+
+@dataclass
+class Message:
+    """A DNS message (query, response, or dynamic update)."""
+
+    msg_id: int = 0
+    flags: int = 0
+    opcode: int = c.OPCODE_QUERY
+    rcode: int = c.RCODE_NOERROR
+    questions: List[Question] = field(default_factory=list)
+    answers: List[RR] = field(default_factory=list)
+    authority: List[RR] = field(default_factory=list)
+    additional: List[RR] = field(default_factory=list)
+
+    # -- flag helpers -----------------------------------------------------------
+
+    @property
+    def is_response(self) -> bool:
+        return bool(self.flags & c.FLAG_QR)
+
+    @property
+    def is_authoritative(self) -> bool:
+        return bool(self.flags & c.FLAG_AA)
+
+    def set_flag(self, flag: int, value: bool = True) -> None:
+        if value:
+            self.flags |= flag
+        else:
+            self.flags &= ~flag
+
+    # -- update-section aliases (RFC 2136 nomenclature) ---------------------------
+
+    @property
+    def zone(self) -> List[Question]:
+        return self.questions
+
+    @property
+    def prerequisites(self) -> List[RR]:
+        return self.answers
+
+    @property
+    def updates(self) -> List[RR]:
+        return self.authority
+
+    # -- wire ----------------------------------------------------------------------
+
+    def to_wire(self) -> bytes:
+        writer = WireWriter()
+        flags_word = (
+            (self.flags & 0x87B0)
+            | ((self.opcode & 0xF) << 11)
+            | (self.rcode & 0xF)
+        )
+        writer.write_u16(self.msg_id)
+        writer.write_u16(flags_word)
+        writer.write_u16(len(self.questions))
+        writer.write_u16(len(self.answers))
+        writer.write_u16(len(self.authority))
+        writer.write_u16(len(self.additional))
+        for question in self.questions:
+            writer.write_name(question.name)
+            writer.write_u16(question.rtype)
+            writer.write_u16(question.rclass)
+        for section in (self.answers, self.authority, self.additional):
+            for rr in section:
+                writer.write_name(rr.name)
+                writer.write_u16(rr.rtype)
+                writer.write_u16(rr.rclass)
+                writer.write_u32(rr.ttl)
+                length_pos = len(writer)
+                writer.write_u16(0)
+                start = len(writer)
+                # Rdata is emitted uncompressed: legal for all types and
+                # required for canonical-form comparisons.
+                if rr.rdata is not None:
+                    writer.write(rr.rdata.to_wire())
+                writer.patch_u16(length_pos, len(writer) - start)
+        return writer.getvalue()
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "Message":
+        reader = WireReader(data)
+        msg_id = reader.read_u16()
+        flags_word = reader.read_u16()
+        qdcount = reader.read_u16()
+        ancount = reader.read_u16()
+        nscount = reader.read_u16()
+        arcount = reader.read_u16()
+        msg = cls(
+            msg_id=msg_id,
+            flags=flags_word & 0x87B0,
+            opcode=(flags_word >> 11) & 0xF,
+            rcode=flags_word & 0xF,
+        )
+        for _ in range(qdcount):
+            name = reader.read_name()
+            rtype = reader.read_u16()
+            rclass = reader.read_u16()
+            msg.questions.append(Question(name, rtype, rclass))
+        for section, count in (
+            (msg.answers, ancount),
+            (msg.authority, nscount),
+            (msg.additional, arcount),
+        ):
+            for _ in range(count):
+                name = reader.read_name()
+                rtype = reader.read_u16()
+                rclass = reader.read_u16()
+                ttl = reader.read_u32()
+                rdlength = reader.read_u16()
+                if reader.remaining < rdlength:
+                    raise WireFormatError("rdata overruns message")
+                if rdlength == 0:
+                    rdata = None
+                else:
+                    rdata = decode_rdata(rtype, reader.data, reader.offset, rdlength)
+                reader.offset += rdlength
+                section.append(RR(name, rtype, rclass, ttl, rdata))
+        return msg
+
+    # -- text (dig-style) --------------------------------------------------------
+
+    def to_text(self) -> str:
+        lines = [
+            f";; opcode: {c.OPCODE_NAMES.get(self.opcode, self.opcode)}, "
+            f"status: {c.rcode_to_text(self.rcode)}, id: {self.msg_id}",
+        ]
+        flag_names = []
+        for flag, label in (
+            (c.FLAG_QR, "qr"),
+            (c.FLAG_AA, "aa"),
+            (c.FLAG_TC, "tc"),
+            (c.FLAG_RD, "rd"),
+            (c.FLAG_RA, "ra"),
+            (c.FLAG_AD, "ad"),
+        ):
+            if self.flags & flag:
+                flag_names.append(label)
+        lines.append(f";; flags: {' '.join(flag_names)}")
+        if self.questions:
+            lines.append(";; QUESTION SECTION:")
+            lines.extend(f";{q.to_text()}" for q in self.questions)
+        for label, section in (
+            ("ANSWER", self.answers),
+            ("AUTHORITY", self.authority),
+            ("ADDITIONAL", self.additional),
+        ):
+            if section:
+                lines.append(f";; {label} SECTION:")
+                lines.extend(rr.to_text() for rr in section)
+        return "\n".join(lines)
+
+    def copy(self) -> "Message":
+        return replace(
+            self,
+            questions=list(self.questions),
+            answers=list(self.answers),
+            authority=list(self.authority),
+            additional=list(self.additional),
+        )
+
+
+def make_query(
+    name: Name, rtype: int, rclass: int = c.CLASS_IN, msg_id: int | None = None
+) -> Message:
+    """Build a standard query (what ``dig`` sends)."""
+    msg = Message(
+        msg_id=msg_id if msg_id is not None else secrets.randbelow(0x10000),
+        opcode=c.OPCODE_QUERY,
+    )
+    msg.set_flag(c.FLAG_RD, False)
+    msg.questions.append(Question(name, rtype, rclass))
+    return msg
+
+
+def make_response(query: Message, rcode: int = c.RCODE_NOERROR) -> Message:
+    """Build a response skeleton echoing id, opcode, and question."""
+    response = Message(
+        msg_id=query.msg_id,
+        opcode=query.opcode,
+        rcode=rcode,
+        questions=list(query.questions),
+    )
+    response.set_flag(c.FLAG_QR)
+    return response
+
+
+def make_update(zone_name: Name, msg_id: int | None = None) -> Message:
+    """Build an UPDATE message skeleton (what ``nsupdate`` sends)."""
+    msg = Message(
+        msg_id=msg_id if msg_id is not None else secrets.randbelow(0x10000),
+        opcode=c.OPCODE_UPDATE,
+    )
+    msg.questions.append(Question(zone_name, c.TYPE_SOA, c.CLASS_IN))
+    return msg

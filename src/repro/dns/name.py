@@ -1,0 +1,248 @@
+"""Domain names: labels, text and wire form, DNSSEC canonical ordering.
+
+A :class:`Name` is an immutable sequence of labels, stored as raw bytes,
+most-specific label first (``www.example.com.`` is
+``(b"www", b"example", b"com")``).  All names in this library are absolute
+(fully qualified); relative names appear only transiently during master
+file parsing.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterable, List, Tuple
+
+from repro.dns.constants import MAX_LABEL_LENGTH, MAX_NAME_LENGTH
+from repro.errors import NameError_, WireFormatError
+
+_ESCAPABLE = b'."\\;@$()'
+
+
+def _escape_label(label: bytes) -> str:
+    out: List[str] = []
+    for byte in label:
+        char = bytes((byte,))
+        if char in _ESCAPABLE:
+            out.append("\\" + char.decode())
+        elif 0x21 <= byte <= 0x7E:
+            out.append(char.decode())
+        else:
+            out.append(f"\\{byte:03d}")
+    return "".join(out)
+
+
+def _parse_labels(text: str) -> List[bytes]:
+    """Split a textual name into labels, handling ``\\.`` and ``\\DDD``."""
+    labels: List[bytes] = []
+    current = bytearray()
+    i = 0
+    while i < len(text):
+        char = text[i]
+        if char == "\\":
+            if i + 3 < len(text) + 1 and text[i + 1 : i + 4].isdigit():
+                code = int(text[i + 1 : i + 4])
+                if code > 255:
+                    raise NameError_(f"bad escape in name {text!r}")
+                current.append(code)
+                i += 4
+                continue
+            if i + 1 >= len(text):
+                raise NameError_(f"trailing backslash in name {text!r}")
+            current.append(ord(text[i + 1]))
+            i += 2
+            continue
+        if char == ".":
+            if not current and labels != [] and i != len(text) - 1:
+                raise NameError_(f"empty interior label in {text!r}")
+            if not current and not labels and i != len(text) - 1:
+                raise NameError_(f"empty leading label in {text!r}")
+            if current:
+                labels.append(bytes(current))
+                current = bytearray()
+            i += 1
+            continue
+        current.append(ord(char))
+        i += 1
+    if current:
+        labels.append(bytes(current))
+    return labels
+
+
+@total_ordering
+class Name:
+    """An absolute domain name.
+
+    Comparison and hashing are case-insensitive, and ``<`` implements the
+    DNSSEC *canonical ordering* (RFC 2535 §8.3 / RFC 4034 §6.1): names are
+    compared right-to-left by label, with each label compared as a
+    case-folded byte string.  Zone iteration and signed-zone layout rely
+    on this ordering.
+    """
+
+    __slots__ = ("_labels", "_folded")
+
+    def __init__(self, labels: Iterable[bytes]) -> None:
+        labels = tuple(labels)
+        total = sum(len(label) + 1 for label in labels) + 1
+        if total > MAX_NAME_LENGTH:
+            raise NameError_(f"name exceeds {MAX_NAME_LENGTH} octets")
+        for label in labels:
+            if not label:
+                raise NameError_("empty label")
+            if len(label) > MAX_LABEL_LENGTH:
+                raise NameError_(
+                    f"label {label!r} exceeds {MAX_LABEL_LENGTH} octets"
+                )
+        self._labels = labels
+        self._folded = tuple(label.lower() for label in labels)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str, origin: "Name | None" = None) -> "Name":
+        """Parse a textual name; relative names require an ``origin``."""
+        if text in (".", ""):
+            if text == "" and origin is None:
+                raise NameError_("empty name with no origin")
+            return cls(()) if text == "." else origin  # type: ignore[return-value]
+        if text == "@":
+            if origin is None:
+                raise NameError_("@ used without origin")
+            return origin
+        labels = _parse_labels(text)
+        if text.endswith(".") and not text.endswith("\\."):
+            return cls(labels)
+        if origin is None:
+            raise NameError_(f"relative name {text!r} with no origin")
+        return cls(tuple(labels) + origin.labels)
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def labels(self) -> Tuple[bytes, ...]:
+        return self._labels
+
+    @property
+    def is_root(self) -> bool:
+        return not self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    # -- text / wire ------------------------------------------------------------
+
+    def to_text(self) -> str:
+        if not self._labels:
+            return "."
+        return ".".join(_escape_label(label) for label in self._labels) + "."
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def __repr__(self) -> str:
+        return f"Name({self.to_text()!r})"
+
+    def to_wire(self) -> bytes:
+        """Uncompressed wire form (used in canonical/signed data)."""
+        out = bytearray()
+        for label in self._labels:
+            out.append(len(label))
+            out.extend(label)
+        out.append(0)
+        return bytes(out)
+
+    def canonical_wire(self) -> bytes:
+        """Wire form with labels lowercased (DNSSEC canonical form)."""
+        out = bytearray()
+        for label in self._folded:
+            out.append(len(label))
+            out.extend(label)
+        out.append(0)
+        return bytes(out)
+
+    @classmethod
+    def from_wire(cls, data: bytes, offset: int = 0) -> Tuple["Name", int]:
+        """Decode a (possibly compressed) name; return ``(name, new_offset)``."""
+        labels: List[bytes] = []
+        seen_offsets = set()
+        cursor = offset
+        end = -1  # offset after the name in the original stream
+        while True:
+            if cursor >= len(data):
+                raise WireFormatError("truncated name")
+            length = data[cursor]
+            if length == 0:
+                if end < 0:
+                    end = cursor + 1
+                break
+            if length & 0xC0 == 0xC0:
+                if cursor + 1 >= len(data):
+                    raise WireFormatError("truncated compression pointer")
+                pointer = ((length & 0x3F) << 8) | data[cursor + 1]
+                if pointer in seen_offsets or pointer >= cursor:
+                    raise WireFormatError("bad compression pointer")
+                seen_offsets.add(pointer)
+                if end < 0:
+                    end = cursor + 2
+                cursor = pointer
+                continue
+            if length > MAX_LABEL_LENGTH:
+                raise WireFormatError(f"label length {length} invalid")
+            if cursor + 1 + length > len(data):
+                raise WireFormatError("truncated label")
+            labels.append(data[cursor + 1 : cursor + 1 + length])
+            cursor += 1 + length
+        try:
+            return cls(labels), end
+        except NameError_ as exc:
+            raise WireFormatError(str(exc)) from exc
+
+    # -- relations --------------------------------------------------------------
+
+    def is_subdomain_of(self, other: "Name") -> bool:
+        """True if ``self`` is at or below ``other`` (RFC 1034 terminology)."""
+        if len(other._folded) > len(self._folded):
+            return False
+        if not other._folded:
+            return True
+        return self._folded[-len(other._folded) :] == other._folded
+
+    def parent(self) -> "Name":
+        if not self._labels:
+            raise NameError_("the root has no parent")
+        return Name(self._labels[1:])
+
+    def relativize_text(self, origin: "Name") -> str:
+        """Textual form relative to ``origin`` (for zone file output)."""
+        if self == origin:
+            return "@"
+        if self.is_subdomain_of(origin) and len(origin):
+            rel = self._labels[: len(self._labels) - len(origin._labels)]
+            return ".".join(_escape_label(label) for label in rel)
+        return self.to_text()
+
+    def concatenate(self, suffix: "Name") -> "Name":
+        return Name(self._labels + suffix.labels)
+
+    # -- ordering / hashing -------------------------------------------------------
+
+    def _canonical_key(self) -> Tuple[bytes, ...]:
+        return tuple(reversed(self._folded))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self._folded == other._folded
+
+    def __lt__(self, other: "Name") -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self._canonical_key() < other._canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self._folded)
+
+
+def root_name() -> Name:
+    """The DNS root name ``.``."""
+    return Name(())

@@ -1,0 +1,724 @@
+"""Resource record data (rdata) types.
+
+Implements the record types a zone service needs: A, AAAA, NS, CNAME, PTR,
+MX, TXT, SOA, plus the RFC 2535 security records KEY and SIG that DNSSEC
+zone signing uses.  Unknown types round-trip as opaque bytes
+(:class:`GenericRdata`), in the spirit of RFC 3597.
+
+Every rdata knows its text form (master files), wire form (messages) and
+*canonical* wire form (DNSSEC signing input: embedded names lowercased and
+uncompressed, RFC 2535 §8.1).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Sequence, Tuple, Type
+
+from repro.dns import constants as c
+from repro.dns.name import Name
+from repro.errors import WireFormatError, ZoneFileError
+
+_REGISTRY: Dict[int, Type["Rdata"]] = {}
+
+
+def register(cls: Type["Rdata"]) -> Type["Rdata"]:
+    _REGISTRY[cls.rtype] = cls
+    return cls
+
+
+class Rdata:
+    """Base class for typed rdata.  Instances are immutable and hashable."""
+
+    rtype: int = 0
+
+    def to_wire(self) -> bytes:
+        raise NotImplementedError
+
+    def canonical_wire(self) -> bytes:
+        """Wire form for DNSSEC signing (names lowercased, no compression)."""
+        return self.to_wire()
+
+    def to_text(self, origin: Name | None = None) -> str:
+        raise NotImplementedError
+
+    @classmethod
+    def from_wire(cls, buf: bytes, offset: int, rdlength: int) -> "Rdata":
+        """Decode from a message buffer (names in rdata may be compressed)."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_text(cls, tokens: Sequence[str], origin: Name | None) -> "Rdata":
+        raise NotImplementedError
+
+    # Identity is by type + canonical wire form, so A(1.2.3.4) == A(1.2.3.4)
+    # and name case differences don't create duplicate records.
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rdata):
+            return NotImplemented
+        return (
+            self.rtype == other.rtype
+            and self.canonical_wire() == other.canonical_wire()
+        )
+
+    def __lt__(self, other: "Rdata") -> bool:
+        # RFC 4034 §6.3 canonical rdata ordering within an RRset.
+        return self.canonical_wire() < other.canonical_wire()
+
+    def __hash__(self) -> int:
+        return hash((self.rtype, self.canonical_wire()))
+
+    def __repr__(self) -> str:
+        return f"<{c.type_to_text(self.rtype)} {self.to_text()}>"
+
+
+def _require_tokens(tokens: Sequence[str], count: int, what: str) -> None:
+    if len(tokens) != count:
+        raise ZoneFileError(f"{what} needs {count} fields, got {len(tokens)}")
+
+
+@register
+class A(Rdata):
+    """IPv4 address record."""
+
+    rtype = c.TYPE_A
+    __slots__ = ("address",)
+
+    def __init__(self, address: str) -> None:
+        parts = address.split(".")
+        if len(parts) != 4 or not all(
+            p.isdigit() and 0 <= int(p) <= 255 for p in parts
+        ):
+            raise ZoneFileError(f"bad IPv4 address {address!r}")
+        self.address = ".".join(str(int(p)) for p in parts)
+
+    def to_wire(self) -> bytes:
+        return bytes(int(p) for p in self.address.split("."))
+
+    def to_text(self, origin: Name | None = None) -> str:
+        return self.address
+
+    @classmethod
+    def from_wire(cls, buf: bytes, offset: int, rdlength: int) -> "A":
+        if rdlength != 4:
+            raise WireFormatError("A rdata must be 4 bytes")
+        return cls(".".join(str(b) for b in buf[offset : offset + 4]))
+
+    @classmethod
+    def from_text(cls, tokens: Sequence[str], origin: Name | None) -> "A":
+        _require_tokens(tokens, 1, "A")
+        return cls(tokens[0])
+
+
+@register
+class AAAA(Rdata):
+    """IPv6 address record."""
+
+    rtype = c.TYPE_AAAA
+    __slots__ = ("packed",)
+
+    def __init__(self, address: str) -> None:
+        self.packed = self._parse(address)
+
+    @staticmethod
+    def _parse(address: str) -> bytes:
+        if "::" in address:
+            head, _, tail = address.partition("::")
+            head_groups = head.split(":") if head else []
+            tail_groups = tail.split(":") if tail else []
+            missing = 8 - len(head_groups) - len(tail_groups)
+            if missing < 1:
+                raise ZoneFileError(f"bad IPv6 address {address!r}")
+            groups = head_groups + ["0"] * missing + tail_groups
+        else:
+            groups = address.split(":")
+        if len(groups) != 8:
+            raise ZoneFileError(f"bad IPv6 address {address!r}")
+        try:
+            return b"".join(struct.pack(">H", int(g, 16)) for g in groups)
+        except ValueError as exc:
+            raise ZoneFileError(f"bad IPv6 address {address!r}") from exc
+
+    def to_wire(self) -> bytes:
+        return self.packed
+
+    def to_text(self, origin: Name | None = None) -> str:
+        groups = [
+            f"{struct.unpack_from('>H', self.packed, i * 2)[0]:x}"
+            for i in range(8)
+        ]
+        return ":".join(groups)
+
+    @classmethod
+    def from_wire(cls, buf: bytes, offset: int, rdlength: int) -> "AAAA":
+        if rdlength != 16:
+            raise WireFormatError("AAAA rdata must be 16 bytes")
+        instance = cls.__new__(cls)
+        instance.packed = bytes(buf[offset : offset + 16])
+        return instance
+
+    @classmethod
+    def from_text(cls, tokens: Sequence[str], origin: Name | None) -> "AAAA":
+        _require_tokens(tokens, 1, "AAAA")
+        return cls(tokens[0])
+
+
+class _SingleName(Rdata):
+    """Shared implementation for NS / CNAME / PTR."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: Name) -> None:
+        self.target = target
+
+    def to_wire(self) -> bytes:
+        return self.target.to_wire()
+
+    def canonical_wire(self) -> bytes:
+        return self.target.canonical_wire()
+
+    def to_text(self, origin: Name | None = None) -> str:
+        return self.target.to_text()
+
+    @classmethod
+    def from_wire(cls, buf: bytes, offset: int, rdlength: int):
+        target, _ = Name.from_wire(buf, offset)
+        return cls(target)
+
+    @classmethod
+    def from_text(cls, tokens: Sequence[str], origin: Name | None):
+        _require_tokens(tokens, 1, c.type_to_text(cls.rtype))
+        return cls(Name.from_text(tokens[0], origin))
+
+
+@register
+class NS(_SingleName):
+    """Name server record."""
+
+    rtype = c.TYPE_NS
+
+
+@register
+class CNAME(_SingleName):
+    """Canonical name (alias) record."""
+
+    rtype = c.TYPE_CNAME
+
+
+@register
+class PTR(_SingleName):
+    """Pointer record (reverse mapping)."""
+
+    rtype = c.TYPE_PTR
+
+
+@register
+class MX(Rdata):
+    """Mail exchanger record."""
+
+    rtype = c.TYPE_MX
+    __slots__ = ("preference", "exchange")
+
+    def __init__(self, preference: int, exchange: Name) -> None:
+        if not 0 <= preference <= 0xFFFF:
+            raise ZoneFileError("MX preference out of range")
+        self.preference = preference
+        self.exchange = exchange
+
+    def to_wire(self) -> bytes:
+        return struct.pack(">H", self.preference) + self.exchange.to_wire()
+
+    def canonical_wire(self) -> bytes:
+        return struct.pack(">H", self.preference) + self.exchange.canonical_wire()
+
+    def to_text(self, origin: Name | None = None) -> str:
+        return f"{self.preference} {self.exchange.to_text()}"
+
+    @classmethod
+    def from_wire(cls, buf: bytes, offset: int, rdlength: int) -> "MX":
+        if rdlength < 3:
+            raise WireFormatError("MX rdata too short")
+        (preference,) = struct.unpack_from(">H", buf, offset)
+        exchange, _ = Name.from_wire(buf, offset + 2)
+        return cls(preference, exchange)
+
+    @classmethod
+    def from_text(cls, tokens: Sequence[str], origin: Name | None) -> "MX":
+        _require_tokens(tokens, 2, "MX")
+        return cls(int(tokens[0]), Name.from_text(tokens[1], origin))
+
+
+@register
+class TXT(Rdata):
+    """Text record: one or more character strings."""
+
+    rtype = c.TYPE_TXT
+    __slots__ = ("strings",)
+
+    def __init__(self, strings: Sequence[bytes]) -> None:
+        strings = tuple(strings)
+        if not strings:
+            raise ZoneFileError("TXT needs at least one string")
+        for s in strings:
+            if len(s) > 255:
+                raise ZoneFileError("TXT string exceeds 255 bytes")
+        self.strings = strings
+
+    def to_wire(self) -> bytes:
+        return b"".join(bytes((len(s),)) + s for s in self.strings)
+
+    def to_text(self, origin: Name | None = None) -> str:
+        return " ".join(
+            '"' + s.decode("latin-1").replace("\\", "\\\\").replace('"', '\\"') + '"'
+            for s in self.strings
+        )
+
+    @classmethod
+    def from_wire(cls, buf: bytes, offset: int, rdlength: int) -> "TXT":
+        end = offset + rdlength
+        strings: List[bytes] = []
+        while offset < end:
+            length = buf[offset]
+            offset += 1
+            if offset + length > end:
+                raise WireFormatError("truncated TXT string")
+            strings.append(bytes(buf[offset : offset + length]))
+            offset += length
+        return cls(strings)
+
+    @classmethod
+    def from_text(cls, tokens: Sequence[str], origin: Name | None) -> "TXT":
+        if not tokens:
+            raise ZoneFileError("TXT needs at least one string")
+        strings = []
+        for token in tokens:
+            if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+                token = token[1:-1]
+            strings.append(
+                token.replace('\\"', '"').replace("\\\\", "\\").encode("latin-1")
+            )
+        return cls(strings)
+
+
+@register
+class SOA(Rdata):
+    """Start of authority record."""
+
+    rtype = c.TYPE_SOA
+    __slots__ = ("mname", "rname", "serial", "refresh", "retry", "expire", "minimum")
+
+    def __init__(
+        self,
+        mname: Name,
+        rname: Name,
+        serial: int,
+        refresh: int,
+        retry: int,
+        expire: int,
+        minimum: int,
+    ) -> None:
+        self.mname = mname
+        self.rname = rname
+        for field_name, value in (
+            ("serial", serial),
+            ("refresh", refresh),
+            ("retry", retry),
+            ("expire", expire),
+            ("minimum", minimum),
+        ):
+            if not 0 <= value <= 0xFFFFFFFF:
+                raise ZoneFileError(f"SOA {field_name} out of range")
+        self.serial = serial
+        self.refresh = refresh
+        self.retry = retry
+        self.expire = expire
+        self.minimum = minimum
+
+    def with_serial(self, serial: int) -> "SOA":
+        return SOA(
+            self.mname,
+            self.rname,
+            serial,
+            self.refresh,
+            self.retry,
+            self.expire,
+            self.minimum,
+        )
+
+    def _tail(self) -> bytes:
+        return struct.pack(
+            ">IIIII", self.serial, self.refresh, self.retry, self.expire, self.minimum
+        )
+
+    def to_wire(self) -> bytes:
+        return self.mname.to_wire() + self.rname.to_wire() + self._tail()
+
+    def canonical_wire(self) -> bytes:
+        return self.mname.canonical_wire() + self.rname.canonical_wire() + self._tail()
+
+    def to_text(self, origin: Name | None = None) -> str:
+        return (
+            f"{self.mname.to_text()} {self.rname.to_text()} {self.serial} "
+            f"{self.refresh} {self.retry} {self.expire} {self.minimum}"
+        )
+
+    @classmethod
+    def from_wire(cls, buf: bytes, offset: int, rdlength: int) -> "SOA":
+        mname, offset = Name.from_wire(buf, offset)
+        rname, offset = Name.from_wire(buf, offset)
+        if offset + 20 > len(buf):
+            raise WireFormatError("truncated SOA")
+        serial, refresh, retry, expire, minimum = struct.unpack_from(
+            ">IIIII", buf, offset
+        )
+        return cls(mname, rname, serial, refresh, retry, expire, minimum)
+
+    @classmethod
+    def from_text(cls, tokens: Sequence[str], origin: Name | None) -> "SOA":
+        _require_tokens(tokens, 7, "SOA")
+        return cls(
+            Name.from_text(tokens[0], origin),
+            Name.from_text(tokens[1], origin),
+            *(int(t) for t in tokens[2:]),
+        )
+
+
+@register
+class KEY(Rdata):
+    """RFC 2535 KEY record carrying the zone's public key.
+
+    The public key field uses the RFC 3110 RSA layout: exponent length,
+    exponent, modulus.
+    """
+
+    rtype = c.TYPE_KEY
+    __slots__ = ("flags", "protocol", "algorithm", "public_key")
+
+    # Flags value for a zone key (RFC 2535 §3.1.2: zone-key bit set).
+    ZONE_KEY_FLAGS = 0x0100
+
+    def __init__(
+        self, flags: int, protocol: int, algorithm: int, public_key: bytes
+    ) -> None:
+        self.flags = flags
+        self.protocol = protocol
+        self.algorithm = algorithm
+        self.public_key = public_key
+
+    @classmethod
+    def for_rsa(cls, modulus: int, exponent: int) -> "KEY":
+        """Build a zone KEY record from RSA parameters (RFC 3110 layout)."""
+        exp_bytes = exponent.to_bytes((exponent.bit_length() + 7) // 8, "big")
+        mod_bytes = modulus.to_bytes((modulus.bit_length() + 7) // 8, "big")
+        if len(exp_bytes) <= 255:
+            blob = bytes((len(exp_bytes),)) + exp_bytes + mod_bytes
+        else:
+            blob = b"\x00" + struct.pack(">H", len(exp_bytes)) + exp_bytes + mod_bytes
+        return cls(cls.ZONE_KEY_FLAGS, 3, c.ALG_RSASHA1, blob)
+
+    def rsa_parameters(self) -> Tuple[int, int]:
+        """Extract ``(modulus, exponent)`` from the RFC 3110 key blob."""
+        blob = self.public_key
+        if not blob:
+            raise WireFormatError("empty KEY public key")
+        exp_len = blob[0]
+        offset = 1
+        if exp_len == 0:
+            if len(blob) < 3:
+                raise WireFormatError("truncated KEY exponent length")
+            (exp_len,) = struct.unpack_from(">H", blob, 1)
+            offset = 3
+        if offset + exp_len > len(blob):
+            raise WireFormatError("truncated KEY exponent")
+        exponent = int.from_bytes(blob[offset : offset + exp_len], "big")
+        modulus = int.from_bytes(blob[offset + exp_len :], "big")
+        return modulus, exponent
+
+    def key_tag(self) -> int:
+        """RFC 2535 App. C key tag over the rdata (modern RFC 4034 variant)."""
+        rdata = self.to_wire()
+        acc = 0
+        for i, byte in enumerate(rdata):
+            acc += byte << 8 if i % 2 == 0 else byte
+        acc += (acc >> 16) & 0xFFFF
+        return acc & 0xFFFF
+
+    def to_wire(self) -> bytes:
+        return (
+            struct.pack(">HBB", self.flags, self.protocol, self.algorithm)
+            + self.public_key
+        )
+
+    def to_text(self, origin: Name | None = None) -> str:
+        import base64
+
+        key_b64 = base64.b64encode(self.public_key).decode()
+        return f"{self.flags} {self.protocol} {self.algorithm} {key_b64}"
+
+    @classmethod
+    def from_wire(cls, buf: bytes, offset: int, rdlength: int) -> "KEY":
+        if rdlength < 4:
+            raise WireFormatError("KEY rdata too short")
+        flags, protocol, algorithm = struct.unpack_from(">HBB", buf, offset)
+        public_key = bytes(buf[offset + 4 : offset + rdlength])
+        return cls(flags, protocol, algorithm, public_key)
+
+    @classmethod
+    def from_text(cls, tokens: Sequence[str], origin: Name | None) -> "KEY":
+        import base64
+
+        if len(tokens) < 4:
+            raise ZoneFileError("KEY needs flags protocol algorithm key")
+        return cls(
+            int(tokens[0]),
+            int(tokens[1]),
+            int(tokens[2]),
+            base64.b64decode("".join(tokens[3:])),
+        )
+
+
+@register
+class SIG(Rdata):
+    """RFC 2535 SIG record: a signature over an RRset.
+
+    The signed data is ``rdata-without-signature || canonical RRset``
+    (RFC 2535 §4.1.8); :mod:`repro.dns.dnssec` builds that buffer.
+    """
+
+    rtype = c.TYPE_SIG
+    __slots__ = (
+        "type_covered",
+        "algorithm",
+        "labels",
+        "original_ttl",
+        "expiration",
+        "inception",
+        "key_tag",
+        "signer",
+        "signature",
+    )
+
+    def __init__(
+        self,
+        type_covered: int,
+        algorithm: int,
+        labels: int,
+        original_ttl: int,
+        expiration: int,
+        inception: int,
+        key_tag: int,
+        signer: Name,
+        signature: bytes,
+    ) -> None:
+        self.type_covered = type_covered
+        self.algorithm = algorithm
+        self.labels = labels
+        self.original_ttl = original_ttl
+        self.expiration = expiration
+        self.inception = inception
+        self.key_tag = key_tag
+        self.signer = signer
+        self.signature = signature
+
+    def header_wire(self, canonical: bool = True) -> bytes:
+        """The rdata prefix covered by the signature (everything but sig)."""
+        signer = self.signer.canonical_wire() if canonical else self.signer.to_wire()
+        return (
+            struct.pack(
+                ">HBBIIIH",
+                self.type_covered,
+                self.algorithm,
+                self.labels,
+                self.original_ttl,
+                self.expiration,
+                self.inception,
+                self.key_tag,
+            )
+            + signer
+        )
+
+    def to_wire(self) -> bytes:
+        return self.header_wire(canonical=False) + self.signature
+
+    def canonical_wire(self) -> bytes:
+        return self.header_wire(canonical=True) + self.signature
+
+    def to_text(self, origin: Name | None = None) -> str:
+        import base64
+
+        sig_b64 = base64.b64encode(self.signature).decode()
+        return (
+            f"{c.type_to_text(self.type_covered)} {self.algorithm} {self.labels} "
+            f"{self.original_ttl} {self.expiration} {self.inception} "
+            f"{self.key_tag} {self.signer.to_text()} {sig_b64}"
+        )
+
+    @classmethod
+    def from_wire(cls, buf: bytes, offset: int, rdlength: int) -> "SIG":
+        end = offset + rdlength
+        if rdlength < 18:
+            raise WireFormatError("SIG rdata too short")
+        (
+            type_covered,
+            algorithm,
+            labels,
+            original_ttl,
+            expiration,
+            inception,
+            key_tag,
+        ) = struct.unpack_from(">HBBIIIH", buf, offset)
+        signer, offset = Name.from_wire(buf, offset + 18)
+        if offset > end:
+            raise WireFormatError("SIG signer name overruns rdata")
+        return cls(
+            type_covered,
+            algorithm,
+            labels,
+            original_ttl,
+            expiration,
+            inception,
+            key_tag,
+            signer,
+            bytes(buf[offset:end]),
+        )
+
+    @classmethod
+    def from_text(cls, tokens: Sequence[str], origin: Name | None) -> "SIG":
+        import base64
+
+        if len(tokens) < 9:
+            raise ZoneFileError("SIG needs 9 fields")
+        return cls(
+            c.type_from_text(tokens[0]),
+            int(tokens[1]),
+            int(tokens[2]),
+            int(tokens[3]),
+            int(tokens[4]),
+            int(tokens[5]),
+            int(tokens[6]),
+            Name.from_text(tokens[7], origin),
+            base64.b64decode("".join(tokens[8:])),
+        )
+
+
+@register
+class NXT(Rdata):
+    """RFC 2535 NXT record: authenticated denial of existence.
+
+    Points to the next owner name in the zone's canonical ordering and
+    carries a bitmap of the types present at this owner.  Dynamic updates
+    that create or delete owner names must maintain the NXT chain and
+    re-sign the affected NXT records — this is why an add signs four SIG
+    records and a delete two (§5.2 of the paper).
+
+    The RFC 2535 bitmap covers types 0..127; type NXT itself (30) fits.
+    """
+
+    rtype = c.TYPE_NXT
+    __slots__ = ("next_name", "types")
+
+    def __init__(self, next_name: Name, types: Sequence[int]) -> None:
+        self.next_name = next_name
+        cleaned = sorted({t for t in types})
+        for t in cleaned:
+            if not 0 < t <= 127:
+                raise ZoneFileError(f"NXT bitmap cannot encode type {t}")
+        self.types = tuple(cleaned)
+
+    def _bitmap(self) -> bytes:
+        if not self.types:
+            return b""
+        length = (max(self.types) // 8) + 1
+        bitmap = bytearray(length)
+        for t in self.types:
+            bitmap[t // 8] |= 0x80 >> (t % 8)
+        return bytes(bitmap)
+
+    def to_wire(self) -> bytes:
+        return self.next_name.to_wire() + self._bitmap()
+
+    def canonical_wire(self) -> bytes:
+        return self.next_name.canonical_wire() + self._bitmap()
+
+    def to_text(self, origin: Name | None = None) -> str:
+        type_names = " ".join(c.type_to_text(t) for t in self.types)
+        return f"{self.next_name.to_text()} {type_names}".rstrip()
+
+    @classmethod
+    def from_wire(cls, buf: bytes, offset: int, rdlength: int) -> "NXT":
+        end = offset + rdlength
+        next_name, offset = Name.from_wire(buf, offset)
+        if offset > end:
+            raise WireFormatError("NXT name overruns rdata")
+        types = []
+        for i, byte in enumerate(buf[offset:end]):
+            for bit in range(8):
+                if byte & (0x80 >> bit):
+                    types.append(i * 8 + bit)
+        return cls(next_name, types)
+
+    @classmethod
+    def from_text(cls, tokens: Sequence[str], origin: Name | None) -> "NXT":
+        if not tokens:
+            raise ZoneFileError("NXT needs a next-name")
+        next_name = Name.from_text(tokens[0], origin)
+        types = [c.type_from_text(t) for t in tokens[1:]]
+        return cls(next_name, types)
+
+
+class GenericRdata(Rdata):
+    """Opaque rdata for types without a dedicated class (RFC 3597 spirit)."""
+
+    __slots__ = ("rtype_value", "data")
+
+    def __init__(self, rtype: int, data: bytes) -> None:
+        self.rtype_value = rtype
+        self.data = data
+
+    @property
+    def rtype(self) -> int:  # type: ignore[override]
+        return self.rtype_value
+
+    def to_wire(self) -> bytes:
+        return self.data
+
+    def to_text(self, origin: Name | None = None) -> str:
+        return f"\\# {len(self.data)} {self.data.hex()}"
+
+    @classmethod
+    def from_wire(cls, buf: bytes, offset: int, rdlength: int) -> "GenericRdata":
+        raise NotImplementedError("use decode_rdata")
+
+    @classmethod
+    def from_text(cls, tokens: Sequence[str], origin: Name | None) -> "GenericRdata":
+        raise NotImplementedError("use rdata_from_text")
+
+
+def decode_rdata(rtype: int, buf: bytes, offset: int, rdlength: int) -> Rdata:
+    """Decode rdata of ``rtype`` from a message buffer."""
+    if offset + rdlength > len(buf):
+        raise WireFormatError("rdata overruns message")
+    cls = _REGISTRY.get(rtype)
+    if cls is None:
+        return GenericRdata(rtype, bytes(buf[offset : offset + rdlength]))
+    return cls.from_wire(buf, offset, rdlength)
+
+
+def rdata_from_text(
+    rtype: int, tokens: Sequence[str], origin: Name | None = None
+) -> Rdata:
+    """Parse rdata of ``rtype`` from master-file tokens."""
+    if tokens and tokens[0] == "\\#":
+        if len(tokens) < 2:
+            raise ZoneFileError("generic rdata needs a length")
+        data = bytes.fromhex("".join(tokens[2:]))
+        if len(data) != int(tokens[1]):
+            raise ZoneFileError("generic rdata length mismatch")
+        return GenericRdata(rtype, data)
+    cls = _REGISTRY.get(rtype)
+    if cls is None:
+        raise ZoneFileError(
+            f"no text parser for type {c.type_to_text(rtype)}; use \\# form"
+        )
+    return cls.from_text(tokens, origin)

@@ -1,0 +1,190 @@
+"""An iterative (stub) resolver over authoritative servers.
+
+The paper's introduction describes how a client's nearby name server
+"retrieves the data in a series of queries to authoritative servers along
+the path from the root node to the target name."  This module implements
+that machinery over in-memory authoritative servers: starting from the
+root zone, it follows delegation referrals downward, chases CNAMEs, and
+optionally verifies zone signatures of the answering zone — which is what
+lets a resolver detect a forged answer from a replicated zone's corrupted
+replica (the end-to-end property DNSSEC zone signing buys, §2).
+
+The resolver is deliberately transport-agnostic: it queries through a
+``lookup`` callable mapping a zone origin to an
+:class:`~repro.dns.server.AuthoritativeServer`-compatible object, so it
+works over plain in-memory zones, over the simulated replicated service,
+or in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dns import constants as c
+from repro.dns import dnssec
+from repro.dns.message import Message, make_query, rrs_to_rrsets
+from repro.dns.name import Name, root_name
+from repro.dns.rdata import KEY, SIG
+from repro.dns.server import AuthoritativeServer
+from repro.dns.zone import Zone
+from repro.errors import DnsError, DnssecError
+
+
+class ResolutionError(DnsError):
+    """Resolution failed (no servers, referral loop, depth exceeded)."""
+
+
+@dataclass
+class ResolutionResult:
+    """Outcome of one iterative resolution."""
+
+    rcode: int
+    answers: List = field(default_factory=list)     # RR list
+    zone_origin: Optional[Name] = None              # answering zone
+    referrals_followed: int = 0
+    cnames_followed: int = 0
+    verified: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.rcode == c.RCODE_NOERROR and bool(self.answers)
+
+
+QueryFn = Callable[[Name, Message], Message]
+
+
+class IterativeResolver:
+    """Walks the delegation tree from the root to the target name."""
+
+    MAX_REFERRALS = 16
+    MAX_CNAMES = 8
+
+    def __init__(
+        self,
+        query: QueryFn,
+        root: Name | None = None,
+        trusted_keys: Optional[Dict[Name, KEY]] = None,
+    ) -> None:
+        """``query(zone_origin, message)`` sends a query to the zone's
+        authoritative service and returns the response.  ``trusted_keys``
+        maps zone origins to their trusted zone keys (statically
+        configured, as the paper assumes clients know pk_zone)."""
+        self._query = query
+        self._root = root if root is not None else root_name()
+        self._trusted_keys = dict(trusted_keys or {})
+
+    def resolve(self, name: Name, rtype: int) -> ResolutionResult:
+        result = ResolutionResult(rcode=c.RCODE_SERVFAIL)
+        current_zone = self._root
+        target = name
+        for _ in range(self.MAX_REFERRALS):
+            response = self._query(current_zone, make_query(target, rtype))
+            if response.rcode not in (c.RCODE_NOERROR,) and not response.answers:
+                result.rcode = response.rcode
+                result.zone_origin = current_zone
+                return result
+
+            if response.answers:
+                return self._finish(result, response, current_zone, target, rtype)
+
+            referral = self._referral_target(response)
+            if referral is None:
+                # NODATA.
+                result.rcode = response.rcode
+                result.zone_origin = current_zone
+                return result
+            if not referral.is_subdomain_of(current_zone) or referral == current_zone:
+                raise ResolutionError(
+                    f"bogus referral from {current_zone.to_text()} to "
+                    f"{referral.to_text()}"
+                )
+            current_zone = referral
+            result.referrals_followed += 1
+        raise ResolutionError(f"referral limit exceeded resolving {name.to_text()}")
+
+    # -- helpers ------------------------------------------------------------
+
+    def _referral_target(self, response: Message) -> Optional[Name]:
+        for rr in response.authority:
+            if rr.rtype == c.TYPE_NS:
+                return rr.name
+        return None
+
+    def _finish(
+        self,
+        result: ResolutionResult,
+        response: Message,
+        zone_origin: Name,
+        target: Name,
+        rtype: int,
+    ) -> ResolutionResult:
+        result.rcode = response.rcode
+        result.zone_origin = zone_origin
+        result.answers.extend(
+            rr for rr in response.answers if rr.rtype != c.TYPE_SIG
+        )
+        result.verified = self._verify(response, zone_origin)
+
+        # Chase a CNAME whose target we have not answered yet.
+        final_types = {rr.rtype for rr in result.answers}
+        if (
+            rtype != c.TYPE_CNAME
+            and rtype not in final_types
+            and c.TYPE_CNAME in final_types
+        ):
+            cname = next(
+                rr for rr in result.answers if rr.rtype == c.TYPE_CNAME
+            )
+            if result.cnames_followed >= self.MAX_CNAMES:
+                raise ResolutionError("CNAME chain too long")
+            chased = self.resolve(cname.rdata.target, rtype)  # type: ignore[union-attr]
+            result.answers.extend(chased.answers)
+            result.cnames_followed += 1 + chased.cnames_followed
+            result.referrals_followed += chased.referrals_followed
+            result.verified = result.verified and chased.verified
+            result.rcode = chased.rcode
+        return result
+
+    def _verify(self, response: Message, zone_origin: Name) -> bool:
+        """Verify SIGs over the answer RRsets with the zone's trusted key."""
+        key = self._trusted_keys.get(zone_origin)
+        if key is None:
+            return False
+        rrsets = rrs_to_rrsets(response.answers)
+        data_sets = [r for r in rrsets if r.rtype != c.TYPE_SIG]
+        sigs = {
+            (rrset.name, rdata.type_covered): rdata
+            for rrset in rrsets
+            if rrset.rtype == c.TYPE_SIG
+            for rdata in rrset
+            if isinstance(rdata, SIG)
+        }
+        if not data_sets:
+            return False
+        for rrset in data_sets:
+            sig = sigs.get((rrset.name, rrset.rtype))
+            if sig is None:
+                return False
+            try:
+                dnssec.verify_rrset(rrset, sig, key)
+            except DnssecError:
+                return False
+        return True
+
+
+def build_in_memory_tree(zones: List[Zone]) -> QueryFn:
+    """A ``query`` function over a set of in-memory zones.
+
+    Each zone is served by a plain :class:`AuthoritativeServer`; the
+    resolver's referrals select which zone a query goes to.
+    """
+    servers = {zone.origin: AuthoritativeServer(zone) for zone in zones}
+
+    def query(zone_origin: Name, message: Message) -> Message:
+        server = servers.get(zone_origin)
+        if server is None:
+            raise ResolutionError(f"no server for zone {zone_origin.to_text()}")
+        return server.handle_query(message)
+
+    return query

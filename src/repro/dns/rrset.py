@@ -1,0 +1,139 @@
+"""RRsets: all records sharing (name, type, class).
+
+The RRset is the unit of DNSSEC signing — a SIG record covers an entire
+RRset (the paper's footnote 1 notes this).  RRsets are value objects;
+zone mutation goes through :class:`repro.dns.zone.Zone`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.dns import constants as c
+from repro.dns.name import Name
+from repro.dns.rdata import Rdata
+from repro.errors import ZoneError
+
+
+class RRset:
+    """An immutable set of records with common name, type, and class."""
+
+    __slots__ = ("name", "rtype", "rclass", "ttl", "_rdatas")
+
+    def __init__(
+        self,
+        name: Name,
+        rtype: int,
+        ttl: int,
+        rdatas: Iterable[Rdata],
+        rclass: int = c.CLASS_IN,
+    ) -> None:
+        rdatas = tuple(dict.fromkeys(rdatas))  # dedupe, keep insertion order
+        if not rdatas:
+            raise ZoneError("RRset needs at least one record")
+        for rdata in rdatas:
+            if rdata.rtype != rtype:
+                raise ZoneError(
+                    f"rdata type {c.type_to_text(rdata.rtype)} does not match "
+                    f"RRset type {c.type_to_text(rtype)}"
+                )
+        if not 0 <= ttl <= 0x7FFFFFFF:
+            raise ZoneError(f"TTL {ttl} out of range")
+        self.name = name
+        self.rtype = rtype
+        self.rclass = rclass
+        self.ttl = ttl
+        self._rdatas = rdatas
+
+    @property
+    def rdatas(self) -> Tuple[Rdata, ...]:
+        return self._rdatas
+
+    def __iter__(self) -> Iterator[Rdata]:
+        return iter(self._rdatas)
+
+    def __len__(self) -> int:
+        return len(self._rdatas)
+
+    def __contains__(self, rdata: Rdata) -> bool:
+        return rdata in self._rdatas
+
+    # -- derivation ----------------------------------------------------------
+
+    def with_added(self, rdata: Rdata, ttl: int | None = None) -> "RRset":
+        return RRset(
+            self.name,
+            self.rtype,
+            ttl if ttl is not None else self.ttl,
+            self._rdatas + (rdata,),
+            self.rclass,
+        )
+
+    def with_removed(self, rdata: Rdata) -> "RRset | None":
+        remaining = tuple(r for r in self._rdatas if r != rdata)
+        if not remaining:
+            return None
+        return RRset(self.name, self.rtype, self.ttl, remaining, self.rclass)
+
+    def sorted_canonically(self) -> "RRset":
+        """Rdatas in RFC 4034 §6.3 order (by canonical wire form)."""
+        return RRset(
+            self.name,
+            self.rtype,
+            self.ttl,
+            sorted(self._rdatas, key=lambda r: r.canonical_wire()),
+            self.rclass,
+        )
+
+    # -- canonical form for signing (RFC 2535 §8.1 / RFC 4034 §6) --------------
+
+    def canonical_wire(self) -> bytes:
+        """Concatenated canonical RRs, sorted by rdata — the signing input."""
+        owner = self.name.canonical_wire()
+        out = bytearray()
+        for rdata in sorted(self._rdatas, key=lambda r: r.canonical_wire()):
+            rdata_wire = rdata.canonical_wire()
+            out.extend(owner)
+            out.extend(
+                struct.pack(
+                    ">HHIH", self.rtype, self.rclass, self.ttl, len(rdata_wire)
+                )
+            )
+            out.extend(rdata_wire)
+        return bytes(out)
+
+    # -- text -------------------------------------------------------------------
+
+    def to_text(self, origin: Name | None = None) -> str:
+        lines: List[str] = []
+        owner = self.name.relativize_text(origin) if origin else self.name.to_text()
+        for rdata in self._rdatas:
+            lines.append(
+                f"{owner} {self.ttl} {c.class_to_text(self.rclass)} "
+                f"{c.type_to_text(self.rtype)} {rdata.to_text(origin)}"
+            )
+        return "\n".join(lines)
+
+    # -- equality -----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RRset):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.rtype == other.rtype
+            and self.rclass == other.rclass
+            and self.ttl == other.ttl
+            and frozenset(self._rdatas) == frozenset(other._rdatas)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.rtype, self.rclass, self.ttl, frozenset(self._rdatas)))
+
+    def __repr__(self) -> str:
+        return (
+            f"<RRset {self.name.to_text()} {self.ttl} "
+            f"{c.class_to_text(self.rclass)} {c.type_to_text(self.rtype)} "
+            f"({len(self._rdatas)} records)>"
+        )

@@ -1,0 +1,161 @@
+"""Authoritative query processing — the query half of our `named`.
+
+Implements the RFC 1034 §4.3.2 algorithm for an authoritative-only server:
+exact matches, ANY queries, CNAME chasing within the zone, delegation
+referrals, NXDOMAIN/NODATA with the SOA in the authority section, and —
+when the zone is signed — inclusion of the covering SIG records so DNSSEC
+clients can validate responses (the paper's G1' hinges on those
+signatures).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dns import constants as c
+from repro.dns.message import Message, RR, make_response, rrset_to_rrs
+from repro.dns.name import Name
+from repro.dns.rrset import RRset
+from repro.dns.zone import Zone
+
+
+class AuthoritativeServer:
+    """Deterministic query engine over a single zone.
+
+    This object is the per-replica "named"; the replicated state machine
+    executes queries and updates against it.  Determinism matters: every
+    honest replica must produce byte-identical responses (§3.3).
+    """
+
+    def __init__(self, zone: Zone, include_sigs: bool = True) -> None:
+        self.zone = zone
+        self.include_sigs = include_sigs
+
+    # -- public API ---------------------------------------------------------
+
+    def handle_query(self, query: Message) -> Message:
+        """Process one standard query and return the response."""
+        if query.opcode != c.OPCODE_QUERY:
+            return make_response(query, c.RCODE_NOTIMP)
+        if len(query.questions) != 1:
+            return make_response(query, c.RCODE_FORMERR)
+        question = query.questions[0]
+        if question.rclass not in (c.CLASS_IN, c.CLASS_ANY):
+            return make_response(query, c.RCODE_REFUSED)
+        if not self.zone.is_in_zone(question.name):
+            response = make_response(query, c.RCODE_REFUSED)
+            return response
+
+        response = make_response(query)
+        response.set_flag(c.FLAG_AA)
+
+        delegation = self.zone.closest_delegation(question.name)
+        if delegation is not None and not (
+            delegation == question.name and question.rtype == c.TYPE_NS
+        ):
+            self._add_referral(response, delegation)
+            return response
+
+        self._answer_question(response, question.name, question.rtype)
+        return response
+
+    # -- internals ------------------------------------------------------------
+
+    def _answer_question(
+        self, response: Message, qname: Name, qtype: int, cname_depth: int = 0
+    ) -> None:
+        node_rrsets = self.zone.rrsets_at(qname)
+        if not node_rrsets:
+            self._nxdomain_or_nodata(response, nxdomain=True)
+            return
+
+        if qtype == c.TYPE_ANY:
+            for rrset in node_rrsets:
+                self._add_answer(response, rrset)
+            return
+
+        match = self.zone.find_rrset(qname, qtype)
+        if match is not None:
+            self._add_answer(response, match)
+            self._add_useful_additionals(response, match)
+            return
+
+        cname = self.zone.find_rrset(qname, c.TYPE_CNAME)
+        if cname is not None and qtype != c.TYPE_CNAME:
+            self._add_answer(response, cname)
+            target: Name = cname.rdatas[0].target  # type: ignore[attr-defined]
+            if self.zone.is_in_zone(target) and cname_depth < 8:
+                self._answer_question(response, target, qtype, cname_depth + 1)
+            return
+
+        # Name exists, type doesn't: NODATA.
+        self._nxdomain_or_nodata(response, nxdomain=False)
+
+    def _add_answer(self, response: Message, rrset: RRset) -> None:
+        response.answers.extend(rrset_to_rrs(rrset))
+        if self.include_sigs:
+            sig = self._covering_sig(rrset)
+            if sig is not None:
+                response.answers.extend(rrset_to_rrs(sig))
+
+    def _covering_sig(self, rrset: RRset) -> Optional[RRset]:
+        """The SIG RRset covering ``rrset``'s type, if the zone is signed."""
+        sigs = self.zone.find_rrset(rrset.name, c.TYPE_SIG)
+        if sigs is None:
+            return None
+        covering = [
+            rdata
+            for rdata in sigs
+            if rdata.type_covered == rrset.rtype  # type: ignore[attr-defined]
+        ]
+        if not covering:
+            return None
+        return RRset(rrset.name, c.TYPE_SIG, sigs.ttl, covering)
+
+    def _add_useful_additionals(self, response: Message, rrset: RRset) -> None:
+        """Glue-style additional data for NS/MX targets inside the zone."""
+        targets: List[Name] = []
+        for rdata in rrset:
+            if rrset.rtype == c.TYPE_NS:
+                targets.append(rdata.target)  # type: ignore[attr-defined]
+            elif rrset.rtype == c.TYPE_MX:
+                targets.append(rdata.exchange)  # type: ignore[attr-defined]
+        seen = {
+            (rr.name, rr.rtype) for rr in response.answers + response.additional
+        }
+        for target in targets:
+            if not self.zone.is_in_zone(target):
+                continue
+            for rtype in (c.TYPE_A, c.TYPE_AAAA):
+                address = self.zone.find_rrset(target, rtype)
+                if address is not None and (target, rtype) not in seen:
+                    response.additional.extend(rrset_to_rrs(address))
+                    seen.add((target, rtype))
+
+    def _add_referral(self, response: Message, delegation: Name) -> None:
+        """Answer with a referral to the delegated zone (no AA flag)."""
+        response.set_flag(c.FLAG_AA, False)
+        ns_rrset = self.zone.find_rrset(delegation, c.TYPE_NS)
+        if ns_rrset is None:
+            response.rcode = c.RCODE_SERVFAIL
+            return
+        response.authority.extend(rrset_to_rrs(ns_rrset))
+        for rdata in ns_rrset:
+            target: Name = rdata.target  # type: ignore[attr-defined]
+            if not self.zone.is_in_zone(target):
+                continue
+            for rtype in (c.TYPE_A, c.TYPE_AAAA):
+                glue = self.zone.find_rrset(target, rtype)
+                if glue is not None:
+                    response.additional.extend(rrset_to_rrs(glue))
+
+    def _nxdomain_or_nodata(self, response: Message, nxdomain: bool) -> None:
+        if nxdomain:
+            response.rcode = c.RCODE_NXDOMAIN
+        soa = self.zone.find_rrset(self.zone.origin, c.TYPE_SOA)
+        if soa is not None:
+            response.authority.extend(rrset_to_rrs(soa))
+            if self.include_sigs:
+                sig = self._covering_sig(soa)
+                if sig is not None:
+                    response.authority.extend(rrset_to_rrs(sig))

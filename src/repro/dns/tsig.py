@@ -1,0 +1,256 @@
+"""Transaction signatures (TSIG, RFC 2845): per-message authentication.
+
+The paper's design requires write requests to be "authorized by a
+transaction signature of the client" (§3.3) and assumes client–server
+links are authenticated.  This module implements HMAC-based TSIG: a
+shared-secret keyring, request signing, and server-side verification.
+
+A TSIG record travels as the last record of the additional section.  The
+MAC covers the message (with the TSIG removed and the original message id
+restored) plus the TSIG variables, as in RFC 2845 §3.4.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.dns import constants as c
+from repro.dns.message import Message, RR
+from repro.dns.name import Name
+from repro.errors import TsigError
+
+# Algorithm name used in the TSIG record (we implement HMAC-SHA1;
+# SHA-1 matches the paper's hash everywhere else).
+HMAC_SHA1 = Name.from_text("hmac-sha1.sig-alg.reg.int.")
+
+_FUDGE_DEFAULT = 300
+
+
+@dataclass(frozen=True)
+class TsigKey:
+    """A named shared secret."""
+
+    name: Name
+    secret: bytes
+
+    def mac(self, data: bytes) -> bytes:
+        return hmac.new(self.secret, data, hashlib.sha1).digest()
+
+
+class TsigKeyring:
+    """Mapping from key names to shared secrets."""
+
+    def __init__(self) -> None:
+        self._keys: Dict[Name, TsigKey] = {}
+
+    def add(self, key: TsigKey) -> None:
+        self._keys[key.name] = key
+
+    def get(self, name: Name) -> Optional[TsigKey]:
+        return self._keys.get(name)
+
+    def __contains__(self, name: Name) -> bool:
+        return name in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+def _tsig_variables(
+    key_name: Name,
+    algorithm: Name,
+    time_signed: int,
+    fudge: int,
+    error: int,
+    other: bytes,
+) -> bytes:
+    """The TSIG variable block covered by the MAC (RFC 2845 §3.4.2)."""
+    return (
+        key_name.canonical_wire()
+        + struct.pack(">HI", c.CLASS_ANY, 0)
+        + algorithm.canonical_wire()
+        + struct.pack(">HIH", (time_signed >> 32) & 0xFFFF, time_signed & 0xFFFFFFFF, fudge)
+        + struct.pack(">HH", error, len(other))
+        + other
+    )
+
+
+def _tsig_rdata_wire(
+    algorithm: Name,
+    time_signed: int,
+    fudge: int,
+    mac: bytes,
+    original_id: int,
+    error: int,
+    other: bytes,
+) -> bytes:
+    return (
+        algorithm.to_wire()
+        + struct.pack(
+            ">HIH", (time_signed >> 32) & 0xFFFF, time_signed & 0xFFFFFFFF, fudge
+        )
+        + struct.pack(">H", len(mac))
+        + mac
+        + struct.pack(">HHH", original_id, error, len(other))
+        + other
+    )
+
+
+@dataclass(frozen=True)
+class TsigData:
+    """Parsed TSIG record contents."""
+
+    key_name: Name
+    algorithm: Name
+    time_signed: int
+    fudge: int
+    mac: bytes
+    original_id: int
+    error: int
+    other: bytes
+
+
+def _parse_tsig_rdata(key_name: Name, wire: bytes) -> TsigData:
+    algorithm, offset = Name.from_wire(wire, 0)
+    if offset + 10 > len(wire):
+        raise TsigError("truncated TSIG rdata")
+    high, low, fudge = struct.unpack_from(">HIH", wire, offset)
+    offset += 8
+    (mac_len,) = struct.unpack_from(">H", wire, offset)
+    offset += 2
+    if offset + mac_len + 6 > len(wire):
+        raise TsigError("truncated TSIG MAC")
+    mac = wire[offset : offset + mac_len]
+    offset += mac_len
+    original_id, error, other_len = struct.unpack_from(">HHH", wire, offset)
+    offset += 6
+    other = wire[offset : offset + other_len]
+    return TsigData(
+        key_name=key_name,
+        algorithm=algorithm,
+        time_signed=(high << 32) | low,
+        fudge=fudge,
+        mac=mac,
+        original_id=original_id,
+        error=error,
+        other=other,
+    )
+
+
+def sign_message(
+    message: Message,
+    key: TsigKey,
+    time_signed: int,
+    fudge: int = _FUDGE_DEFAULT,
+    request_mac: bytes = b"",
+) -> bytes:
+    """Serialize ``message`` and append a TSIG record; returns the wire form.
+
+    ``request_mac`` is the MAC of the request when signing a response
+    (RFC 2845 §3.4.1 chains response MACs to the request).
+    """
+    base_wire = message.to_wire()
+    to_mac = b""
+    if request_mac:
+        to_mac += struct.pack(">H", len(request_mac)) + request_mac
+    to_mac += base_wire
+    to_mac += _tsig_variables(key.name, HMAC_SHA1, time_signed, fudge, 0, b"")
+    mac = key.mac(to_mac)
+    rdata_wire = _tsig_rdata_wire(
+        HMAC_SHA1, time_signed, fudge, mac, message.msg_id, 0, b""
+    )
+    # Append the TSIG RR by hand: additional-section count += 1.
+    out = bytearray(base_wire)
+    arcount = struct.unpack_from(">H", out, 10)[0]
+    struct.pack_into(">H", out, 10, arcount + 1)
+    out += key.name.to_wire()
+    out += struct.pack(">HHI", c.TYPE_TSIG, c.CLASS_ANY, 0)
+    out += struct.pack(">H", len(rdata_wire))
+    out += rdata_wire
+    return bytes(out)
+
+
+def split_tsig(wire: bytes) -> Tuple[bytes, Optional[TsigData]]:
+    """Separate a message's base wire form from a trailing TSIG record.
+
+    Returns ``(base_wire, tsig)`` where ``base_wire`` has the additional
+    count decremented and ``tsig`` is ``None`` if the message is unsigned.
+    """
+    message = Message.from_wire(wire)
+    # Cheap check first: look for a TSIG among the decoded additionals.
+    # (Our decoder represents TSIG rdata as GenericRdata bytes.)
+    if not message.additional or message.additional[-1].rtype != c.TYPE_TSIG:
+        return wire, None
+    # Re-scan the wire to find where the last record begins.
+    offset = _skip_to_last_record(wire)
+    tsig_name, cursor = Name.from_wire(wire, offset)
+    rtype, rclass, ttl = struct.unpack_from(">HHI", wire, cursor)
+    cursor += 8
+    (rdlength,) = struct.unpack_from(">H", wire, cursor)
+    cursor += 2
+    if rtype != c.TYPE_TSIG:
+        return wire, None
+    tsig = _parse_tsig_rdata(tsig_name, wire[cursor : cursor + rdlength])
+    base = bytearray(wire[:offset])
+    arcount = struct.unpack_from(">H", base, 10)[0]
+    struct.pack_into(">H", base, 10, arcount - 1)
+    # Restore the original message id (RFC 2845 §3.4.1).
+    struct.pack_into(">H", base, 0, tsig.original_id)
+    return bytes(base), tsig
+
+
+def _skip_to_last_record(wire: bytes) -> int:
+    """Offset of the final record in the message (the TSIG candidate)."""
+    qdcount, ancount, nscount, arcount = struct.unpack_from(">HHHH", wire, 4)
+    offset = 12
+    for _ in range(qdcount):
+        _, offset = Name.from_wire(wire, offset)
+        offset += 4
+    total_rrs = ancount + nscount + arcount
+    last_start = offset
+    for _ in range(total_rrs):
+        last_start = offset
+        _, offset = Name.from_wire(wire, offset)
+        offset += 8
+        (rdlength,) = struct.unpack_from(">H", wire, offset)
+        offset += 2 + rdlength
+    return last_start
+
+
+def verify_message(
+    wire: bytes,
+    keyring: TsigKeyring,
+    now: Optional[int] = None,
+    request_mac: bytes = b"",
+) -> Tuple[Message, TsigData]:
+    """Verify a signed message; returns ``(message, tsig)`` or raises.
+
+    ``now`` enables the freshness window check (time_signed ± fudge);
+    pass ``None`` to skip it (the deterministic simulator supplies its
+    own notion of time).
+    """
+    base_wire, tsig = split_tsig(wire)
+    if tsig is None:
+        raise TsigError("message carries no TSIG record")
+    key = keyring.get(tsig.key_name)
+    if key is None:
+        raise TsigError(f"unknown TSIG key {tsig.key_name.to_text()}")
+    if tsig.algorithm != HMAC_SHA1:
+        raise TsigError(f"unsupported TSIG algorithm {tsig.algorithm.to_text()}")
+    to_mac = b""
+    if request_mac:
+        to_mac += struct.pack(">H", len(request_mac)) + request_mac
+    to_mac += base_wire
+    to_mac += _tsig_variables(
+        tsig.key_name, tsig.algorithm, tsig.time_signed, tsig.fudge, tsig.error, tsig.other
+    )
+    expected = key.mac(to_mac)
+    if not hmac.compare_digest(expected, tsig.mac):
+        raise TsigError("TSIG MAC mismatch")
+    if now is not None and abs(now - tsig.time_signed) > tsig.fudge:
+        raise TsigError("TSIG time outside fudge window")
+    return Message.from_wire(base_wire), tsig

@@ -1,0 +1,252 @@
+"""RFC 2136 dynamic update processing — the update half of our `named`.
+
+Applies an UPDATE message to a zone: zone-section screening, all four
+prerequisite forms, and the add / delete-RRset / delete-RR /
+delete-all-at-name update semantics, with the apex SOA/NS protections the
+RFC mandates.  Returns which owner names changed so the DNSSEC layer knows
+what to re-sign (and which NXT-chain entries to fix up).
+
+In the replicated service every replica executes the same update at the
+same point in the atomic-broadcast sequence, so this module must be
+completely deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.dns import constants as c
+from repro.dns.message import Message, RR, make_response
+from repro.dns.name import Name
+from repro.dns.zone import Zone
+from repro.errors import UpdateError, ZoneError
+
+# Meta / DNSSEC-managed types that clients may not update directly.
+_PROTECTED_TYPES = (c.TYPE_SIG, c.TYPE_NXT, c.TYPE_TSIG)
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of applying one UPDATE message."""
+
+    rcode: int
+    changed_names: Set[Name] = field(default_factory=set)
+    added_names: Set[Name] = field(default_factory=set)
+    deleted_names: Set[Name] = field(default_factory=set)
+    serial_bumped: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.rcode == c.RCODE_NOERROR
+
+    @property
+    def data_changed(self) -> bool:
+        return bool(self.changed_names or self.added_names or self.deleted_names)
+
+
+class UpdateProcessor:
+    """Applies UPDATE messages to a zone (RFC 2136 §3)."""
+
+    def __init__(self, zone: Zone) -> None:
+        self.zone = zone
+
+    # -- public API ----------------------------------------------------------
+
+    def apply(self, update: Message) -> UpdateResult:
+        """Screen, check prerequisites, and apply the update sections.
+
+        On failure the zone is untouched (mutations are applied to a copy
+        and swapped in only on success).
+        """
+        try:
+            self._screen(update)
+            self._check_prerequisites(update)
+        except UpdateError as exc:
+            return UpdateResult(rcode=exc.rcode)
+
+        working = self.zone.copy()
+        names_before = set(working.names())
+        changed: Set[Name] = set()
+        try:
+            for rr in update.updates:
+                self._apply_one(working, rr, changed)
+        except UpdateError as exc:
+            return UpdateResult(rcode=exc.rcode)
+
+        names_after = set(working.names())
+        added = {n for n in names_after - names_before}
+        deleted = {n for n in names_before - names_after}
+        changed -= added | deleted
+
+        result = UpdateResult(
+            rcode=c.RCODE_NOERROR,
+            changed_names=changed,
+            added_names=added,
+            deleted_names=deleted,
+        )
+        if result.data_changed:
+            working.bump_serial()
+            result.serial_bumped = True
+        # Swap the mutated copy into place.
+        self.zone._nodes = working._nodes  # noqa: SLF001 — same-module ownership
+        return result
+
+    def respond(self, update: Message) -> tuple[Message, UpdateResult]:
+        """Apply and build the UPDATE response message."""
+        result = self.apply(update)
+        response = make_response(update, result.rcode)
+        return response, result
+
+    # -- screening (RFC 2136 §3.1) ----------------------------------------------
+
+    def _screen(self, update: Message) -> None:
+        if update.opcode != c.OPCODE_UPDATE:
+            raise UpdateError(c.RCODE_FORMERR, "not an UPDATE message")
+        if len(update.zone) != 1:
+            raise UpdateError(c.RCODE_FORMERR, "zone section must have one entry")
+        zone_entry = update.zone[0]
+        if zone_entry.rtype != c.TYPE_SOA:
+            raise UpdateError(c.RCODE_FORMERR, "zone section type must be SOA")
+        if zone_entry.name != self.zone.origin:
+            raise UpdateError(
+                c.RCODE_NOTAUTH,
+                f"not authoritative for {zone_entry.name.to_text()}",
+            )
+
+    # -- prerequisites (RFC 2136 §3.2) ---------------------------------------------
+
+    def _check_prerequisites(self, update: Message) -> None:
+        # Value-dependent prerequisites accumulate into temporary RRsets
+        # compared as complete sets (§3.2.3).
+        value_dependent: dict[tuple[Name, int], List[RR]] = {}
+        for rr in update.prerequisites:
+            if rr.ttl != 0:
+                raise UpdateError(c.RCODE_FORMERR, "prerequisite TTL must be 0")
+            if not self.zone.is_in_zone(rr.name):
+                raise UpdateError(c.RCODE_NOTZONE, "prerequisite out of zone")
+            if rr.rclass == c.CLASS_ANY:
+                if rr.rdata is not None:
+                    raise UpdateError(c.RCODE_FORMERR, "ANY prereq with rdata")
+                if rr.rtype == c.TYPE_ANY:
+                    if not self.zone.contains_name(rr.name):
+                        raise UpdateError(c.RCODE_NXDOMAIN, "name not in use")
+                elif self.zone.find_rrset(rr.name, rr.rtype) is None:
+                    raise UpdateError(c.RCODE_NXRRSET, "RRset does not exist")
+            elif rr.rclass == c.CLASS_NONE:
+                if rr.rdata is not None:
+                    raise UpdateError(c.RCODE_FORMERR, "NONE prereq with rdata")
+                if rr.rtype == c.TYPE_ANY:
+                    if self.zone.contains_name(rr.name):
+                        raise UpdateError(c.RCODE_YXDOMAIN, "name is in use")
+                elif self.zone.find_rrset(rr.name, rr.rtype) is not None:
+                    raise UpdateError(c.RCODE_YXRRSET, "RRset exists")
+            elif rr.rclass == c.CLASS_IN:
+                if rr.rdata is None:
+                    raise UpdateError(c.RCODE_FORMERR, "IN prereq without rdata")
+                value_dependent.setdefault((rr.name, rr.rtype), []).append(rr)
+            else:
+                raise UpdateError(c.RCODE_FORMERR, "bad prerequisite class")
+
+        for (name, rtype), rrs in value_dependent.items():
+            existing = self.zone.find_rrset(name, rtype)
+            if existing is None:
+                raise UpdateError(c.RCODE_NXRRSET, "RRset does not exist")
+            wanted = {rr.rdata for rr in rrs}
+            if wanted != set(existing.rdatas):
+                raise UpdateError(c.RCODE_NXRRSET, "RRset value mismatch")
+
+    # -- update section (RFC 2136 §3.4) -----------------------------------------------
+
+    def _apply_one(self, zone: Zone, rr: RR, changed: Set[Name]) -> None:
+        if not zone.is_in_zone(rr.name):
+            raise UpdateError(c.RCODE_NOTZONE, "update out of zone")
+
+        if rr.rclass == c.CLASS_IN:
+            self._apply_add(zone, rr, changed)
+        elif rr.rclass == c.CLASS_ANY:
+            self._apply_delete_rrset(zone, rr, changed)
+        elif rr.rclass == c.CLASS_NONE:
+            self._apply_delete_rr(zone, rr, changed)
+        else:
+            raise UpdateError(c.RCODE_FORMERR, "bad update class")
+
+    def _apply_add(self, zone: Zone, rr: RR, changed: Set[Name]) -> None:
+        if rr.rdata is None:
+            raise UpdateError(c.RCODE_FORMERR, "add without rdata")
+        if rr.rtype in _PROTECTED_TYPES:
+            raise UpdateError(
+                c.RCODE_REFUSED, "SIG/NXT records are server-maintained"
+            )
+        if rr.rtype == c.TYPE_ANY:
+            raise UpdateError(c.RCODE_FORMERR, "cannot add type ANY")
+        if rr.rtype == c.TYPE_SOA:
+            # §3.4.2.2: SOA add replaces, but only if serial is newer.
+            try:
+                current = zone.soa
+            except ZoneError:
+                current = None
+            if current is not None and rr.rdata.serial <= current.serial:  # type: ignore[attr-defined]
+                return  # silently ignored per the RFC
+        try:
+            if zone.add_rdata(rr.name, rr.rtype, rr.ttl, rr.rdata):
+                changed.add(rr.name)
+        except ZoneError as exc:
+            # CNAME conflicts are silently ignored per §3.4.2.2.
+            if "CNAME" in str(exc):
+                return
+            raise UpdateError(c.RCODE_SERVFAIL, str(exc)) from exc
+
+    def _apply_delete_rrset(self, zone: Zone, rr: RR, changed: Set[Name]) -> None:
+        if rr.rdata is not None or rr.ttl != 0:
+            raise UpdateError(c.RCODE_FORMERR, "delete with rdata or TTL")
+        if rr.rtype == c.TYPE_ANY:
+            # Delete all RRsets at the name; the apex keeps SOA and NS.
+            if rr.name == zone.origin:
+                if zone.delete_name(
+                    rr.name, keep_types=(c.TYPE_SOA, c.TYPE_NS, c.TYPE_KEY)
+                ):
+                    changed.add(rr.name)
+            else:
+                if zone.delete_name(rr.name):
+                    changed.add(rr.name)
+            return
+        if rr.name == zone.origin and rr.rtype in (c.TYPE_SOA, c.TYPE_NS):
+            return  # §3.4.2.3: apex SOA/NS delete-RRset is ignored
+        if zone.delete_rrset(rr.name, rr.rtype):
+            changed.add(rr.name)
+        # Also drop the covering SIGs for the removed set.
+        self._drop_covering_sigs(zone, rr.name, rr.rtype, changed)
+
+    def _apply_delete_rr(self, zone: Zone, rr: RR, changed: Set[Name]) -> None:
+        if rr.rdata is None:
+            raise UpdateError(c.RCODE_FORMERR, "delete-RR without rdata")
+        if rr.ttl != 0:
+            raise UpdateError(c.RCODE_FORMERR, "delete-RR TTL must be 0")
+        if rr.rtype == c.TYPE_SOA:
+            return  # §3.4.2.4: SOA deletes are ignored
+        if rr.name == zone.origin and rr.rtype == c.TYPE_NS:
+            ns = zone.find_rrset(rr.name, c.TYPE_NS)
+            if ns is not None and len(ns) == 1 and rr.rdata in ns:
+                return  # never delete the last apex NS
+        if zone.delete_rdata(rr.name, rr.rtype, rr.rdata):
+            changed.add(rr.name)
+            if zone.find_rrset(rr.name, rr.rtype) is None:
+                self._drop_covering_sigs(zone, rr.name, rr.rtype, changed)
+
+    @staticmethod
+    def _drop_covering_sigs(
+        zone: Zone, name: Name, rtype: int, changed: Set[Name]
+    ) -> None:
+        sigs = zone.find_rrset(name, c.TYPE_SIG)
+        if sigs is None:
+            return
+        keep = [s for s in sigs if s.type_covered != rtype]  # type: ignore[attr-defined]
+        if len(keep) == len(sigs):
+            return
+        zone.delete_rrset(name, c.TYPE_SIG)
+        if keep:
+            from repro.dns.rrset import RRset
+
+            zone.put_rrset(RRset(name, c.TYPE_SIG, sigs.ttl, keep))
+        changed.add(name)

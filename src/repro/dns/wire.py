@@ -1,0 +1,135 @@
+"""DNS message wire codec with name compression (RFC 1035 §4.1.4).
+
+Encoding keeps a per-message table of names already emitted and replaces
+repeated suffixes with compression pointers, like every production DNS
+implementation.  Decoding delegates pointer chasing to
+:meth:`repro.dns.name.Name.from_wire`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Tuple
+
+from repro.dns.name import Name
+
+
+class WireWriter:
+    """Accumulates a DNS message, compressing names as it goes."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._offsets: Dict[Tuple[bytes, ...], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def write(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    def write_u8(self, value: int) -> None:
+        self._buf.append(value)
+
+    def write_u16(self, value: int) -> None:
+        self._buf.extend(struct.pack(">H", value))
+
+    def write_u32(self, value: int) -> None:
+        self._buf.extend(struct.pack(">I", value))
+
+    def write_name(self, name: Name, compress: bool = True) -> None:
+        """Emit ``name``, using a pointer to an earlier occurrence if any.
+
+        Compression keys are case-folded label tuples, so a pointer may
+        target a name that differs in case — permitted by RFC 1035 (name
+        comparison is case-insensitive).
+        """
+        labels = tuple(label.lower() for label in name.labels)
+        raw_labels = name.labels
+        for i in range(len(labels)):
+            suffix = labels[i:]
+            target = self._offsets.get(suffix)
+            if compress and target is not None and target < 0x4000:
+                for label in raw_labels[:i]:
+                    self._buf.append(len(label))
+                    self._buf.extend(label)
+                self.write_u16(0xC000 | target)
+                # Register the newly written prefixes for future pointers.
+                self._register_prefixes(labels[:i], raw_labels[:i], len(self._buf) - 2 - sum(len(l) + 1 for l in raw_labels[:i]))
+                return
+        start = len(self._buf)
+        for label in raw_labels:
+            self._buf.append(len(label))
+            self._buf.extend(label)
+        self._buf.append(0)
+        self._register_prefixes(labels, raw_labels, start)
+
+    def _register_prefixes(
+        self,
+        labels: Tuple[bytes, ...],
+        raw_labels: Tuple[bytes, ...],
+        start: int,
+    ) -> None:
+        offset = start
+        for i in range(len(labels)):
+            suffix = labels[i:]
+            if suffix not in self._offsets and offset < 0x4000:
+                self._offsets[suffix] = offset
+            offset += len(raw_labels[i]) + 1
+
+    def patch_u16(self, position: int, value: int) -> None:
+        struct.pack_into(">H", self._buf, position, value)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+
+class WireReader:
+    """Cursor over a received DNS message."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self.data) - self.offset
+
+    def read_u8(self) -> int:
+        from repro.errors import WireFormatError
+
+        if self.remaining < 1:
+            raise WireFormatError("truncated u8")
+        value = self.data[self.offset]
+        self.offset += 1
+        return value
+
+    def read_u16(self) -> int:
+        from repro.errors import WireFormatError
+
+        if self.remaining < 2:
+            raise WireFormatError("truncated u16")
+        (value,) = struct.unpack_from(">H", self.data, self.offset)
+        self.offset += 2
+        return value
+
+    def read_u32(self) -> int:
+        from repro.errors import WireFormatError
+
+        if self.remaining < 4:
+            raise WireFormatError("truncated u32")
+        (value,) = struct.unpack_from(">I", self.data, self.offset)
+        self.offset += 4
+        return value
+
+    def read_bytes(self, count: int) -> bytes:
+        from repro.errors import WireFormatError
+
+        if self.remaining < count:
+            raise WireFormatError("truncated bytes")
+        value = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return bytes(value)
+
+    def read_name(self) -> Name:
+        name, self.offset = Name.from_wire(self.data, self.offset)
+        return name

@@ -1,0 +1,255 @@
+"""The zone database: every replica's master copy of one zone's data.
+
+In the paper's design all replicas run "in primary mode" and each maintains
+its own master copy (§3.3).  The zone is a mapping from owner names to
+per-type RRsets.  All mutation is funneled through explicit methods so the
+replicated state machine stays deterministic, and :meth:`digest` gives a
+canonical hash used to compare replica states in tests and recovery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.dns import constants as c
+from repro.dns.name import Name
+from repro.dns.rdata import Rdata, SOA
+from repro.dns.rrset import RRset
+from repro.errors import ZoneError
+
+
+class Zone:
+    """Authoritative data for one zone, keyed by owner name and type."""
+
+    def __init__(self, origin: Name) -> None:
+        self.origin = origin
+        self._nodes: Dict[Name, Dict[int, RRset]] = {}
+
+    # -- lookup -----------------------------------------------------------------
+
+    def __contains__(self, name: Name) -> bool:
+        return name in self._nodes
+
+    def node(self, name: Name) -> Optional[Dict[int, RRset]]:
+        return self._nodes.get(name)
+
+    def find_rrset(self, name: Name, rtype: int) -> Optional[RRset]:
+        node = self._nodes.get(name)
+        if node is None:
+            return None
+        return node.get(rtype)
+
+    def rrsets_at(self, name: Name) -> List[RRset]:
+        node = self._nodes.get(name)
+        if node is None:
+            return []
+        return [node[rtype] for rtype in sorted(node)]
+
+    @property
+    def soa(self) -> SOA:
+        rrset = self.find_rrset(self.origin, c.TYPE_SOA)
+        if rrset is None:
+            raise ZoneError(f"zone {self.origin.to_text()} has no SOA")
+        return rrset.rdatas[0]  # type: ignore[return-value]
+
+    @property
+    def soa_rrset(self) -> RRset:
+        rrset = self.find_rrset(self.origin, c.TYPE_SOA)
+        if rrset is None:
+            raise ZoneError(f"zone {self.origin.to_text()} has no SOA")
+        return rrset
+
+    @property
+    def serial(self) -> int:
+        return self.soa.serial
+
+    def names(self) -> List[Name]:
+        """All owner names in DNSSEC canonical order."""
+        return sorted(self._nodes)
+
+    def __iter__(self) -> Iterator[RRset]:
+        """All RRsets, names in canonical order, types ascending."""
+        for name in self.names():
+            node = self._nodes[name]
+            for rtype in sorted(node):
+                yield node[rtype]
+
+    def rrset_count(self) -> int:
+        return sum(len(node) for node in self._nodes.values())
+
+    def record_count(self) -> int:
+        return sum(
+            len(rrset) for node in self._nodes.values() for rrset in node.values()
+        )
+
+    # -- membership / structure ---------------------------------------------------
+
+    def contains_name(self, name: Name) -> bool:
+        """RFC 2136 "name is in use": any RR exists at the name."""
+        return bool(self._nodes.get(name))
+
+    def is_in_zone(self, name: Name) -> bool:
+        return name.is_subdomain_of(self.origin)
+
+    def is_delegation(self, name: Name) -> bool:
+        """True if ``name`` is a zone cut (NS records below the apex)."""
+        if name == self.origin:
+            return False
+        node = self._nodes.get(name)
+        return bool(node and c.TYPE_NS in node)
+
+    def closest_delegation(self, name: Name) -> Optional[Name]:
+        """The zone cut at or above ``name``, if any (for referrals)."""
+        if not name.is_subdomain_of(self.origin):
+            return None
+        current = name
+        while current != self.origin:
+            if self.is_delegation(current):
+                return current
+            current = current.parent()
+        return None
+
+    # -- mutation -------------------------------------------------------------------
+
+    def put_rrset(self, rrset: RRset) -> None:
+        """Insert or replace the RRset for (name, type)."""
+        self._check_in_zone(rrset.name)
+        if rrset.rclass != c.CLASS_IN:
+            raise ZoneError("zone data must be class IN")
+        node = self._nodes.setdefault(rrset.name, {})
+        # RFC 2535 §2.3.5: in signed zones SIG and NXT coexist with CNAME.
+        cname_compatible = (c.TYPE_CNAME, c.TYPE_SIG, c.TYPE_NXT)
+        if rrset.rtype == c.TYPE_CNAME and any(
+            t not in cname_compatible for t in node
+        ):
+            raise ZoneError(f"CNAME clashes with other data at {rrset.name.to_text()}")
+        if (
+            rrset.rtype not in cname_compatible
+            and c.TYPE_CNAME in node
+        ):
+            raise ZoneError(f"data clashes with CNAME at {rrset.name.to_text()}")
+        node[rrset.rtype] = rrset
+
+    def add_rdata(self, name: Name, rtype: int, ttl: int, rdata: Rdata) -> bool:
+        """Add one record; returns False if it already existed.
+
+        Per RFC 2136 §3.4.2.2 the new TTL wins for the whole RRset, and a
+        CNAME add at a node with a CNAME replaces it.
+        """
+        self._check_in_zone(name)
+        existing = self.find_rrset(name, rtype)
+        if existing is None:
+            self.put_rrset(RRset(name, rtype, ttl, [rdata]))
+            return True
+        if rtype == c.TYPE_CNAME or rtype == c.TYPE_SOA:
+            self.put_rrset(RRset(name, rtype, ttl, [rdata]))
+            return True
+        if rdata in existing:
+            if ttl != existing.ttl:
+                self.put_rrset(
+                    RRset(name, rtype, ttl, existing.rdatas)
+                )
+                return True
+            return False
+        self.put_rrset(RRset(name, rtype, ttl, existing.rdatas + (rdata,)))
+        return True
+
+    def delete_rdata(self, name: Name, rtype: int, rdata: Rdata) -> bool:
+        """Delete one record; returns True if something was removed."""
+        node = self._nodes.get(name)
+        if node is None or rtype not in node:
+            return False
+        remaining = node[rtype].with_removed(rdata)
+        if remaining is node[rtype]:
+            return False
+        if remaining is None:
+            del node[rtype]
+            if not node:
+                del self._nodes[name]
+            return True
+        if len(remaining) == len(node[rtype]):
+            return False
+        node[rtype] = remaining
+        return True
+
+    def delete_rrset(self, name: Name, rtype: int) -> bool:
+        node = self._nodes.get(name)
+        if node is None or rtype not in node:
+            return False
+        del node[rtype]
+        if not node:
+            del self._nodes[name]
+        return True
+
+    def delete_name(self, name: Name, keep_types: Tuple[int, ...] = ()) -> bool:
+        node = self._nodes.get(name)
+        if node is None:
+            return False
+        if keep_types:
+            kept = {t: rrset for t, rrset in node.items() if t in keep_types}
+            removed = len(kept) != len(node)
+            if kept:
+                self._nodes[name] = kept
+            else:
+                del self._nodes[name]
+            return removed
+        del self._nodes[name]
+        return True
+
+    def bump_serial(self) -> int:
+        """Increment the SOA serial (serial arithmetic, RFC 1982 simplified)."""
+        soa_rrset = self.soa_rrset
+        soa = self.soa
+        new_serial = (soa.serial + 1) & 0xFFFFFFFF or 1
+        self.put_rrset(
+            RRset(
+                soa_rrset.name,
+                c.TYPE_SOA,
+                soa_rrset.ttl,
+                [soa.with_serial(new_serial)],
+            )
+        )
+        return new_serial
+
+    def _check_in_zone(self, name: Name) -> None:
+        if not self.is_in_zone(name):
+            raise ZoneError(
+                f"{name.to_text()} is not in zone {self.origin.to_text()}"
+            )
+
+    # -- snapshots / comparison --------------------------------------------------------
+
+    def copy(self) -> "Zone":
+        clone = Zone(self.origin)
+        for name, node in self._nodes.items():
+            clone._nodes[name] = dict(node)
+        return clone
+
+    def digest(self) -> bytes:
+        """Canonical SHA-256 over all RRsets — replica state fingerprint."""
+        h = hashlib.sha256()
+        for rrset in self:
+            h.update(rrset.canonical_wire())
+        return h.digest()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Zone):
+            return NotImplemented
+        return self.origin == other.origin and self.digest() == other.digest()
+
+    def __hash__(self) -> int:
+        return hash((self.origin, self.digest()))
+
+    def to_text(self) -> str:
+        lines = [f"$ORIGIN {self.origin.to_text()}"]
+        apex = self.rrsets_at(self.origin)
+        soa_first = sorted(apex, key=lambda r: (r.rtype != c.TYPE_SOA, r.rtype))
+        for rrset in soa_first:
+            lines.append(rrset.to_text(self.origin))
+        for name in self.names():
+            if name == self.origin:
+                continue
+            for rrset in self.rrsets_at(name):
+                lines.append(rrset.to_text(self.origin))
+        return "\n".join(lines) + "\n"

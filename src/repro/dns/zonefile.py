@@ -1,0 +1,174 @@
+"""Master (zone) file parsing and writing (RFC 1035 §5).
+
+Supports the constructs real zone files use: ``$ORIGIN`` and ``$TTL``
+directives, relative names, ``@`` for the origin, blank owner fields
+(inherit the previous owner), comments, quoted strings, and parentheses
+for multi-line records (SOA).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Optional, Tuple
+
+from repro.dns import constants as c
+from repro.dns.name import Name
+from repro.dns.rdata import rdata_from_text
+from repro.dns.rrset import RRset
+from repro.dns.zone import Zone
+from repro.errors import ZoneFileError
+
+_TOKEN_RE = re.compile(r'"(?:[^"\\]|\\.)*"|[^\s]+')
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a trailing ``;`` comment, respecting quoted strings."""
+    in_quotes = False
+    i = 0
+    while i < len(line):
+        char = line[i]
+        if char == "\\":
+            i += 2
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+        elif char == ";" and not in_quotes:
+            return line[:i]
+        i += 1
+    return line
+
+
+def _logical_lines(text: str) -> Iterator[Tuple[int, str, bool]]:
+    """Yield ``(line_number, logical_line, owner_is_blank)`` entries.
+
+    Parenthesized groups are joined into one logical line.  A record whose
+    physical line starts with whitespace inherits the previous owner name.
+    """
+    pending: List[str] = []
+    pending_start = 0
+    pending_blank = False
+    depth = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line.strip() and depth == 0:
+            continue
+        if depth == 0:
+            pending = []
+            pending_start = lineno
+            pending_blank = raw[:1] in (" ", "\t")
+        depth += line.count("(") - line.count(")")
+        if depth < 0:
+            raise ZoneFileError(f"line {lineno}: unbalanced parentheses")
+        pending.append(line.replace("(", " ").replace(")", " "))
+        if depth == 0:
+            yield pending_start, " ".join(pending), pending_blank
+    if depth != 0:
+        raise ZoneFileError("unterminated parenthesized record")
+
+
+def parse_zone_text(
+    text: str, origin: Optional[Name] = None, default_ttl: int = 3600
+) -> Zone:
+    """Parse master-file text into a :class:`Zone`.
+
+    ``origin`` may come from the caller or a leading ``$ORIGIN`` directive;
+    the zone origin is the owner name of the (required) SOA record.
+    """
+    current_origin = origin
+    ttl = default_ttl
+    last_owner: Optional[Name] = None
+    records: List[Tuple[Name, int, int, object]] = []
+
+    for lineno, line, owner_blank in _logical_lines(text):
+        tokens = _TOKEN_RE.findall(line)
+        if not tokens:
+            continue
+        directive = tokens[0].upper()
+        if directive == "$ORIGIN":
+            if len(tokens) != 2:
+                raise ZoneFileError(f"line {lineno}: $ORIGIN needs one argument")
+            current_origin = Name.from_text(tokens[1], current_origin)
+            continue
+        if directive == "$TTL":
+            if len(tokens) != 2 or not tokens[1].isdigit():
+                raise ZoneFileError(f"line {lineno}: $TTL needs a number")
+            ttl = int(tokens[1])
+            continue
+        if directive.startswith("$"):
+            raise ZoneFileError(f"line {lineno}: unsupported directive {directive}")
+
+        # Owner name: blank leading field inherits the previous owner.
+        if owner_blank:
+            owner = last_owner
+            rest = tokens
+        else:
+            if current_origin is None and not tokens[0].endswith("."):
+                raise ZoneFileError(
+                    f"line {lineno}: relative owner with no $ORIGIN"
+                )
+            owner = Name.from_text(tokens[0], current_origin)
+            rest = tokens[1:]
+        if owner is None:
+            raise ZoneFileError(f"line {lineno}: no owner name available")
+        last_owner = owner
+
+        # Optional TTL and class may appear in either order before the type.
+        record_ttl = ttl
+        record_class = c.CLASS_IN
+        index = 0
+        while index < len(rest):
+            token = rest[index].upper()
+            if token.isdigit():
+                record_ttl = int(token)
+                index += 1
+            elif token in ("IN", "CH", "HS"):
+                if token != "IN":
+                    raise ZoneFileError(f"line {lineno}: only class IN supported")
+                index += 1
+            else:
+                break
+        if index >= len(rest):
+            raise ZoneFileError(f"line {lineno}: missing RR type")
+        try:
+            rtype = c.type_from_text(rest[index])
+        except ValueError as exc:
+            raise ZoneFileError(f"line {lineno}: {exc}") from exc
+        rdata_tokens = rest[index + 1 :]
+        try:
+            rdata = rdata_from_text(rtype, rdata_tokens, current_origin)
+        except ZoneFileError as exc:
+            raise ZoneFileError(f"line {lineno}: {exc}") from exc
+        records.append((owner, rtype, record_ttl, rdata))
+
+    soa_entries = [r for r in records if r[1] == c.TYPE_SOA]
+    if not soa_entries:
+        raise ZoneFileError("zone file has no SOA record")
+    if len(soa_entries) > 1:
+        raise ZoneFileError("zone file has multiple SOA records")
+    zone_origin = soa_entries[0][0]
+    if origin is not None and zone_origin != origin:
+        raise ZoneFileError(
+            f"SOA owner {zone_origin.to_text()} does not match expected "
+            f"origin {origin.to_text()}"
+        )
+
+    zone = Zone(zone_origin)
+    for owner, rtype, record_ttl, rdata in records:
+        zone.add_rdata(owner, rtype, record_ttl, rdata)  # type: ignore[arg-type]
+    return zone
+
+
+def parse_zone_file(path: str, origin: Optional[Name] = None) -> Zone:
+    """Parse the master file at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_zone_text(handle.read(), origin=origin)
+
+
+def write_zone_text(zone: Zone) -> str:
+    """Serialize a zone back to master-file text (parseable round trip)."""
+    return zone.to_text()
+
+
+def write_zone_file(zone: Zone, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_zone_text(zone))

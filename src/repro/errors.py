@@ -1,0 +1,113 @@
+"""Exception hierarchy for the secure distributed DNS reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+distinguish library failures from programming errors.  Protocol-level
+misbehaviour (a peer sending malformed or unjustified messages) raises
+:class:`ProtocolViolation`, which honest nodes treat as evidence of
+corruption and never let crash the node.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """Invalid system configuration (e.g. n <= 3t, duplicate replica ids)."""
+
+
+# --------------------------------------------------------------------------
+# DNS subsystem
+# --------------------------------------------------------------------------
+
+
+class DnsError(ReproError):
+    """Base class for DNS data-model and protocol errors."""
+
+
+class NameError_(DnsError):
+    """Malformed domain name (label too long, name too long, bad escape)."""
+
+
+class WireFormatError(DnsError):
+    """Malformed DNS wire data (truncation, bad pointer, bad rdata)."""
+
+
+class ZoneError(DnsError):
+    """Zone database violation (out-of-zone name, missing SOA, CNAME clash)."""
+
+
+class ZoneFileError(DnsError):
+    """Master-file syntax error."""
+
+
+class UpdateError(DnsError):
+    """Dynamic update failed; carries the RFC 2136 response code."""
+
+    def __init__(self, rcode: int, message: str = "") -> None:
+        super().__init__(message or f"update failed with rcode {rcode}")
+        self.rcode = rcode
+
+
+class TsigError(DnsError):
+    """Transaction signature verification failed."""
+
+
+class DnssecError(DnsError):
+    """Zone signing or signature verification failure."""
+
+
+# --------------------------------------------------------------------------
+# Cryptography
+# --------------------------------------------------------------------------
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class KeyGenerationError(CryptoError):
+    """Key generation could not complete (e.g. no safe prime found)."""
+
+
+class InvalidSignature(CryptoError):
+    """A signature (or signature share) failed verification."""
+
+
+class InvalidShare(CryptoError):
+    """A threshold signature share or its correctness proof is invalid."""
+
+
+class AssemblyError(CryptoError):
+    """Threshold signature assembly could not produce a valid signature."""
+
+
+# --------------------------------------------------------------------------
+# Distributed protocols
+# --------------------------------------------------------------------------
+
+
+class BroadcastError(ReproError):
+    """Base class for broadcast/agreement protocol errors."""
+
+
+class ProtocolViolation(BroadcastError):
+    """A peer sent a message that violates the protocol.
+
+    Honest nodes log the violating peer and drop the message; this exception
+    is raised by validation helpers and caught at the dispatch boundary.
+    """
+
+    def __init__(self, sender: int, message: str) -> None:
+        super().__init__(f"protocol violation by replica {sender}: {message}")
+        self.sender = sender
+
+
+class ServiceError(ReproError):
+    """Replicated name service failure visible to a client."""
+
+
+class TimeoutError_(ReproError):
+    """An operation did not complete within its deadline."""

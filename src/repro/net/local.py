@@ -1,0 +1,248 @@
+"""In-process asyncio transport: the replicated service in real time.
+
+:class:`AsyncNode` implements the same node interface as
+:class:`repro.sim.network.SimNode` (``send``, ``set_handler``,
+``schedule_timer``, ``charge``, ``now``, ``dropped``), but messages flow
+through asyncio queues and timers are real.  ``charge`` is a no-op —
+wall-clock CPU time is genuinely spent by the Python crypto.
+
+Optionally a latency :class:`repro.sim.machines.Topology` can be
+attached, in which case deliveries are delayed by the configured one-way
+times, turning the local bus into a miniature WAN.
+
+This module deliberately contains no protocol logic: it instantiates the
+exact :class:`repro.core.replica.ReplicaServer` and
+:class:`repro.core.client.PragmaticClient`/:class:`FullClient` objects the
+simulator uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.config import ServiceConfig
+from repro.core.client import CompletedOp, FullClient, PragmaticClient
+from repro.core.keytool import Deployment, generate_deployment
+from repro.core.replica import ReplicaServer
+from repro.crypto.costmodel import CostModel
+from repro.dns import constants as c
+from repro.dns import dnssec
+from repro.dns.name import Name
+from repro.dns.rdata import rdata_from_text
+from repro.dns.zonefile import parse_zone_text
+from repro.errors import ConfigError
+from repro.sim.machines import Topology
+
+Handler = Callable[[int, Any], None]
+
+
+class _TimerHandle:
+    """Cancellable wrapper matching the simulator's event handle API."""
+
+    def __init__(self, handle: asyncio.TimerHandle) -> None:
+        self._handle = handle
+
+    def cancel(self) -> None:
+        self._handle.cancel()
+
+
+class AsyncNode:
+    """One endpoint on the asyncio bus (same interface as ``SimNode``)."""
+
+    def __init__(self, node_id: int, network: "AsyncNetwork") -> None:
+        self.node_id = node_id
+        self.network = network
+        self.handler: Optional[Handler] = None
+        self.dropped = False
+
+    # -- node interface used by replicas/clients -----------------------------
+
+    def set_handler(self, handler: Handler) -> None:
+        self.handler = handler
+
+    @property
+    def now(self) -> float:
+        return self.network.loop.time()
+
+    def charge(self, reference_seconds: float) -> None:
+        """No-op: real CPU time is spent by the actual computation."""
+
+    def charge_ops(self, ops, costs: CostModel) -> None:
+        """No-op (see :meth:`charge`)."""
+
+    def send(self, dest: int, payload: Any) -> None:
+        self.network.transmit(self.node_id, dest, payload)
+
+    def schedule_timer(self, delay: float, thunk: Callable[[], None]) -> _TimerHandle:
+        return _TimerHandle(self.network.loop.call_later(delay, thunk))
+
+    def run_local(self, delay: float, thunk: Callable[[], None]) -> None:
+        self.network.loop.call_later(delay, thunk)
+
+    # -- delivery --------------------------------------------------------------
+
+    def _deliver(self, sender: int, payload: Any) -> None:
+        if self.dropped or self.handler is None:
+            return
+        self.handler(sender, payload)
+
+
+class AsyncNetwork:
+    """An in-process message bus with optional simulated link latency."""
+
+    def __init__(self, node_count: int, topology: Optional[Topology] = None) -> None:
+        try:
+            self.loop = asyncio.get_running_loop()
+        except RuntimeError as exc:
+            raise ConfigError(
+                "AsyncNetwork must be created inside a running event loop"
+            ) from exc
+        self.topology = topology
+        self.nodes: List[AsyncNode] = [AsyncNode(i, self) for i in range(node_count)]
+        self.messages_sent = 0
+
+    def node(self, node_id: int) -> AsyncNode:
+        return self.nodes[node_id]
+
+    def add_node(self) -> AsyncNode:
+        node = AsyncNode(len(self.nodes), self)
+        self.nodes.append(node)
+        return node
+
+    def transmit(self, src: int, dest: int, payload: Any) -> None:
+        if not 0 <= dest < len(self.nodes):
+            raise ConfigError(f"no node {dest}")
+        self.messages_sent += 1
+        # Deep-copy so peers cannot share mutable state through "the wire".
+        payload = copy.deepcopy(payload)
+        delay = self._link_delay(src, dest)
+        receiver = self.nodes[dest]
+        if delay > 0:
+            self.loop.call_later(delay, receiver._deliver, src, payload)
+        else:
+            self.loop.call_soon(receiver._deliver, src, payload)
+
+    def _link_delay(self, src: int, dest: int) -> float:
+        if self.topology is None or src == dest:
+            return 0.0
+        a = min(src, len(self.topology) - 1)
+        b = min(dest, len(self.topology) - 1)
+        if a == b:
+            return 0.0
+        return self.topology.one_way_delay(a, b)
+
+
+class AsyncNameService:
+    """A live, wall-clock deployment of the replicated name service.
+
+    Usage (inside a coroutine)::
+
+        service = AsyncNameService(ServiceConfig(n=4, t=1))
+        op = await service.query("www.example.com.", c.TYPE_A)
+        op = await service.add_record("x.example.com.", c.TYPE_A, 300, "192.0.2.9")
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        zone_text: Optional[str] = None,
+        topology: Optional[Topology] = None,
+        client_model: str = "pragmatic",
+        deployment: Optional[Deployment] = None,
+        gateway: int = 0,
+    ) -> None:
+        from repro.core.service import DEFAULT_ZONE, local_threshold_signer
+
+        self.config = config
+        self.net = AsyncNetwork(config.n, topology=topology)
+        self.deployment = (
+            deployment if deployment is not None else generate_deployment(config)
+        )
+
+        base_zone = parse_zone_text(zone_text or DEFAULT_ZONE)
+        self.zone_origin = base_zone.origin
+        if config.signed_zone:
+            key_record = self.deployment.zone_key_record
+            base_zone.add_rdata(base_zone.origin, c.TYPE_KEY, 3600, key_record)
+            signer = local_threshold_signer(
+                self.deployment.zone_public,
+                [r.zone_share for r in self.deployment.replicas],
+            )
+            dnssec.sign_zone_locally(base_zone, key_record, signer)
+
+        self.replicas: List[ReplicaServer] = [
+            ReplicaServer(
+                index=i,
+                deployment=self.deployment,
+                zone=base_zone.copy(),
+                node=self.net.node(i),
+            )
+            for i in range(config.n)
+        ]
+
+        client_node = self.net.add_node()
+        client_args = dict(
+            node=client_node,
+            config=config,
+            replica_ids=list(range(config.n)),
+            zone_origin=self.zone_origin,
+            zone_key=self.deployment.zone_key_record if config.signed_zone else None,
+            tsig_key=self.deployment.tsig_key if config.require_tsig else None,
+        )
+        if client_model == "pragmatic":
+            self.client = PragmaticClient(gateway=gateway, **client_args)
+        elif client_model == "full":
+            self.client = FullClient(**client_args)
+        else:
+            raise ConfigError(f"unknown client model {client_model!r}")
+
+    # -- async experiment API ---------------------------------------------------
+
+    async def _await_op(self, issue, timeout: float = 60.0) -> CompletedOp:
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        issue(lambda op: future.done() or future.set_result(op))
+        return await asyncio.wait_for(future, timeout=timeout)
+
+    async def query(self, name: str | Name, rtype: int = c.TYPE_A) -> CompletedOp:
+        qname = Name.from_text(name) if isinstance(name, str) else name
+        return await self._await_op(
+            lambda cb: self.client.query(qname, rtype, cb)
+        )
+
+    async def add_record(
+        self, name: str | Name, rtype: int, ttl: int, rdata_text: str
+    ) -> CompletedOp:
+        owner = Name.from_text(name) if isinstance(name, str) else name
+        rdata = rdata_from_text(rtype, rdata_text.split(), self.zone_origin)
+        return await self._await_op(
+            lambda cb: self.client.add_record(owner, rtype, ttl, rdata, cb)
+        )
+
+    async def delete_name(self, name: str | Name) -> CompletedOp:
+        owner = Name.from_text(name) if isinstance(name, str) else name
+        return await self._await_op(lambda cb: self.client.delete_name(owner, cb))
+
+    async def settle(self, duration: float = 0.2) -> None:
+        """Give in-flight replica work time to finish."""
+        await asyncio.sleep(duration)
+
+    def states_consistent(self) -> bool:
+        digests = {
+            replica.zone.digest()
+            for replica in self.replicas
+            if not replica.fault.is_corrupted
+        }
+        return len(digests) == 1
+
+    def verify_all_zones(self) -> int:
+        total = 0
+        for replica in self.replicas:
+            if replica.fault.is_corrupted:
+                continue
+            total += dnssec.verify_zone(
+                replica.zone, self.deployment.zone_key_record
+            )
+        return total

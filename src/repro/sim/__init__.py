@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluated on seven physical machines across the IBM intranet
+(Table 1, Figure 1).  This package replaces that testbed with a
+deterministic discrete-event simulator: simulated links carry the
+topology's round-trip latencies, and each node charges calibrated CPU
+time for cryptographic operations, scaled by its machine's clock speed.
+"""
+
+from repro.sim.kernel import Simulator, Event
+from repro.sim.network import SimNetwork, SimNode
+from repro.sim.machines import (
+    MachineSpec,
+    PAPER_MACHINES,
+    PAPER_TOPOLOGY,
+    paper_setup,
+    lan_setup,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "SimNetwork",
+    "SimNode",
+    "MachineSpec",
+    "PAPER_MACHINES",
+    "PAPER_TOPOLOGY",
+    "paper_setup",
+    "lan_setup",
+]

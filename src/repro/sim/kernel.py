@@ -1,0 +1,154 @@
+"""Deterministic discrete-event simulation kernel.
+
+A minimal but complete event loop: events are ``(time, sequence,
+callback)`` triples in a heap; ties in time break by insertion order, so
+runs are exactly reproducible.  Protocol code never reads wall-clock time
+— all timing flows from :attr:`Simulator.now`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.errors import ReproError
+
+
+class SimulationError(ReproError):
+    """The simulation reached an invalid state (e.g. ran backwards)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Cancelled events stay in the heap but no-op."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """The event loop.  One instance drives one experiment."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at ``now + delay``; returns a cancellable handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        event = Event(time=self.now + delay, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at absolute simulated ``time``."""
+        return self.schedule(max(0.0, time - self.now), callback)
+
+    def call_soon(self, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at the current time, after pending same-time events."""
+        return self.schedule(0.0, callback)
+
+    # -- running --------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self.now:
+                raise SimulationError("event queue went backwards")
+            self.now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        condition: Optional[Callable[[], bool]] = None,
+        max_events: int = 10_000_000,
+    ) -> None:
+        """Run until the queue drains, ``until`` passes, or ``condition()``.
+
+        ``max_events`` is a runaway-protocol backstop; hitting it raises.
+        """
+        processed = 0
+        while self._heap:
+            if condition is not None and condition():
+                return
+            next_time = self._peek_time()
+            if until is not None and (next_time is None or next_time > until):
+                self.now = until
+                return
+            if not self.step():
+                return
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; likely livelock"
+                )
+        if until is not None and until > self.now:
+            self.now = until
+
+    def _peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+
+class Timer:
+    """A restartable timeout helper bound to a simulator.
+
+    Protocols use timers for leader-suspicion (§3.3's "apparently not
+    performing correctly" is a local timeout in practice, §4.4).
+    """
+
+    def __init__(
+        self, sim: Simulator, timeout: float, callback: Callable[[], None]
+    ) -> None:
+        self._sim = sim
+        self._timeout = timeout
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    def start(self) -> None:
+        self.cancel()
+        self._event = self._sim.schedule(self._timeout, self._fire)
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def restart(self) -> None:
+        self.start()
+
+    @property
+    def active(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

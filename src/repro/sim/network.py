@@ -1,0 +1,233 @@
+"""Simulated nodes and authenticated reliable links.
+
+Each :class:`SimNode` models a single-CPU machine: message handling and
+cryptographic work charge *busy time*, and messages that arrive while the
+node is busy queue until the CPU frees up — exactly the serialization
+that makes threshold-signature verification dominate the paper's write
+latencies.  Links are point-to-point, authenticated, reliable, and FIFO
+(the prototype ran over TCP, §4.4), with one-way delay equal to half the
+configured site RTT.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.sim.kernel import Simulator
+from repro.sim.machines import MachineSpec, Topology
+from repro.crypto.costmodel import CostModel
+
+# A handler receives (sender_id, payload) and runs in node virtual time.
+Handler = Callable[[int, Any], None]
+
+
+class SimNode:
+    """One machine in the simulation.
+
+    Node code runs inside handler callbacks.  During a callback,
+    :meth:`charge` advances the node's *virtual time* (CPU busy time) and
+    :meth:`send` stamps outgoing messages with that virtual time, so a
+    message sent after an expensive verification leaves late — no extra
+    bookkeeping needed in protocol code.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        machine: MachineSpec,
+        network: "SimNetwork",
+    ) -> None:
+        self.node_id = node_id
+        self.machine = machine
+        self.network = network
+        self.handler: Optional[Handler] = None
+        self.busy_until = 0.0
+        self._vtime = 0.0
+        self._in_handler = False
+        self.delivered_count = 0
+        self.dropped = False  # crash-fault injection
+
+    # -- wiring -------------------------------------------------------------
+
+    def set_handler(self, handler: Handler) -> None:
+        self.handler = handler
+
+    @property
+    def sim(self) -> Simulator:
+        return self.network.sim
+
+    @property
+    def now(self) -> float:
+        """Current node-local virtual time (inside a handler) or sim time."""
+        return self._vtime if self._in_handler else self.sim.now
+
+    # -- CPU model -----------------------------------------------------------
+
+    def charge(self, reference_seconds: float) -> None:
+        """Consume CPU: ``reference_seconds`` scaled by this machine's speed.
+
+        A small seeded jitter models run-to-run CPU variance; the paper's
+        Table 2 averages 20 runs precisely because such races (e.g.
+        whether a corrupted server's share lands among the first ``t+1``)
+        change individual measurements.
+        """
+        if reference_seconds < 0:
+            raise ConfigError("cannot charge negative CPU time")
+        cost = reference_seconds * self.machine.cpu_factor
+        jitter = self.network.cpu_jitter
+        if jitter and cost > 0:
+            cost *= 1.0 + jitter * (2.0 * self.network.rng.random() - 1.0)
+        if self._in_handler:
+            self._vtime += cost
+            self.busy_until = self._vtime
+        else:
+            start = max(self.sim.now, self.busy_until)
+            self.busy_until = start + cost
+
+    def charge_ops(self, ops: List[Tuple[str, int]], costs: CostModel) -> None:
+        """Charge a crypto operation log drained from a signing protocol."""
+        for op, count in ops:
+            self.charge(costs.crypto_cost(op, count))
+
+    # -- messaging ------------------------------------------------------------
+
+    def send(self, dest: int, payload: Any) -> None:
+        """Send ``payload`` to node ``dest`` over the authenticated link."""
+        departure = self._vtime if self._in_handler else self.sim.now
+        self.network.transmit(self.node_id, dest, payload, departure)
+
+    def broadcast(self, payload: Any, include_self: bool = False) -> None:
+        for dest in range(len(self.network.nodes)):
+            if dest == self.node_id and not include_self:
+                continue
+            self.send(dest, payload)
+
+    def run_local(self, delay: float, thunk: Callable[[], None]) -> None:
+        """Schedule local work on this node's CPU after ``delay``."""
+        def fire() -> None:
+            self._execute(lambda: thunk())
+
+        self.sim.schedule(delay, fire)
+
+    def schedule_timer(self, delay: float, thunk: Callable[[], None]):
+        """Arm a node-local timer; returns a cancellable event handle.
+
+        The delay is measured from the node's current virtual time, so a
+        timer set after an expensive crypto operation fires late — as it
+        would on a real busy machine.
+        """
+        base = self._vtime if self._in_handler else max(self.sim.now, self.busy_until)
+        return self.sim.schedule_at(base + delay, lambda: self._execute(thunk))
+
+    # -- delivery -------------------------------------------------------------
+
+    def _deliver(self, sender: int, payload: Any) -> None:
+        """Called by the network when a message's arrival event fires."""
+        if self.dropped:
+            return
+        start = max(self.sim.now, self.busy_until)
+        if start > self.sim.now:
+            self.sim.schedule_at(start, lambda: self._deliver(sender, payload))
+            return
+        self.delivered_count += 1
+        self._execute(lambda: self._dispatch(sender, payload))
+
+    def _dispatch(self, sender: int, payload: Any) -> None:
+        if self.handler is not None:
+            self.handler(sender, payload)
+
+    def _execute(self, thunk: Callable[[], None]) -> None:
+        """Run ``thunk`` in node virtual time starting now."""
+        was_in_handler = self._in_handler
+        outer_vtime = self._vtime
+        self._in_handler = True
+        self._vtime = max(self.sim.now, self.busy_until)
+        try:
+            thunk()
+        finally:
+            self.busy_until = max(self.busy_until, self._vtime)
+            self._in_handler = was_in_handler
+            if was_in_handler:
+                self._vtime = max(outer_vtime, self._vtime)
+
+
+class SimNetwork:
+    """All nodes plus the latency matrix; creates and owns the simulator."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        costs: Optional[CostModel] = None,
+        sim: Optional[Simulator] = None,
+        seed: int = 0,
+        cpu_jitter: float = 0.03,
+    ) -> None:
+        self.sim = sim if sim is not None else Simulator()
+        self.topology = topology
+        self.costs = costs if costs is not None else CostModel()
+        self.rng = random.Random(seed)
+        self.cpu_jitter = cpu_jitter
+        self.nodes: List[SimNode] = [
+            SimNode(i, topology.machine(i), self) for i in range(len(topology))
+        ]
+        self._last_arrival: Dict[Tuple[int, int], float] = {}
+        # Maps node id -> topology index used for latency lookups.  Extra
+        # nodes (clients) are colocated with a chosen topology machine.
+        self._site_index: Dict[int, int] = {i: i for i in range(len(topology))}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def add_node(self, machine: MachineSpec, colocated_with: int = 0) -> SimNode:
+        """Append an extra node (e.g. a client) sharing a machine's site.
+
+        The paper's client sits on the Zurich LAN (``colocated_with=0``).
+        """
+        node = SimNode(len(self.nodes), machine, self)
+        self.nodes.append(node)
+        self._site_index[node.node_id] = self._site_index[colocated_with]
+        return node
+
+    def node(self, node_id: int) -> SimNode:
+        return self.nodes[node_id]
+
+    def transmit(
+        self, src: int, dest: int, payload: Any, departure: float
+    ) -> None:
+        """Deliver ``payload`` from ``src`` to ``dest`` with link latency.
+
+        FIFO per link: a message never overtakes an earlier one on the
+        same (src, dest) pair, matching the prototype's TCP links.
+        """
+        if not 0 <= dest < len(self.nodes):
+            raise ConfigError(f"no node {dest}")
+        self.messages_sent += 1
+        if isinstance(payload, (bytes, bytearray)):
+            self.bytes_sent += len(payload)
+        delay = self._link_delay(src, dest)
+        arrival = departure + delay
+        key = (src, dest)
+        last = self._last_arrival.get(key, 0.0)
+        arrival = max(arrival, last + 1e-9)
+        self._last_arrival[key] = arrival
+        receiver = self.nodes[dest]
+        self.sim.schedule_at(
+            arrival, lambda: receiver._deliver(src, payload)
+        )
+
+    def _link_delay(self, src: int, dest: int) -> float:
+        if src == dest:
+            return 0.0
+        a = self._site_index[src]
+        b = self._site_index[dest]
+        if a == b:
+            # Same machine index means colocated (client next to gateway):
+            # still a LAN hop, not zero.
+            from repro.sim.machines import LAN_RTT
+
+            return LAN_RTT / 2.0
+        return self.topology.one_way_delay(a, b)
+
+    def run(self, **kwargs: Any) -> None:
+        self.sim.run(**kwargs)

@@ -1,0 +1,37 @@
+"""Shared utilities: number theory, canonical serialization, logging."""
+
+from repro.util.numth import (
+    egcd,
+    invmod,
+    is_probable_prime,
+    random_prime,
+    random_safe_prime,
+    lagrange_coefficient_num_den,
+)
+from repro.util.serialization import (
+    pack_int,
+    unpack_int,
+    pack_bytes,
+    unpack_bytes,
+    pack_str,
+    unpack_str,
+    int_to_bytes,
+    bytes_to_int,
+)
+
+__all__ = [
+    "egcd",
+    "invmod",
+    "is_probable_prime",
+    "random_prime",
+    "random_safe_prime",
+    "lagrange_coefficient_num_den",
+    "pack_int",
+    "unpack_int",
+    "pack_bytes",
+    "unpack_bytes",
+    "pack_str",
+    "unpack_str",
+    "int_to_bytes",
+    "bytes_to_int",
+]

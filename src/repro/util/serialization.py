@@ -1,0 +1,118 @@
+"""Canonical, deterministic binary serialization helpers.
+
+All distributed-protocol messages and all data covered by signatures must
+serialize identically on every replica; these helpers provide a small
+length-prefixed format with no ambiguity.  Integers are encoded as
+big-endian byte strings with a 4-byte length prefix, so arbitrarily large
+bignums (RSA values) round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.errors import WireFormatError
+
+
+def int_to_bytes(value: int) -> bytes:
+    """Minimal big-endian encoding of a non-negative integer (b"" for 0)."""
+    if value < 0:
+        raise ValueError("only non-negative integers are supported")
+    return value.to_bytes((value.bit_length() + 7) // 8, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Inverse of :func:`int_to_bytes`."""
+    return int.from_bytes(data, "big")
+
+
+def pack_bytes(data: bytes) -> bytes:
+    """Length-prefixed byte string (4-byte big-endian length)."""
+    if len(data) > 0xFFFFFFFF:
+        raise ValueError("byte string too long")
+    return struct.pack(">I", len(data)) + data
+
+
+def unpack_bytes(buf: bytes, offset: int = 0) -> Tuple[bytes, int]:
+    """Read a length-prefixed byte string; return ``(data, new_offset)``."""
+    if offset + 4 > len(buf):
+        raise WireFormatError("truncated length prefix")
+    (length,) = struct.unpack_from(">I", buf, offset)
+    offset += 4
+    if offset + length > len(buf):
+        raise WireFormatError("truncated byte string")
+    return buf[offset : offset + length], offset + length
+
+
+def pack_int(value: int) -> bytes:
+    """Length-prefixed non-negative bignum."""
+    return pack_bytes(int_to_bytes(value))
+
+
+def unpack_int(buf: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Read a length-prefixed bignum; return ``(value, new_offset)``."""
+    data, offset = unpack_bytes(buf, offset)
+    return bytes_to_int(data), offset
+
+
+def pack_str(text: str) -> bytes:
+    """Length-prefixed UTF-8 string."""
+    return pack_bytes(text.encode("utf-8"))
+
+
+def unpack_str(buf: bytes, offset: int = 0) -> Tuple[str, int]:
+    """Read a length-prefixed UTF-8 string; return ``(text, new_offset)``."""
+    data, offset = unpack_bytes(buf, offset)
+    try:
+        return data.decode("utf-8"), offset
+    except UnicodeDecodeError as exc:
+        raise WireFormatError("invalid UTF-8 in string field") from exc
+
+
+def pack_u8(value: int) -> bytes:
+    if not 0 <= value <= 0xFF:
+        raise ValueError("u8 out of range")
+    return struct.pack(">B", value)
+
+
+def unpack_u8(buf: bytes, offset: int = 0) -> Tuple[int, int]:
+    if offset + 1 > len(buf):
+        raise WireFormatError("truncated u8")
+    return buf[offset], offset + 1
+
+
+def pack_u16(value: int) -> bytes:
+    if not 0 <= value <= 0xFFFF:
+        raise ValueError("u16 out of range")
+    return struct.pack(">H", value)
+
+
+def unpack_u16(buf: bytes, offset: int = 0) -> Tuple[int, int]:
+    if offset + 2 > len(buf):
+        raise WireFormatError("truncated u16")
+    return struct.unpack_from(">H", buf, offset)[0], offset + 2
+
+
+def pack_u32(value: int) -> bytes:
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError("u32 out of range")
+    return struct.pack(">I", value)
+
+
+def unpack_u32(buf: bytes, offset: int = 0) -> Tuple[int, int]:
+    if offset + 4 > len(buf):
+        raise WireFormatError("truncated u32")
+    return struct.unpack_from(">I", buf, offset)[0], offset + 4
+
+
+def pack_u64(value: int) -> bytes:
+    if not 0 <= value <= 0xFFFFFFFFFFFFFFFF:
+        raise ValueError("u64 out of range")
+    return struct.pack(">Q", value)
+
+
+def unpack_u64(buf: bytes, offset: int = 0) -> Tuple[int, int]:
+    if offset + 8 > len(buf):
+        raise WireFormatError("truncated u64")
+    return struct.unpack_from(">Q", buf, offset)[0], offset + 8

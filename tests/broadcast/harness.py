@@ -1,0 +1,45 @@
+"""Shared harness: run sans-IO broadcast protocols on the simulator."""
+
+from typing import Callable, Dict, List, Optional
+
+from repro.crypto.params import demo_threshold_key
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.sim.machines import lan_setup
+from repro.sim.network import SimNetwork
+
+
+def make_lan(n: int, seed: int = 0) -> SimNetwork:
+    return SimNetwork(lan_setup(n), seed=seed, cpu_jitter=0.0)
+
+
+class OutgoingRouter:
+    """Adapts list-of-(dest, msg) protocol outputs to SimNode sends."""
+
+    def __init__(self, net: SimNetwork, me: int, n: int) -> None:
+        self.net = net
+        self.me = me
+        self.n = n
+        self.loopback: Optional[Callable] = None
+
+    def send_all(self, outs) -> None:
+        for dest, msg in outs:
+            if dest == -1:
+                for peer in range(self.n):
+                    if peer != self.me:
+                        self.net.node(self.me).send(peer, msg)
+                # Sans-IO components self-process broadcast internally.
+            elif dest == self.me:
+                if self.loopback is not None:
+                    self.loopback(self.me, msg)
+            else:
+                self.net.node(self.me).send(dest, msg)
+
+
+def coin_keys(n: int, t: int):
+    _, shares = demo_threshold_key(n, t, 384)
+    return shares
+
+
+def auth_keys(n: int):
+    pairs = [generate_rsa_keypair(512) for _ in range(n)]
+    return pairs, [p.public for p in pairs]

@@ -1,0 +1,170 @@
+"""Optimistic atomic broadcast: total order, fall-back, Byzantine leaders."""
+
+import pytest
+
+from repro.broadcast.abc import AtomicBroadcast, derive_request_id, request_digest
+from repro.broadcast.messages import AbcOrder
+
+from tests.broadcast.harness import auth_keys, coin_keys, make_lan
+
+
+@pytest.fixture(scope="module")
+def keys_4_1():
+    pairs, pubs = auth_keys(4)
+    coins = coin_keys(4, 1)
+    return pairs, pubs, coins
+
+
+def build(n, t, net, keys, timeout=1.0):
+    pairs, pubs, coins = keys
+    delivered = {i: [] for i in range(n)}
+    abcs = []
+    for i in range(n):
+        node = net.node(i)
+        abc = AtomicBroadcast(
+            n, t, i,
+            auth_key=pairs[i].private,
+            auth_public=pubs,
+            coin_key=coins[i],
+            deliver=lambda rid, payload, i=i: delivered[i].append(payload),
+            send=node.send,
+            schedule=node.schedule_timer,
+            timeout=timeout,
+        )
+        abcs.append(abc)
+        node.set_handler(lambda s, m, abc=abc: abc.on_message(s, m))
+    return abcs, delivered
+
+
+def inject(net, abcs, replica, payloads, spacing=0.001):
+    for k, payload in enumerate(payloads):
+        net.node(replica).run_local(
+            spacing * k, lambda p=payload: abcs[replica].a_broadcast(p)
+        )
+
+
+class TestFastPath:
+    def test_total_order_single_gateway(self, keys_4_1):
+        net = make_lan(4)
+        abcs, delivered = build(4, 1, net, keys_4_1)
+        inject(net, abcs, 2, [f"r{k}".encode() for k in range(6)])
+        net.run()
+        assert all(len(delivered[i]) == 6 for i in range(4))
+        orders = {tuple(delivered[i]) for i in range(4)}
+        assert len(orders) == 1
+
+    def test_total_order_multiple_gateways(self, keys_4_1):
+        net = make_lan(4)
+        abcs, delivered = build(4, 1, net, keys_4_1)
+        inject(net, abcs, 1, [b"a1", b"a2"])
+        inject(net, abcs, 3, [b"b1", b"b2"])
+        net.run()
+        orders = {tuple(delivered[i]) for i in range(4)}
+        assert len(orders) == 1
+        assert set(delivered[0]) == {b"a1", b"a2", b"b1", b"b2"}
+
+    def test_duplicate_payload_delivered_once(self, keys_4_1):
+        net = make_lan(4)
+        abcs, delivered = build(4, 1, net, keys_4_1)
+        inject(net, abcs, 1, [b"same"])
+        inject(net, abcs, 2, [b"same"])
+        net.run()
+        assert all(delivered[i] == [b"same"] for i in range(4))
+
+    def test_no_recovery_when_leader_honest(self, keys_4_1):
+        net = make_lan(4)
+        abcs, delivered = build(4, 1, net, keys_4_1)
+        inject(net, abcs, 0, [b"x"])
+        net.run()
+        assert all(abc.stats["epoch_changes"] == 0 for abc in abcs)
+        assert all(abc.stats["fast_deliveries"] == 1 for abc in abcs)
+
+
+class TestFallback:
+    def test_crashed_leader_epoch_change(self, keys_4_1):
+        net = make_lan(4)
+        abcs, delivered = build(4, 1, net, keys_4_1)
+        net.node(0).dropped = True
+        inject(net, abcs, 2, [b"r0", b"r1", b"r2"])
+        net.run(until=300)
+        for i in (1, 2, 3):
+            assert sorted(delivered[i]) == [b"r0", b"r1", b"r2"], f"replica {i}"
+            assert abcs[i].epoch >= 1
+        orders = {tuple(delivered[i]) for i in (1, 2, 3)}
+        assert len(orders) == 1
+
+    def test_liveness_after_recovery(self, keys_4_1):
+        net = make_lan(4)
+        abcs, delivered = build(4, 1, net, keys_4_1)
+        net.node(0).dropped = True
+        inject(net, abcs, 2, [b"before"])
+        net.run(until=300)
+        assert all(b"before" in delivered[i] for i in (1, 2, 3))
+        # New epoch should now deliver quickly on the fast path.
+        inject(net, abcs, 1, [b"after"])
+        net.run(until=600)
+        for i in (1, 2, 3):
+            assert delivered[i][-1] == b"after"
+            assert tuple(delivered[i]) == tuple(delivered[1])
+
+    def test_two_successive_leader_crashes(self):
+        pairs, pubs = auth_keys(7)
+        coins = coin_keys(7, 2)
+        net = make_lan(7)
+        abcs, delivered = build(7, 2, net, (pairs, pubs, coins), timeout=1.0)
+        net.node(0).dropped = True
+        net.node(1).dropped = True
+        inject(net, abcs, 3, [b"x", b"y"])
+        net.run(until=900)
+        for i in range(2, 7):
+            assert sorted(delivered[i]) == [b"x", b"y"], f"replica {i}"
+        orders = {tuple(delivered[i]) for i in range(2, 7)}
+        assert len(orders) == 1
+
+
+class TestByzantineLeader:
+    def test_equivocating_leader_cannot_split_order(self, keys_4_1):
+        """Leader 0 sends conflicting ORDERs for the same slot."""
+        pairs, pubs, coins = keys_4_1
+        net = make_lan(4)
+        abcs, delivered = build(4, 1, net, keys_4_1, timeout=1.0)
+        payload_a, payload_b = b"AAAA", b"BBBB"
+        order_a = AbcOrder(0, 0, derive_request_id(payload_a), payload_a)
+        order_b = AbcOrder(0, 0, derive_request_id(payload_b), payload_b)
+        # Replicas 1,2 get A; replica 3 gets B.
+        net.node(0).send(1, order_a)
+        net.node(0).send(2, order_a)
+        net.node(0).send(3, order_b)
+        net.run(until=300)
+        values_at_slot = set()
+        for i in (1, 2, 3):
+            if delivered[i]:
+                values_at_slot.add(delivered[i][0])
+        assert len(values_at_slot) <= 1  # agreement even under equivocation
+
+    def test_forged_order_from_non_leader_ignored(self, keys_4_1):
+        net = make_lan(4)
+        abcs, delivered = build(4, 1, net, keys_4_1, timeout=5.0)
+        payload = b"forged"
+        order = AbcOrder(0, 0, derive_request_id(payload), payload)
+        net.node(2).send(1, order)  # replica 2 is not epoch-0 leader
+        net.run(until=2)
+        assert delivered[1] == []
+
+    def test_bad_request_id_ignored(self, keys_4_1):
+        net = make_lan(4)
+        abcs, delivered = build(4, 1, net, keys_4_1, timeout=5.0)
+        order = AbcOrder(0, 0, "wrong-id", b"payload")
+        net.node(0).send(1, order)
+        net.run(until=2)
+        assert delivered[1] == []
+
+
+class TestHelpers:
+    def test_derive_request_id_deterministic(self):
+        assert derive_request_id(b"x") == derive_request_id(b"x")
+        assert derive_request_id(b"x") != derive_request_id(b"y")
+
+    def test_request_digest_binds_slot(self):
+        assert request_digest(0, 1, b"p") != request_digest(0, 2, b"p")
+        assert request_digest(0, 1, b"p") != request_digest(1, 1, b"p")

@@ -1,0 +1,93 @@
+"""Bracha reliable broadcast."""
+
+from repro.broadcast.messages import RbcEcho, RbcReady, RbcSend
+from repro.broadcast.rbc import ReliableBroadcast
+
+from tests.broadcast.harness import OutgoingRouter, make_lan
+
+
+def build(n, t, net):
+    delivered = {i: {} for i in range(n)}
+    rbcs = []
+    routers = []
+    for i in range(n):
+        router = OutgoingRouter(net, i, n)
+        rbc = ReliableBroadcast(
+            n, t, i,
+            deliver=lambda sid, payload, i=i: delivered[i].__setitem__(sid, payload),
+        )
+        routers.append(router)
+        rbcs.append(rbc)
+
+        def handler(sender, msg, rbc=rbc, router=router):
+            router.send_all(rbc.on_message(sender, msg))
+
+        router.loopback = handler
+        net.node(i).set_handler(handler)
+    return rbcs, routers, delivered
+
+
+class TestFaultFree:
+    def test_all_deliver_same_payload(self):
+        net = make_lan(4)
+        rbcs, routers, delivered = build(4, 1, net)
+        routers[0].send_all(rbcs[0].broadcast("sid1", b"payload"))
+        net.run()
+        assert all(delivered[i].get("sid1") == b"payload" for i in range(4))
+
+    def test_concurrent_sessions(self):
+        net = make_lan(4)
+        rbcs, routers, delivered = build(4, 1, net)
+        routers[0].send_all(rbcs[0].broadcast("a", b"one"))
+        routers[2].send_all(rbcs[2].broadcast("b", b"two"))
+        net.run()
+        for i in range(4):
+            assert delivered[i] == {"a": b"one", "b": b"two"}
+
+    def test_delivered_accessor(self):
+        net = make_lan(4)
+        rbcs, routers, delivered = build(4, 1, net)
+        routers[1].send_all(rbcs[1].broadcast("s", b"x"))
+        net.run()
+        assert rbcs[3].delivered("s") == b"x"
+        assert rbcs[3].delivered("unknown") is None
+
+
+class TestByzantine:
+    def test_equivocating_broadcaster_cannot_split_honest(self):
+        """Node 0 sends payload A to half the group and B to the other."""
+        net = make_lan(4)
+        rbcs, routers, delivered = build(4, 1, net)
+        net.node(0).send(1, RbcSend("s", b"A"))
+        net.node(0).send(2, RbcSend("s", b"A"))
+        net.node(0).send(3, RbcSend("s", b"B"))
+        net.run()
+        values = {delivered[i].get("s") for i in (1, 2, 3)}
+        values.discard(None)
+        # Agreement: at most one value delivered among honest replicas.
+        assert len(values) <= 1
+
+    def test_no_delivery_without_quorum(self):
+        net = make_lan(4)
+        rbcs, routers, delivered = build(4, 1, net)
+        # A single spoofed READY is far below the 2t+1 quorum.
+        net.node(0).send(1, RbcReady("s", b"\x00" * 32))
+        net.run()
+        assert delivered[1] == {}
+
+    def test_crash_of_t_after_send_still_delivers(self):
+        net = make_lan(4)
+        rbcs, routers, delivered = build(4, 1, net)
+        routers[0].send_all(rbcs[0].broadcast("s", b"x"))
+        # One non-broadcaster crashes immediately.
+        net.node(3).dropped = True
+        net.run()
+        assert all(delivered[i].get("s") == b"x" for i in (0, 1, 2))
+
+    def test_forged_echo_minority_ignored(self):
+        net = make_lan(4)
+        rbcs, routers, delivered = build(4, 1, net)
+        routers[0].send_all(rbcs[0].broadcast("s", b"good"))
+        net.node(2).send(1, RbcEcho("s", b"evil"))
+        net.run()
+        assert delivered[1]["s"] == b"good"

@@ -1,0 +1,54 @@
+"""Shared fixtures: small threshold keys and zones, cached per session.
+
+Threshold key dealing is the slowest fixture; tests share session-scoped
+keys (each test must not mutate them — key objects are immutable).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.params import demo_threshold_key
+from repro.dns.zonefile import parse_zone_text
+
+ZONE_TEXT = """
+$ORIGIN example.com.
+$TTL 3600
+@    IN SOA ns1.example.com. admin.example.com. ( 100 7200 900 604800 300 )
+     IN NS ns1
+     IN NS ns2
+ns1  IN A 192.0.2.1
+ns2  IN A 192.0.2.2
+www  IN A 192.0.2.80
+www  IN A 192.0.2.81
+mail IN MX 10 mx1
+mx1  IN A 192.0.2.25
+txt  IN TXT "hello world"
+alias IN CNAME www
+sub  IN NS ns1.sub
+ns1.sub IN A 192.0.2.53
+v6   IN AAAA 2001:db8::1
+"""
+
+
+@pytest.fixture()
+def zone():
+    return parse_zone_text(ZONE_TEXT)
+
+
+@pytest.fixture(scope="session")
+def threshold_4_1():
+    """(n=4, t=1) threshold key over a 384-bit demo modulus."""
+    return demo_threshold_key(4, 1, 384)
+
+
+@pytest.fixture(scope="session")
+def threshold_7_2():
+    """(n=7, t=2) threshold key over a 384-bit demo modulus."""
+    return demo_threshold_key(7, 2, 384)
+
+
+@pytest.fixture(scope="session")
+def threshold_4_1_512():
+    """(n=4, t=1) key over a 512-bit modulus (for DNSSEC-size tests)."""
+    return demo_threshold_key(4, 1, 512)

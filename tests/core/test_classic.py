@@ -1,0 +1,139 @@
+"""Classic primary/secondary replication and its single point of failure."""
+
+import pytest
+
+from repro.core.classic import ClassicZoneService
+from repro.dns import constants as c
+from repro.dns.axfr import (
+    apply_axfr_response,
+    build_axfr_response,
+    make_axfr_query,
+    transfer_zone,
+)
+from repro.dns.name import Name
+from repro.dns.rdata import A
+from repro.errors import WireFormatError
+
+from tests.conftest import ZONE_TEXT
+
+
+class TestAxfr:
+    def test_transfer_reproduces_zone(self, zone):
+        copy = transfer_zone(zone)
+        assert copy == zone
+        assert copy is not zone
+
+    def test_stream_is_soa_framed(self, zone):
+        response = build_axfr_response(zone, make_axfr_query(zone.origin))
+        assert response.answers[0].rtype == c.TYPE_SOA
+        assert response.answers[-1].rtype == c.TYPE_SOA
+        assert response.answers[0].rdata == response.answers[-1].rdata
+
+    def test_unframed_stream_rejected(self, zone):
+        response = build_axfr_response(zone, make_axfr_query(zone.origin))
+        response.answers.pop()  # drop the closing SOA
+        with pytest.raises(WireFormatError):
+            apply_axfr_response(response)
+
+    def test_mismatched_soas_rejected(self, zone):
+        response = build_axfr_response(zone, make_axfr_query(zone.origin))
+        bumped = zone.copy()
+        bumped.bump_serial()
+        from repro.dns.message import rrset_to_rrs
+
+        response.answers[-1] = rrset_to_rrs(bumped.soa_rrset)[0]
+        with pytest.raises(WireFormatError):
+            apply_axfr_response(response)
+
+    def test_wire_roundtrip(self, zone):
+        from repro.dns.message import Message
+
+        response = build_axfr_response(zone, make_axfr_query(zone.origin))
+        decoded = Message.from_wire(response.to_wire())
+        assert apply_axfr_response(decoded) == zone
+
+
+class TestClassicReplication:
+    def test_secondaries_track_primary(self):
+        service = ClassicZoneService(ZONE_TEXT, server_count=3)
+        # Update the primary directly (as its processor would).
+        service.primary.zone.add_rdata(
+            Name.from_text("new.example.com."), c.TYPE_A, 300, A("192.0.2.9")
+        )
+        service.primary.zone.bump_serial()
+        service.run_for(10.0)  # past a refresh interval
+        assert len(set(service.serials())) == 1
+        for secondary in service.secondaries:
+            assert secondary.zone.find_rrset(
+                Name.from_text("new.example.com."), c.TYPE_A
+            )
+
+    def test_queries_served_by_any_server(self):
+        service = ClassicZoneService(ZONE_TEXT, server_count=3)
+        for index in range(3):
+            response = service.query("www.example.com.", c.TYPE_A, server=index)
+            assert response.rcode == c.RCODE_NOERROR
+
+    def test_updates_only_at_primary(self):
+        service = ClassicZoneService(ZONE_TEXT, server_count=3)
+        from repro.broadcast.messages import ClientRequest, ClientResponse
+        from repro.dns.message import Message, RR, make_update
+
+        update = make_update(service.zone_origin)
+        update.authority.append(
+            RR(Name.from_text("x.example.com."), c.TYPE_A, c.CLASS_IN, 1, A("1.1.1.1"))
+        )
+        responses = []
+        client = service.net.add_node(service.net.topology.machine(0))
+        client.set_handler(
+            lambda s, m: responses.append(Message.from_wire(m.wire))
+        )
+        client.run_local(
+            0.0, lambda: client.send(1, ClientRequest("u", update.to_wire()))
+        )
+        service.net.sim.run(condition=lambda: bool(responses))
+        assert responses[0].rcode == c.RCODE_NOTAUTH
+
+
+class TestSinglePointOfFailure:
+    def test_compromised_primary_poisons_every_secondary(self):
+        """§1's attack: corrupt the primary alone and wait for refresh —
+        every server in the zone now serves the attacker's data."""
+        service = ClassicZoneService(ZONE_TEXT, server_count=4)
+
+        def defacement(zone):
+            www = Name.from_text("www.example.com.")
+            zone.delete_rrset(www, c.TYPE_A)
+            zone.add_rdata(www, c.TYPE_A, 300, A("203.0.113.66"))
+
+        service.primary.compromise(defacement)
+        service.run_for(10.0)
+        for index in range(4):
+            response = service.query("www.example.com.", c.TYPE_A, server=index)
+            addresses = {
+                rr.rdata.address for rr in response.answers if rr.rtype == c.TYPE_A
+            }
+            assert addresses == {"203.0.113.66"}, (
+                f"server {index} should have been poisoned via AXFR"
+            )
+
+    def test_bft_service_resists_the_same_attack(self):
+        """The same single-server compromise against the paper's design:
+        t corrupted replicas cannot change what honest replicas serve."""
+        from repro.config import ServiceConfig
+        from repro.core.faults import CorruptionMode
+        from repro.core.service import ReplicatedNameService
+        from repro.sim.machines import lan_setup
+
+        service = ReplicatedNameService(
+            ServiceConfig(n=4, t=1), topology=lan_setup(4), zone_text=ZONE_TEXT,
+            client_model="full",
+        )
+        # "Compromise" one replica: it serves stale/fabricated data.
+        service.corrupt(1, CorruptionMode.STALE_READS)
+        service.add_record("canary.example.com.", c.TYPE_A, 300, "192.0.2.55")
+        op = service.query("canary.example.com.", c.TYPE_A)
+        addresses = {
+            rr.rdata.address for rr in op.response.answers if rr.rtype == c.TYPE_A
+        }
+        assert addresses == {"192.0.2.55"}  # majority of honest replicas wins

@@ -1,0 +1,47 @@
+"""Service configuration validation."""
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_minimal_bft_sizes(self):
+        assert ServiceConfig(n=4, t=1).quorum == 3
+        assert ServiceConfig(n=7, t=2).quorum == 5
+        assert ServiceConfig(n=10, t=3).quorum == 7
+
+    def test_n_must_exceed_3t(self):
+        for n, t in ((3, 1), (6, 2), (9, 3)):
+            with pytest.raises(ConfigError):
+                ServiceConfig(n=n, t=t)
+
+    def test_unreplicated_base_case_allowed(self):
+        config = ServiceConfig(n=1, t=0)
+        assert not config.replicated
+
+    def test_negative_t(self):
+        with pytest.raises(ConfigError):
+            ServiceConfig(n=4, t=-1)
+
+    def test_zero_servers(self):
+        with pytest.raises(ConfigError):
+            ServiceConfig(n=0, t=0)
+
+    def test_protocol_names(self):
+        for protocol in ("basic", "optproof", "optte"):
+            assert ServiceConfig(n=4, t=1, signing_protocol=protocol)
+        with pytest.raises(ConfigError):
+            ServiceConfig(n=4, t=1, signing_protocol="pbft")
+
+    def test_frozen(self):
+        config = ServiceConfig(n=4, t=1)
+        with pytest.raises(Exception):
+            config.n = 7  # type: ignore[misc]
+
+    def test_defaults_match_paper_model(self):
+        config = ServiceConfig(n=4, t=1)
+        assert config.signed_zone          # DNSSEC zone by default
+        assert config.reads_via_abc        # §3.3: reads also disseminated
+        assert not config.sign_every_response  # §3.4 rejects that design

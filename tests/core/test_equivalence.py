@@ -1,0 +1,105 @@
+"""Randomized service-vs-oracle equivalence (the strongest G1 check).
+
+Drives the replicated service and the §3.1 trusted server through the
+same randomized sequences of reads, adds, and deletes, and asserts the
+responses and final states agree — with and without a corrupted replica.
+"""
+
+import random
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.core.faults import CorruptionMode
+from repro.core.oracle import TrustedServer, responses_match
+from repro.core.service import ReplicatedNameService
+from repro.dns import constants as c
+from repro.dns.message import RR, make_query, make_update
+from repro.dns.name import Name
+from repro.dns.rdata import A
+from repro.sim.machines import lan_setup
+
+from tests.conftest import ZONE_TEXT
+
+
+def random_ops(rng, count):
+    """A reproducible mixed workload over a small name pool."""
+    pool = [f"h{i}.example.com." for i in range(5)]
+    ops = []
+    for _ in range(count):
+        kind = rng.choice(["read", "read", "add", "delete"])
+        name = Name.from_text(rng.choice(pool))
+        if kind == "add":
+            address = f"192.0.2.{rng.randrange(1, 250)}"
+            ops.append(("add", name, address))
+        elif kind == "delete":
+            ops.append(("delete", name, None))
+        else:
+            ops.append(("read", name, None))
+    return ops
+
+
+def replay(seed, corrupted=None, op_count=10):
+    rng = random.Random(seed)
+    ops = random_ops(rng, op_count)
+
+    from repro.dns.zonefile import parse_zone_text
+
+    oracle = TrustedServer(parse_zone_text(ZONE_TEXT))
+    service = ReplicatedNameService(
+        ServiceConfig(n=4, t=1),
+        topology=lan_setup(4),
+        zone_text=ZONE_TEXT,
+        seed=seed,
+    )
+    if corrupted is not None:
+        service.corrupt(corrupted, CorruptionMode.BAD_SHARES)
+
+    mismatches = []
+    for kind, name, address in ops:
+        if kind == "read":
+            spec = oracle.process(make_query(name, c.TYPE_A, msg_id=1))
+            op = service.query(name, c.TYPE_A)
+            if not responses_match(spec, op.response):
+                mismatches.append((kind, name.to_text()))
+        elif kind == "add":
+            update = make_update(oracle.zone.origin, msg_id=2)
+            update.authority.append(
+                RR(name, c.TYPE_A, c.CLASS_IN, 300, A(address))
+            )
+            spec = oracle.process(update)
+            op = service.add_record(name, c.TYPE_A, 300, address)
+            if spec.rcode != op.response.rcode:
+                mismatches.append((kind, name.to_text()))
+        else:
+            update = make_update(oracle.zone.origin, msg_id=3)
+            update.authority.append(RR(name, c.TYPE_ANY, c.CLASS_ANY, 0, None))
+            spec = oracle.process(update)
+            op = service.delete_name(name)
+            if spec.rcode != op.response.rcode:
+                mismatches.append((kind, name.to_text()))
+    return oracle, service, mismatches
+
+
+@pytest.mark.parametrize("seed", [11, 23, 47])
+def test_random_workload_matches_trusted_server(seed):
+    oracle, service, mismatches = replay(seed)
+    assert mismatches == []
+    # Final zone content agrees too (ignoring DNSSEC metadata records).
+    service.settle()
+    for replica in service.honest_replicas():
+        for name in oracle.zone.names():
+            spec_rrset = oracle.zone.find_rrset(name, c.TYPE_A)
+            got_rrset = replica.zone.find_rrset(name, c.TYPE_A)
+            if spec_rrset is None:
+                assert got_rrset is None, name.to_text()
+            else:
+                assert got_rrset is not None, name.to_text()
+                assert set(spec_rrset.rdatas) == set(got_rrset.rdatas)
+
+
+@pytest.mark.parametrize("seed", [31])
+def test_random_workload_with_corrupted_replica(seed):
+    oracle, service, mismatches = replay(seed, corrupted=2, op_count=8)
+    assert mismatches == []
+    assert service.verify_all_zones() > 0

@@ -1,0 +1,76 @@
+"""Fault injector behaviours."""
+
+import pytest
+
+from repro.broadcast.messages import ClientResponse, WrapperSigning
+from repro.core.faults import CorruptionMode, FaultInjector, tampered_zone_share
+from repro.crypto.protocols import SigningMessage
+
+
+@pytest.fixture()
+def share_message(threshold_4_1):
+    _, shares = threshold_4_1
+    share = shares[0].generate_share(b"message")
+    return WrapperSigning(SigningMessage.share_message("sid", share))
+
+
+class TestTransforms:
+    def test_honest_passes_through(self, share_message):
+        injector = FaultInjector(mode=CorruptionMode.HONEST)
+        assert injector.transform_outgoing(share_message) is share_message
+        assert not injector.is_corrupted
+
+    def test_crash_drops_everything(self, share_message):
+        injector = FaultInjector(mode=CorruptionMode.CRASH)
+        assert injector.transform_outgoing(share_message) is None
+        assert injector.transform_outgoing("anything") is None
+
+    def test_bad_shares_inverts_value(self, threshold_4_1, share_message):
+        public, _ = threshold_4_1
+        injector = FaultInjector(
+            mode=CorruptionMode.BAD_SHARES, modulus=public.modulus
+        )
+        out = injector.transform_outgoing(share_message)
+        assert isinstance(out, WrapperSigning)
+        assert out.inner.share.value != share_message.inner.share.value
+        assert "sid" in injector.corrupted_sessions
+
+    def test_bad_shares_garbles_finals(self, threshold_4_1):
+        public, _ = threshold_4_1
+        injector = FaultInjector(
+            mode=CorruptionMode.BAD_SHARES, modulus=public.modulus
+        )
+        final = WrapperSigning(SigningMessage.final("sid", b"\x01\x02\x03"))
+        out = injector.transform_outgoing(final)
+        assert out.inner.signature == b"\xfe\xfd\xfc"
+
+    def test_bad_shares_leaves_other_messages(self, threshold_4_1):
+        public, _ = threshold_4_1
+        injector = FaultInjector(
+            mode=CorruptionMode.BAD_SHARES, modulus=public.modulus
+        )
+        other = "an abc protocol message"
+        assert injector.transform_outgoing(other) is other
+
+    def test_mute_to_clients_drops_only_responses(self):
+        injector = FaultInjector(mode=CorruptionMode.MUTE_TO_CLIENTS)
+        response = ClientResponse(request_id="r", wire=b"x", replica=0)
+        assert injector.transform_outgoing(response) is None
+        assert injector.transform_outgoing("protocol message") == "protocol message"
+
+
+class TestTamperedShare:
+    def test_tampered_share_produces_invalid_shares(self, threshold_4_1):
+        public, shares = threshold_4_1
+        bad = tampered_zone_share(shares[0])
+        assert bad.index == shares[0].index
+        assert bad.secret != shares[0].secret
+        share = bad.generate_share_with_proof(b"msg")
+        assert not public.share_is_valid(b"msg", share)
+
+    def test_tampered_share_breaks_assembly(self, threshold_4_1):
+        public, shares = threshold_4_1
+        bad = tampered_zone_share(shares[0])
+        mixed = [bad.generate_share(b"m"), shares[1].generate_share(b"m")]
+        signature = public.assemble(b"m", mixed)
+        assert not public.signature_is_valid(b"m", signature)

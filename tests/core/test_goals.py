@@ -1,0 +1,121 @@
+"""The paper's goals G1/G2/G3 and their weak variants, end to end."""
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.core.faults import CorruptionMode
+from repro.core.service import ReplicatedNameService
+from repro.dns import constants as c
+from repro.sim.machines import lan_setup
+
+
+def make(n=4, t=1, **kwargs):
+    config_extra = kwargs.pop("config_extra", {})
+    kwargs.setdefault("topology", lan_setup(n))
+    return ReplicatedNameService(ServiceConfig(n=n, t=t, **config_extra), **kwargs)
+
+
+class TestG1Correctness:
+    """Full-client model: every acceptable response is correct."""
+
+    def test_majority_vote_defeats_t_stale_replicas(self):
+        svc = make(client_model="full")
+        svc.add_record("g1.example.com.", c.TYPE_A, 300, "192.0.2.11")
+        svc.corrupt(2, CorruptionMode.STALE_READS)
+        op = svc.query("g1.example.com.", c.TYPE_A)
+        addresses = {
+            rr.rdata.address for rr in op.response.answers if rr.rtype == c.TYPE_A
+        }
+        assert addresses == {"192.0.2.11"}
+
+
+class TestG2Liveness:
+    """Every request eventually gets an acceptable response."""
+
+    def test_full_client_with_crashed_replica(self):
+        svc = make(client_model="full")
+        svc.corrupt(3, CorruptionMode.CRASH)
+        op = svc.query("www.example.com.", c.TYPE_A)
+        assert op.response.rcode == c.RCODE_NOERROR
+
+    def test_pragmatic_liveness_via_retry(self):
+        """G2' + round-robin retry ≈ liveness in practice (§3.4)."""
+        svc = make(config_extra={"client_timeout": 5.0})
+        svc.corrupt(0, CorruptionMode.CRASH)  # gateway dead
+        op = svc.query("www.example.com.", c.TYPE_A)
+        assert op.response.rcode == c.RCODE_NOERROR
+        assert op.retries >= 1
+
+    def test_write_liveness_with_t_corruptions(self):
+        svc = make()
+        svc.corrupt(2, CorruptionMode.BAD_SHARES)
+        op = svc.add_record("live.example.com.", c.TYPE_A, 300, "192.0.2.12")
+        assert op.response.rcode == c.RCODE_NOERROR
+
+
+class TestG1PrimeWeakCorrectness:
+    """Pragmatic model: acceptable responses are signed, possibly stale."""
+
+    def test_stale_gateway_data_is_still_zone_signed(self):
+        """A corrupted server can replay old data, but that data carries
+        valid zone signatures — it cannot fabricate records (G1')."""
+        svc = make()
+        svc.corrupt(0, CorruptionMode.STALE_READS)
+        op = svc.query("www.example.com.", c.TYPE_A)  # pre-existing name
+        # The stale snapshot is the signed initial zone: SIGs verify.
+        assert op.verified
+
+    def test_fabrication_impossible_without_t_plus_1(self):
+        """Even colluding t servers cannot produce a SIG for made-up data:
+        a signature assembled with any invalid share fails validation."""
+        svc = make()
+        public = svc.deployment.zone_public
+        shares = [r.zone_share for r in svc.deployment.replicas]
+        fake_record = b"evil.example.com. 3600 IN A 6.6.6.6 (canonical form)"
+        # t = 1 corrupted server alone:
+        from repro.errors import AssemblyError
+
+        with pytest.raises(AssemblyError):
+            public.assemble(fake_record, [shares[0].generate_share(fake_record)])
+
+
+class TestG3Secrecy:
+    """The zone key is never reconstructible from t shares."""
+
+    def test_shares_are_distinct_and_secret_dependent(self):
+        svc = make()
+        secrets = [r.zone_share.secret for r in svc.deployment.replicas]
+        assert len(set(secrets)) == len(secrets)
+
+    def test_zone_key_never_at_any_single_replica(self):
+        """No replica object holds the private exponent — only its share
+        and the public parameters."""
+        svc = make()
+        public = svc.deployment.zone_public
+        for replica in svc.replicas:
+            share = replica.deployment.replicas[replica.index].zone_share
+            # The share alone cannot produce a valid signature.
+            message = b"attempted solo signature"
+            from repro.errors import AssemblyError
+
+            with pytest.raises(AssemblyError):
+                public.assemble(message, [share.generate_share(message)])
+
+    def test_signing_leaks_only_shares_not_secrets(self):
+        """Messages on the wire never contain a key-share secret."""
+        svc = make()
+        secrets = {r.zone_share.secret for r in svc.deployment.replicas}
+        observed = []
+        original_transmit = svc.net.transmit
+
+        def spy(src, dest, payload, departure):
+            observed.append(payload)
+            original_transmit(src, dest, payload, departure)
+
+        svc.net.transmit = spy
+        svc.add_record("spy.example.com.", c.TYPE_A, 300, "192.0.2.13")
+        from repro.broadcast.messages import WrapperSigning
+
+        for payload in observed:
+            if isinstance(payload, WrapperSigning) and payload.inner.share:
+                assert payload.inner.share.value not in secrets

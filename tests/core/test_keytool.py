@@ -1,0 +1,71 @@
+"""Key generation and distribution utility."""
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.core.keytool import generate_deployment, load_replica_keys, save_replica_keys
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return generate_deployment(ServiceConfig(n=4, t=1), zone_bits=384)
+
+
+class TestGeneration:
+    def test_share_indices_one_based(self, deployment):
+        for i, keys in enumerate(deployment.replicas):
+            assert keys.index == i
+            assert keys.zone_share.index == i + 1
+            assert keys.coin_share.index == i + 1
+
+    def test_zone_and_coin_keys_independent(self, deployment):
+        assert deployment.zone_public.modulus != deployment.coin_public.modulus
+
+    def test_auth_keys_distinct(self, deployment):
+        moduli = {k.modulus for k in deployment.auth_public}
+        assert len(moduli) == 4
+
+    def test_zone_key_record_matches_public(self, deployment):
+        record = deployment.zone_key_record
+        modulus, exponent = record.rsa_parameters()
+        assert modulus == deployment.zone_public.modulus
+        assert exponent == deployment.zone_public.exponent
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ServiceConfig(n=3, t=1)  # violates n > 3t
+        with pytest.raises(ConfigError):
+            ServiceConfig(n=4, t=-1)
+        with pytest.raises(ConfigError):
+            ServiceConfig(n=4, t=1, signing_protocol="nope")
+
+    def test_threshold_shares_sign_together(self, deployment):
+        public = deployment.zone_public
+        shares = [r.zone_share for r in deployment.replicas[:2]]
+        message = b"check"
+        sig = public.assemble(message, [s.generate_share(message) for s in shares])
+        public.verify_signature(message, sig)
+
+
+class TestFileForm:
+    def test_save_load_roundtrip(self, deployment, tmp_path):
+        path = tmp_path / "replica2.keys"
+        save_replica_keys(deployment.replicas[2], str(path))
+        loaded = load_replica_keys(str(path))
+        assert loaded.index == 2
+        assert loaded.zone_share.secret == deployment.replicas[2].zone_share.secret
+        assert loaded.coin_share.public == deployment.coin_public
+        assert (
+            loaded.auth_key.private.private_exponent
+            == deployment.replicas[2].auth_key.private.private_exponent
+        )
+
+    def test_loaded_keys_functional(self, deployment, tmp_path):
+        path = tmp_path / "replica0.keys"
+        save_replica_keys(deployment.replicas[0], str(path))
+        loaded = load_replica_keys(str(path))
+        sig = loaded.auth_key.private.sign(b"hello")
+        loaded.auth_key.public.verify(b"hello", sig)
+        share = loaded.zone_share.generate_share_with_proof(b"msg")
+        deployment.zone_public.verify_share(b"msg", share)

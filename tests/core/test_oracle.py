@@ -1,0 +1,109 @@
+"""Goals G1/G1' checked against the trusted-server oracles (§3.1, §3.4)."""
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.core.faults import CorruptionMode
+from repro.core.oracle import TrustedServer, WeakTrustedServer, responses_match
+from repro.core.service import ReplicatedNameService
+from repro.dns import constants as c
+from repro.dns.message import RR, make_query, make_update
+from repro.dns.name import Name
+from repro.dns.rdata import A
+from repro.sim.machines import lan_setup
+
+WWW = Name.from_text("www.example.com.")
+NEW = Name.from_text("new.example.com.")
+
+
+def make_service(**kwargs):
+    from tests.conftest import ZONE_TEXT
+
+    kwargs.setdefault("topology", lan_setup(4))
+    kwargs.setdefault("zone_text", ZONE_TEXT)  # same zone as the oracle
+    config_extra = kwargs.pop("config_extra", {})
+    return ReplicatedNameService(
+        ServiceConfig(n=4, t=1, **config_extra), **kwargs
+    )
+
+
+class TestTrustedServerOracle:
+    def test_query_matches_spec(self, zone):
+        oracle = TrustedServer(zone)
+        svc = make_service()
+        request = make_query(WWW, c.TYPE_A, msg_id=1)
+        spec = oracle.process(request)
+        op = svc.query(WWW, c.TYPE_A)
+        assert responses_match(spec, op.response)
+
+    def test_update_sequence_matches_spec(self, zone):
+        oracle = TrustedServer(zone)
+        svc = make_service()
+        # Apply the same update to both.
+        update = make_update(Name.from_text("example.com."), msg_id=2)
+        update.authority.append(RR(NEW, c.TYPE_A, c.CLASS_IN, 300, A("192.0.2.9")))
+        oracle.process(update)
+        svc.add_record(NEW, c.TYPE_A, 300, "192.0.2.9")
+        # Subsequent reads agree.
+        request = make_query(NEW, c.TYPE_A, msg_id=3)
+        spec = oracle.process(request)
+        op = svc.query(NEW, c.TYPE_A)
+        assert responses_match(spec, op.response)
+
+    def test_history_snapshots(self, zone):
+        oracle = WeakTrustedServer(zone)
+        update = make_update(Name.from_text("example.com."))
+        update.authority.append(RR(NEW, c.TYPE_A, c.CLASS_IN, 300, A("192.0.2.9")))
+        oracle.process(update)
+        assert len(oracle.history) == 2
+
+
+class TestWeakCorrectness:
+    def test_fresh_response_is_approximate(self, zone):
+        oracle = WeakTrustedServer(zone)
+        request = make_query(WWW, c.TYPE_A)
+        fresh = oracle.process(request)
+        assert oracle.is_approximate(request, fresh)
+
+    def test_stale_response_is_approximate(self, zone):
+        """G1' permits answers from any previous state (§3.4)."""
+        oracle = WeakTrustedServer(zone)
+        stale_answer = oracle.process(make_query(NEW, c.TYPE_A))  # NXDOMAIN now
+        update = make_update(Name.from_text("example.com."))
+        update.authority.append(RR(NEW, c.TYPE_A, c.CLASS_IN, 300, A("192.0.2.9")))
+        oracle.process(update)
+        request = make_query(NEW, c.TYPE_A)
+        assert oracle.is_approximate(request, stale_answer)
+
+    def test_fabricated_response_is_not_approximate(self, zone):
+        oracle = WeakTrustedServer(zone)
+        request = make_query(WWW, c.TYPE_A)
+        fake = oracle.process(request).copy()
+        fake.answers = [RR(WWW, c.TYPE_A, c.CLASS_IN, 300, A("6.6.6.6"))]
+        assert not oracle.is_approximate(request, fake)
+
+    def test_stale_replica_satisfies_g1_prime_end_to_end(self, zone):
+        """A corrupted stale-reading gateway still gives *approximate*
+        responses — the weakened guarantee unmodified clients get."""
+        oracle = WeakTrustedServer(zone)
+        svc = make_service(verify_signatures=False)
+        svc.corrupt(0, CorruptionMode.STALE_READS)  # gateway serves old data
+
+        # One update goes through (via the honest replicas executing it).
+        update = make_update(Name.from_text("example.com."))
+        update.authority.append(RR(NEW, c.TYPE_A, c.CLASS_IN, 300, A("192.0.2.9")))
+        oracle.process(update)
+        svc.add_record(NEW, c.TYPE_A, 300, "192.0.2.9")
+
+        request = make_query(NEW, c.TYPE_A)
+        op = svc.query(NEW, c.TYPE_A)
+        # The gateway's answer is stale (NXDOMAIN) but approximate.
+        assert oracle.is_approximate(request, op.response)
+
+    def test_sig_records_ignored_in_comparison(self, zone):
+        oracle = WeakTrustedServer(zone)
+        svc = make_service()
+        request = make_query(WWW, c.TYPE_A)
+        spec = oracle.process(request)
+        op = svc.query(WWW, c.TYPE_A)  # service answers carry SIG records
+        assert responses_match(spec, op.response)

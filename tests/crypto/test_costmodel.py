@@ -1,0 +1,87 @@
+"""Cost model calibration and accounting."""
+
+import pytest
+
+from repro.crypto.costmodel import (
+    CostModel,
+    GENERATE_PROOF,
+    GENERATE_SHARE_BARE,
+    PAPER_CRYPTO_COSTS,
+    TABLE3_ASSEMBLE,
+    TABLE3_GENERATE_WITH_PROOF,
+    TABLE3_VERIFY_SHARE,
+    TABLE3_VERIFY_SIGNATURE,
+    measure_local_costs,
+)
+from repro.crypto.protocols import (
+    OP_ASSEMBLE,
+    OP_GENERATE_PROOF,
+    OP_GENERATE_SHARE,
+    OP_VERIFY_SHARE,
+    OP_VERIFY_SIGNATURE,
+)
+
+
+class TestCalibration:
+    def test_generation_split_sums_to_table3(self):
+        assert GENERATE_SHARE_BARE + GENERATE_PROOF == pytest.approx(
+            TABLE3_GENERATE_WITH_PROOF
+        )
+
+    def test_table3_relative_shares(self):
+        total = (
+            TABLE3_GENERATE_WITH_PROOF
+            + TABLE3_VERIFY_SHARE
+            + TABLE3_ASSEMBLE
+            + TABLE3_VERIFY_SIGNATURE
+        )
+        assert 100 * TABLE3_GENERATE_WITH_PROOF / total == pytest.approx(49.6, abs=0.5)
+        assert 100 * TABLE3_VERIFY_SHARE / total == pytest.approx(47.2, abs=0.5)
+        assert 100 * TABLE3_ASSEMBLE / total == pytest.approx(3.0, abs=0.3)
+        assert 100 * TABLE3_VERIFY_SIGNATURE / total == pytest.approx(0.2, abs=0.2)
+
+    def test_all_protocol_ops_priced(self):
+        for op in (
+            OP_GENERATE_SHARE,
+            OP_GENERATE_PROOF,
+            OP_VERIFY_SHARE,
+            OP_ASSEMBLE,
+            OP_VERIFY_SIGNATURE,
+        ):
+            assert PAPER_CRYPTO_COSTS[op] > 0
+
+
+class TestCostModel:
+    def test_crypto_cost_lookup(self):
+        model = CostModel()
+        assert model.crypto_cost(OP_VERIFY_SHARE) == TABLE3_VERIFY_SHARE
+        assert model.crypto_cost(OP_VERIFY_SHARE, 3) == 3 * TABLE3_VERIFY_SHARE
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(KeyError):
+            CostModel().crypto_cost("make_coffee")
+
+    def test_ops_cost_sums(self):
+        model = CostModel()
+        ops = [(OP_GENERATE_SHARE, 1), (OP_ASSEMBLE, 2)]
+        expected = GENERATE_SHARE_BARE + 2 * TABLE3_ASSEMBLE
+        assert model.ops_cost(ops) == pytest.approx(expected)
+
+    def test_custom_costs_override(self):
+        model = CostModel(crypto={OP_GENERATE_SHARE: 42.0})
+        assert model.crypto_cost(OP_GENERATE_SHARE) == 42.0
+
+
+class TestLocalMeasurement:
+    def test_measured_profile_matches_paper_shape(self):
+        costs = measure_local_costs(modulus_bits=512, repetitions=1)
+        total = sum(costs.values())
+        # Generation + proof + verification dominate; final verify ~free.
+        heavy = (
+            costs[OP_GENERATE_SHARE]
+            + costs[OP_GENERATE_PROOF]
+            + costs[OP_VERIFY_SHARE]
+        )
+        assert heavy / total > 0.8
+        assert costs[OP_VERIFY_SIGNATURE] < costs[OP_VERIFY_SHARE]
+        assert all(v >= 0 for v in costs.values())

@@ -1,0 +1,83 @@
+"""Property-based tests on the cryptographic layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import pkcs1
+from repro.crypto.shoup import ShareProof, SignatureShare
+
+
+class TestPkcs1Properties:
+    @given(st.binary(max_size=500))
+    def test_encode_verify_roundtrip(self, message):
+        em = pkcs1.emsa_pkcs1_v15_encode(message, 128)
+        assert pkcs1.emsa_pkcs1_v15_verify(message, em)
+
+    @given(st.binary(max_size=100), st.binary(max_size=100))
+    def test_distinct_messages_distinct_encodings(self, a, b):
+        if a == b:
+            return
+        em_a = pkcs1.emsa_pkcs1_v15_encode(a, 128)
+        em_b = pkcs1.emsa_pkcs1_v15_encode(b, 128)
+        assert em_a != em_b
+        assert not pkcs1.emsa_pkcs1_v15_verify(b, em_a)
+
+    @given(st.binary(max_size=100), st.integers(46, 512))
+    def test_encoding_length_exact(self, message, em_len):
+        assert len(pkcs1.emsa_pkcs1_v15_encode(message, em_len)) == em_len
+
+
+class TestShareSerializationProperties:
+    @given(st.integers(1, 0xFFFF), st.integers(0, 2**1024))
+    def test_bare_share_roundtrip(self, index, value):
+        share = SignatureShare(index=index, value=value)
+        restored, offset = SignatureShare.from_bytes(share.to_bytes())
+        assert restored == share
+        assert offset == len(share.to_bytes())
+
+    @given(
+        st.integers(1, 0xFFFF),
+        st.integers(0, 2**1024),
+        st.integers(0, 2**1600),
+        st.integers(0, 2**256),
+    )
+    def test_share_with_proof_roundtrip(self, index, value, z, challenge):
+        share = SignatureShare(
+            index=index, value=value, proof=ShareProof(z=z, c=challenge)
+        )
+        restored, _ = SignatureShare.from_bytes(share.to_bytes())
+        assert restored == share
+        assert restored.proof == share.proof
+
+
+class TestThresholdSigningProperties:
+    @given(st.binary(min_size=1, max_size=200))
+    @settings(max_examples=15, deadline=None)
+    def test_sign_verify_any_message(self, message):
+        public, shares = _key()
+        sig_shares = [s.generate_share(message) for s in shares[:2]]
+        signature = public.assemble(message, sig_shares)
+        public.verify_signature(message, signature)
+
+    @given(st.binary(min_size=1, max_size=100), st.binary(min_size=1, max_size=100))
+    @settings(max_examples=10, deadline=None)
+    def test_signature_never_transfers(self, message_a, message_b):
+        if message_a == message_b:
+            return
+        public, shares = _key()
+        signature = public.assemble(
+            message_a, [s.generate_share(message_a) for s in shares[:2]]
+        )
+        assert not public.signature_is_valid(message_b, signature)
+
+
+_CACHED = None
+
+
+def _key():
+    global _CACHED
+    if _CACHED is None:
+        from repro.crypto.params import demo_threshold_key
+
+        _CACHED = demo_threshold_key(4, 1, 384)
+    return _CACHED

@@ -1,0 +1,100 @@
+"""RSA + PKCS#1 tests."""
+
+import pytest
+
+from repro.crypto import pkcs1
+from repro.crypto.rsa import RsaPublicKey, generate_rsa_keypair
+from repro.errors import CryptoError, InvalidSignature, KeyGenerationError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_rsa_keypair(512)
+
+
+class TestPkcs1:
+    def test_encoding_structure(self):
+        em = pkcs1.emsa_pkcs1_v15_encode(b"msg", 64)
+        assert em[0] == 0x00 and em[1] == 0x01
+        assert b"\x00" in em[2:]
+        assert len(em) == 64
+        # Padding is all 0xFF up to the separator.
+        sep = em.index(b"\x00", 2)
+        assert set(em[2:sep]) == {0xFF}
+
+    def test_digest_info_tail(self):
+        em = pkcs1.emsa_pkcs1_v15_encode(b"msg", 64)
+        assert em.endswith(pkcs1.sha1(b"msg"))
+
+    def test_verify_roundtrip(self):
+        em = pkcs1.emsa_pkcs1_v15_encode(b"hello", 128)
+        assert pkcs1.emsa_pkcs1_v15_verify(b"hello", em)
+        assert not pkcs1.emsa_pkcs1_v15_verify(b"other", em)
+
+    def test_modulus_too_small(self):
+        with pytest.raises(CryptoError):
+            pkcs1.emsa_pkcs1_v15_encode(b"msg", 20)
+
+    def test_encode_to_int_in_range(self):
+        modulus = (1 << 512) - 1
+        x = pkcs1.encode_to_int(b"msg", modulus)
+        assert 0 < x < modulus
+
+
+class TestRsa:
+    def test_sign_verify(self, keypair):
+        sig = keypair.private.sign(b"the quick brown fox")
+        keypair.public.verify(b"the quick brown fox", sig)
+
+    def test_wrong_message_rejected(self, keypair):
+        sig = keypair.private.sign(b"message one")
+        with pytest.raises(InvalidSignature):
+            keypair.public.verify(b"message two", sig)
+
+    def test_tampered_signature_rejected(self, keypair):
+        sig = bytearray(keypair.private.sign(b"msg"))
+        sig[5] ^= 0x40
+        with pytest.raises(InvalidSignature):
+            keypair.public.verify(b"msg", bytes(sig))
+
+    def test_wrong_length_rejected(self, keypair):
+        sig = keypair.private.sign(b"msg")
+        with pytest.raises(InvalidSignature):
+            keypair.public.verify(b"msg", sig[:-1])
+
+    def test_oversized_value_rejected(self, keypair):
+        size = keypair.public.byte_size
+        huge = (keypair.public.modulus + 1).to_bytes(size + 1, "big")[-size:]
+        with pytest.raises(InvalidSignature):
+            keypair.public.verify(b"msg", b"\xff" * size)
+        del huge
+
+    def test_is_valid_boolean(self, keypair):
+        sig = keypair.private.sign(b"msg")
+        assert keypair.public.is_valid(b"msg", sig)
+        assert not keypair.public.is_valid(b"other", sig)
+
+    def test_crt_matches_plain_exponentiation(self, keypair):
+        import repro.crypto.pkcs1 as p
+
+        x = p.encode_to_int(b"crt check", keypair.private.modulus)
+        plain = pow(x, keypair.private.private_exponent, keypair.private.modulus)
+        via_crt = keypair.private._sign_crt(x)
+        assert plain == via_crt
+
+    def test_public_key_serialization(self, keypair):
+        data = keypair.public.to_bytes()
+        restored = RsaPublicKey.from_bytes(data)
+        assert restored == keypair.public
+
+    def test_distinct_keys(self):
+        a = generate_rsa_keypair(256)
+        b = generate_rsa_keypair(256)
+        assert a.public.modulus != b.public.modulus
+
+    def test_too_small_modulus_rejected(self):
+        with pytest.raises(KeyGenerationError):
+            generate_rsa_keypair(64)
+
+    def test_deterministic_signature(self, keypair):
+        assert keypair.private.sign(b"x") == keypair.private.sign(b"x")

@@ -1,0 +1,168 @@
+"""DNSSEC zone signing, NXT chain, and the 4-vs-2 signature pattern."""
+
+import pytest
+
+from repro.dns import constants as c
+from repro.dns import dnssec
+from repro.dns.dnssec import SigningPolicy
+from repro.dns.message import RR, make_update
+from repro.dns.name import Name
+from repro.dns.rdata import A, KEY
+from repro.dns.update import UpdateProcessor
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.errors import DnssecError
+
+ORIGIN = Name.from_text("example.com.")
+NEW = Name.from_text("new.example.com.")
+
+
+@pytest.fixture(scope="module")
+def rsa_key():
+    return generate_rsa_keypair(512)
+
+
+@pytest.fixture()
+def signed_zone(zone, rsa_key):
+    key_record = KEY.for_rsa(rsa_key.public.modulus, rsa_key.public.exponent)
+    zone.add_rdata(ORIGIN, c.TYPE_KEY, 3600, key_record)
+    dnssec.sign_zone_locally(zone, key_record, rsa_key.private.sign)
+    return zone, key_record
+
+
+class TestZoneSigning:
+    def test_every_rrset_covered(self, signed_zone):
+        zone, key_record = signed_zone
+        count = dnssec.verify_zone(zone, key_record)
+        assert count > 0
+        for name in zone.names():
+            non_sig = [r for r in zone.rrsets_at(name) if r.rtype != c.TYPE_SIG]
+            sigs = zone.find_rrset(name, c.TYPE_SIG)
+            if non_sig:
+                assert sigs is not None
+                covered = {s.type_covered for s in sigs}
+                assert covered == {r.rtype for r in non_sig}
+
+    def test_tampered_record_fails_verification(self, signed_zone, rsa_key):
+        zone, key_record = signed_zone
+        www = Name.from_text("www.example.com.")
+        zone.add_rdata(www, c.TYPE_A, 3600, A("6.6.6.6"))
+        with pytest.raises(DnssecError):
+            dnssec.verify_zone(zone, key_record)
+
+    def test_signing_is_deterministic(self, zone, rsa_key):
+        key_record = KEY.for_rsa(rsa_key.public.modulus, rsa_key.public.exponent)
+        zone.add_rdata(ORIGIN, c.TYPE_KEY, 3600, key_record)
+        a = zone.copy()
+        b = zone.copy()
+        dnssec.sign_zone_locally(a, key_record, rsa_key.private.sign)
+        dnssec.sign_zone_locally(b, key_record, rsa_key.private.sign)
+        assert a.digest() == b.digest()
+
+
+class TestNxtChain:
+    def test_chain_is_closed_cycle(self, signed_zone):
+        zone, _ = signed_zone
+        names_with_nxt = [
+            name for name in zone.names() if zone.find_rrset(name, c.TYPE_NXT)
+        ]
+        successors = set()
+        for name in names_with_nxt:
+            nxt = zone.find_rrset(name, c.TYPE_NXT).rdatas[0]
+            successors.add(nxt.next_name)
+        assert successors == set(names_with_nxt)  # a permutation = one cycle
+
+    def test_chain_follows_canonical_order(self, signed_zone):
+        zone, _ = signed_zone
+        names = [n for n in zone.names() if zone.find_rrset(n, c.TYPE_NXT)]
+        for i, name in enumerate(names):
+            nxt = zone.find_rrset(name, c.TYPE_NXT).rdatas[0]
+            assert nxt.next_name == names[(i + 1) % len(names)]
+
+    def test_bitmap_lists_types_at_owner(self, signed_zone):
+        zone, _ = signed_zone
+        www = Name.from_text("www.example.com.")
+        nxt = zone.find_rrset(www, c.TYPE_NXT).rdatas[0]
+        assert c.TYPE_A in nxt.types
+        assert c.TYPE_NXT in nxt.types and c.TYPE_SIG in nxt.types
+
+    def test_rebuild_idempotent(self, signed_zone):
+        zone, _ = signed_zone
+        assert dnssec.rebuild_nxt_chain(zone) == set()
+
+
+class TestUpdateSigningPattern:
+    """The 4-SIGs-per-add / 2-SIGs-per-delete pattern of §5.2."""
+
+    def _update(self, zone, rr):
+        msg = make_update(ORIGIN)
+        msg.authority.append(rr)
+        return UpdateProcessor(zone).apply(msg)
+
+    def test_add_new_name_signs_four(self, signed_zone):
+        zone, key_record = signed_zone
+        result = self._update(zone, RR(NEW, c.TYPE_A, c.CLASS_IN, 300, A("192.0.2.9")))
+        tasks = dnssec.signing_tasks_for_update(zone, result, key_record)
+        assert len(tasks) == 4
+        kinds = [(t.name, t.rtype) for t in tasks]
+        assert (NEW, c.TYPE_A) in kinds
+        assert (NEW, c.TYPE_NXT) in kinds
+        assert (ORIGIN, c.TYPE_SOA) in kinds
+
+    def test_delete_name_signs_two(self, signed_zone, rsa_key):
+        zone, key_record = signed_zone
+        result = self._update(zone, RR(NEW, c.TYPE_A, c.CLASS_IN, 300, A("192.0.2.9")))
+        for task in dnssec.signing_tasks_for_update(zone, result, key_record):
+            dnssec.attach_signature(zone, task, rsa_key.private.sign(task.data))
+        result = self._update(zone, RR(NEW, c.TYPE_ANY, c.CLASS_ANY, 0, None))
+        tasks = dnssec.signing_tasks_for_update(zone, result, key_record)
+        assert len(tasks) == 2
+        assert tasks[-1].rtype == c.TYPE_SOA
+
+    def test_zone_verifies_after_signed_update(self, signed_zone, rsa_key):
+        zone, key_record = signed_zone
+        result = self._update(zone, RR(NEW, c.TYPE_A, c.CLASS_IN, 300, A("192.0.2.9")))
+        count = dnssec.resign_after_update_locally(
+            zone, result, key_record, rsa_key.private.sign
+        )
+        assert count == 4
+        dnssec.verify_zone(zone, key_record)
+
+    def test_noop_update_signs_nothing(self, signed_zone):
+        zone, key_record = signed_zone
+        result = self._update(
+            zone, RR(Name.from_text("missing.example.com."), c.TYPE_ANY, c.CLASS_ANY, 0, None)
+        )
+        assert dnssec.signing_tasks_for_update(zone, result, key_record) == []
+
+    def test_task_ids_deterministic_across_replicas(self, signed_zone):
+        zone, key_record = signed_zone
+        replica_a = zone.copy()
+        replica_b = zone.copy()
+        rr = RR(NEW, c.TYPE_A, c.CLASS_IN, 300, A("192.0.2.9"))
+        result_a = self._update(replica_a, rr)
+        result_b = self._update(replica_b, rr)
+        tasks_a = dnssec.signing_tasks_for_update(replica_a, result_a, key_record)
+        tasks_b = dnssec.signing_tasks_for_update(replica_b, result_b, key_record)
+        assert [t.sign_id for t in tasks_a] == [t.sign_id for t in tasks_b]
+        assert [t.data for t in tasks_a] == [t.data for t in tasks_b]
+
+
+class TestVerification:
+    def test_wrong_key_tag_rejected(self, signed_zone):
+        zone, key_record = signed_zone
+        wrong = KEY.for_rsa(key_record.rsa_parameters()[0] + 2, 65537)
+        with pytest.raises(DnssecError):
+            dnssec.verify_zone(zone, wrong)
+
+    def test_validity_window(self, signed_zone, rsa_key):
+        zone, key_record = signed_zone
+        policy = SigningPolicy()
+        inception = policy.inception(zone.serial)
+        dnssec.verify_zone(zone, key_record, now=inception + 10)
+        with pytest.raises(DnssecError):
+            dnssec.verify_zone(zone, key_record, now=inception - 10)
+
+    def test_policy_determinism(self):
+        policy = SigningPolicy(inception_base=500, validity=100)
+        assert policy.inception(7) == 507
+        assert policy.expiration(7) == 607

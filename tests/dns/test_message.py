@@ -1,0 +1,161 @@
+"""DNS message model and wire codec."""
+
+import pytest
+
+from repro.dns import constants as c
+from repro.dns.message import (
+    Message,
+    Question,
+    RR,
+    make_query,
+    make_response,
+    make_update,
+    rrs_to_rrsets,
+    rrset_to_rrs,
+)
+from repro.dns.name import Name
+from repro.dns.rdata import A, NS, TXT
+from repro.dns.rrset import RRset
+from repro.errors import WireFormatError
+
+WWW = Name.from_text("www.example.com.")
+ORIGIN = Name.from_text("example.com.")
+
+
+class TestBuilders:
+    def test_make_query(self):
+        query = make_query(WWW, c.TYPE_A)
+        assert query.opcode == c.OPCODE_QUERY
+        assert not query.is_response
+        assert query.questions == [Question(WWW, c.TYPE_A, c.CLASS_IN)]
+
+    def test_make_response_echoes(self):
+        query = make_query(WWW, c.TYPE_A, msg_id=1234)
+        response = make_response(query, c.RCODE_NXDOMAIN)
+        assert response.msg_id == 1234
+        assert response.is_response
+        assert response.rcode == c.RCODE_NXDOMAIN
+        assert response.questions == query.questions
+
+    def test_make_update_zone_section(self):
+        update = make_update(ORIGIN)
+        assert update.opcode == c.OPCODE_UPDATE
+        assert update.zone[0].rtype == c.TYPE_SOA
+        assert update.zone[0].name == ORIGIN
+
+
+class TestWire:
+    def test_query_roundtrip(self):
+        query = make_query(WWW, c.TYPE_A, msg_id=42)
+        decoded = Message.from_wire(query.to_wire())
+        assert decoded.msg_id == 42
+        assert decoded.questions == query.questions
+        assert decoded.opcode == c.OPCODE_QUERY
+
+    def test_response_with_records_roundtrip(self):
+        query = make_query(WWW, c.TYPE_A, msg_id=7)
+        response = make_response(query)
+        response.set_flag(c.FLAG_AA)
+        response.answers.append(RR(WWW, c.TYPE_A, c.CLASS_IN, 300, A("1.2.3.4")))
+        response.authority.append(
+            RR(ORIGIN, c.TYPE_NS, c.CLASS_IN, 3600, NS(Name.from_text("ns1.example.com.")))
+        )
+        decoded = Message.from_wire(response.to_wire())
+        assert decoded.is_authoritative
+        assert decoded.answers == response.answers
+        assert decoded.authority == response.authority
+
+    def test_compression_shrinks_message(self):
+        response = Message(msg_id=1)
+        for i in range(5):
+            owner = Name.from_text(f"host{i}.example.com.")
+            response.answers.append(RR(owner, c.TYPE_A, c.CLASS_IN, 60, A("1.1.1.1")))
+        wire = response.to_wire()
+        uncompressed_estimate = sum(
+            len(rr.name.to_wire()) + 14 for rr in response.answers
+        )
+        assert len(wire) < uncompressed_estimate + 12
+        decoded = Message.from_wire(wire)
+        assert decoded.answers == response.answers
+
+    def test_empty_rdata_roundtrip(self):
+        """RFC 2136 delete-RRset records have no rdata."""
+        update = make_update(ORIGIN, msg_id=9)
+        update.updates.append(RR(WWW, c.TYPE_ANY, c.CLASS_ANY, 0, None))
+        decoded = Message.from_wire(update.to_wire())
+        assert decoded.updates[0].rdata is None
+        assert decoded.updates[0].rclass == c.CLASS_ANY
+
+    def test_opcode_rcode_packed(self):
+        update = make_update(ORIGIN, msg_id=3)
+        update.rcode = c.RCODE_YXRRSET
+        decoded = Message.from_wire(update.to_wire())
+        assert decoded.opcode == c.OPCODE_UPDATE
+        assert decoded.rcode == c.RCODE_YXRRSET
+
+    def test_truncated_header(self):
+        with pytest.raises(WireFormatError):
+            Message.from_wire(b"\x00\x01\x00")
+
+    def test_truncated_record(self):
+        query = make_query(WWW, c.TYPE_A)
+        wire = query.to_wire()
+        with pytest.raises(WireFormatError):
+            Message.from_wire(wire[:-3])
+
+    def test_flags_preserved(self):
+        msg = Message(msg_id=5)
+        for flag in (c.FLAG_QR, c.FLAG_AA, c.FLAG_RD, c.FLAG_RA, c.FLAG_AD):
+            msg.set_flag(flag)
+        decoded = Message.from_wire(msg.to_wire())
+        for flag in (c.FLAG_QR, c.FLAG_AA, c.FLAG_RD, c.FLAG_RA, c.FLAG_AD):
+            assert decoded.flags & flag
+
+    def test_case_preserved_through_compression(self):
+        msg = Message(msg_id=6)
+        msg.answers.append(
+            RR(Name.from_text("WWW.Example.COM."), c.TYPE_A, c.CLASS_IN, 60, A("1.1.1.1"))
+        )
+        msg.answers.append(
+            RR(Name.from_text("www.example.com."), c.TYPE_A, c.CLASS_IN, 60, A("2.2.2.2"))
+        )
+        decoded = Message.from_wire(msg.to_wire())
+        assert decoded.answers[0].name == decoded.answers[1].name  # case-insensitive
+
+
+class TestSectionHelpers:
+    def test_rrset_to_rrs_and_back(self):
+        rrset = RRset(WWW, c.TYPE_A, 300, [A("1.1.1.1"), A("2.2.2.2")])
+        rrs = rrset_to_rrs(rrset)
+        assert len(rrs) == 2
+        rebuilt = rrs_to_rrsets(rrs)
+        assert rebuilt == [rrset]
+
+    def test_grouping_preserves_distinct_sets(self):
+        rrs = [
+            RR(WWW, c.TYPE_A, c.CLASS_IN, 300, A("1.1.1.1")),
+            RR(WWW, c.TYPE_TXT, c.CLASS_IN, 300, TXT([b"x"])),
+            RR(WWW, c.TYPE_A, c.CLASS_IN, 300, A("2.2.2.2")),
+        ]
+        rrsets = rrs_to_rrsets(rrs)
+        assert len(rrsets) == 2
+        assert rrsets[0].rtype == c.TYPE_A and len(rrsets[0]) == 2
+
+    def test_update_aliases(self):
+        update = make_update(ORIGIN)
+        assert update.zone is update.questions
+        assert update.prerequisites is update.answers
+        assert update.updates is update.authority
+
+    def test_copy_is_deep_for_sections(self):
+        msg = make_query(WWW, c.TYPE_A)
+        clone = msg.copy()
+        clone.answers.append(RR(WWW, c.TYPE_A, c.CLASS_IN, 1, A("1.1.1.1")))
+        assert not msg.answers
+
+    def test_to_text_contains_sections(self):
+        query = make_query(WWW, c.TYPE_A)
+        response = make_response(query)
+        response.answers.append(RR(WWW, c.TYPE_A, c.CLASS_IN, 300, A("1.2.3.4")))
+        text = response.to_text()
+        assert "QUESTION" in text and "ANSWER" in text and "1.2.3.4" in text

@@ -1,0 +1,168 @@
+"""Domain name parsing, ordering, and wire format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns.name import Name, root_name
+from repro.errors import NameError_, WireFormatError
+
+
+class TestParsing:
+    def test_absolute(self):
+        name = Name.from_text("www.example.com.")
+        assert name.labels == (b"www", b"example", b"com")
+
+    def test_root(self):
+        assert Name.from_text(".").is_root
+        assert root_name().to_text() == "."
+
+    def test_relative_with_origin(self):
+        origin = Name.from_text("example.com.")
+        assert Name.from_text("www", origin) == Name.from_text("www.example.com.")
+
+    def test_at_sign_is_origin(self):
+        origin = Name.from_text("example.com.")
+        assert Name.from_text("@", origin) == origin
+
+    def test_relative_without_origin_rejected(self):
+        with pytest.raises(NameError_):
+            Name.from_text("www")
+
+    def test_escaped_dot(self):
+        name = Name.from_text(r"a\.b.example.com.")
+        assert name.labels[0] == b"a.b"
+
+    def test_decimal_escape(self):
+        name = Name.from_text(r"a\065.example.com.")
+        assert name.labels[0] == b"aA"
+
+    def test_label_too_long(self):
+        with pytest.raises(NameError_):
+            Name.from_text("a" * 64 + ".com.")
+
+    def test_name_too_long(self):
+        label = "a" * 60
+        with pytest.raises(NameError_):
+            Name.from_text(".".join([label] * 5) + ".")
+
+    def test_case_insensitive_equality(self):
+        assert Name.from_text("WWW.Example.COM.") == Name.from_text("www.example.com.")
+        assert hash(Name.from_text("A.b.")) == hash(Name.from_text("a.B."))
+
+
+class TestOrdering:
+    def test_canonical_order_rightmost_label_first(self):
+        # RFC 4034 §6.1 example ordering.
+        ordered = [
+            "example.com.",
+            "a.example.com.",
+            "yljkjljk.a.example.com.",
+            "Z.a.example.com.",
+            "zABC.a.EXAMPLE.com.",
+            "z.example.com.",
+        ]
+        names = [Name.from_text(t) for t in ordered]
+        assert sorted(names) == names
+
+    def test_root_sorts_first(self):
+        assert root_name() < Name.from_text("com.")
+
+
+class TestRelations:
+    def test_subdomain(self):
+        parent = Name.from_text("example.com.")
+        child = Name.from_text("www.example.com.")
+        assert child.is_subdomain_of(parent)
+        assert parent.is_subdomain_of(parent)
+        assert not parent.is_subdomain_of(child)
+        assert child.is_subdomain_of(root_name())
+
+    def test_not_subdomain_of_sibling(self):
+        assert not Name.from_text("www.example.org.").is_subdomain_of(
+            Name.from_text("example.com.")
+        )
+
+    def test_partial_label_not_subdomain(self):
+        # "badexample.com" is not under "example.com".
+        assert not Name.from_text("badexample.com.").is_subdomain_of(
+            Name.from_text("example.com.")
+        )
+
+    def test_parent(self):
+        assert Name.from_text("www.example.com.").parent() == Name.from_text(
+            "example.com."
+        )
+        with pytest.raises(NameError_):
+            root_name().parent()
+
+    def test_relativize(self):
+        origin = Name.from_text("example.com.")
+        assert Name.from_text("www.example.com.").relativize_text(origin) == "www"
+        assert origin.relativize_text(origin) == "@"
+        assert (
+            Name.from_text("other.org.").relativize_text(origin) == "other.org."
+        )
+
+    def test_concatenate(self):
+        a = Name.from_text("www", Name(()))
+        b = Name.from_text("example.com.")
+        assert a.concatenate(b) == Name.from_text("www.example.com.")
+
+
+class TestWire:
+    def test_roundtrip(self):
+        name = Name.from_text("www.example.com.")
+        wire = name.to_wire()
+        decoded, offset = Name.from_wire(wire)
+        assert decoded == name and offset == len(wire)
+
+    def test_root_wire(self):
+        assert root_name().to_wire() == b"\x00"
+
+    def test_canonical_wire_lowercases(self):
+        upper = Name.from_text("WWW.EXAMPLE.COM.")
+        lower = Name.from_text("www.example.com.")
+        assert upper.canonical_wire() == lower.canonical_wire()
+        assert upper.to_wire() != lower.to_wire()
+
+    def test_compression_pointer(self):
+        # Message fragment: "example.com." at 0, "www" + pointer at 13.
+        base = Name.from_text("example.com.").to_wire()
+        buf = base + b"\x03www" + b"\xc0\x00"
+        decoded, offset = Name.from_wire(buf, len(base))
+        assert decoded == Name.from_text("www.example.com.")
+        assert offset == len(buf)
+
+    def test_pointer_loop_rejected(self):
+        buf = b"\xc0\x00"
+        with pytest.raises(WireFormatError):
+            Name.from_wire(buf, 0)
+
+    def test_forward_pointer_rejected(self):
+        buf = b"\xc0\x05" + b"\x00" * 10
+        with pytest.raises(WireFormatError):
+            Name.from_wire(buf, 0)
+
+    def test_truncated(self):
+        with pytest.raises(WireFormatError):
+            Name.from_wire(b"\x05abc")
+
+    @given(
+        st.lists(
+            st.binary(min_size=1, max_size=20).filter(lambda b: True),
+            min_size=0,
+            max_size=5,
+        )
+    )
+    def test_wire_roundtrip_arbitrary_labels(self, labels):
+        try:
+            name = Name(labels)
+        except NameError_:
+            return
+        decoded, _ = Name.from_wire(name.to_wire())
+        assert decoded == Name([l.lower() for l in labels]) or decoded == name
+
+    def test_text_roundtrip_binary_labels(self):
+        name = Name([b"\x00\x01binary", b"example"])
+        assert Name.from_text(name.to_text()) == name

@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) on the DNS data structures."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns import constants as c
+from repro.dns.message import Message, RR, make_query
+from repro.dns.name import Name
+from repro.dns.rdata import A, MX, NS, TXT, decode_rdata
+from repro.dns.rrset import RRset
+from repro.dns.zone import Zone
+from repro.dns.zonefile import parse_zone_text, write_zone_text
+
+# -- strategies -------------------------------------------------------------
+
+labels = st.binary(min_size=1, max_size=20)
+names = st.lists(labels, min_size=0, max_size=4).map(Name)
+hostnames = st.lists(
+    st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=12),
+    min_size=1,
+    max_size=3,
+).map(lambda parts: Name.from_text(".".join(parts) + ".example.com."))
+ipv4 = st.tuples(*(st.integers(0, 255),) * 4).map(
+    lambda t: ".".join(str(x) for x in t)
+)
+a_records = ipv4.map(A)
+txt_records = st.lists(
+    st.binary(min_size=0, max_size=50), min_size=1, max_size=4
+).map(TXT)
+
+
+class TestNameProperties:
+    @given(names)
+    def test_wire_roundtrip(self, name):
+        decoded, offset = Name.from_wire(name.to_wire())
+        assert decoded == name
+        assert offset == len(name.to_wire())
+
+    @given(names)
+    def test_text_roundtrip(self, name):
+        assert Name.from_text(name.to_text()) == name
+
+    @given(names)
+    def test_canonical_wire_idempotent_under_case(self, name):
+        upper = Name([l.upper() for l in name.labels])
+        assert upper.canonical_wire() == name.canonical_wire()
+        assert upper == name
+
+    @given(names, names)
+    def test_ordering_total_and_consistent(self, a, b):
+        assert (a < b) or (b < a) or (a == b)
+        if a < b:
+            assert not b < a
+
+    @given(names, names)
+    def test_concatenation_subdomain(self, prefix, suffix):
+        try:
+            combined = prefix.concatenate(suffix)
+        except Exception:
+            return  # length overflow is fine
+        assert combined.is_subdomain_of(suffix)
+
+
+class TestRdataProperties:
+    @given(a_records)
+    def test_a_wire_roundtrip(self, rdata):
+        wire = rdata.to_wire()
+        assert decode_rdata(c.TYPE_A, wire, 0, len(wire)) == rdata
+
+    @given(txt_records)
+    def test_txt_wire_roundtrip(self, rdata):
+        wire = rdata.to_wire()
+        assert decode_rdata(c.TYPE_TXT, wire, 0, len(wire)) == rdata
+
+    @given(st.integers(0, 0xFFFF), hostnames)
+    def test_mx_wire_roundtrip(self, preference, exchange):
+        rdata = MX(preference, exchange)
+        wire = rdata.to_wire()
+        assert decode_rdata(c.TYPE_MX, wire, 0, len(wire)) == rdata
+
+
+class TestMessageProperties:
+    @given(
+        st.integers(0, 0xFFFF),
+        hostnames,
+        st.lists(st.tuples(hostnames, a_records), max_size=6),
+    )
+    @settings(max_examples=50)
+    def test_message_wire_roundtrip(self, msg_id, qname, answers):
+        msg = make_query(qname, c.TYPE_A, msg_id=msg_id)
+        msg.set_flag(c.FLAG_QR)
+        for owner, rdata in answers:
+            msg.answers.append(RR(owner, c.TYPE_A, c.CLASS_IN, 300, rdata))
+        decoded = Message.from_wire(msg.to_wire())
+        assert decoded.msg_id == msg.msg_id
+        assert decoded.questions == msg.questions
+        assert decoded.answers == msg.answers
+
+    @given(st.binary(max_size=40))
+    def test_arbitrary_bytes_never_crash_decoder(self, data):
+        from repro.errors import WireFormatError
+
+        try:
+            Message.from_wire(data)
+        except WireFormatError:
+            pass  # rejection is fine; crashing is not
+
+
+class TestZoneProperties:
+    @given(st.lists(st.tuples(hostnames, a_records), max_size=10))
+    @settings(max_examples=40)
+    def test_zone_digest_order_independent(self, records):
+        base = (
+            "$ORIGIN example.com.\n$TTL 300\n"
+            "@ IN SOA ns.example.com. a.example.com. 1 2 3 4 5\n"
+            "@ IN NS ns\nns IN A 10.0.0.1\n"
+        )
+        forward = parse_zone_text(base)
+        backward = parse_zone_text(base)
+        for owner, rdata in records:
+            forward.add_rdata(owner, c.TYPE_A, 300, rdata)
+        for owner, rdata in reversed(records):
+            backward.add_rdata(owner, c.TYPE_A, 300, rdata)
+        assert forward.digest() == backward.digest()
+
+    @given(st.lists(st.tuples(hostnames, a_records), min_size=1, max_size=8))
+    @settings(max_examples=40)
+    def test_zonefile_roundtrip_with_random_records(self, records):
+        base = (
+            "$ORIGIN example.com.\n$TTL 300\n"
+            "@ IN SOA ns.example.com. a.example.com. 1 2 3 4 5\n"
+            "@ IN NS ns\nns IN A 10.0.0.1\n"
+        )
+        zone = parse_zone_text(base)
+        for owner, rdata in records:
+            zone.add_rdata(owner, c.TYPE_A, 300, rdata)
+        reparsed = parse_zone_text(write_zone_text(zone))
+        assert reparsed == zone
+
+    @given(st.lists(st.tuples(hostnames, a_records), min_size=1, max_size=8))
+    @settings(max_examples=40)
+    def test_add_then_delete_restores_digest(self, records):
+        base = (
+            "$ORIGIN example.com.\n$TTL 300\n"
+            "@ IN SOA ns.example.com. a.example.com. 1 2 3 4 5\n"
+            "@ IN NS ns\nns IN A 10.0.0.1\n"
+        )
+        zone = parse_zone_text(base)
+        before = zone.digest()
+        for owner, rdata in records:
+            zone.add_rdata(owner, c.TYPE_A, 300, rdata)
+        for owner, _ in records:
+            zone.delete_name(owner)
+        assert zone.digest() == before
+
+
+class TestRRsetProperties:
+    @given(st.lists(a_records, min_size=1, max_size=8))
+    def test_canonical_wire_permutation_invariant(self, rdatas):
+        owner = Name.from_text("x.example.com.")
+        forward = RRset(owner, c.TYPE_A, 60, rdatas)
+        backward = RRset(owner, c.TYPE_A, 60, list(reversed(rdatas)))
+        assert forward.canonical_wire() == backward.canonical_wire()
+        assert forward == backward

@@ -1,0 +1,239 @@
+"""Rdata types: text/wire round trips and canonical forms."""
+
+import pytest
+
+from repro.dns import constants as c
+from repro.dns.name import Name
+from repro.dns.rdata import (
+    A,
+    AAAA,
+    CNAME,
+    KEY,
+    MX,
+    NS,
+    NXT,
+    SIG,
+    SOA,
+    TXT,
+    GenericRdata,
+    decode_rdata,
+    rdata_from_text,
+)
+from repro.errors import WireFormatError, ZoneFileError
+
+ORIGIN = Name.from_text("example.com.")
+
+
+def roundtrip_wire(rdata):
+    wire = rdata.to_wire()
+    return decode_rdata(rdata.rtype, wire, 0, len(wire))
+
+
+def roundtrip_text(rdata):
+    # Tokenize like the zone-file parser (quote-aware, not naive split).
+    from repro.dns.zonefile import _TOKEN_RE
+
+    tokens = _TOKEN_RE.findall(rdata.to_text())
+    return rdata_from_text(rdata.rtype, tokens, ORIGIN)
+
+
+class TestA:
+    def test_roundtrips(self):
+        a = A("192.0.2.80")
+        assert roundtrip_wire(a) == a
+        assert roundtrip_text(a) == a
+        assert a.to_wire() == bytes([192, 0, 2, 80])
+
+    def test_bad_address(self):
+        for bad in ("1.2.3", "1.2.3.256", "a.b.c.d", "1.2.3.4.5"):
+            with pytest.raises(ZoneFileError):
+                A(bad)
+
+    def test_wrong_length_wire(self):
+        with pytest.raises(WireFormatError):
+            decode_rdata(c.TYPE_A, b"\x01\x02\x03", 0, 3)
+
+
+class TestAAAA:
+    def test_full_form(self):
+        a = AAAA("2001:db8:0:0:0:0:0:1")
+        assert roundtrip_wire(a) == a
+
+    def test_compressed_form(self):
+        assert AAAA("2001:db8::1") == AAAA("2001:0db8:0:0:0:0:0:0001")
+
+    def test_text_roundtrip(self):
+        a = AAAA("2001:db8::1")
+        assert roundtrip_text(a) == a
+
+    def test_bad_addresses(self):
+        for bad in ("2001:db8", "1:2:3:4:5:6:7:8:9", "::x"):
+            with pytest.raises(ZoneFileError):
+                AAAA(bad)
+
+
+class TestNameTypes:
+    @pytest.mark.parametrize("cls", [NS, CNAME])
+    def test_roundtrips(self, cls):
+        rdata = cls(Name.from_text("ns1.example.com."))
+        assert roundtrip_wire(rdata) == rdata
+        assert roundtrip_text(rdata) == rdata
+
+    def test_canonical_lowercases(self):
+        upper = NS(Name.from_text("NS1.EXAMPLE.COM."))
+        lower = NS(Name.from_text("ns1.example.com."))
+        assert upper.canonical_wire() == lower.canonical_wire()
+        assert upper == lower  # identity is canonical
+
+
+class TestMX:
+    def test_roundtrips(self):
+        mx = MX(10, Name.from_text("mx1.example.com."))
+        assert roundtrip_wire(mx) == mx
+        assert roundtrip_text(mx) == mx
+
+    def test_preference_range(self):
+        with pytest.raises(ZoneFileError):
+            MX(70000, Name.from_text("mx.example.com."))
+
+
+class TestTXT:
+    def test_multiple_strings(self):
+        txt = TXT([b"hello", b"world"])
+        assert roundtrip_wire(txt) == txt
+
+    def test_text_quoting(self):
+        txt = TXT([b'with "quotes"'])
+        assert roundtrip_text(txt) == txt
+
+    def test_too_long_string(self):
+        with pytest.raises(ZoneFileError):
+            TXT([b"x" * 256])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ZoneFileError):
+            TXT([])
+
+
+class TestSOA:
+    def test_roundtrips(self):
+        soa = SOA(
+            Name.from_text("ns1.example.com."),
+            Name.from_text("admin.example.com."),
+            100, 7200, 900, 604800, 300,
+        )
+        assert roundtrip_wire(soa) == soa
+        assert roundtrip_text(soa) == soa
+
+    def test_with_serial(self):
+        soa = SOA(
+            Name.from_text("ns1.example.com."),
+            Name.from_text("admin.example.com."),
+            100, 7200, 900, 604800, 300,
+        )
+        bumped = soa.with_serial(101)
+        assert bumped.serial == 101 and bumped.refresh == soa.refresh
+
+    def test_field_range(self):
+        with pytest.raises(ZoneFileError):
+            SOA(ORIGIN, ORIGIN, 2**32, 0, 0, 0, 0)
+
+
+class TestKEY:
+    def test_rsa_roundtrip(self):
+        key = KEY.for_rsa(modulus=(1 << 511) + 12345, exponent=65537)
+        modulus, exponent = key.rsa_parameters()
+        assert modulus == (1 << 511) + 12345 and exponent == 65537
+        assert roundtrip_wire(key) == key
+        assert roundtrip_text(key) == key
+
+    def test_long_exponent_form(self):
+        key = KEY.for_rsa(modulus=1 << 300, exponent=1 << 2050)
+        modulus, exponent = key.rsa_parameters()
+        assert exponent == 1 << 2050
+
+    def test_key_tag_stable(self):
+        key = KEY.for_rsa(modulus=(1 << 511) + 9, exponent=65537)
+        assert 0 <= key.key_tag() <= 0xFFFF
+        assert key.key_tag() == key.key_tag()
+
+    def test_zone_key_flags(self):
+        key = KEY.for_rsa(modulus=1 << 500, exponent=3)
+        assert key.flags == KEY.ZONE_KEY_FLAGS
+        assert key.algorithm == c.ALG_RSASHA1
+
+
+class TestSIG:
+    def _sig(self):
+        return SIG(
+            type_covered=c.TYPE_A,
+            algorithm=c.ALG_RSASHA1,
+            labels=3,
+            original_ttl=3600,
+            expiration=1_003_600,
+            inception=1_000_000,
+            key_tag=12345,
+            signer=ORIGIN,
+            signature=b"\x01" * 64,
+        )
+
+    def test_roundtrips(self):
+        sig = self._sig()
+        assert roundtrip_wire(sig) == sig
+        assert roundtrip_text(sig) == sig
+
+    def test_header_excludes_signature(self):
+        sig = self._sig()
+        header = sig.header_wire()
+        assert b"\x01" * 64 not in header
+        assert sig.canonical_wire() == header + sig.signature
+
+    def test_truncated_wire(self):
+        with pytest.raises(WireFormatError):
+            decode_rdata(c.TYPE_SIG, b"\x00\x01", 0, 2)
+
+
+class TestNXT:
+    def test_roundtrips(self):
+        nxt = NXT(Name.from_text("b.example.com."), [c.TYPE_A, c.TYPE_NXT, c.TYPE_SIG])
+        assert roundtrip_wire(nxt) == nxt
+        assert roundtrip_text(nxt) == nxt
+
+    def test_bitmap_contents(self):
+        nxt = NXT(ORIGIN, [c.TYPE_A, c.TYPE_SOA])
+        decoded = roundtrip_wire(nxt)
+        assert decoded.types == (c.TYPE_A, c.TYPE_SOA)
+
+    def test_type_out_of_bitmap_range(self):
+        with pytest.raises(ZoneFileError):
+            NXT(ORIGIN, [200])
+
+
+class TestGeneric:
+    def test_unknown_type_roundtrip(self):
+        data = b"\xde\xad\xbe\xef"
+        rdata = decode_rdata(999, data, 0, len(data))
+        assert isinstance(rdata, GenericRdata)
+        assert rdata.to_wire() == data
+        assert rdata.rtype == 999
+
+    def test_generic_text_form(self):
+        rdata = rdata_from_text(999, ["\\#", "2", "abcd"], None)
+        assert rdata.to_wire() == bytes.fromhex("abcd")
+
+    def test_generic_length_mismatch(self):
+        with pytest.raises(ZoneFileError):
+            rdata_from_text(999, ["\\#", "3", "abcd"], None)
+
+
+class TestOrderingAndEquality:
+    def test_rdata_sorted_by_canonical_wire(self):
+        records = [A("192.0.2.9"), A("192.0.2.1"), A("10.0.0.1")]
+        ordered = sorted(records)
+        assert [r.address for r in ordered] == ["10.0.0.1", "192.0.2.1", "192.0.2.9"]
+
+    def test_cross_type_inequality(self):
+        assert A("1.2.3.4") != TXT([b"1.2.3.4"])
+
+    def test_hashable(self):
+        assert len({A("1.1.1.1"), A("1.1.1.1"), A("2.2.2.2")}) == 2

@@ -1,0 +1,168 @@
+"""Iterative resolution across a delegation tree."""
+
+import pytest
+
+from repro.dns import constants as c
+from repro.dns import dnssec
+from repro.dns.name import Name
+from repro.dns.rdata import KEY
+from repro.dns.resolver import (
+    IterativeResolver,
+    ResolutionError,
+    build_in_memory_tree,
+)
+from repro.dns.zonefile import parse_zone_text
+from repro.crypto.rsa import generate_rsa_keypair
+
+ROOT = """
+$ORIGIN .
+$TTL 86400
+. IN SOA a.root. admin.root. 1 2 3 4 5
+. IN NS a.root.
+a.root. IN A 198.41.0.4
+com. IN NS a.gtld.com.
+a.gtld.com. IN A 192.5.6.30
+"""
+
+COM = """
+$ORIGIN com.
+$TTL 86400
+@ IN SOA a.gtld.com. admin.com. 1 2 3 4 5
+  IN NS a.gtld.com.
+a.gtld IN A 192.5.6.30
+example IN NS ns1.example.com.
+ns1.example IN A 192.0.2.1
+"""
+
+EXAMPLE = """
+$ORIGIN example.com.
+$TTL 3600
+@ IN SOA ns1.example.com. admin.example.com. 1 2 3 4 5
+  IN NS ns1
+ns1 IN A 192.0.2.1
+www IN A 192.0.2.80
+alias IN CNAME www
+extalias IN CNAME a.root.
+"""
+
+
+@pytest.fixture(scope="module")
+def tree():
+    zones = [parse_zone_text(text) for text in (ROOT, COM, EXAMPLE)]
+    return zones, build_in_memory_tree(zones)
+
+
+class TestIterativeResolution:
+    def test_resolves_through_two_referrals(self, tree):
+        _, query = tree
+        resolver = IterativeResolver(query)
+        result = resolver.resolve(Name.from_text("www.example.com."), c.TYPE_A)
+        assert result.ok
+        assert result.referrals_followed == 2  # root -> com -> example.com
+        assert result.zone_origin == Name.from_text("example.com.")
+        addresses = {rr.rdata.address for rr in result.answers}
+        assert addresses == {"192.0.2.80"}
+
+    def test_nxdomain_at_leaf_zone(self, tree):
+        _, query = tree
+        resolver = IterativeResolver(query)
+        result = resolver.resolve(Name.from_text("nope.example.com."), c.TYPE_A)
+        assert result.rcode == c.RCODE_NXDOMAIN
+        assert result.zone_origin == Name.from_text("example.com.")
+
+    def test_in_zone_cname_chased_by_server(self, tree):
+        _, query = tree
+        resolver = IterativeResolver(query)
+        result = resolver.resolve(Name.from_text("alias.example.com."), c.TYPE_A)
+        assert result.ok
+        types = {rr.rtype for rr in result.answers}
+        assert types == {c.TYPE_CNAME, c.TYPE_A}
+        # The authoritative server chased it inside the zone already.
+        assert result.cnames_followed == 0
+
+    def test_cross_zone_cname_chased_by_resolver(self, tree):
+        _, query = tree
+        resolver = IterativeResolver(query)
+        result = resolver.resolve(Name.from_text("extalias.example.com."), c.TYPE_A)
+        assert result.ok
+        assert result.cnames_followed >= 1
+        addresses = {
+            rr.rdata.address for rr in result.answers if rr.rtype == c.TYPE_A
+        }
+        assert addresses == {"198.41.0.4"}  # a.root. resolved in the root zone
+
+    def test_answer_within_root_zone(self, tree):
+        _, query = tree
+        resolver = IterativeResolver(query)
+        result = resolver.resolve(Name.from_text("a.root."), c.TYPE_A)
+        assert result.ok and result.referrals_followed == 0
+
+    def test_referral_limit(self):
+        from repro.dns.message import Message, RR, make_response
+        from repro.dns.rdata import NS
+
+        def evil_query(zone_origin, message):
+            # Always refer one label deeper — an endless delegation chain.
+            deeper = Name((b"x",) + zone_origin.labels)
+            response = make_response(message)
+            response.authority.append(
+                RR(deeper, c.TYPE_NS, c.CLASS_IN, 60, NS(deeper))
+            )
+            return response
+
+        resolver = IterativeResolver(evil_query)
+        with pytest.raises(ResolutionError):
+            resolver.resolve(Name.from_text("target.example."), c.TYPE_A)
+
+    def test_bogus_upward_referral_rejected(self, tree):
+        from repro.dns.message import RR, make_response
+        from repro.dns.rdata import NS
+
+        def lying_query(zone_origin, message):
+            response = make_response(message)
+            response.authority.append(
+                RR(Name.from_text("."), c.TYPE_NS, c.CLASS_IN, 60,
+                   NS(Name.from_text("a.root.")))
+            )
+            return response
+
+        resolver = IterativeResolver(lying_query)
+        with pytest.raises(ResolutionError):
+            resolver.resolve(Name.from_text("www.example.com."), c.TYPE_A)
+
+
+class TestDnssecValidation:
+    @pytest.fixture(scope="class")
+    def signed_tree(self):
+        keypair = generate_rsa_keypair(512)
+        zone = parse_zone_text(EXAMPLE)
+        key_record = KEY.for_rsa(keypair.public.modulus, keypair.public.exponent)
+        zone.add_rdata(zone.origin, c.TYPE_KEY, 3600, key_record)
+        dnssec.sign_zone_locally(zone, key_record, keypair.private.sign)
+        zones = [parse_zone_text(ROOT), parse_zone_text(COM), zone]
+        return zones, build_in_memory_tree(zones), key_record
+
+    def test_signed_answer_verifies_with_trusted_key(self, signed_tree):
+        zones, query, key_record = signed_tree
+        resolver = IterativeResolver(
+            query,
+            trusted_keys={Name.from_text("example.com."): key_record},
+        )
+        result = resolver.resolve(Name.from_text("www.example.com."), c.TYPE_A)
+        assert result.ok and result.verified
+
+    def test_unconfigured_key_means_unverified(self, signed_tree):
+        zones, query, _ = signed_tree
+        resolver = IterativeResolver(query)
+        result = resolver.resolve(Name.from_text("www.example.com."), c.TYPE_A)
+        assert result.ok and not result.verified
+
+    def test_wrong_trust_anchor_fails_verification(self, signed_tree):
+        zones, query, _ = signed_tree
+        other = generate_rsa_keypair(512)
+        wrong_key = KEY.for_rsa(other.public.modulus, other.public.exponent)
+        resolver = IterativeResolver(
+            query, trusted_keys={Name.from_text("example.com."): wrong_key}
+        )
+        result = resolver.resolve(Name.from_text("www.example.com."), c.TYPE_A)
+        assert result.ok and not result.verified

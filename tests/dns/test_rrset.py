@@ -1,0 +1,92 @@
+"""RRset semantics and DNSSEC canonical form."""
+
+import pytest
+
+from repro.dns import constants as c
+from repro.dns.name import Name
+from repro.dns.rdata import A, TXT
+from repro.dns.rrset import RRset
+from repro.errors import ZoneError
+
+OWNER = Name.from_text("www.example.com.")
+
+
+class TestConstruction:
+    def test_dedupes(self):
+        rrset = RRset(OWNER, c.TYPE_A, 300, [A("1.1.1.1"), A("1.1.1.1")])
+        assert len(rrset) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ZoneError):
+            RRset(OWNER, c.TYPE_A, 300, [])
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(ZoneError):
+            RRset(OWNER, c.TYPE_A, 300, [TXT([b"x"])])
+
+    def test_ttl_range(self):
+        with pytest.raises(ZoneError):
+            RRset(OWNER, c.TYPE_A, -1, [A("1.1.1.1")])
+        with pytest.raises(ZoneError):
+            RRset(OWNER, c.TYPE_A, 2**31, [A("1.1.1.1")])
+
+
+class TestDerivation:
+    def test_with_added(self):
+        rrset = RRset(OWNER, c.TYPE_A, 300, [A("1.1.1.1")])
+        bigger = rrset.with_added(A("2.2.2.2"))
+        assert len(bigger) == 2 and len(rrset) == 1
+
+    def test_with_removed(self):
+        rrset = RRset(OWNER, c.TYPE_A, 300, [A("1.1.1.1"), A("2.2.2.2")])
+        smaller = rrset.with_removed(A("1.1.1.1"))
+        assert smaller is not None and len(smaller) == 1
+
+    def test_with_removed_last_returns_none(self):
+        rrset = RRset(OWNER, c.TYPE_A, 300, [A("1.1.1.1")])
+        assert rrset.with_removed(A("1.1.1.1")) is None
+
+    def test_contains(self):
+        rrset = RRset(OWNER, c.TYPE_A, 300, [A("1.1.1.1")])
+        assert A("1.1.1.1") in rrset
+        assert A("9.9.9.9") not in rrset
+
+
+class TestCanonicalForm:
+    def test_rdata_sorted_in_canonical_wire(self):
+        forward = RRset(OWNER, c.TYPE_A, 300, [A("1.1.1.1"), A("2.2.2.2")])
+        backward = RRset(OWNER, c.TYPE_A, 300, [A("2.2.2.2"), A("1.1.1.1")])
+        assert forward.canonical_wire() == backward.canonical_wire()
+
+    def test_owner_case_folded(self):
+        upper = RRset(Name.from_text("WWW.EXAMPLE.COM."), c.TYPE_A, 300, [A("1.1.1.1")])
+        lower = RRset(OWNER, c.TYPE_A, 300, [A("1.1.1.1")])
+        assert upper.canonical_wire() == lower.canonical_wire()
+
+    def test_ttl_included(self):
+        a = RRset(OWNER, c.TYPE_A, 300, [A("1.1.1.1")])
+        b = RRset(OWNER, c.TYPE_A, 600, [A("1.1.1.1")])
+        assert a.canonical_wire() != b.canonical_wire()
+
+    def test_sorted_canonically(self):
+        rrset = RRset(OWNER, c.TYPE_A, 300, [A("9.9.9.9"), A("1.1.1.1")])
+        ordered = rrset.sorted_canonically()
+        assert [r.address for r in ordered] == ["1.1.1.1", "9.9.9.9"]
+
+
+class TestEqualityAndText:
+    def test_order_insensitive_equality(self):
+        a = RRset(OWNER, c.TYPE_A, 300, [A("1.1.1.1"), A("2.2.2.2")])
+        b = RRset(OWNER, c.TYPE_A, 300, [A("2.2.2.2"), A("1.1.1.1")])
+        assert a == b and hash(a) == hash(b)
+
+    def test_ttl_sensitive_equality(self):
+        a = RRset(OWNER, c.TYPE_A, 300, [A("1.1.1.1")])
+        b = RRset(OWNER, c.TYPE_A, 999, [A("1.1.1.1")])
+        assert a != b
+
+    def test_to_text_lines(self):
+        rrset = RRset(OWNER, c.TYPE_A, 300, [A("1.1.1.1"), A("2.2.2.2")])
+        lines = rrset.to_text().splitlines()
+        assert len(lines) == 2
+        assert all("IN A" in line for line in lines)

@@ -1,0 +1,117 @@
+"""Authoritative query engine."""
+
+from repro.dns import constants as c
+from repro.dns.message import make_query
+from repro.dns.name import Name
+from repro.dns.server import AuthoritativeServer
+
+
+def ask(zone, text, rtype=c.TYPE_A, **kwargs):
+    server = AuthoritativeServer(zone, **kwargs)
+    return server.handle_query(make_query(Name.from_text(text), rtype))
+
+
+class TestPositiveAnswers:
+    def test_exact_match(self, zone):
+        response = ask(zone, "www.example.com.")
+        assert response.rcode == c.RCODE_NOERROR
+        assert response.is_authoritative
+        addresses = {rr.rdata.address for rr in response.answers if rr.rtype == c.TYPE_A}
+        assert addresses == {"192.0.2.80", "192.0.2.81"}
+
+    def test_aaaa(self, zone):
+        response = ask(zone, "v6.example.com.", c.TYPE_AAAA)
+        assert response.answers
+
+    def test_any_query_returns_all_types(self, zone):
+        response = ask(zone, "example.com.", c.TYPE_ANY)
+        types = {rr.rtype for rr in response.answers}
+        assert c.TYPE_SOA in types and c.TYPE_NS in types
+
+    def test_mx_additional_glue(self, zone):
+        response = ask(zone, "mail.example.com.", c.TYPE_MX)
+        assert response.answers
+        additional_names = {rr.name for rr in response.additional}
+        assert Name.from_text("mx1.example.com.") in additional_names
+
+    def test_apex_ns_additional(self, zone):
+        response = ask(zone, "example.com.", c.TYPE_NS)
+        assert len(response.answers) == 2
+        assert response.additional  # glue for ns1/ns2
+
+
+class TestCname:
+    def test_cname_chased_in_zone(self, zone):
+        response = ask(zone, "alias.example.com.")
+        types = [rr.rtype for rr in response.answers]
+        assert c.TYPE_CNAME in types and c.TYPE_A in types
+
+    def test_cname_query_itself(self, zone):
+        response = ask(zone, "alias.example.com.", c.TYPE_CNAME)
+        assert [rr.rtype for rr in response.answers] == [c.TYPE_CNAME]
+
+
+class TestNegativeAnswers:
+    def test_nxdomain_includes_soa(self, zone):
+        response = ask(zone, "missing.example.com.")
+        assert response.rcode == c.RCODE_NXDOMAIN
+        assert any(rr.rtype == c.TYPE_SOA for rr in response.authority)
+        assert not response.answers
+
+    def test_nodata(self, zone):
+        response = ask(zone, "www.example.com.", c.TYPE_TXT)
+        assert response.rcode == c.RCODE_NOERROR
+        assert not response.answers
+        assert any(rr.rtype == c.TYPE_SOA for rr in response.authority)
+
+    def test_out_of_zone_refused(self, zone):
+        response = ask(zone, "www.other.org.")
+        assert response.rcode == c.RCODE_REFUSED
+
+
+class TestDelegation:
+    def test_referral_not_authoritative(self, zone):
+        response = ask(zone, "host.sub.example.com.")
+        assert response.rcode == c.RCODE_NOERROR
+        assert not response.is_authoritative
+        assert not response.answers
+        assert any(rr.rtype == c.TYPE_NS for rr in response.authority)
+
+    def test_referral_includes_glue(self, zone):
+        response = ask(zone, "host.sub.example.com.")
+        glue = {rr.name for rr in response.additional}
+        assert Name.from_text("ns1.sub.example.com.") in glue
+
+    def test_ns_query_at_cut_is_referral_data(self, zone):
+        response = ask(zone, "sub.example.com.", c.TYPE_NS)
+        # Asking for the NS of the cut itself returns the delegation.
+        assert response.answers or response.authority
+
+
+class TestMalformed:
+    def test_update_opcode_rejected(self, zone):
+        from repro.dns.message import make_update
+
+        server = AuthoritativeServer(zone)
+        response = server.handle_query(make_update(zone.origin))
+        assert response.rcode == c.RCODE_NOTIMP
+
+    def test_multiple_questions_rejected(self, zone):
+        query = make_query(Name.from_text("www.example.com."), c.TYPE_A)
+        query.questions.append(query.questions[0])
+        response = AuthoritativeServer(zone).handle_query(query)
+        assert response.rcode == c.RCODE_FORMERR
+
+    def test_chaos_class_refused(self, zone):
+        query = make_query(Name.from_text("www.example.com."), c.TYPE_A, rclass=3)
+        response = AuthoritativeServer(zone).handle_query(query)
+        assert response.rcode == c.RCODE_REFUSED
+
+
+class TestDeterminism:
+    def test_identical_responses_across_copies(self, zone):
+        """State-machine replication requires byte-identical responses."""
+        query = make_query(Name.from_text("www.example.com."), c.TYPE_A, msg_id=77)
+        a = AuthoritativeServer(zone).handle_query(query).to_wire()
+        b = AuthoritativeServer(zone.copy()).handle_query(query).to_wire()
+        assert a == b

@@ -1,0 +1,119 @@
+"""Transaction signatures (TSIG)."""
+
+import pytest
+
+from repro.dns import constants as c
+from repro.dns.message import make_query, make_update, RR
+from repro.dns.name import Name
+from repro.dns.rdata import A
+from repro.dns.tsig import TsigKey, TsigKeyring, sign_message, split_tsig, verify_message
+from repro.errors import TsigError
+
+KEY = TsigKey(name=Name.from_text("update-key.example."), secret=b"s3cret")
+OTHER = TsigKey(name=Name.from_text("other-key.example."), secret=b"different")
+
+
+@pytest.fixture()
+def keyring():
+    ring = TsigKeyring()
+    ring.add(KEY)
+    return ring
+
+
+def signed_update():
+    update = make_update(Name.from_text("example.com."), msg_id=321)
+    update.authority.append(
+        RR(Name.from_text("new.example.com."), c.TYPE_A, c.CLASS_IN, 300, A("1.2.3.4"))
+    )
+    return sign_message(update, KEY, time_signed=1000)
+
+
+class TestSignVerify:
+    def test_roundtrip(self, keyring):
+        wire = signed_update()
+        message, tsig = verify_message(wire, keyring)
+        assert message.msg_id == 321
+        assert tsig.key_name == KEY.name
+        assert message.updates  # the update body survived
+
+    def test_unsigned_message_rejected(self, keyring):
+        update = make_update(Name.from_text("example.com."))
+        with pytest.raises(TsigError):
+            verify_message(update.to_wire(), keyring)
+
+    def test_unknown_key_rejected(self):
+        ring = TsigKeyring()
+        ring.add(OTHER)
+        with pytest.raises(TsigError):
+            verify_message(signed_update(), ring)
+
+    def test_wrong_secret_rejected(self, keyring):
+        bad_key = TsigKey(name=KEY.name, secret=b"wrong")
+        update = make_update(Name.from_text("example.com."))
+        wire = sign_message(update, bad_key, time_signed=1000)
+        with pytest.raises(TsigError):
+            verify_message(wire, keyring)
+
+    def test_tampered_body_rejected(self, keyring):
+        wire = bytearray(signed_update())
+        wire[14] ^= 0x01  # flip a bit inside the question section
+        with pytest.raises(TsigError):
+            verify_message(bytes(wire), keyring)
+
+    def test_time_window_enforced(self, keyring):
+        wire = signed_update()
+        verify_message(wire, keyring, now=1100)  # within fudge (300)
+        with pytest.raises(TsigError):
+            verify_message(wire, keyring, now=5000)
+
+    def test_none_time_skips_window(self, keyring):
+        verify_message(signed_update(), keyring, now=None)
+
+
+class TestSplit:
+    def test_split_restores_base(self, keyring):
+        update = make_update(Name.from_text("example.com."), msg_id=55)
+        base_before = update.to_wire()
+        wire = sign_message(update, KEY, time_signed=10)
+        base_after, tsig = split_tsig(wire)
+        assert tsig is not None
+        assert base_after == base_before
+
+    def test_split_unsigned_returns_none(self):
+        query = make_query(Name.from_text("x.example.com."), c.TYPE_A)
+        base, tsig = split_tsig(query.to_wire())
+        assert tsig is None and base == query.to_wire()
+
+    def test_original_id_restored(self, keyring):
+        update = make_update(Name.from_text("example.com."), msg_id=777)
+        wire = bytearray(sign_message(update, KEY, time_signed=10))
+        # Simulate a forwarder rewriting the message id (RFC 2845 §4.3):
+        # verification must still use the original id from the TSIG rdata.
+        import struct
+
+        struct.pack_into(">H", wire, 0, 999)
+        message, tsig = verify_message(bytes(wire), keyring)
+        assert tsig.original_id == 777
+
+
+class TestResponseChaining:
+    def test_response_mac_covers_request_mac(self, keyring):
+        request_wire = signed_update()
+        _, request_tsig = split_tsig(request_wire)
+        response = make_update(Name.from_text("example.com."), msg_id=321)
+        response.set_flag(c.FLAG_QR)
+        wire = sign_message(
+            response, KEY, time_signed=1001, request_mac=request_tsig.mac
+        )
+        # Verifies only with the request MAC supplied.
+        verify_message(wire, keyring, request_mac=request_tsig.mac)
+        with pytest.raises(TsigError):
+            verify_message(wire, keyring)
+
+
+class TestKeyring:
+    def test_membership(self, keyring):
+        assert KEY.name in keyring
+        assert OTHER.name not in keyring
+        assert len(keyring) == 1
+        assert keyring.get(KEY.name) is KEY

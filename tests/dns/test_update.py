@@ -1,0 +1,225 @@
+"""RFC 2136 dynamic update processing."""
+
+import pytest
+
+from repro.dns import constants as c
+from repro.dns.message import RR, make_update
+from repro.dns.name import Name
+from repro.dns.rdata import A, NS, SOA, TXT
+from repro.dns.update import UpdateProcessor
+
+ORIGIN = Name.from_text("example.com.")
+WWW = Name.from_text("www.example.com.")
+NEW = Name.from_text("new.example.com.")
+
+
+def apply(zone, *, prereqs=(), updates=()):
+    msg = make_update(ORIGIN)
+    msg.answers.extend(prereqs)
+    msg.authority.extend(updates)
+    return UpdateProcessor(zone).apply(msg)
+
+
+class TestScreening:
+    def test_wrong_zone_notauth(self, zone):
+        msg = make_update(Name.from_text("other.org."))
+        result = UpdateProcessor(zone).apply(msg)
+        assert result.rcode == c.RCODE_NOTAUTH
+
+    def test_wrong_opcode(self, zone):
+        from repro.dns.message import make_query
+
+        result = UpdateProcessor(zone).apply(make_query(WWW, c.TYPE_A))
+        assert result.rcode == c.RCODE_FORMERR
+
+    def test_zone_section_type_must_be_soa(self, zone):
+        msg = make_update(ORIGIN)
+        from repro.dns.message import Question
+
+        msg.questions[0] = Question(ORIGIN, c.TYPE_A, c.CLASS_IN)
+        result = UpdateProcessor(zone).apply(msg)
+        assert result.rcode == c.RCODE_FORMERR
+
+
+class TestPrerequisites:
+    def test_name_in_use_ok(self, zone):
+        result = apply(zone, prereqs=[RR(WWW, c.TYPE_ANY, c.CLASS_ANY, 0, None)])
+        assert result.ok
+
+    def test_name_in_use_fails(self, zone):
+        result = apply(zone, prereqs=[RR(NEW, c.TYPE_ANY, c.CLASS_ANY, 0, None)])
+        assert result.rcode == c.RCODE_NXDOMAIN
+
+    def test_rrset_exists_ok(self, zone):
+        result = apply(zone, prereqs=[RR(WWW, c.TYPE_A, c.CLASS_ANY, 0, None)])
+        assert result.ok
+
+    def test_rrset_exists_fails(self, zone):
+        result = apply(zone, prereqs=[RR(WWW, c.TYPE_TXT, c.CLASS_ANY, 0, None)])
+        assert result.rcode == c.RCODE_NXRRSET
+
+    def test_name_not_in_use_ok(self, zone):
+        result = apply(zone, prereqs=[RR(NEW, c.TYPE_ANY, c.CLASS_NONE, 0, None)])
+        assert result.ok
+
+    def test_name_not_in_use_fails(self, zone):
+        result = apply(zone, prereqs=[RR(WWW, c.TYPE_ANY, c.CLASS_NONE, 0, None)])
+        assert result.rcode == c.RCODE_YXDOMAIN
+
+    def test_rrset_not_exists_fails(self, zone):
+        result = apply(zone, prereqs=[RR(WWW, c.TYPE_A, c.CLASS_NONE, 0, None)])
+        assert result.rcode == c.RCODE_YXRRSET
+
+    def test_value_dependent_match(self, zone):
+        prereqs = [
+            RR(WWW, c.TYPE_A, c.CLASS_IN, 0, A("192.0.2.80")),
+            RR(WWW, c.TYPE_A, c.CLASS_IN, 0, A("192.0.2.81")),
+        ]
+        assert apply(zone, prereqs=prereqs).ok
+
+    def test_value_dependent_partial_set_fails(self, zone):
+        prereqs = [RR(WWW, c.TYPE_A, c.CLASS_IN, 0, A("192.0.2.80"))]
+        assert apply(zone, prereqs=prereqs).rcode == c.RCODE_NXRRSET
+
+    def test_nonzero_ttl_formerr(self, zone):
+        result = apply(zone, prereqs=[RR(WWW, c.TYPE_ANY, c.CLASS_ANY, 5, None)])
+        assert result.rcode == c.RCODE_FORMERR
+
+    def test_any_with_rdata_formerr(self, zone):
+        result = apply(
+            zone, prereqs=[RR(WWW, c.TYPE_A, c.CLASS_ANY, 0, A("1.1.1.1"))]
+        )
+        assert result.rcode == c.RCODE_FORMERR
+
+
+class TestAdds:
+    def test_add_new_name(self, zone):
+        result = apply(zone, updates=[RR(NEW, c.TYPE_A, c.CLASS_IN, 300, A("192.0.2.9"))])
+        assert result.ok and NEW in result.added_names
+        assert zone.find_rrset(NEW, c.TYPE_A) is not None
+        assert result.serial_bumped and zone.serial == 101
+
+    def test_add_to_existing_rrset(self, zone):
+        result = apply(zone, updates=[RR(WWW, c.TYPE_A, c.CLASS_IN, 3600, A("192.0.2.82"))])
+        assert result.ok and WWW in result.changed_names
+        assert len(zone.find_rrset(WWW, c.TYPE_A)) == 3
+
+    def test_duplicate_add_is_noop(self, zone):
+        result = apply(zone, updates=[RR(WWW, c.TYPE_A, c.CLASS_IN, 3600, A("192.0.2.80"))])
+        assert result.ok and not result.data_changed
+        assert not result.serial_bumped
+
+    def test_add_sig_refused(self, zone):
+        from repro.dns.rdata import SIG
+
+        sig = SIG(c.TYPE_A, 5, 3, 300, 10, 5, 1, ORIGIN, b"x")
+        result = apply(zone, updates=[RR(WWW, c.TYPE_SIG, c.CLASS_IN, 300, sig)])
+        assert result.rcode == c.RCODE_REFUSED
+
+    def test_soa_add_with_older_serial_ignored(self, zone):
+        old = zone.soa.with_serial(50)
+        result = apply(zone, updates=[RR(ORIGIN, c.TYPE_SOA, c.CLASS_IN, 3600, old)])
+        assert result.ok and zone.serial == 100
+
+    def test_soa_add_with_newer_serial_applies(self, zone):
+        new = zone.soa.with_serial(500)
+        result = apply(zone, updates=[RR(ORIGIN, c.TYPE_SOA, c.CLASS_IN, 3600, new)])
+        assert result.ok
+        assert zone.serial == 501  # 500 then bumped
+
+    def test_cname_conflict_silently_ignored(self, zone):
+        alias = Name.from_text("alias.example.com.")
+        result = apply(zone, updates=[RR(alias, c.TYPE_A, c.CLASS_IN, 300, A("1.1.1.1"))])
+        assert result.ok
+        assert zone.find_rrset(alias, c.TYPE_A) is None
+
+
+class TestDeletes:
+    def test_delete_specific_rr(self, zone):
+        result = apply(
+            zone, updates=[RR(WWW, c.TYPE_A, c.CLASS_NONE, 0, A("192.0.2.80"))]
+        )
+        assert result.ok and WWW in result.changed_names
+        assert len(zone.find_rrset(WWW, c.TYPE_A)) == 1
+
+    def test_delete_rrset(self, zone):
+        result = apply(zone, updates=[RR(WWW, c.TYPE_A, c.CLASS_ANY, 0, None)])
+        assert result.ok
+        assert zone.find_rrset(WWW, c.TYPE_A) is None
+
+    def test_delete_all_at_name(self, zone):
+        result = apply(zone, updates=[RR(WWW, c.TYPE_ANY, c.CLASS_ANY, 0, None)])
+        assert result.ok and WWW in result.deleted_names
+        assert WWW not in zone
+
+    def test_apex_soa_delete_ignored(self, zone):
+        result = apply(zone, updates=[RR(ORIGIN, c.TYPE_SOA, c.CLASS_ANY, 0, None)])
+        assert result.ok
+        assert zone.find_rrset(ORIGIN, c.TYPE_SOA) is not None
+
+    def test_apex_delete_all_keeps_soa_ns(self, zone):
+        result = apply(zone, updates=[RR(ORIGIN, c.TYPE_ANY, c.CLASS_ANY, 0, None)])
+        assert result.ok
+        assert zone.find_rrset(ORIGIN, c.TYPE_SOA) is not None
+        assert zone.find_rrset(ORIGIN, c.TYPE_NS) is not None
+
+    def test_last_apex_ns_protected(self, zone):
+        ns = zone.find_rrset(ORIGIN, c.TYPE_NS)
+        updates = [
+            RR(ORIGIN, c.TYPE_NS, c.CLASS_NONE, 0, rdata) for rdata in ns
+        ]
+        result = apply(zone, updates=updates)
+        assert result.ok
+        remaining = zone.find_rrset(ORIGIN, c.TYPE_NS)
+        assert remaining is not None and len(remaining) == 1
+
+    def test_delete_missing_is_noop(self, zone):
+        result = apply(zone, updates=[RR(NEW, c.TYPE_ANY, c.CLASS_ANY, 0, None)])
+        assert result.ok and not result.data_changed
+
+    def test_delete_rr_nonzero_ttl_formerr(self, zone):
+        result = apply(
+            zone, updates=[RR(WWW, c.TYPE_A, c.CLASS_NONE, 60, A("192.0.2.80"))]
+        )
+        assert result.rcode == c.RCODE_FORMERR
+
+
+class TestAtomicity:
+    def test_failed_prereq_leaves_zone_untouched(self, zone):
+        digest = zone.digest()
+        result = apply(
+            zone,
+            prereqs=[RR(NEW, c.TYPE_ANY, c.CLASS_ANY, 0, None)],
+            updates=[RR(NEW, c.TYPE_A, c.CLASS_IN, 300, A("192.0.2.9"))],
+        )
+        assert not result.ok
+        assert zone.digest() == digest
+
+    def test_failed_update_section_rolls_back(self, zone):
+        digest = zone.digest()
+        result = apply(
+            zone,
+            updates=[
+                RR(NEW, c.TYPE_A, c.CLASS_IN, 300, A("192.0.2.9")),
+                RR(NEW, c.TYPE_A, c.CLASS_IN, 5, None),  # malformed: add w/o rdata
+            ],
+        )
+        assert result.rcode == c.RCODE_FORMERR
+        assert zone.digest() == digest
+
+    def test_out_of_zone_update_rejected(self, zone):
+        result = apply(
+            zone,
+            updates=[RR(Name.from_text("w.other.org."), c.TYPE_A, c.CLASS_IN, 1, A("1.1.1.1"))],
+        )
+        assert result.rcode == c.RCODE_NOTZONE
+
+
+class TestResponse:
+    def test_respond_builds_message(self, zone):
+        msg = make_update(ORIGIN)
+        msg.authority.append(RR(NEW, c.TYPE_A, c.CLASS_IN, 300, A("192.0.2.9")))
+        response, result = UpdateProcessor(zone).respond(msg)
+        assert response.is_response
+        assert response.msg_id == msg.msg_id
+        assert response.rcode == c.RCODE_NOERROR

@@ -1,0 +1,148 @@
+"""Zone database semantics."""
+
+import pytest
+
+from repro.dns import constants as c
+from repro.dns.name import Name
+from repro.dns.rdata import A, CNAME, TXT
+from repro.dns.rrset import RRset
+from repro.errors import ZoneError
+
+ORIGIN = Name.from_text("example.com.")
+WWW = Name.from_text("www.example.com.")
+NEW = Name.from_text("new.example.com.")
+
+
+class TestLookup:
+    def test_find_rrset(self, zone):
+        rrset = zone.find_rrset(WWW, c.TYPE_A)
+        assert rrset is not None and len(rrset) == 2
+
+    def test_missing_returns_none(self, zone):
+        assert zone.find_rrset(NEW, c.TYPE_A) is None
+        assert zone.find_rrset(WWW, c.TYPE_TXT) is None
+
+    def test_soa_properties(self, zone):
+        assert zone.serial == 100
+        assert zone.soa.mname == Name.from_text("ns1.example.com.")
+
+    def test_names_canonically_ordered(self, zone):
+        names = zone.names()
+        assert names == sorted(names)
+        assert names[0] == ORIGIN
+
+    def test_counts(self, zone):
+        assert zone.rrset_count() >= 10
+        assert zone.record_count() > zone.rrset_count()
+
+
+class TestStructure:
+    def test_delegation_detected(self, zone):
+        sub = Name.from_text("sub.example.com.")
+        assert zone.is_delegation(sub)
+        assert not zone.is_delegation(ORIGIN)  # apex NS is not a cut
+
+    def test_closest_delegation(self, zone):
+        deep = Name.from_text("host.sub.example.com.")
+        assert zone.closest_delegation(deep) == Name.from_text("sub.example.com.")
+        assert zone.closest_delegation(WWW) is None
+
+    def test_in_zone(self, zone):
+        assert zone.is_in_zone(WWW)
+        assert not zone.is_in_zone(Name.from_text("other.org."))
+
+
+class TestMutation:
+    def test_add_new_rrset(self, zone):
+        assert zone.add_rdata(NEW, c.TYPE_A, 300, A("192.0.2.9"))
+        assert zone.find_rrset(NEW, c.TYPE_A) is not None
+
+    def test_add_duplicate_returns_false(self, zone):
+        zone.add_rdata(NEW, c.TYPE_A, 300, A("192.0.2.9"))
+        assert not zone.add_rdata(NEW, c.TYPE_A, 300, A("192.0.2.9"))
+
+    def test_new_ttl_wins(self, zone):
+        zone.add_rdata(NEW, c.TYPE_A, 300, A("192.0.2.9"))
+        assert zone.add_rdata(NEW, c.TYPE_A, 600, A("192.0.2.10"))
+        assert zone.find_rrset(NEW, c.TYPE_A).ttl == 600
+
+    def test_cname_replaces_cname(self, zone):
+        alias = Name.from_text("alias2.example.com.")
+        zone.add_rdata(alias, c.TYPE_CNAME, 300, CNAME(WWW))
+        zone.add_rdata(alias, c.TYPE_CNAME, 300, CNAME(NEW))
+        rrset = zone.find_rrset(alias, c.TYPE_CNAME)
+        assert len(rrset) == 1 and rrset.rdatas[0].target == NEW
+
+    def test_cname_conflict_rejected(self, zone):
+        with pytest.raises(ZoneError):
+            zone.add_rdata(
+                Name.from_text("alias.example.com."), c.TYPE_A, 300, A("1.1.1.1")
+            )
+
+    def test_data_at_cname_rejected(self, zone):
+        with pytest.raises(ZoneError):
+            zone.put_rrset(
+                RRset(Name.from_text("alias.example.com."), c.TYPE_TXT, 300, [TXT([b"x"])])
+            )
+
+    def test_out_of_zone_rejected(self, zone):
+        with pytest.raises(ZoneError):
+            zone.add_rdata(Name.from_text("other.org."), c.TYPE_A, 300, A("1.1.1.1"))
+
+    def test_delete_rdata(self, zone):
+        assert zone.delete_rdata(WWW, c.TYPE_A, A("192.0.2.80"))
+        assert len(zone.find_rrset(WWW, c.TYPE_A)) == 1
+        assert not zone.delete_rdata(WWW, c.TYPE_A, A("9.9.9.9"))
+
+    def test_delete_last_rdata_removes_node(self, zone):
+        txt = Name.from_text("txt.example.com.")
+        assert zone.delete_rdata(txt, c.TYPE_TXT, TXT([b"hello world"]))
+        assert txt not in zone
+
+    def test_delete_rrset(self, zone):
+        assert zone.delete_rrset(WWW, c.TYPE_A)
+        assert zone.find_rrset(WWW, c.TYPE_A) is None
+        assert not zone.delete_rrset(WWW, c.TYPE_A)
+
+    def test_delete_name_with_keep(self, zone):
+        zone.delete_name(ORIGIN, keep_types=(c.TYPE_SOA, c.TYPE_NS))
+        assert zone.find_rrset(ORIGIN, c.TYPE_SOA) is not None
+        assert zone.find_rrset(ORIGIN, c.TYPE_NS) is not None
+
+    def test_bump_serial(self, zone):
+        old = zone.serial
+        new = zone.bump_serial()
+        assert new == old + 1 and zone.serial == new
+
+    def test_serial_wraps(self, zone):
+        soa = zone.soa.with_serial(0xFFFFFFFF)
+        zone.put_rrset(RRset(ORIGIN, c.TYPE_SOA, 3600, [soa]))
+        assert zone.bump_serial() == 1
+
+
+class TestSnapshots:
+    def test_copy_isolated(self, zone):
+        clone = zone.copy()
+        clone.add_rdata(NEW, c.TYPE_A, 300, A("192.0.2.9"))
+        assert NEW not in zone
+        assert NEW in clone
+
+    def test_digest_reflects_content(self, zone):
+        before = zone.digest()
+        zone.add_rdata(NEW, c.TYPE_A, 300, A("192.0.2.9"))
+        after = zone.digest()
+        assert before != after
+        zone.delete_name(NEW)
+        assert zone.digest() == before
+
+    def test_digest_case_insensitive(self, zone):
+        clone = zone.copy()
+        clone.add_rdata(Name.from_text("CASE.example.com."), c.TYPE_A, 300, A("1.1.1.1"))
+        zone.add_rdata(Name.from_text("case.EXAMPLE.com."), c.TYPE_A, 300, A("1.1.1.1"))
+        assert clone.digest() == zone.digest()
+
+    def test_equality(self, zone):
+        assert zone == zone.copy()
+        clone = zone.copy()
+        clone.bump_serial()
+        assert zone != clone

@@ -1,0 +1,108 @@
+"""Master-file parsing and writing."""
+
+import pytest
+
+from repro.dns import constants as c
+from repro.dns.name import Name
+from repro.dns.zonefile import parse_zone_text, write_zone_text
+from repro.errors import ZoneFileError
+
+from tests.conftest import ZONE_TEXT
+
+
+class TestParsing:
+    def test_basic_zone(self, zone):
+        assert zone.origin == Name.from_text("example.com.")
+        assert zone.serial == 100
+
+    def test_origin_directive_applied(self):
+        text = """
+$ORIGIN test.org.
+$TTL 60
+@ IN SOA ns.test.org. admin.test.org. 1 2 3 4 5
+  IN NS ns
+ns IN A 10.0.0.1
+"""
+        zone = parse_zone_text(text)
+        assert zone.origin == Name.from_text("test.org.")
+        assert zone.find_rrset(Name.from_text("ns.test.org."), c.TYPE_A)
+
+    def test_default_ttl(self):
+        text = "$ORIGIN x.\n$TTL 1234\n@ IN SOA ns.x. a.x. 1 2 3 4 5\n@ IN NS ns.x.\n"
+        zone = parse_zone_text(text)
+        assert zone.find_rrset(Name.from_text("x."), c.TYPE_NS).ttl == 1234
+
+    def test_explicit_ttl_overrides(self):
+        text = "$ORIGIN x.\n@ 99 IN SOA ns.x. a.x. 1 2 3 4 5\n@ 55 IN NS ns.x.\n"
+        zone = parse_zone_text(text)
+        assert zone.find_rrset(Name.from_text("x."), c.TYPE_NS).ttl == 55
+
+    def test_blank_owner_inherits(self, zone):
+        # The conftest zone uses blank owners after "@".
+        ns = zone.find_rrset(zone.origin, c.TYPE_NS)
+        assert ns is not None and len(ns) == 2
+
+    def test_comments_stripped(self):
+        text = (
+            "$ORIGIN x.  ; the origin\n"
+            "@ IN SOA ns.x. a.x. 1 2 3 4 5 ; soa\n"
+            "w IN TXT \"semi;colon\" ; comment after quoted string\n"
+        )
+        zone = parse_zone_text(text)
+        txt = zone.find_rrset(Name.from_text("w.x."), c.TYPE_TXT)
+        assert txt.rdatas[0].strings == (b"semi;colon",)
+
+    def test_parentheses_multiline(self):
+        text = """
+$ORIGIN x.
+@ IN SOA ns.x. a.x. (
+      42  ; serial
+      7200 900
+      604800 300 )
+"""
+        zone = parse_zone_text(text)
+        assert zone.serial == 42
+
+    def test_missing_soa_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_text("$ORIGIN x.\nw IN A 1.1.1.1\n")
+
+    def test_duplicate_soa_rejected(self):
+        text = (
+            "$ORIGIN x.\n@ IN SOA ns.x. a.x. 1 2 3 4 5\n"
+            "@ IN SOA ns.x. a.x. 9 2 3 4 5\n"
+        )
+        with pytest.raises(ZoneFileError):
+            parse_zone_text(text)
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_text("$GENERATE 1-10 host$ A 1.1.1.$\n")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_text("$ORIGIN x.\n@ IN SOA ns.x. a.x. ( 1 2 3 4 5\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_text("$ORIGIN x.\n@ IN SOA ns.x. a.x. 1 2 3 4 5\nw IN BOGUS data\n")
+
+    def test_non_in_class_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_text("$ORIGIN x.\n@ CH SOA ns.x. a.x. 1 2 3 4 5\n")
+
+    def test_origin_mismatch_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_text(ZONE_TEXT, origin=Name.from_text("other.org."))
+
+
+class TestRoundTrip:
+    def test_write_then_parse_equal(self, zone):
+        text = write_zone_text(zone)
+        reparsed = parse_zone_text(text)
+        assert reparsed == zone
+
+    def test_soa_first_in_output(self, zone):
+        lines = write_zone_text(zone).splitlines()
+        record_lines = [l for l in lines if not l.startswith("$")]
+        assert " SOA " in record_lines[0]

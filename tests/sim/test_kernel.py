@@ -1,0 +1,128 @@
+"""Discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator, Timer
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        log = []
+        for tag in "abc":
+            sim.schedule(1.0, lambda t=tag: log.append(t))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_cancellation(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(1.0, lambda: log.append("x"))
+        event.cancel()
+        sim.run()
+        assert log == []
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(0.5, lambda: log.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert log == [("outer", 1.0), ("inner", 1.5)]
+
+    def test_call_soon_runs_at_current_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [2.0]
+
+
+class TestRunControl:
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(5.0, lambda: log.append(5))
+        sim.run(until=2.0)
+        assert log == [1] and sim.now == 2.0
+        sim.run()
+        assert log == [1, 5]
+
+    def test_run_condition(self):
+        sim = Simulator()
+        log = []
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda i=i: log.append(i))
+        sim.run(condition=lambda: len(log) >= 3)
+        assert len(log) == 3
+
+    def test_max_events_backstop(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.001, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_empty_run_advances_to_until(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+
+class TestTimer:
+    def test_fires_after_timeout(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 2.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run()
+        assert fired == [2.0]
+
+    def test_cancel_prevents_fire(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 2.0, lambda: fired.append(1))
+        timer.start()
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert not timer.active
+
+    def test_restart_resets_deadline(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 2.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.schedule(1.0, timer.restart)
+        sim.run()
+        assert fired == [3.0]

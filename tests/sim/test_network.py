@@ -1,0 +1,210 @@
+"""Simulated nodes, links, and the CPU busy-time model."""
+
+import pytest
+
+from repro.crypto.costmodel import CostModel
+from repro.sim.machines import PAPER_MACHINES, MachineSpec, Topology, lan_setup, paper_setup
+from repro.sim.network import SimNetwork
+
+
+def collect_handler(log, node_id):
+    def handler(sender, payload):
+        log.append((node_id, sender, payload))
+
+    return handler
+
+
+def make_net(topology=None, **kwargs):
+    kwargs.setdefault("cpu_jitter", 0.0)
+    return SimNetwork(topology if topology is not None else lan_setup(4), **kwargs)
+
+
+class TestDelivery:
+    def test_message_arrives_with_link_latency(self):
+        net = make_net(paper_setup(4))
+        log = []
+        net.node(3).set_handler(collect_handler(log, 3))
+        net.node(0).send(3, "hello")  # Zurich -> San Jose
+        net.run()
+        assert log == [(3, 0, "hello")]
+        assert net.sim.now == pytest.approx(0.159 / 2, rel=0.01)
+
+    def test_lan_latency(self):
+        net = make_net()
+        log = []
+        net.node(1).set_handler(collect_handler(log, 1))
+        net.node(0).send(1, "x")
+        net.run()
+        assert net.sim.now == pytest.approx(0.00015, rel=0.01)
+
+    def test_fifo_per_link(self):
+        net = make_net()
+        log = []
+        net.node(1).set_handler(collect_handler(log, 1))
+        for i in range(5):
+            net.node(0).send(1, i)
+        net.run()
+        assert [payload for _, _, payload in log] == [0, 1, 2, 3, 4]
+
+    def test_broadcast_excludes_self(self):
+        net = make_net()
+        log = []
+        for i in range(4):
+            net.node(i).set_handler(collect_handler(log, i))
+        net.node(0).broadcast("b")
+        net.run()
+        receivers = {node for node, _, _ in log}
+        assert receivers == {1, 2, 3}
+
+    def test_dropped_node_receives_nothing(self):
+        net = make_net()
+        log = []
+        net.node(1).set_handler(collect_handler(log, 1))
+        net.node(1).dropped = True
+        net.node(0).send(1, "x")
+        net.run()
+        assert log == []
+
+    def test_message_stats(self):
+        net = make_net()
+        net.node(1).set_handler(lambda s, p: None)
+        net.node(0).send(1, b"12345")
+        net.run()
+        assert net.messages_sent == 1
+        assert net.bytes_sent == 5
+
+
+class TestCpuModel:
+    def test_charge_delays_processing(self):
+        net = make_net()
+        times = []
+
+        def handler(sender, payload):
+            net.node(1).charge(0.5)
+            times.append(net.node(1).now)
+
+        net.node(1).set_handler(handler)
+        net.node(0).send(1, "a")
+        net.node(0).send(1, "b")
+        net.run()
+        # Second message waits for the CPU to free up.
+        assert times[0] == pytest.approx(0.00015 + 0.5, rel=0.01)
+        assert times[1] == pytest.approx(0.00015 + 1.0, rel=0.02)
+
+    def test_cpu_factor_scales_cost(self):
+        topo = paper_setup(7)
+        net = make_net(topo)
+        austin = next(
+            i for i in range(7) if topo.machine(i).location == "Austin"
+        )
+        finished = []
+
+        def handler(sender, payload):
+            net.node(austin).charge(1.0)
+            finished.append(net.node(austin).now)
+
+        net.node(austin).set_handler(handler)
+        net.node(austin).run_local(0.0, lambda: handler(0, None))
+        net.run()
+        # 266/1260 ~ 0.211 of the reference second.
+        assert finished[0] == pytest.approx(266 / 1260, rel=0.01)
+
+    def test_send_during_handler_departs_after_charge(self):
+        net = make_net()
+        arrival = []
+
+        def relay(sender, payload):
+            net.node(1).charge(1.0)
+            net.node(1).send(2, payload)
+
+        net.node(1).set_handler(relay)
+        net.node(2).set_handler(lambda s, p: arrival.append(net.sim.now))
+        net.node(0).send(1, "x")
+        net.run()
+        assert arrival[0] == pytest.approx(1.0 + 2 * 0.00015, rel=0.01)
+
+    def test_jitter_deterministic_per_seed(self):
+        def run(seed):
+            net = SimNetwork(lan_setup(2), seed=seed, cpu_jitter=0.05)
+            done = []
+            net.node(1).set_handler(lambda s, p: (net.node(1).charge(1.0), done.append(net.node(1).now)))
+            net.node(0).send(1, "x")
+            net.run()
+            return done[0]
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+
+    def test_charge_ops_uses_cost_model(self):
+        net = make_net()
+        costs = CostModel()
+        node = net.node(0)
+        node.charge_ops([("generate_share", 2)], costs)
+        assert node.busy_until == pytest.approx(
+            2 * costs.crypto["generate_share"], rel=0.01
+        )
+
+    def test_negative_charge_rejected(self):
+        net = make_net()
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            net.node(0).charge(-1.0)
+
+
+class TestTimers:
+    def test_schedule_timer_fires_in_node_time(self):
+        net = make_net()
+        fired = []
+        net.node(0).schedule_timer(1.5, lambda: fired.append(net.sim.now))
+        net.run()
+        assert fired == [1.5]
+
+    def test_timer_cancellable(self):
+        net = make_net()
+        fired = []
+        handle = net.node(0).schedule_timer(1.0, lambda: fired.append(1))
+        handle.cancel()
+        net.run()
+        assert fired == []
+
+
+class TestClientNodes:
+    def test_added_client_colocated(self):
+        net = make_net(paper_setup(4))
+        client_machine = MachineSpec("client", "Zurich", "l", "c", 266, "j")
+        client = net.add_node(client_machine, colocated_with=0)
+        log = []
+        net.node(0).set_handler(collect_handler(log, 0))
+        client.send(0, "req")
+        net.run()
+        assert net.sim.now == pytest.approx(0.00015, rel=0.01)
+
+
+class TestMachinesData:
+    def test_table1_inventory(self):
+        locations = [m.location for m in PAPER_MACHINES]
+        assert locations.count("Zurich") == 4
+        assert set(locations) == {"Zurich", "New York", "Austin", "San Jose"}
+        mhz = {m.location: m.mhz for m in PAPER_MACHINES}
+        assert mhz["Austin"] == 1260 and mhz["San Jose"] == 930
+
+    def test_rtt_symmetric(self):
+        from repro.sim.machines import site_rtt
+
+        assert site_rtt("Zurich", "San Jose") == site_rtt("San Jose", "Zurich")
+
+    def test_paper_setups(self):
+        assert len(paper_setup(1)) == 1
+        four = paper_setup(4)
+        assert [m.location for m in four.machines] == [
+            "Zurich", "Zurich", "New York", "San Jose",
+        ]
+        assert len(paper_setup(7)) == 7
+        with pytest.raises(Exception):
+            paper_setup(5)
+
+    def test_cpu_factor_reference(self):
+        assert PAPER_MACHINES[0].cpu_factor == 1.0
+        austin = [m for m in PAPER_MACHINES if m.location == "Austin"][0]
+        assert austin.cpu_factor == pytest.approx(266 / 1260)

@@ -1,0 +1,103 @@
+"""Canonical serialization round-trip and error tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WireFormatError
+from repro.util.serialization import (
+    bytes_to_int,
+    int_to_bytes,
+    pack_bytes,
+    pack_int,
+    pack_str,
+    pack_u8,
+    pack_u16,
+    pack_u32,
+    pack_u64,
+    unpack_bytes,
+    unpack_int,
+    unpack_str,
+    unpack_u8,
+    unpack_u16,
+    unpack_u32,
+    unpack_u64,
+)
+
+
+class TestIntBytes:
+    def test_zero(self):
+        assert int_to_bytes(0) == b""
+        assert bytes_to_int(b"") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(-1)
+
+    @given(st.integers(0, 2**4096))
+    def test_roundtrip(self, value):
+        assert bytes_to_int(int_to_bytes(value)) == value
+
+    def test_minimal_encoding(self):
+        assert int_to_bytes(255) == b"\xff"
+        assert int_to_bytes(256) == b"\x01\x00"
+
+
+class TestPackers:
+    @given(st.binary(max_size=1000))
+    def test_bytes_roundtrip(self, data):
+        packed = pack_bytes(data)
+        value, offset = unpack_bytes(packed)
+        assert value == data and offset == len(packed)
+
+    @given(st.integers(0, 2**2048))
+    def test_int_roundtrip(self, value):
+        out, offset = unpack_int(pack_int(value))
+        assert out == value
+
+    @given(st.text(max_size=200))
+    def test_str_roundtrip(self, text):
+        out, _ = unpack_str(pack_str(text))
+        assert out == text
+
+    def test_concatenated_fields(self):
+        buf = pack_int(12345) + pack_str("hello") + pack_bytes(b"\x00\x01")
+        value, offset = unpack_int(buf)
+        text, offset = unpack_str(buf, offset)
+        blob, offset = unpack_bytes(buf, offset)
+        assert (value, text, blob) == (12345, "hello", b"\x00\x01")
+        assert offset == len(buf)
+
+    def test_truncated_length_prefix(self):
+        with pytest.raises(WireFormatError):
+            unpack_bytes(b"\x00\x00")
+
+    def test_truncated_body(self):
+        with pytest.raises(WireFormatError):
+            unpack_bytes(b"\x00\x00\x00\x05abc")
+
+    def test_invalid_utf8(self):
+        with pytest.raises(WireFormatError):
+            unpack_str(pack_bytes(b"\xff\xfe"))
+
+
+class TestFixedWidth:
+    @pytest.mark.parametrize(
+        "pack,unpack,maximum",
+        [
+            (pack_u8, unpack_u8, 0xFF),
+            (pack_u16, unpack_u16, 0xFFFF),
+            (pack_u32, unpack_u32, 0xFFFFFFFF),
+            (pack_u64, unpack_u64, 0xFFFFFFFFFFFFFFFF),
+        ],
+    )
+    def test_roundtrip_and_bounds(self, pack, unpack, maximum):
+        for value in (0, 1, maximum):
+            out, _ = unpack(pack(value))
+            assert out == value
+        with pytest.raises(ValueError):
+            pack(maximum + 1)
+        with pytest.raises(ValueError):
+            pack(-1)
+        with pytest.raises(WireFormatError):
+            unpack(b"")
