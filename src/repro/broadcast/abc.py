@@ -97,6 +97,74 @@ def _final_signing_input(final: AbcEpochFinal) -> bytes:
     return h.digest()
 
 
+class BatchQueue:
+    """Accumulates request payloads and flushes them as one batch.
+
+    SINTRA-style amortization: instead of paying a full agreement instance
+    (ORDER / PREPARE-certificate / COMMIT round with its per-slot signature
+    work) for every request, the gateway buffers payloads and hands the
+    broadcast layer one length-prefixed batch per sequence slot.  A batch
+    is flushed when it reaches ``max_batch`` entries (size threshold) or
+    ``max_delay`` elapses on the local clock since the first buffered entry
+    (latency threshold), whichever comes first.
+    """
+
+    def __init__(
+        self,
+        max_batch: int,
+        max_delay: float,
+        flush: Callable[[List[bytes]], None],
+        schedule: ScheduleFn,
+    ) -> None:
+        if max_batch < 1:
+            raise ConfigError("batch size must be at least 1")
+        if max_delay <= 0:
+            raise ConfigError("batch flush delay must be positive")
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._flush_fn = flush
+        self._schedule = schedule
+        self._buffer: List[bytes] = []
+        self._timer: Optional[Any] = None
+        self.stats: Dict[str, int] = {
+            "flushes": 0,
+            "flushed_requests": 0,
+            "size_flushes": 0,
+            "timer_flushes": 0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def append(self, payload: bytes) -> None:
+        """Buffer one payload; flush if the size threshold is reached."""
+        self._buffer.append(payload)
+        if len(self._buffer) >= self.max_batch:
+            self.flush(reason="size")
+        elif self._timer is None:
+            self._timer = self._schedule(self.max_delay, self._on_timer)
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        self.flush(reason="timer")
+
+    def flush(self, reason: str = "explicit") -> None:
+        """Hand all buffered payloads to the flush callback, oldest first."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._buffer:
+            return
+        batch, self._buffer = self._buffer, []
+        self.stats["flushes"] += 1
+        self.stats["flushed_requests"] += len(batch)
+        if reason == "size":
+            self.stats["size_flushes"] += 1
+        elif reason == "timer":
+            self.stats["timer_flushes"] += 1
+        self._flush_fn(batch)
+
+
 class AtomicBroadcast:
     """One replica's endpoint of the atomic broadcast channel.
 

@@ -9,11 +9,70 @@ pair of nodes can run many protocol instances over one link.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
-from typing import Any, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.crypto.protocols import SigningMessage
 from repro.crypto.shoup import SignatureShare
+
+
+# --------------------------------------------------------------------------
+# Request batching (SINTRA-style payload amortization)
+# --------------------------------------------------------------------------
+
+#: Marker distinguishing a batch payload from a single client request.
+#: Single-request payloads start with a 4-byte client node id; ids anywhere
+#: near 0xFF424154 ("\xffBAT") would require ~4.2 billion simulated nodes,
+#: so the prefix cannot collide with a legitimate request payload.
+BATCH_MAGIC = b"\xffBATCH1\x00"
+
+
+def encode_batch(payloads: List[bytes]) -> bytes:
+    """Frame a list of request payloads as one length-prefixed batch.
+
+    Layout: ``MAGIC || u32 count || (u32 len || payload)*`` — every replica
+    decodes the same ordered list, so batch execution stays deterministic.
+    """
+    out = bytearray(BATCH_MAGIC)
+    out += struct.pack(">I", len(payloads))
+    for payload in payloads:
+        out += struct.pack(">I", len(payload))
+        out += payload
+    return bytes(out)
+
+
+def is_batch_payload(payload: bytes) -> bool:
+    return payload.startswith(BATCH_MAGIC)
+
+
+def decode_batch(payload: bytes) -> List[bytes]:
+    """Decode a batch payload; malformed batches decode to ``[]``.
+
+    Decoding is strict and total: a Byzantine gateway can broadcast a
+    truncated or over-long batch, and every honest replica must reach the
+    same verdict from the same bytes — here, "drop the whole batch".
+    """
+    if not payload.startswith(BATCH_MAGIC):
+        return []
+    offset = len(BATCH_MAGIC)
+    if len(payload) < offset + 4:
+        return []
+    (count,) = struct.unpack_from(">I", payload, offset)
+    offset += 4
+    entries: List[bytes] = []
+    for _ in range(count):
+        if len(payload) < offset + 4:
+            return []
+        (length,) = struct.unpack_from(">I", payload, offset)
+        offset += 4
+        if len(payload) < offset + length:
+            return []
+        entries.append(payload[offset : offset + length])
+        offset += length
+    if offset != len(payload):
+        return []  # trailing garbage
+    return entries
 
 
 # --------------------------------------------------------------------------

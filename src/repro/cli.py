@@ -46,6 +46,18 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
         metavar="K",
         help="simulate K corrupted servers (paper placement)",
     )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        metavar="B",
+        help="order up to B client payloads per agreement instance (1 = off)",
+    )
+    parser.add_argument(
+        "--no-answer-cache",
+        action="store_true",
+        help="disable the signed-answer cache",
+    )
 
 
 def _build_service(args: argparse.Namespace):
@@ -54,7 +66,13 @@ def _build_service(args: argparse.Namespace):
 
     topology = paper_setup(args.n) if args.wan else lan_setup(args.n)
     service = ReplicatedNameService(
-        ServiceConfig(n=args.n, t=args.t, signing_protocol=args.protocol),
+        ServiceConfig(
+            n=args.n,
+            t=args.t,
+            signing_protocol=args.protocol,
+            batch_size=args.batch_size,
+            answer_cache=not args.no_answer_cache,
+        ),
         topology=topology,
         zone_text=_load_zone_text(args),
     )
@@ -134,8 +152,13 @@ def cmd_verifyzone(args: argparse.Namespace) -> int:
 def cmd_dig(args: argparse.Namespace) -> int:
     service = _build_service(args)
     rtype = c.type_from_text(args.rtype)
-    op = service.query(args.name, rtype)
+    ops = [service.query(args.name, rtype) for _ in range(max(1, args.repeat))]
+    op = ops[-1]
     print(op.response.to_text())
+    if len(ops) > 1:
+        times = ", ".join(f"{o.latency * 1000:.0f}" for o in ops)
+        hits = sum(r.stats["answer_cache_hits"] for r in service.replicas)
+        print(f";; query times (ms): {times}; answer-cache hits: {hits}")
     print(
         f";; simulated query time: {op.latency * 1000:.0f} ms; "
         f"signatures verified: {op.verified}"
@@ -177,7 +200,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
             else paper_setup(args.n)
         )
         service = ReplicatedNameService(
-            ServiceConfig(n=args.n, t=args.t, signing_protocol=args.protocol),
+            ServiceConfig(
+                n=args.n,
+                t=args.t,
+                signing_protocol=args.protocol,
+                batch_size=args.batch_size,
+                answer_cache=not args.no_answer_cache,
+            ),
             topology=paper_setup(args.n) if args.wan else lan_setup(args.n),
             seed=seed,
         )
@@ -232,6 +261,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name")
     p.add_argument("rtype", nargs="?", default="A")
     p.add_argument("--zone-file", default=None)
+    p.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="issue the query N times (repeats exercise the answer cache)",
+    )
     _add_service_args(p)
     p.set_defaults(func=cmd_dig)
 

@@ -32,6 +32,18 @@ class ServiceConfig:
     abc_timeout: float = 30.0
     # Client request timeout before retrying the next server (§3.4).
     client_timeout: float = 60.0
+    # Request batching (SINTRA-style payload amortization): a gateway
+    # buffers up to ``batch_size`` client payloads (flushing early after
+    # ``batch_delay`` seconds) and atomic broadcast orders the whole batch
+    # in one sequence slot.  ``batch_size=1`` disables batching and keeps
+    # the paper's one-payload-per-instance behaviour.
+    batch_size: int = 1
+    batch_delay: float = 0.02
+    # Signed-answer cache: replicas memoize complete response wires (and,
+    # with sign_every_response, assembled threshold signatures) keyed by
+    # (qname, qtype, zone serial); entries are invalidated when an update
+    # executes and bumps the serial.
+    answer_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -48,6 +60,10 @@ class ServiceConfig:
                 f"unknown signing protocol {self.signing_protocol!r}; "
                 f"choose from {ALL_PROTOCOLS}"
             )
+        if self.batch_size < 1:
+            raise ConfigError("batch_size must be at least 1")
+        if self.batch_size > 1 and self.batch_delay <= 0:
+            raise ConfigError("batching requires a positive batch_delay")
 
     @property
     def quorum(self) -> int:

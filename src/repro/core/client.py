@@ -24,13 +24,15 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.broadcast.messages import ClientRequest, ClientResponse
 from repro.config import ServiceConfig
 from repro.crypto.costmodel import CostModel
+from repro.crypto.protocols import OP_VERIFY_SIGNATURE
+from repro.crypto.rsa import RsaPublicKey
 from repro.dns import constants as c
 from repro.dns import dnssec
 from repro.dns.message import Message, RR, make_query, make_update, rrs_to_rrsets
 from repro.dns.name import Name
 from repro.dns.rdata import KEY, Rdata, SIG
 from repro.dns.tsig import TsigKey, sign_message
-from repro.errors import DnssecError, WireFormatError
+from repro.errors import DnssecError, InvalidSignature, WireFormatError
 
 Callback = Callable[["CompletedOp"], None]
 
@@ -185,6 +187,27 @@ class _ClientBase:
                 return False
         return True
 
+    def _verify_threshold_signature(self, msg: ClientResponse) -> bool:
+        """Verify a threshold signature over the whole response (A3 mode).
+
+        The signature covers the response wire with its message id zeroed
+        (see :func:`repro.core.replica.canonical_response_wire`), so one
+        signing round vouches for every repetition of the question.  The
+        assembled signature is a plain RSA signature under the zone key.
+        """
+        signature = getattr(msg, "signature", b"")
+        if not signature or self.zone_key is None:
+            return False
+        modulus, exponent = self.zone_key.rsa_parameters()
+        self.node.charge(self.costs.crypto_cost(OP_VERIFY_SIGNATURE))
+        try:
+            RsaPublicKey(modulus=modulus, exponent=exponent).verify(
+                b"\x00\x00" + msg.wire[2:], signature
+            )
+        except InvalidSignature:
+            return False
+        return True
+
     # -- plumbing -----------------------------------------------------------------------
 
     def _issue(self, kind: str, msg_id: int, wire: bytes, callback: Callback) -> None:
@@ -282,6 +305,10 @@ class PragmaticClient(_ClientBase):
         verified = False
         if self.verify_signatures and flight.kind == "read":
             verified = self._verify_response(response)
+            if not verified:
+                # A3 mode: the whole response carries one threshold
+                # signature instead of per-RRset zone signatures.
+                verified = self._verify_threshold_signature(msg)
         self._finish(flight, response.msg_id, response, sender, verified)
 
 

@@ -23,15 +23,18 @@ import hashlib
 import struct
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
-from repro.broadcast.abc import AtomicBroadcast
+from repro.broadcast.abc import AtomicBroadcast, BatchQueue, derive_request_id
 from repro.broadcast.messages import (
     AbcOrder,
     AbcPrepare,
     ClientRequest,
     ClientResponse,
     WrapperSigning,
+    decode_batch,
+    encode_batch,
+    is_batch_payload,
 )
 from repro.config import ServiceConfig
 from repro.core.faults import CorruptionMode, FaultInjector
@@ -46,7 +49,7 @@ from repro.dns.server import AuthoritativeServer
 from repro.dns.tsig import TsigKeyring, verify_message
 from repro.dns.update import UpdateProcessor
 from repro.dns.zone import Zone
-from repro.errors import TsigError, WireFormatError
+from repro.errors import TsigError, WireFormatError, ZoneError
 from repro.sim.network import SimNode
 
 
@@ -58,6 +61,17 @@ def encode_request(client: int, wire: bytes) -> bytes:
 def decode_request(payload: bytes) -> Tuple[int, bytes]:
     (client,) = struct.unpack_from(">I", payload, 0)
     return client, payload[4:]
+
+
+def canonical_response_wire(wire: bytes) -> bytes:
+    """The response wire with its message id zeroed.
+
+    Identical queries differ only in their random DNS message id, and the
+    id is echoed in the response header.  Threshold signatures over signed
+    answers cover this id-less form so one distributed signing round can
+    vouch for every future repetition of the same question.
+    """
+    return b"\x00\x00" + wire[2:]
 
 
 @dataclass
@@ -82,12 +96,19 @@ class _PendingUpdate:
 
 @dataclass
 class _PendingSignedRead:
-    """A read whose *response* is being threshold-signed (ablation A3)."""
+    """A read whose *response* is being threshold-signed (ablation A3).
+
+    The signature covers :func:`canonical_response_wire`, so the completed
+    (wire, signature) pair is cacheable under ``cache_key`` for every later
+    repetition of the same question at the same zone serial.
+    """
 
     request_id: str
     client: int
     response_wire: bytes
     task: SigningTask
+    cache_key: Optional[Tuple[object, int, int]] = None
+    query_tail: bytes = b""
 
 
 class ReplicaServer:
@@ -138,6 +159,16 @@ class ReplicaServer:
         else:
             self.abc = None
 
+        if self.abc is not None and self.config.batch_size > 1:
+            self.batch_queue: Optional[BatchQueue] = BatchQueue(
+                max_batch=self.config.batch_size,
+                max_delay=self.config.batch_delay,
+                flush=self._flush_batch,
+                schedule=node.schedule_timer,
+            )
+        else:
+            self.batch_queue = None
+
         self._exec_queue: Deque[Tuple[str, int, bytes]] = deque()
         self._busy = False
         self._pending_update: Optional[_PendingUpdate] = None
@@ -147,6 +178,23 @@ class ReplicaServer:
         # retry by resending the same message (§3.4); the atomic broadcast
         # deduplicates it, so replicas must replay the cached response.
         self._response_cache: Dict[bytes, bytes] = {}
+        # Requests already executed, by payload-derived id.  Atomic
+        # broadcast deduplicates identical *payloads*, but with batching
+        # the same request can ride in two differently-framed batches
+        # (e.g. via two gateways), so execution dedupes again here —
+        # deterministically, since all honest replicas see the same
+        # delivery order.
+        self._executed_rids: Set[str] = set()
+        # The executed request sequence (for determinism checks): every
+        # honest replica must log the identical list.
+        self.delivered_requests: List[str] = []
+        # Signed-answer cache: (qname, qtype, zone serial) -> (query tail
+        # hash, canonical response wire, threshold signature or b"").
+        # Entries become unreachable when an update bumps the serial and
+        # the dict is cleared outright on any data-changing update.
+        self._answer_cache: Dict[
+            Tuple[object, int, int], Tuple[bytes, bytes, bytes]
+        ] = {}
 
         # Statistics for benchmarks.
         self.stats: Dict[str, int] = {
@@ -154,9 +202,18 @@ class ReplicaServer:
             "updates": 0,
             "signatures_completed": 0,
             "tsig_failures": 0,
+            "batches_delivered": 0,
+            "batched_requests": 0,
+            "answer_cache_hits": 0,
+            "answer_cache_misses": 0,
         }
 
         node.set_handler(self.on_message)
+
+    @property
+    def signing_rounds(self) -> int:
+        """Distributed signing rounds this replica has started (for benches)."""
+        return self.coordinator.rounds_started
 
     # ------------------------------------------------------------------
     # corruption control
@@ -213,7 +270,21 @@ class ReplicaServer:
             # Rarely-updated-zone mode (§3.4 last ¶): serve reads locally.
             self._execute(msg.request_id, client, msg.wire)
             return
-        self.abc.a_broadcast(encode_request(client, msg.wire))
+        payload = encode_request(client, msg.wire)
+        if self.batch_queue is not None:
+            self.batch_queue.append(payload)
+        else:
+            self.abc.a_broadcast(payload)
+
+    def _flush_batch(self, payloads: List[bytes]) -> None:
+        """Order a flushed batch in one atomic-broadcast sequence slot."""
+        assert self.abc is not None
+        if len(payloads) == 1:
+            # A lone request needs no batch frame; its payload-derived id
+            # matches what an unbatched gateway would have broadcast.
+            self.abc.a_broadcast(payloads[0])
+        else:
+            self.abc.a_broadcast(encode_batch(payloads))
 
     def _on_signing_message(self, sender: int, msg: WrapperSigning) -> None:
         outs = self.coordinator.on_message(sender, msg.inner)
@@ -236,8 +307,26 @@ class ReplicaServer:
     # ------------------------------------------------------------------
 
     def _on_deliver(self, rid: str, payload: bytes) -> None:
-        client, wire = decode_request(payload)
-        self._exec_queue.append((rid, client, wire))
+        if is_batch_payload(payload):
+            entries = decode_batch(payload)
+            self.stats["batches_delivered"] += 1
+            self.stats["batched_requests"] += len(entries)
+        else:
+            entries = [payload]
+        for entry in entries:
+            # Batch entries execute in frame order, and every request
+            # executes at most once system-wide: sub-request ids are
+            # payload-derived, so all honest replicas skip the same
+            # duplicates and the state machine stays deterministic.
+            sub_rid = derive_request_id(entry)
+            if sub_rid in self._executed_rids:
+                continue
+            if len(entry) < 4:
+                continue  # malformed entry from a Byzantine gateway
+            self._executed_rids.add(sub_rid)
+            self.delivered_requests.append(sub_rid)
+            client, wire = decode_request(entry)
+            self._exec_queue.append((sub_rid, client, wire))
         self._drain_exec_queue()
 
     def _drain_exec_queue(self) -> None:
@@ -246,20 +335,62 @@ class ReplicaServer:
             self._execute(rid, client, wire)
 
     def _execute(self, rid: str, client: int, wire: bytes) -> None:
-        self.node.charge(self.costs.dns_processing)
         opcode = self._peek_opcode(wire)
         if opcode == c.OPCODE_UPDATE:
+            self.node.charge(self.costs.dns_processing)
             self._execute_update(rid, client, wire)
         else:
+            # Queries charge inside _execute_query: an answer-cache hit
+            # skips full request processing and pays the cheap lookup cost.
             self._execute_query(rid, client, wire)
+
+    def _answer_cache_key(
+        self, query: Message, wire: bytes
+    ) -> Tuple[Optional[Tuple[object, int, int]], bytes]:
+        """Cache key ``(qname, qtype, zone serial)`` plus the query-tail hash.
+
+        The tail hash (everything after the random message id) guards the
+        rare case of two queries agreeing on the question but differing in
+        header flags or class — those must not share a cached answer.
+        """
+        if not self.config.answer_cache:
+            return None, b""
+        if self.fault.mode is CorruptionMode.STALE_READS:
+            return None, b""  # the stale server must not touch the cache
+        if len(query.questions) != 1:
+            return None, b""
+        question = query.questions[0]
+        try:
+            serial = self.zone.serial
+        except ZoneError:
+            return None, b""
+        key = (question.name, question.rtype, serial)
+        return key, hashlib.sha256(wire[2:]).digest()
 
     def _execute_query(self, rid: str, client: int, wire: bytes) -> None:
         self.stats["queries"] += 1
         try:
             query = Message.from_wire(wire)
         except WireFormatError:
+            self.node.charge(self.costs.dns_processing)
             self._respond_error(client, wire, c.RCODE_FORMERR)
             return
+        cache_key, query_tail = self._answer_cache_key(query, wire)
+        if cache_key is not None:
+            hit = self._answer_cache.get(cache_key)
+            if hit is not None and hit[0] == query_tail:
+                # Fast path: splice the query's message id into the cached
+                # wire; with sign_every_response the cached threshold
+                # signature (over the id-less canonical wire) rides along,
+                # so no distributed signing round runs at all.
+                self.stats["answer_cache_hits"] += 1
+                self.node.charge(self.costs.answer_cache_hit)
+                response_wire = wire[:2] + hit[1][2:]
+                self._response_cache[hashlib.sha256(wire).digest()] = response_wire
+                self._respond(rid, client, response_wire, threshold_sig=hit[2])
+                return
+            self.stats["answer_cache_misses"] += 1
+        self.node.charge(self.costs.dns_processing)
         if self.fault.mode is CorruptionMode.STALE_READS:
             response = self._stale_server.handle_query(query)
         else:
@@ -267,8 +398,16 @@ class ReplicaServer:
         response_wire = response.to_wire()
         self._response_cache[hashlib.sha256(wire).digest()] = response_wire
         if self.config.sign_every_response:
-            self._start_response_signing(rid, client, response_wire)
+            self._start_response_signing(
+                rid, client, response_wire, cache_key, query_tail
+            )
             return
+        if cache_key is not None:
+            self._answer_cache[cache_key] = (
+                query_tail,
+                canonical_response_wire(response_wire),
+                b"",
+            )
         self._respond(rid, client, response_wire)
 
     def _execute_update(self, rid: str, client: int, wire: bytes) -> None:
@@ -288,6 +427,10 @@ class ReplicaServer:
                 self._respond_error(client, wire, c.RCODE_FORMERR)
                 return
         response, result = self.processor.respond(update)
+        if result.ok and result.data_changed:
+            # The update bumped the zone serial: cached answers keyed by
+            # the old serial are unreachable; drop them to bound memory.
+            self._answer_cache.clear()
         response_wire = response.to_wire()
         wire_hash = hashlib.sha256(wire).digest()
         if not (self.config.signed_zone and result.ok and result.data_changed):
@@ -342,23 +485,39 @@ class ReplicaServer:
         self._check_signing_progress()
 
     def _start_response_signing(
-        self, rid: str, client: int, response_wire: bytes
+        self,
+        rid: str,
+        client: int,
+        response_wire: bytes,
+        cache_key: Optional[Tuple[object, int, int]] = None,
+        query_tail: bytes = b"",
     ) -> None:
-        """Ablation A3: threshold-sign the response itself."""
-        sign_id = "resp-" + hashlib.sha256(response_wire).hexdigest()[:24]
+        """Ablation A3: threshold-sign the response itself.
+
+        The signature covers the canonical (id-zeroed) wire, so the session
+        id — and therefore the whole distributed signing round — is shared
+        by every repetition of the same question at this zone serial.
+        """
+        canonical = canonical_response_wire(response_wire)
+        sign_id = "resp-" + hashlib.sha256(canonical).hexdigest()[:24]
         task = SigningTask(
             sign_id=sign_id,
             name=self.zone.origin,
             rtype=0,
-            data=response_wire,
+            data=canonical,
             template=None,  # type: ignore[arg-type]
             ttl=0,
         )
         self._busy = True
         self._pending_read = _PendingSignedRead(
-            request_id=rid, client=client, response_wire=response_wire, task=task
+            request_id=rid,
+            client=client,
+            response_wire=response_wire,
+            task=task,
+            cache_key=cache_key,
+            query_tail=query_tail,
         )
-        outs = self.coordinator.sign(sign_id, response_wire)
+        outs = self.coordinator.sign(sign_id, canonical)
         self.node.charge_ops(self.coordinator.drain_ops(), self.costs)
         self._send_signing(outs)
         self._check_signing_progress()
@@ -392,6 +551,12 @@ class ReplicaServer:
                     self._pending_read = None
                     self._busy = False
                     self.stats["signatures_completed"] += 1
+                    if done.cache_key is not None:
+                        self._answer_cache[done.cache_key] = (
+                            done.query_tail,
+                            canonical_response_wire(done.response_wire),
+                            signature,
+                        )
                     self._respond(
                         done.request_id,
                         done.client,

@@ -146,6 +146,35 @@ class ReplicatedNameService:
             self.client = FullClient(**client_args)
         else:
             raise ConfigError(f"unknown client model {client_model!r}")
+        self._client_model = client_model
+        self._verify_signatures = verify_signatures
+        self.extra_clients: List[PragmaticClient] = []
+
+    def add_client(self, gateway: int = 0) -> PragmaticClient:
+        """Add another pragmatic client on its own machine.
+
+        Throughput experiments need several concurrent request sources so
+        a single client's per-request overhead does not serialize the
+        whole workload (each client node charges its own CPU time).
+        """
+        node = self.net.add_node(CLIENT_MACHINE, colocated_with=gateway)
+        client = PragmaticClient(
+            gateway=gateway,
+            node=node,
+            config=self.config,
+            replica_ids=list(range(self.config.n)),
+            zone_origin=self.zone_origin,
+            zone_key=(
+                self.deployment.zone_key_record if self.config.signed_zone else None
+            ),
+            tsig_key=(
+                self.deployment.tsig_key if self.config.require_tsig else None
+            ),
+            costs=self.costs,
+            verify_signatures=self._verify_signatures,
+        )
+        self.extra_clients.append(client)
+        return client
 
     # ------------------------------------------------------------------
     # fault injection
@@ -263,3 +292,11 @@ class ReplicatedNameService:
                 replica.zone, self.deployment.zone_key_record
             )
         return total
+
+    def total_signing_rounds(self) -> int:
+        """Distributed signing rounds started across honest replicas.
+
+        With the signed-answer cache, repeated identical queries must not
+        start new rounds — benchmarks and tests assert on this counter.
+        """
+        return sum(r.signing_rounds for r in self.honest_replicas())

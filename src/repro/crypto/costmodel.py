@@ -76,6 +76,11 @@ AUTH_VERIFY_COST = 0.0005
 # 4-vs-2 signature pattern yields Table 2's 0.047 s add / 0.022 s delete.
 LOCAL_SIGN_COST = 0.008
 
+# Serving a memoized answer from the signed-answer cache: parse the query
+# header/question and splice the message id into the cached wire — no zone
+# lookup, no response rendering, no signing.
+ANSWER_CACHE_HIT_COST = 0.004
+
 
 @dataclass(frozen=True)
 class CostModel:
@@ -94,6 +99,7 @@ class CostModel:
     auth_sign: float = AUTH_SIGN_COST
     auth_verify: float = AUTH_VERIFY_COST
     local_sign: float = LOCAL_SIGN_COST
+    answer_cache_hit: float = ANSWER_CACHE_HIT_COST
 
     def crypto_cost(self, op: str, count: int = 1) -> float:
         try:

@@ -9,6 +9,7 @@ byte-identical to what an unmodified single-key signer would produce.
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 
 from repro.errors import CryptoError
 
@@ -48,11 +49,20 @@ def emsa_pkcs1_v15_verify(message: bytes, em: bytes) -> bool:
     return expected == em
 
 
+@lru_cache(maxsize=512)
+def _encode_to_int_cached(message: bytes, em_len: int) -> int:
+    return int.from_bytes(emsa_pkcs1_v15_encode(message, em_len), "big")
+
+
 def encode_to_int(message: bytes, modulus: int) -> int:
     """PKCS#1-encode ``message`` for ``modulus`` and return it as an integer.
 
     This integer is the value ``x`` that the (threshold) RSA signing
     operation raises to the private exponent.
+
+    Memoized (bounded): during one threshold signing round every server
+    encodes the same message once per share operation; the encoding is a
+    pure function of the message and the modulus size.
     """
     em_len = (modulus.bit_length() + 7) // 8
-    return int.from_bytes(emsa_pkcs1_v15_encode(message, em_len), "big")
+    return _encode_to_int_cached(message, em_len)

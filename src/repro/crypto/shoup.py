@@ -34,6 +34,7 @@ from __future__ import annotations
 import hashlib
 import secrets
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.crypto import pkcs1
@@ -62,6 +63,19 @@ from repro.util.serialization import (
 
 # Bit length of the Fiat-Shamir challenge (SHA-256 output).
 _CHALLENGE_BITS = 256
+
+
+@lru_cache(maxsize=256)
+def _verification_base(x: int, delta: int, modulus: int) -> int:
+    """``x~ = x^{4*delta} mod N`` — the base of the share-correctness proofs.
+
+    Every prover computes it once per message and every verifier once per
+    share; all inputs are public, so memoizing leaks nothing and turns
+    ``t`` extra wide modexps per signing round into dictionary hits.
+    Secret-dependent powers (share values, nonce commitments) are never
+    cached.
+    """
+    return pow(x, 4 * delta, modulus)
 
 
 def _proof_challenge(
@@ -192,7 +206,7 @@ class ThresholdPublicKey:
             raise InvalidShare(f"share index {share.index} out of range")
         N = self.modulus
         x = pkcs1.encode_to_int(message, N)
-        x_tilde = pow(x, 4 * self.delta, N)
+        x_tilde = _verification_base(x, self.delta, N)
         v = self.verifier
         v_i = self.share_verifier(share.index)
         x_i = share.value % N
@@ -335,7 +349,7 @@ class ThresholdKeyShare:
             raise ValueError("cannot prove another server's share")
         N = self.public.modulus
         x = pkcs1.encode_to_int(message, N)
-        x_tilde = pow(x, 4 * self.public.delta, N)
+        x_tilde = _verification_base(x, self.public.delta, N)
         v = self.public.verifier
         v_i = self.public.share_verifier(self.index)
         x_i_sq = pow(share.value, 2, N)

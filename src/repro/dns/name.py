@@ -31,10 +31,18 @@ def _escape_label(label: bytes) -> str:
     return "".join(out)
 
 
-def _parse_labels(text: str) -> List[bytes]:
-    """Split a textual name into labels, handling ``\\.`` and ``\\DDD``."""
+def _parse_labels(text: str) -> Tuple[List[bytes], bool]:
+    """Split a textual name into labels, handling ``\\.`` and ``\\DDD``.
+
+    Returns ``(labels, absolute)`` where ``absolute`` is True iff the name
+    ends with an *unescaped* dot.  Absoluteness must be decided here, while
+    scanning escapes: a textual suffix test (``text.endswith("\\.")``)
+    cannot tell ``a\\.`` (escaped dot, relative) from ``a\\\\.`` (escaped
+    backslash followed by a real separator, absolute).
+    """
     labels: List[bytes] = []
     current = bytearray()
+    absolute = False
     i = 0
     while i < len(text):
         char = text[i]
@@ -59,13 +67,15 @@ def _parse_labels(text: str) -> List[bytes]:
             if current:
                 labels.append(bytes(current))
                 current = bytearray()
+            if i == len(text) - 1:
+                absolute = True
             i += 1
             continue
         current.append(ord(char))
         i += 1
     if current:
         labels.append(bytes(current))
-    return labels
+    return labels, absolute
 
 
 @total_ordering
@@ -109,8 +119,8 @@ class Name:
             if origin is None:
                 raise NameError_("@ used without origin")
             return origin
-        labels = _parse_labels(text)
-        if text.endswith(".") and not text.endswith("\\."):
+        labels, absolute = _parse_labels(text)
+        if absolute:
             return cls(labels)
         if origin is None:
             raise NameError_(f"relative name {text!r} with no origin")

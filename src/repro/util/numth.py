@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 import secrets
+from functools import lru_cache
 from typing import Tuple
 
 from repro.errors import KeyGenerationError
@@ -116,8 +117,13 @@ def random_safe_prime(bits: int, max_attempts: int = 1_000_000) -> int:
     )
 
 
+@lru_cache(maxsize=None)
 def factorial(n: int) -> int:
-    """``n!`` — Shoup's ``delta``. Thin wrapper for symmetry with the paper."""
+    """``n!`` — Shoup's ``delta``. Thin wrapper for symmetry with the paper.
+
+    Memoized: ``delta`` is recomputed on every share generation,
+    verification, and assembly, always for the same handful of ``n``.
+    """
     return math.factorial(n)
 
 
@@ -144,6 +150,7 @@ def lagrange_coefficient_num_den(
     return num, den
 
 
+@lru_cache(maxsize=4096)
 def scaled_lagrange_coefficient(
     delta: int, subset: Tuple[int, ...], i: int, x: int = 0
 ) -> int:
@@ -152,6 +159,10 @@ def scaled_lagrange_coefficient(
     ``delta`` must be ``n!`` for a group of ``n`` servers; divisibility is
     guaranteed because the denominator of the Lagrange coefficient divides
     ``n!`` for any subset of ``{1..n}``.
+
+    Memoized: the coefficients depend only on ``(delta, subset, i, x)``,
+    and a deployment reuses the same few subsets for every signature, so
+    every signing round after the first assembles with cached values.
     """
     num, den = lagrange_coefficient_num_den(subset, i, x)
     value, remainder = divmod(delta * num, den)

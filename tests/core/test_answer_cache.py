@@ -1,0 +1,131 @@
+"""Signed-answer cache: hits, invalidation, and signing-round reuse.
+
+The cache memoizes complete response wires (and, in A3 mode, the
+assembled threshold signature) keyed by ``(qname, qtype, zone serial)``.
+Repeated identical queries must be answered without another zone lookup
+or distributed signing round; any update that changes zone data bumps
+the serial and must invalidate every entry.
+"""
+
+from repro.config import ServiceConfig
+from repro.core.replica import canonical_response_wire
+from repro.core.service import ReplicatedNameService
+from repro.dns import constants as c
+from repro.sim.machines import lan_setup
+
+
+def make_service(n=4, t=1, **config_extra):
+    config = ServiceConfig(n=n, t=t, **config_extra)
+    return ReplicatedNameService(config, topology=lan_setup(n))
+
+
+def cache_hits(svc):
+    return sum(r.stats["answer_cache_hits"] for r in svc.replicas)
+
+
+def cache_misses(svc):
+    return sum(r.stats["answer_cache_misses"] for r in svc.replicas)
+
+
+class TestAnswerCache:
+    def test_repeated_query_hits_cache(self):
+        svc = make_service()
+        svc.query("www.example.com.", c.TYPE_A)
+        assert cache_misses(svc) >= 1
+        assert cache_hits(svc) == 0
+        svc.query("www.example.com.", c.TYPE_A)
+        assert cache_hits(svc) >= 1
+
+    def test_cached_answer_is_byte_identical_modulo_msg_id(self):
+        svc = make_service()
+        op1 = svc.query("www.example.com.", c.TYPE_A)
+        op2 = svc.query("www.example.com.", c.TYPE_A)
+        assert op1.verified and op2.verified
+        assert canonical_response_wire(
+            op1.response.to_wire()
+        ) == canonical_response_wire(op2.response.to_wire())
+        assert op1.response.msg_id != op2.response.msg_id
+
+    def test_different_question_misses(self):
+        svc = make_service()
+        svc.query("www.example.com.", c.TYPE_A)
+        svc.query("ns1.example.com.", c.TYPE_A)
+        assert cache_hits(svc) == 0
+
+    def test_update_invalidates_cache(self):
+        svc = make_service()
+        op1 = svc.query("www.example.com.", c.TYPE_A)
+        old = {
+            rr.rdata.address for rr in op1.response.answers if rr.rtype == c.TYPE_A
+        }
+        assert old == {"192.0.2.80"}
+        svc.add_record("www.example.com.", c.TYPE_A, 3600, "192.0.2.81")
+        op2 = svc.query("www.example.com.", c.TYPE_A)
+        new = {
+            rr.rdata.address for rr in op2.response.answers if rr.rtype == c.TYPE_A
+        }
+        # The re-query must see the freshly signed RRset, not the stale wire.
+        assert new == {"192.0.2.80", "192.0.2.81"}
+        assert op2.verified
+        assert svc.states_consistent()
+
+    def test_delete_invalidates_cache(self):
+        svc = make_service()
+        svc.add_record("tmp.example.com.", c.TYPE_A, 300, "192.0.2.9")
+        op1 = svc.query("tmp.example.com.", c.TYPE_A)
+        assert op1.response.rcode == c.RCODE_NOERROR
+        svc.delete_name("tmp.example.com.")
+        op2 = svc.query("tmp.example.com.", c.TYPE_A)
+        assert op2.response.rcode == c.RCODE_NXDOMAIN
+        assert svc.states_consistent()
+
+    def test_cache_can_be_disabled(self):
+        svc = make_service(answer_cache=False)
+        svc.query("www.example.com.", c.TYPE_A)
+        svc.query("www.example.com.", c.TYPE_A)
+        assert cache_hits(svc) == 0
+        assert cache_misses(svc) == 0
+
+
+class TestSignEveryResponse:
+    """A3 mode: the cache must also reuse assembled threshold signatures."""
+
+    def test_repeat_query_starts_no_new_signing_round(self):
+        svc = make_service(sign_every_response=True)
+        op1 = svc.query("www.example.com.", c.TYPE_A)
+        assert op1.response.rcode == c.RCODE_NOERROR
+        rounds = svc.total_signing_rounds()
+        assert rounds >= 1
+        op2 = svc.query("www.example.com.", c.TYPE_A)
+        assert op2.response.rcode == c.RCODE_NOERROR
+        assert svc.total_signing_rounds() == rounds
+        assert cache_hits(svc) >= 1
+
+    def test_cached_signature_verifies_under_zone_key(self):
+        svc = make_service(sign_every_response=True)
+        svc.query("www.example.com.", c.TYPE_A)
+        svc.settle()
+        checked = 0
+        for replica in svc.honest_replicas():
+            for _tail, wire, sig in replica._answer_cache.values():
+                if sig:
+                    svc.deployment.zone_public.verify_signature(wire, sig)
+                    checked += 1
+        assert checked >= 1
+
+    def test_update_forces_fresh_signature(self):
+        svc = make_service(sign_every_response=True)
+        op1 = svc.query("www.example.com.", c.TYPE_A)
+        svc.add_record("www.example.com.", c.TYPE_A, 3600, "192.0.2.81")
+        rounds = svc.total_signing_rounds()
+        op2 = svc.query("www.example.com.", c.TYPE_A)
+        # The serial moved, so the cached signed wire must not be reused.
+        assert svc.total_signing_rounds() > rounds
+        new = {
+            rr.rdata.address for rr in op2.response.answers if rr.rtype == c.TYPE_A
+        }
+        assert "192.0.2.81" in new
+        assert canonical_response_wire(
+            op1.response.to_wire()
+        ) != canonical_response_wire(op2.response.to_wire())
+        assert svc.states_consistent()

@@ -214,3 +214,42 @@ class TestReshare:
         ]
         sig = public.assemble(MESSAGE, mixed)
         assert not public.signature_is_valid(MESSAGE, sig)
+
+
+class TestHotPathMemoization:
+    """The cached helpers must be bit-identical to direct computation."""
+
+    def test_verification_base_matches_direct_pow(self, threshold_4_1):
+        from repro.crypto import pkcs1
+        from repro.crypto.shoup import _verification_base
+
+        public, _ = threshold_4_1
+        N = public.modulus
+        x = pkcs1.encode_to_int(MESSAGE, N)
+        expected = pow(x, 4 * public.delta, N)
+        assert _verification_base(x, public.delta, N) == expected
+        # Second call (cache hit) returns the same value.
+        assert _verification_base(x, public.delta, N) == expected
+
+    def test_repeated_sign_verify_cycles_stay_consistent(self, threshold_4_1):
+        public, shares = threshold_4_1
+        signatures = set()
+        for _ in range(3):
+            proved = [s.generate_share_with_proof(MESSAGE) for s in shares[:2]]
+            for share in proved:
+                public.verify_share(MESSAGE, share)
+            sig = public.assemble(MESSAGE, proved)
+            public.verify_signature(MESSAGE, sig)
+            signatures.add(sig)
+        # RSA signatures are deterministic: every round must agree.
+        assert len(signatures) == 1
+
+    def test_cached_encoding_distinguishes_messages(self, threshold_4_1):
+        from repro.crypto import pkcs1
+
+        public, _ = threshold_4_1
+        N = public.modulus
+        a = pkcs1.encode_to_int(b"message-a", N)
+        b = pkcs1.encode_to_int(b"message-b", N)
+        assert a != b
+        assert pkcs1.encode_to_int(b"message-a", N) == a

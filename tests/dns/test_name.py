@@ -37,6 +37,18 @@ class TestParsing:
         name = Name.from_text(r"a\065.example.com.")
         assert name.labels[0] == b"aA"
 
+    def test_trailing_escaped_backslash_roundtrip(self):
+        # to_text() escapes the backslash, producing "\\." — the final dot
+        # is a real separator, so the parsed name must be absolute again.
+        name = Name([b"\\"])
+        assert name.to_text() == "\\\\."
+        assert Name.from_text(name.to_text()) == name
+
+    def test_trailing_escaped_dot_is_relative(self):
+        origin = Name([b"example", b"com"])
+        name = Name.from_text(r"a\.", origin)
+        assert name.labels == (b"a.", b"example", b"com")
+
     def test_label_too_long(self):
         with pytest.raises(NameError_):
             Name.from_text("a" * 64 + ".com.")
