@@ -15,8 +15,6 @@ from __future__ import annotations
 import math
 from statistics import mean
 
-import pytest
-
 from benchmarks.conftest import build_service
 from repro.config import ServiceConfig
 from repro.core.service import ReplicatedNameService

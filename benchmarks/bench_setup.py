@@ -11,7 +11,6 @@ import pytest
 
 from repro.sim.machines import (
     PAPER_MACHINES,
-    PAPER_SITE_RTTS,
     Topology,
     site_rtt,
 )

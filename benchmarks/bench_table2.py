@@ -27,7 +27,6 @@ from benchmarks.conftest import (
     PAPER_READS,
     PAPER_TABLE2,
     TABLE2_SETUPS,
-    build_service,
     measure_cell,
 )
 from repro.dns import constants as c

@@ -162,6 +162,14 @@ class AbaInstance:
         if round_ not in self._coin_requested:
             self._coin_requested.add(round_)
             out.extend(self.coin.request(self.sid, round_))
+            # Releasing our own share may complete the coin synchronously,
+            # re-entering this method through the coin-ready callback.  If
+            # that nested call finished the round (and advanced
+            # ``self.round``), finishing it again here would advance the
+            # round a second time and strand this replica in a round no
+            # quorum ever joins.
+            if round_ in self._round_done or round_ != self.round:
+                return out
         coin = self.coin.value(self.sid, round_)
         if coin is None:
             return out

@@ -219,6 +219,12 @@ class AtomicBroadcast:
         self._committed: Dict[int, bytes] = {}  # seq -> digest (commit quorum)
         self._skipped: Set[int] = set()
 
+        # Fast-path traffic for an epoch we have not entered yet (or that
+        # arrives while we are mid-recovery) is buffered and replayed once
+        # NEW_EPOCH installs the epoch: links are reliable, so a replica
+        # that switches epochs late must not lose the ORDER / PREPARE /
+        # COMMIT messages the others sent while it lagged.
+        self._future_buffer: List[Tuple[int, object]] = []
         self._complaints: Dict[int, Set[int]] = {}
         self._complained: Set[int] = set()
         self._finals: Dict[int, Dict[int, AbcEpochFinal]] = {}
@@ -247,6 +253,18 @@ class AtomicBroadcast:
     @property
     def leader(self) -> int:
         return self.epoch % self.n
+
+    def delivery_digest(self) -> str:
+        """Fingerprint of the a-delivered sequence ``(seq, request_id)*``.
+
+        Atomic broadcast's total-order guarantee means every honest
+        replica's digest must be identical once the network quiesces; the
+        chaos harness's G1 check compares these directly.
+        """
+        h = hashlib.sha256()
+        for seq, rid in self.delivered_log:
+            h.update(f"{seq}:{rid};".encode())
+        return h.hexdigest()
 
     def a_broadcast(self, payload: bytes) -> str:
         """Inject a request into the channel; returns its request id.
@@ -313,7 +331,22 @@ class AtomicBroadcast:
             self._broadcast(order)
             self._on_order(self.me, order)
 
+    def _buffer_future(self, sender: int, msg: object, epoch: int) -> bool:
+        """Hold fast-path messages we cannot process *yet* (not stale ones)."""
+        if epoch > self.epoch or (epoch == self.epoch and self.mode != MODE_FAST):
+            if len(self._future_buffer) < 4096:
+                self._future_buffer.append((sender, msg))
+            return True
+        return False
+
+    def _replay_buffered(self) -> None:
+        buffered, self._future_buffer = self._future_buffer, []
+        for sender, msg in buffered:
+            self.on_message(sender, msg)
+
     def _on_order(self, sender: int, msg: AbcOrder) -> None:
+        if self._buffer_future(sender, msg, msg.epoch):
+            return
         if self.mode != MODE_FAST or msg.epoch != self.epoch:
             return
         if sender != self.leader:
@@ -340,6 +373,8 @@ class AtomicBroadcast:
         self._advance_delivery(fast=True)
 
     def _on_prepare(self, sender: int, msg: AbcPrepare) -> None:
+        if self._buffer_future(sender, msg, msg.epoch):
+            return
         if msg.epoch != self.epoch or self.mode != MODE_FAST:
             return
         if msg.signer != sender:
@@ -385,6 +420,8 @@ class AtomicBroadcast:
             self._on_commit(self.me, commit)
 
     def _on_commit(self, sender: int, msg: AbcCommit) -> None:
+        if self._buffer_future(sender, msg, msg.epoch):
+            return
         if msg.epoch != self.epoch or self.mode != MODE_FAST:
             return
         if msg.signer != sender:
@@ -574,6 +611,9 @@ class AtomicBroadcast:
         self._arm_timer()
         if self.me == self.leader:
             self._order_pending()
+        # Replay fast-path traffic that arrived while we lagged behind the
+        # epoch switch; anything still ahead of us is re-buffered.
+        self._replay_buffered()
 
     def _validate_new_epoch(
         self, msg: AbcNewEpoch

@@ -16,7 +16,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.broadcast.messages import CoinShare
 from repro.crypto.shoup import SignatureShare, ThresholdKeyShare
-from repro.errors import AssemblyError, ConfigError
+from repro.errors import AssemblyError
 
 Outgoing = Tuple[int, object]
 BROADCAST = -1

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.crypto.protocols import SigningMessage
 from repro.crypto.shoup import SignatureShare

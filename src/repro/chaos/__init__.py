@@ -1,0 +1,26 @@
+"""Deterministic, seed-replayable chaos harness for the replicated DNS.
+
+``repro.chaos`` layers an adversarial scheduler and an extended Byzantine
+fault palette on top of the discrete-event simulator, runs randomized
+client workloads against small clusters, and checks the paper's goals —
+G1 (safety), G2 (liveness), G3 (authenticity) — after every run.  Every
+decision flows from the run's seed, so a violation found in CI replays
+exactly from ``repro chaos --seed N --scenario X``.
+"""
+
+from repro.chaos.invariants import InvariantReport, check_invariants
+from repro.chaos.scenarios import (
+    SCENARIOS,
+    ChaosResult,
+    Scenario,
+    run_scenario,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "ChaosResult",
+    "InvariantReport",
+    "Scenario",
+    "check_invariants",
+    "run_scenario",
+]

@@ -10,6 +10,8 @@ Subcommands mirror the utilities the prototype relied on:
 * ``dig``      — resolve a name against a simulated deployment.
 * ``nsupdate`` — add/delete records against a simulated deployment.
 * ``bench``    — run one Table 2 cell and print read/add/delete latency.
+* ``chaos``    — run seed-replayable Byzantine fault-injection scenarios
+  and check the paper's G1/G2/G3 goals; failures print the replaying seed.
 
 Run ``python -m repro.cli <subcommand> --help`` for details.
 """
@@ -207,7 +209,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 batch_size=args.batch_size,
                 answer_cache=not args.no_answer_cache,
             ),
-            topology=paper_setup(args.n) if args.wan else lan_setup(args.n),
+            topology=topology,
             seed=seed,
         )
         if args.corrupt:
@@ -224,6 +226,63 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"read {mean(reads):.3f} s, add {mean(adds):.2f} s, "
         f"delete {mean(deletes):.2f} s  ({args.repetitions} runs)"
     )
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import SCENARIOS, run_scenario
+
+    try:
+        n_text, t_text = args.cluster.split(",")
+        cluster = (int(n_text), int(t_text))
+    except ValueError:
+        print(f"error: --cluster must look like 4,1 (got {args.cluster!r})",
+              file=sys.stderr)
+        return 2
+    if args.scenario == "all":
+        names = sorted(SCENARIOS)
+    elif args.scenario in SCENARIOS:
+        names = [args.scenario]
+    else:
+        print(
+            f"error: unknown scenario {args.scenario!r}; "
+            f"choose from {sorted(SCENARIOS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    seeds = list(range(args.seed, args.seed + max(1, args.seeds)))
+    failures = 0
+    for name in names:
+        for seed in seeds:
+            result = run_scenario(name, cluster=cluster, seed=seed)
+            status = "ok" if result.ok else "FAIL"
+            print(
+                f"chaos {name} cluster={cluster[0]},{cluster[1]} seed={seed} "
+                f"{status} transcript={result.transcript_hash}"
+            )
+            if args.show_transcript:
+                sys.stdout.write(result.transcript)
+            if not result.ok:
+                failures += 1
+                for violation in result.violations:
+                    print(f"  {violation}")
+                print(
+                    "  replay: python -m repro.cli chaos "
+                    f"--seed {seed} --scenario {name} "
+                    f"--cluster {cluster[0]},{cluster[1]} --show-transcript"
+                )
+                if args.out:
+                    os.makedirs(args.out, exist_ok=True)
+                    path = os.path.join(
+                        args.out,
+                        f"chaos-{name}-{cluster[0]}-{cluster[1]}-{seed}.txt",
+                    )
+                    with open(path, "w", encoding="utf-8") as handle:
+                        handle.write(result.transcript)
+                    print(f"  transcript written to {path}")
+    if failures:
+        print(f"{failures} chaos run(s) failed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -280,6 +339,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--zone-file", default=None)
     _add_service_args(p)
     p.set_defaults(func=cmd_nsupdate)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run seed-replayable Byzantine chaos scenarios and check G1/G2/G3",
+    )
+    p.add_argument("--seed", type=int, default=0, help="first (or only) seed")
+    p.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        metavar="K",
+        help="run K consecutive seeds starting at --seed",
+    )
+    p.add_argument(
+        "--scenario",
+        default="mixed",
+        help="scenario name or 'all' (see repro.chaos.SCENARIOS)",
+    )
+    p.add_argument(
+        "--cluster",
+        default="4,1",
+        metavar="N,T",
+        help="cluster size as n,t (e.g. 4,1 or 7,2)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write failing-run transcripts into DIR",
+    )
+    p.add_argument(
+        "--show-transcript",
+        action="store_true",
+        help="print the full deterministic transcript of every run",
+    )
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("bench", help="run one Table 2 cell")
     p.add_argument("--setup", default="(4,0)")

@@ -25,7 +25,6 @@ from repro.dns.update import UpdateProcessor
 from repro.dns.zone import Zone
 from repro.dns.zonefile import parse_zone_text
 from repro.errors import WireFormatError
-from repro.sim.kernel import Simulator
 from repro.sim.machines import Topology, lan_setup
 from repro.sim.network import SimNetwork
 from repro.broadcast.messages import ClientRequest, ClientResponse

@@ -17,6 +17,7 @@ helpers) and correlate responses by DNS message id, like real resolvers.
 
 from __future__ import annotations
 
+import random
 import secrets
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -75,6 +76,7 @@ class _ClientBase:
         tsig_key: Optional[TsigKey] = None,
         costs: Optional[CostModel] = None,
         verify_signatures: bool = True,
+        id_rng: Optional[random.Random] = None,
     ) -> None:
         self.node = node
         self.config = config
@@ -84,6 +86,10 @@ class _ClientBase:
         self.tsig_key = tsig_key
         self.costs = costs if costs is not None else CostModel()
         self.verify_signatures = verify_signatures
+        # DNS message ids are random per RFC practice; a seeded RNG makes
+        # them — and everything downstream that hashes the request wire —
+        # replayable, which the chaos harness's transcript contract needs.
+        self._id_rng = id_rng
         self._inflight: Dict[int, _InFlight] = {}
         self._tsig_clock = 1_000_000
         self.completed: List[CompletedOp] = []
@@ -93,7 +99,10 @@ class _ClientBase:
 
     def _fresh_id(self) -> int:
         while True:
-            msg_id = secrets.randbelow(0x10000)
+            if self._id_rng is not None:
+                msg_id = self._id_rng.randrange(0x10000)
+            else:
+                msg_id = secrets.randbelow(0x10000)
             if msg_id not in self._inflight:
                 return msg_id
 

@@ -5,18 +5,48 @@ corrupted server.  A server that is corrupted in this way inverts all the
 bits in its signature share before sending it to the others" (§4.4) — the
 behaviour Table 2's ``(4,1)``, ``(7,1)``, ``(7,2)`` rows measure.  This
 module implements that behaviour plus the other corruption modes the
-tests and ablations use.
+tests, ablations, and the chaos harness use.
+
+The extended palette attacks each of the paper's goals in a targeted way:
+
+* ``EQUIVOCATE`` — a Byzantine leader sends *different* ORDER payloads to
+  different replicas (the classic safety attack; quorum intersection must
+  keep G1).
+* ``MALFORMED_BATCHES`` — a Byzantine gateway garbles the length-prefixed
+  batch frames it broadcasts; strict total decoding must make every honest
+  replica reach the same verdict (drop the batch) and client retry must
+  restore G2.
+* ``POISON_STALE`` — a replica records the first signed answer it produced
+  for each question and replays it forever, splicing in the current
+  message id.  The signature verifies (it is authentic, G3 holds) but the
+  data may be stale — exactly the §3.4 replay attack that weak
+  correctness G1' permits and the full client's majority vote defeats.
+* ``WITHHOLD_SHARES`` — the replica participates in agreement but never
+  contributes signing shares or finals, shrinking the honest share pool
+  and forcing OptProof/OptTE onto their slow paths.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional, Set
+import hashlib
+import random
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Set, Tuple
 
-from repro.broadcast.messages import ClientResponse, WrapperSigning
+from repro.broadcast.messages import (
+    BATCH_MAGIC,
+    AbcInitiate,
+    AbcOrder,
+    ClientResponse,
+    WrapperSigning,
+    is_batch_payload,
+)
 from repro.crypto.protocols import SigningMessage
 from repro.crypto.shoup import SignatureShare
+from repro.dns.message import Message
+from repro.errors import WireFormatError
 
 
 class CorruptionMode(enum.Enum):
@@ -32,12 +62,29 @@ class CorruptionMode(enum.Enum):
     #: Answer reads from a stale snapshot (the §3.4 replay-style attack
     #: that weak correctness G1' permits but full G1 does not).
     STALE_READS = "stale_reads"
+    #: Byzantine leader: send conflicting ORDER payloads to different
+    #: replicas for the same sequence slot.
+    EQUIVOCATE = "equivocate"
+    #: Byzantine gateway: garble the length-prefixed batch frames so the
+    #: strict decoder (and client retry) are exercised end to end.
+    MALFORMED_BATCHES = "malformed_batches"
+    #: Replay the first signed answer per question with the current
+    #: message id spliced in — authentic but possibly stale.
+    POISON_STALE = "poison_stale"
+    #: Participate in agreement but contribute no signing shares/finals.
+    WITHHOLD_SHARES = "withhold_shares"
 
 
 def _invert_bits(value: int, modulus: int) -> int:
     """Invert all bits of a share value within the modulus width."""
     width = modulus.bit_length()
     return (value ^ ((1 << width) - 1)) % modulus
+
+
+def _derive_rid(payload: bytes) -> str:
+    # Mirrors repro.broadcast.abc.derive_request_id without importing the
+    # broadcast machinery into the fault layer.
+    return hashlib.sha256(payload).hexdigest()[:32]
 
 
 def tampered_zone_share(share):
@@ -66,13 +113,33 @@ class FaultInjector:
     mode: CorruptionMode = CorruptionMode.HONEST
     modulus: int = 0  # zone key modulus, needed for bit inversion
     corrupted_sessions: Set[str] = field(default_factory=set)
+    #: Seeded so a chaos replay reproduces the same misbehaviour choices.
+    rng: random.Random = field(default_factory=lambda: random.Random(0xFA17))
+    #: POISON_STALE memory: (qname, qtype) -> first response sent.
+    recorded_answers: Dict[Tuple[object, int], ClientResponse] = field(
+        default_factory=dict
+    )
+    stats: Dict[str, int] = field(
+        default_factory=lambda: {
+            "equivocations": 0,
+            "garbled_batches": 0,
+            "poisoned_responses": 0,
+            "withheld_messages": 0,
+        }
+    )
 
     @property
     def is_corrupted(self) -> bool:
         return self.mode is not CorruptionMode.HONEST
 
-    def transform_outgoing(self, msg: object) -> Optional[object]:
-        """Rewrite (or swallow) an outgoing message; ``None`` drops it."""
+    def transform_outgoing(
+        self, msg: object, dest: Optional[int] = None
+    ) -> Optional[object]:
+        """Rewrite (or swallow) an outgoing message; ``None`` drops it.
+
+        ``dest`` lets destination-dependent misbehaviour (equivocation)
+        send different replicas different messages.
+        """
         if self.mode is CorruptionMode.HONEST:
             return msg
         if self.mode is CorruptionMode.CRASH:
@@ -83,6 +150,14 @@ class FaultInjector:
             msg, ClientResponse
         ):
             return None
+        if self.mode is CorruptionMode.EQUIVOCATE:
+            return self._equivocate(msg, dest)
+        if self.mode is CorruptionMode.MALFORMED_BATCHES:
+            return self._garble_batch(msg)
+        if self.mode is CorruptionMode.POISON_STALE:
+            return self._poison(msg)
+        if self.mode is CorruptionMode.WITHHOLD_SHARES:
+            return self._withhold(msg)
         return msg
 
     def _corrupt_share(self, msg: object) -> object:
@@ -106,3 +181,104 @@ class FaultInjector:
         return WrapperSigning(
             SigningMessage.share_message(inner.sign_id, bad_share)
         )
+
+    # -- extended palette ---------------------------------------------------
+
+    def _equivocate(self, msg: object, dest: Optional[int]) -> object:
+        """Byzantine leader: half the replicas get a conflicting ORDER.
+
+        The tampered payload carries a *consistent* payload-derived request
+        id, so it passes the per-message sanity check and the attack is
+        only stopped where it must be: no slot can gather two prepare
+        certificates (quorum intersection), so the epoch stalls and the
+        complaint/ABA path takes over.
+        """
+        if not isinstance(msg, AbcOrder) or dest is None:
+            return msg
+        if dest % 2 == 0:
+            return msg  # even-numbered replicas see the honest ORDER
+        payload = msg.payload
+        if len(payload) < 5:
+            return msg
+        tampered = payload[:-1] + bytes([payload[-1] ^ 0xFF])
+        self.stats["equivocations"] += 1
+        return AbcOrder(
+            epoch=msg.epoch,
+            seq=msg.seq,
+            request_id=_derive_rid(tampered),
+            payload=tampered,
+        )
+
+    def _garble_batch(self, msg: object) -> object:
+        """Byzantine gateway: damage the batch frame it disseminates.
+
+        Each attack targets a different branch of the strict decoder:
+        truncation, an inflated entry count, and trailing garbage.  The
+        request id is recomputed so the broadcast layer orders the bad
+        payload — the point is that every honest replica must *decode* it
+        to the same empty batch and drop it deterministically.
+        """
+        if not isinstance(msg, AbcInitiate) or not is_batch_payload(msg.payload):
+            return msg
+        payload = msg.payload
+        attack = self.rng.randrange(3)
+        if attack == 0 and len(payload) > len(BATCH_MAGIC) + 4:
+            bad = payload[:-3]
+        elif attack == 1:
+            offset = len(BATCH_MAGIC)
+            (count,) = struct.unpack_from(">I", payload, offset)
+            bad = (
+                payload[:offset]
+                + struct.pack(">I", count + 5)
+                + payload[offset + 4 :]
+            )
+        else:
+            bad = payload + b"\xde\xad"
+        self.stats["garbled_batches"] += 1
+        return AbcInitiate(request_id=_derive_rid(bad), payload=bad)
+
+    def _poison(self, msg: object) -> object:
+        """Replay the first signed answer per question, id-spliced.
+
+        This is the strongest stale-data attack available to a single
+        corrupted replica: the replayed wire (and, in A3 mode, its
+        threshold signature over the id-zeroed form) verifies perfectly —
+        G3 holds — but the data predates later updates.  A pragmatic
+        client that trusts one gateway accepts it (G1' world); the full
+        client's t+1 majority vote rejects it.
+        """
+        if not isinstance(msg, ClientResponse) or not msg.wire:
+            return msg
+        try:
+            response = Message.from_wire(msg.wire)
+        except WireFormatError:
+            return msg
+        if len(response.questions) != 1:
+            return msg
+        question = response.questions[0]
+        key = (question.name, question.rtype)
+        recorded = self.recorded_answers.get(key)
+        if recorded is None:
+            self.recorded_answers[key] = msg
+            return msg
+        if recorded.wire[2:] == msg.wire[2:]:
+            return msg  # nothing changed yet; the honest answer IS the replay
+        poisoned_wire = msg.wire[:2] + recorded.wire[2:]
+        self.stats["poisoned_responses"] += 1
+        return replace(recorded, request_id=msg.request_id, wire=poisoned_wire)
+
+    def _withhold(self, msg: object) -> Optional[object]:
+        """Silently sit out of threshold signing (shares *and* finals).
+
+        Unlike CRASH the replica keeps running atomic broadcast, so it
+        still counts toward quorums and causes no epoch churn — the only
+        effect is one fewer honest share, which is exactly what pushes
+        the optimistic protocols onto their slow paths when combined with
+        a bad-share peer.
+        """
+        if isinstance(msg, WrapperSigning) and (
+            msg.inner.is_share or msg.inner.is_final
+        ):
+            self.stats["withheld_messages"] += 1
+            return None
+        return msg

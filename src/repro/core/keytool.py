@@ -14,7 +14,7 @@ from __future__ import annotations
 import base64
 import json
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 from repro.config import ServiceConfig
 from repro.crypto.params import demo_threshold_key
@@ -23,7 +23,6 @@ from repro.crypto.shoup import ThresholdKeyShare, ThresholdPublicKey, deal_thres
 from repro.dns.name import Name
 from repro.dns.rdata import KEY
 from repro.dns.tsig import TsigKey
-from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,7 @@ correctness) mechanically.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List
 
 from repro.dns import constants as c
 from repro.dns.message import Message

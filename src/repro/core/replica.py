@@ -22,7 +22,7 @@ from __future__ import annotations
 import hashlib
 import struct
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.broadcast.abc import AtomicBroadcast, BatchQueue, derive_request_id
@@ -46,8 +46,9 @@ from repro.dns import dnssec
 from repro.dns.dnssec import SigningPolicy, SigningTask
 from repro.dns.message import Message, make_response
 from repro.dns.server import AuthoritativeServer
+from repro.dns.name import Name
 from repro.dns.tsig import TsigKeyring, verify_message
-from repro.dns.update import UpdateProcessor
+from repro.dns.update import UpdateProcessor, UpdateResult
 from repro.dns.zone import Zone
 from repro.errors import TsigError, WireFormatError, ZoneError
 from repro.sim.network import SimNode
@@ -95,6 +96,26 @@ class _PendingUpdate:
 
 
 @dataclass
+class _CachedAnswer:
+    """One signed-answer cache entry plus its invalidation metadata.
+
+    ``owner_names`` holds every owner name appearing in the cached
+    response (question, answers, authority, additionals — CNAME chains and
+    referrals drag other names into a response); an update touching a
+    related name invalidates the entry.  ``volatile`` marks entries whose
+    correctness depends on the zone as a whole (negative answers, and
+    responses carrying SOA or NXT records, both of which change on *any*
+    data-changing update); those drop on every update.
+    """
+
+    query_tail: bytes
+    wire: bytes           # canonical (id-zeroed) response wire
+    signature: bytes      # threshold signature over ``wire`` (A3) or b""
+    owner_names: frozenset
+    volatile: bool
+
+
+@dataclass
 class _PendingSignedRead:
     """A read whose *response* is being threshold-signed (ablation A3).
 
@@ -109,6 +130,8 @@ class _PendingSignedRead:
     task: SigningTask
     cache_key: Optional[Tuple[object, int, int]] = None
     query_tail: bytes = b""
+    owner_names: frozenset = frozenset()
+    volatile: bool = True
 
 
 class ReplicaServer:
@@ -188,13 +211,12 @@ class ReplicaServer:
         # The executed request sequence (for determinism checks): every
         # honest replica must log the identical list.
         self.delivered_requests: List[str] = []
-        # Signed-answer cache: (qname, qtype, zone serial) -> (query tail
-        # hash, canonical response wire, threshold signature or b"").
-        # Entries become unreachable when an update bumps the serial and
-        # the dict is cleared outright on any data-changing update.
-        self._answer_cache: Dict[
-            Tuple[object, int, int], Tuple[bytes, bytes, bytes]
-        ] = {}
+        # Signed-answer cache: (qname, qtype, zone serial) -> entry.  The
+        # serial is part of the key, so a data-changing update makes every
+        # old entry unreachable; per-name invalidation then *re-keys*
+        # entries unrelated to the update to the new serial (keeping hot
+        # answers alive) and drops the affected and volatile ones.
+        self._answer_cache: Dict[Tuple[object, int, int], _CachedAnswer] = {}
 
         # Statistics for benchmarks.
         self.stats: Dict[str, int] = {
@@ -206,6 +228,8 @@ class ReplicaServer:
             "batched_requests": 0,
             "answer_cache_hits": 0,
             "answer_cache_misses": 0,
+            "answer_cache_invalidated": 0,
+            "answer_cache_retained": 0,
         }
 
         node.set_handler(self.on_message)
@@ -224,6 +248,9 @@ class ReplicaServer:
         from repro.core.faults import tampered_zone_share
 
         self.fault.mode = mode
+        # Reseed per replica so two corrupted servers make different (but
+        # still replayable) misbehaviour choices.
+        self.fault.rng.seed(0xFA17 ^ (self.index << 8))
         if mode is CorruptionMode.CRASH:
             self.node.dropped = True
         if mode is CorruptionMode.BAD_SHARES:
@@ -378,16 +405,16 @@ class ReplicaServer:
         cache_key, query_tail = self._answer_cache_key(query, wire)
         if cache_key is not None:
             hit = self._answer_cache.get(cache_key)
-            if hit is not None and hit[0] == query_tail:
+            if hit is not None and hit.query_tail == query_tail:
                 # Fast path: splice the query's message id into the cached
                 # wire; with sign_every_response the cached threshold
                 # signature (over the id-less canonical wire) rides along,
                 # so no distributed signing round runs at all.
                 self.stats["answer_cache_hits"] += 1
                 self.node.charge(self.costs.answer_cache_hit)
-                response_wire = wire[:2] + hit[1][2:]
+                response_wire = wire[:2] + hit.wire[2:]
                 self._response_cache[hashlib.sha256(wire).digest()] = response_wire
-                self._respond(rid, client, response_wire, threshold_sig=hit[2])
+                self._respond(rid, client, response_wire, threshold_sig=hit.signature)
                 return
             self.stats["answer_cache_misses"] += 1
         self.node.charge(self.costs.dns_processing)
@@ -395,20 +422,73 @@ class ReplicaServer:
             response = self._stale_server.handle_query(query)
         else:
             response = self.server.handle_query(query)
+        owner_names, volatile = self._answer_meta(response)
         response_wire = response.to_wire()
         self._response_cache[hashlib.sha256(wire).digest()] = response_wire
         if self.config.sign_every_response:
             self._start_response_signing(
-                rid, client, response_wire, cache_key, query_tail
+                rid, client, response_wire, cache_key, query_tail,
+                owner_names, volatile,
             )
             return
         if cache_key is not None:
-            self._answer_cache[cache_key] = (
-                query_tail,
-                canonical_response_wire(response_wire),
-                b"",
+            self._answer_cache[cache_key] = _CachedAnswer(
+                query_tail=query_tail,
+                wire=canonical_response_wire(response_wire),
+                signature=b"",
+                owner_names=owner_names,
+                volatile=volatile,
             )
         self._respond(rid, client, response_wire)
+
+    @staticmethod
+    def _answer_meta(response: Message) -> Tuple[frozenset, bool]:
+        """Invalidation metadata for a response about to be cached."""
+        rrs = (*response.answers, *response.authority, *response.additional)
+        names = {rr.name for rr in rrs}
+        names.update(q.name for q in response.questions)
+        volatile = response.rcode != c.RCODE_NOERROR or any(
+            rr.rtype in (c.TYPE_SOA, c.TYPE_NXT) for rr in rrs
+        )
+        return frozenset(names), volatile
+
+    def _invalidate_answer_cache(self, result: UpdateResult) -> None:
+        """Per-name invalidation after a data-changing update.
+
+        Drops entries whose owner names are related (equal, ancestor, or
+        descendant — delegation and subtree deletes change answers above
+        and below the touched name) to any name the update affected, plus
+        all volatile entries; every surviving entry is re-keyed to the new
+        zone serial so it keeps hitting.
+        """
+        if not self._answer_cache:
+            return
+        affected = (
+            result.changed_names | result.added_names | result.deleted_names
+        )
+        try:
+            new_serial = self.zone.serial
+        except ZoneError:
+            self._answer_cache.clear()
+            return
+        survivors: Dict[Tuple[object, int, int], _CachedAnswer] = {}
+        for (qname, qtype, _serial), entry in self._answer_cache.items():
+            if entry.volatile or self._names_related(entry.owner_names, affected):
+                self.stats["answer_cache_invalidated"] += 1
+                continue
+            survivors[(qname, qtype, new_serial)] = entry
+            self.stats["answer_cache_retained"] += 1
+        self._answer_cache = survivors
+
+    @staticmethod
+    def _names_related(owner_names, affected) -> bool:
+        for name in owner_names:
+            for changed in affected:
+                if not isinstance(name, Name) or not isinstance(changed, Name):
+                    return True  # unknown name kinds: be conservative
+                if name.is_subdomain_of(changed) or changed.is_subdomain_of(name):
+                    return True
+        return False
 
     def _execute_update(self, rid: str, client: int, wire: bytes) -> None:
         self.stats["updates"] += 1
@@ -428,9 +508,10 @@ class ReplicaServer:
                 return
         response, result = self.processor.respond(update)
         if result.ok and result.data_changed:
-            # The update bumped the zone serial: cached answers keyed by
-            # the old serial are unreachable; drop them to bound memory.
-            self._answer_cache.clear()
+            # The update bumped the zone serial: old-serial keys are
+            # unreachable, so invalidate affected entries and re-key the
+            # unrelated survivors to keep hot answers alive.
+            self._invalidate_answer_cache(result)
         response_wire = response.to_wire()
         wire_hash = hashlib.sha256(wire).digest()
         if not (self.config.signed_zone and result.ok and result.data_changed):
@@ -491,6 +572,8 @@ class ReplicaServer:
         response_wire: bytes,
         cache_key: Optional[Tuple[object, int, int]] = None,
         query_tail: bytes = b"",
+        owner_names: frozenset = frozenset(),
+        volatile: bool = True,
     ) -> None:
         """Ablation A3: threshold-sign the response itself.
 
@@ -516,6 +599,8 @@ class ReplicaServer:
             task=task,
             cache_key=cache_key,
             query_tail=query_tail,
+            owner_names=owner_names,
+            volatile=volatile,
         )
         outs = self.coordinator.sign(sign_id, canonical)
         self.node.charge_ops(self.coordinator.drain_ops(), self.costs)
@@ -552,10 +637,12 @@ class ReplicaServer:
                     self._busy = False
                     self.stats["signatures_completed"] += 1
                     if done.cache_key is not None:
-                        self._answer_cache[done.cache_key] = (
-                            done.query_tail,
-                            canonical_response_wire(done.response_wire),
-                            signature,
+                        self._answer_cache[done.cache_key] = _CachedAnswer(
+                            query_tail=done.query_tail,
+                            wire=canonical_response_wire(done.response_wire),
+                            signature=signature,
+                            owner_names=done.owner_names,
+                            volatile=done.volatile,
                         )
                     self._respond(
                         done.request_id,
@@ -580,7 +667,7 @@ class ReplicaServer:
                 self._send(dest, envelope)
 
     def _send(self, dest: int, msg: object) -> None:
-        transformed = self.fault.transform_outgoing(msg)
+        transformed = self.fault.transform_outgoing(msg, dest)
         if transformed is None:
             return
         self.node.send(dest, transformed)

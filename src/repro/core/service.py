@@ -10,6 +10,7 @@ and integration tests all sit on top of this class.
 
 from __future__ import annotations
 
+import random
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.config import ServiceConfig
@@ -21,10 +22,8 @@ from repro.crypto.costmodel import CostModel
 from repro.crypto.shoup import ThresholdKeyShare, ThresholdPublicKey
 from repro.dns import constants as c
 from repro.dns import dnssec
-from repro.dns.dnssec import SigningPolicy
 from repro.dns.name import Name
-from repro.dns.rdata import Rdata, rdata_from_text
-from repro.dns.zone import Zone
+from repro.dns.rdata import rdata_from_text
 from repro.dns.zonefile import parse_zone_text
 from repro.errors import ConfigError, TimeoutError_
 from repro.sim.machines import (
@@ -129,6 +128,10 @@ class ReplicatedNameService:
             )
             self.replicas.append(replica)
 
+        # Shared by all clients of this service: deterministic DNS message
+        # ids make every request wire — and everything derived from it —
+        # a pure function of the seed, so chaos runs replay exactly.
+        self._id_rng = random.Random((seed << 16) ^ 0x1D5)
         client_node = self.net.add_node(CLIENT_MACHINE, colocated_with=gateway)
         client_args = dict(
             node=client_node,
@@ -139,6 +142,7 @@ class ReplicatedNameService:
             tsig_key=self.deployment.tsig_key if config.require_tsig else None,
             costs=self.costs,
             verify_signatures=verify_signatures,
+            id_rng=self._id_rng,
         )
         if client_model == "pragmatic":
             self.client = PragmaticClient(gateway=gateway, **client_args)
@@ -172,6 +176,7 @@ class ReplicatedNameService:
             ),
             costs=self.costs,
             verify_signatures=self._verify_signatures,
+            id_rng=self._id_rng,
         )
         self.extra_clients.append(client)
         return client

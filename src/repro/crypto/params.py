@@ -64,6 +64,26 @@ def safe_prime_pair(bits: int) -> Tuple[int, int]:
     return next(_CURSORS[bits])
 
 
+def safe_prime_pair_at(bits: int, index: int) -> Tuple[int, int]:
+    """Return pool entry ``index`` (mod pool size) for ``bits``-bit primes.
+
+    Unlike :func:`safe_prime_pair`, which advances a process-global cursor
+    and therefore depends on how many keys were dealt earlier in the
+    process, this accessor is a pure function of its arguments.  The chaos
+    harness pins its key material with it so a replayed seed produces an
+    identical deployment — the RSA private exponent, and hence every
+    assembled threshold signature, is determined by the prime pair.
+    """
+    pool = _load()
+    if bits not in pool:
+        raise KeyGenerationError(
+            f"no pre-generated {bits}-bit safe primes; "
+            f"available: {available_prime_bits()}"
+        )
+    pairs = pool[bits]
+    return pairs[index % len(pairs)]
+
+
 def demo_threshold_key(
     n: int, t: int, modulus_bits: int = 512
 ) -> Tuple[ThresholdPublicKey, Tuple[ThresholdKeyShare, ...]]:

@@ -22,7 +22,7 @@ operation (this is how Table 2 and Table 3 shapes are reproduced).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.crypto.shoup import (
@@ -30,7 +30,7 @@ from repro.crypto.shoup import (
     ThresholdKeyShare,
     ThresholdPublicKey,
 )
-from repro.errors import AssemblyError, ConfigError, InvalidShare
+from repro.errors import AssemblyError, ConfigError
 from repro.util.serialization import (
     pack_bytes,
     pack_str,
@@ -271,6 +271,15 @@ class OptProofSigningProtocol(SigningProtocol):
         self._fallback = False
         self._valid: Dict[int, SignatureShare] = {}
         self._optimistic_tried = False
+
+    @property
+    def fallback_entered(self) -> bool:
+        """True once optimistic assembly failed and the proof phase started.
+
+        The chaos harness asserts on this: a share-withholding or
+        bad-share schedule must demonstrably force the slow path.
+        """
+        return self._fallback
 
     def start(self) -> List[Outgoing]:
         if self._started:
@@ -544,6 +553,14 @@ class SigningCoordinator:
 
     def session(self, sign_id: str) -> Optional[SigningProtocol]:
         return self.sessions.get(sign_id)
+
+    def fallback_rounds(self) -> int:
+        """How many OptProof sessions were forced onto the slow path."""
+        return sum(
+            1
+            for protocol in self.sessions.values()
+            if getattr(protocol, "fallback_entered", False)
+        )
 
     def drain_ops(self) -> List[Tuple[str, int]]:
         """Collect op logs from all sessions (for simulator cost charging)."""

@@ -19,7 +19,7 @@ or in tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.dns import constants as c
 from repro.dns import dnssec

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.dns import constants as c
-from repro.dns.message import Message, RR, make_response, rrset_to_rrs
+from repro.dns.message import Message, make_response, rrset_to_rrs
 from repro.dns.name import Name
 from repro.dns.rrset import RRset
 from repro.dns.zone import Zone

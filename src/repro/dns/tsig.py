@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.dns import constants as c
-from repro.dns.message import Message, RR
+from repro.dns.message import Message
 from repro.dns.name import Name
 from repro.errors import TsigError
 

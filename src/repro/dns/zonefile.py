@@ -14,7 +14,6 @@ from typing import Iterator, List, Optional, Tuple
 from repro.dns import constants as c
 from repro.dns.name import Name
 from repro.dns.rdata import rdata_from_text
-from repro.dns.rrset import RRset
 from repro.dns.zone import Zone
 from repro.errors import ZoneFileError
 
@@ -114,7 +113,6 @@ def parse_zone_text(
 
         # Optional TTL and class may appear in either order before the type.
         record_ttl = ttl
-        record_class = c.CLASS_IN
         index = 0
         while index < len(rest):
             token = rest[index].upper()

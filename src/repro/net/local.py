@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import asyncio
 import copy
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.config import ServiceConfig
 from repro.core.client import CompletedOp, FullClient, PragmaticClient
@@ -197,6 +197,30 @@ class AsyncNameService:
             self.client = FullClient(**client_args)
         else:
             raise ConfigError(f"unknown client model {client_model!r}")
+        self.extra_clients: List[PragmaticClient] = []
+
+    def add_client(self, gateway: int = 0) -> PragmaticClient:
+        """Add another pragmatic client on its own bus endpoint.
+
+        Concurrent clients are what fill a gateway's :class:`BatchQueue`
+        before its flush timer fires — a single request/response client
+        never has two payloads in flight at once.
+        """
+        client = PragmaticClient(
+            gateway=gateway,
+            node=self.net.add_node(),
+            config=self.config,
+            replica_ids=list(range(self.config.n)),
+            zone_origin=self.zone_origin,
+            zone_key=(
+                self.deployment.zone_key_record if self.config.signed_zone else None
+            ),
+            tsig_key=(
+                self.deployment.tsig_key if self.config.require_tsig else None
+            ),
+        )
+        self.extra_clients.append(client)
+        return client
 
     # -- async experiment API ---------------------------------------------------
 
@@ -206,10 +230,16 @@ class AsyncNameService:
         issue(lambda op: future.done() or future.set_result(op))
         return await asyncio.wait_for(future, timeout=timeout)
 
-    async def query(self, name: str | Name, rtype: int = c.TYPE_A) -> CompletedOp:
+    async def query(
+        self,
+        name: str | Name,
+        rtype: int = c.TYPE_A,
+        client: Optional[PragmaticClient] = None,
+    ) -> CompletedOp:
         qname = Name.from_text(name) if isinstance(name, str) else name
+        issuer = client if client is not None else self.client
         return await self._await_op(
-            lambda cb: self.client.query(qname, rtype, cb)
+            lambda cb: issuer.query(qname, rtype, cb)
         )
 
     async def add_record(

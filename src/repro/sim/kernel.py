@@ -11,7 +11,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Callable, List, Optional
 
 from repro.errors import ReproError
 
@@ -41,6 +41,11 @@ class Simulator:
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        #: Optional hook called as ``trace(time, seq)`` for every event
+        #: processed.  The chaos harness folds the event stream into its
+        #: transcript hash, so two runs of the same seed must execute the
+        #: exact same events at the exact same times to hash equal.
+        self.trace: Optional[Callable[[float, int], None]] = None
 
     # -- scheduling ---------------------------------------------------------
 
@@ -72,6 +77,8 @@ class Simulator:
                 raise SimulationError("event queue went backwards")
             self.now = event.time
             self._events_processed += 1
+            if self.trace is not None:
+                self.trace(event.time, event.seq)
             event.callback()
             return True
         return False

@@ -12,7 +12,8 @@ configured site RTT.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.sim.kernel import Simulator
@@ -21,6 +22,132 @@ from repro.crypto.costmodel import CostModel
 
 # A handler receives (sender_id, payload) and runs in node virtual time.
 Handler = Callable[[int, Any], None]
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """One network partition: ``groups`` cannot talk between ``start`` and
+    ``heal`` (simulated seconds).  Traffic crossing the cut is *buffered*
+    and delivered after the heal — the paper's links are reliable
+    asynchronous channels, so a partition manifests as (possibly long)
+    delay, never permanent loss.
+    """
+
+    start: float
+    heal: float
+    groups: Tuple[Tuple[int, ...], ...]
+
+    def separates(self, a: int, b: int) -> bool:
+        side_a = side_b = None
+        for idx, group in enumerate(self.groups):
+            if a in group:
+                side_a = idx
+            if b in group:
+                side_b = idx
+        if side_a is None or side_b is None:
+            return False  # nodes outside every group (e.g. clients) roam free
+        return side_a != side_b
+
+
+class AdversarialScheduler:
+    """A seed-replayable network adversary plugged into :class:`SimNetwork`.
+
+    The paper's model (§2) gives the adversary full control of message
+    *scheduling* over reliable authenticated links: it may delay,
+    duplicate, and reorder traffic between replicas, and partition the
+    replica set, but it cannot forge or permanently destroy honest
+    replica-to-replica messages (there is no retransmission layer above
+    the links — signing shares sent exactly once must eventually arrive).
+    Client links are weaker: a dropped request or response only costs the
+    client a timeout and retry (§3.4), so drops are allowed there.
+
+    All choices flow from one seeded PRNG, so a failing schedule replays
+    exactly from its seed.  Every decision is appended to :attr:`log`,
+    which the chaos harness folds into its transcript.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        n_replicas: int,
+        drop_rate: float = 0.0,
+        dup_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        max_delay: float = 0.25,
+        slow_senders: Sequence[int] = (),
+        slow_delay: float = 0.0,
+        partitions: Sequence[PartitionWindow] = (),
+        active_until: float = 30.0,
+    ) -> None:
+        for window in partitions:
+            if window.heal > active_until:
+                raise ConfigError(
+                    "partitions must heal before the adversary deactivates"
+                )
+        self.rng = random.Random(seed)
+        self.n_replicas = n_replicas
+        self.drop_rate = drop_rate
+        self.dup_rate = dup_rate
+        self.delay_rate = delay_rate
+        self.max_delay = max_delay
+        self.slow_senders = frozenset(slow_senders)
+        self.slow_delay = slow_delay
+        self.partitions = tuple(partitions)
+        #: After this point the adversary stands down and traffic flows
+        #: untouched — the "eventual synchrony" that guarantees G2 runs
+        #: can be checked in bounded simulated time.
+        self.active_until = active_until
+        self.log: List[str] = []
+        self.stats: Dict[str, int] = {
+            "dropped": 0,
+            "duplicated": 0,
+            "delayed": 0,
+            "held": 0,
+        }
+
+    def schedule_deliveries(
+        self, src: int, dest: int, departure: float
+    ) -> List[float]:
+        """Extra delays for each delivery of one message; ``[]`` drops it.
+
+        ``[0.0]`` is the undisturbed single delivery; two entries mean the
+        message is duplicated.
+        """
+        if departure >= self.active_until:
+            return [0.0]
+        for window in self.partitions:
+            if window.start <= departure < window.heal and window.separates(
+                src, dest
+            ):
+                hold = (window.heal - departure) + self.rng.uniform(0.0, 0.05)
+                self.stats["held"] += 1
+                self.log.append(
+                    f"hold {src}->{dest} t={departure:.6f} for={hold:.6f}"
+                )
+                return [hold]
+        client_link = src >= self.n_replicas or dest >= self.n_replicas
+        if client_link and self.drop_rate and self.rng.random() < self.drop_rate:
+            self.stats["dropped"] += 1
+            self.log.append(f"drop {src}->{dest} t={departure:.6f}")
+            return []
+        extra = 0.0
+        if self.delay_rate and self.rng.random() < self.delay_rate:
+            extra = self.rng.uniform(0.0, self.max_delay)
+            self.stats["delayed"] += 1
+            self.log.append(
+                f"delay {src}->{dest} t={departure:.6f} by={extra:.6f}"
+            )
+        if src in self.slow_senders:
+            extra += self.slow_delay
+        deliveries = [extra]
+        if self.dup_rate and self.rng.random() < self.dup_rate:
+            second = extra + self.rng.uniform(0.0, self.max_delay)
+            deliveries.append(second)
+            self.stats["duplicated"] += 1
+            self.log.append(
+                f"dup {src}->{dest} t={departure:.6f} at=+{second:.6f}"
+            )
+        return deliveries
 
 
 class SimNode:
@@ -178,6 +305,11 @@ class SimNetwork:
         self._site_index: Dict[int, int] = {i: i for i in range(len(topology))}
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.adversary: Optional[AdversarialScheduler] = None
+
+    def set_adversary(self, adversary: Optional[AdversarialScheduler]) -> None:
+        """Hand message scheduling to an adversary (None restores calm)."""
+        self.adversary = adversary
 
     def add_node(self, machine: MachineSpec, colocated_with: int = 0) -> SimNode:
         """Append an extra node (e.g. a client) sharing a machine's site.
@@ -206,15 +338,20 @@ class SimNetwork:
         if isinstance(payload, (bytes, bytearray)):
             self.bytes_sent += len(payload)
         delay = self._link_delay(src, dest)
-        arrival = departure + delay
+        if self.adversary is not None:
+            extras = self.adversary.schedule_deliveries(src, dest, departure)
+        else:
+            extras = [0.0]
         key = (src, dest)
-        last = self._last_arrival.get(key, 0.0)
-        arrival = max(arrival, last + 1e-9)
-        self._last_arrival[key] = arrival
         receiver = self.nodes[dest]
-        self.sim.schedule_at(
-            arrival, lambda: receiver._deliver(src, payload)
-        )
+        for extra in extras:
+            arrival = departure + delay + extra
+            last = self._last_arrival.get(key, 0.0)
+            arrival = max(arrival, last + 1e-9)
+            self._last_arrival[key] = arrival
+            self.sim.schedule_at(
+                arrival, lambda: receiver._deliver(src, payload)
+            )
 
     def _link_delay(self, src: int, dest: int) -> float:
         if src == dest:

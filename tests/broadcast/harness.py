@@ -1,6 +1,6 @@
 """Shared harness: run sans-IO broadcast protocols on the simulator."""
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Optional
 
 from repro.crypto.params import demo_threshold_key
 from repro.crypto.rsa import generate_rsa_keypair

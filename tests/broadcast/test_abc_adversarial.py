@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.broadcast.abc import AtomicBroadcast
 from repro.sim.machines import lan_setup, paper_setup
 from repro.sim.network import SimNetwork
 

@@ -107,9 +107,11 @@ class TestSignEveryResponse:
         svc.settle()
         checked = 0
         for replica in svc.honest_replicas():
-            for _tail, wire, sig in replica._answer_cache.values():
-                if sig:
-                    svc.deployment.zone_public.verify_signature(wire, sig)
+            for entry in replica._answer_cache.values():
+                if entry.signature:
+                    svc.deployment.zone_public.verify_signature(
+                        entry.wire, entry.signature
+                    )
                     checked += 1
         assert checked >= 1
 
@@ -128,4 +130,73 @@ class TestSignEveryResponse:
         assert canonical_response_wire(
             op1.response.to_wire()
         ) != canonical_response_wire(op2.response.to_wire())
+        assert svc.states_consistent()
+
+
+class TestPerNameInvalidation:
+    """Updates invalidate only entries related to the touched names.
+
+    The cache key carries the zone serial, so every update re-keys the
+    surviving entries; what matters is that entries for *unrelated* names
+    survive (no re-lookup, no new signing round) while entries touching
+    the updated names — and volatile entries like negative answers — drop.
+    """
+
+    def test_hot_entry_survives_unrelated_update(self):
+        svc = make_service()
+        svc.query("www.example.com.", c.TYPE_A)
+        hits_before = cache_hits(svc)
+        svc.add_record("other.example.com.", c.TYPE_A, 300, "192.0.2.50")
+        op = svc.query("www.example.com.", c.TYPE_A)
+        # The www entry was re-keyed to the new serial, not dropped.
+        assert cache_hits(svc) > hits_before
+        assert op.verified
+        assert sum(r.stats["answer_cache_retained"] for r in svc.replicas) > 0
+
+    def test_hot_entry_survives_without_new_signing_round(self):
+        svc = make_service(sign_every_response=True)
+        svc.query("www.example.com.", c.TYPE_A)
+        svc.settle()
+        rounds = svc.total_signing_rounds()
+        svc.add_record("other.example.com.", c.TYPE_A, 300, "192.0.2.50")
+        svc.settle()
+        rounds_after_update = svc.total_signing_rounds()
+        op = svc.query("www.example.com.", c.TYPE_A)
+        assert op.response.rcode == c.RCODE_NOERROR
+        # The hot read reused its cached threshold signature: the update
+        # itself signs (SOA/affected RRsets) but the re-read must not.
+        assert svc.total_signing_rounds() == rounds_after_update
+        assert rounds_after_update > rounds  # sanity: updates do sign
+
+    def test_updated_name_is_invalidated(self):
+        svc = make_service()
+        svc.query("www.example.com.", c.TYPE_A)
+        svc.add_record("www.example.com.", c.TYPE_A, 300, "192.0.2.81")
+        op = svc.query("www.example.com.", c.TYPE_A)
+        addresses = {
+            rr.rdata.address for rr in op.response.answers if rr.rtype == c.TYPE_A
+        }
+        assert "192.0.2.81" in addresses
+        assert sum(r.stats["answer_cache_invalidated"] for r in svc.replicas) > 0
+
+    def test_negative_answer_invalidated_when_name_added(self):
+        svc = make_service()
+        miss = svc.query("new.example.com.", c.TYPE_A)
+        assert miss.response.rcode == c.RCODE_NXDOMAIN
+        svc.add_record("unrelated.example.com.", c.TYPE_A, 300, "192.0.2.60")
+        svc.add_record("new.example.com.", c.TYPE_A, 300, "192.0.2.61")
+        hit = svc.query("new.example.com.", c.TYPE_A)
+        # The cached NXDOMAIN (volatile: carries the SOA) must not be
+        # replayed once the name exists.
+        assert hit.response.rcode == c.RCODE_NOERROR
+        assert svc.states_consistent()
+
+    def test_subtree_delete_invalidates_descendants(self):
+        svc = make_service()
+        svc.add_record("a.sub.example.com.", c.TYPE_A, 300, "192.0.2.70")
+        op = svc.query("a.sub.example.com.", c.TYPE_A)
+        assert op.response.rcode == c.RCODE_NOERROR
+        svc.delete_name("a.sub.example.com.")
+        gone = svc.query("a.sub.example.com.", c.TYPE_A)
+        assert gone.response.rcode == c.RCODE_NXDOMAIN
         assert svc.states_consistent()

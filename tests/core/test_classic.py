@@ -76,7 +76,7 @@ class TestClassicReplication:
 
     def test_updates_only_at_primary(self):
         service = ClassicZoneService(ZONE_TEXT, server_count=3)
-        from repro.broadcast.messages import ClientRequest, ClientResponse
+        from repro.broadcast.messages import ClientRequest
         from repro.dns.message import Message, RR, make_update
 
         update = make_update(service.zone_origin)

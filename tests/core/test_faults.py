@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.broadcast.messages import ClientResponse, WrapperSigning
+from repro.broadcast.messages import (
+    AbcInitiate,
+    AbcOrder,
+    ClientResponse,
+    WrapperSigning,
+    decode_batch,
+    encode_batch,
+)
 from repro.core.faults import CorruptionMode, FaultInjector, tampered_zone_share
 from repro.crypto.protocols import SigningMessage
 
@@ -74,3 +81,148 @@ class TestTamperedShare:
         mixed = [bad.generate_share(b"m"), shares[1].generate_share(b"m")]
         signature = public.assemble(b"m", mixed)
         assert not public.signature_is_valid(b"m", signature)
+
+
+class TestEquivocate:
+    def _order(self):
+        from repro.core.faults import _derive_rid
+
+        payload = b"slot-payload-bytes"
+        return AbcOrder(
+            epoch=0, seq=1, request_id=_derive_rid(payload), payload=payload
+        )
+
+    def test_sends_conflicting_orders_by_destination(self):
+        injector = FaultInjector(mode=CorruptionMode.EQUIVOCATE)
+        honest = self._order()
+        to_even = injector.transform_outgoing(honest, dest=2)
+        to_odd = injector.transform_outgoing(honest, dest=3)
+        assert to_even.payload == honest.payload
+        assert to_odd.payload != honest.payload
+        assert to_odd.epoch == honest.epoch and to_odd.seq == honest.seq
+        assert injector.stats["equivocations"] == 1
+
+    def test_tampered_order_keeps_consistent_request_id(self):
+        from repro.core.faults import _derive_rid
+
+        injector = FaultInjector(mode=CorruptionMode.EQUIVOCATE)
+        to_odd = injector.transform_outgoing(self._order(), dest=1)
+        # The lie is internally consistent, so it survives per-message
+        # sanity checks and must be stopped by quorum intersection.
+        assert to_odd.request_id == _derive_rid(to_odd.payload)
+
+    def test_non_order_traffic_untouched(self):
+        injector = FaultInjector(mode=CorruptionMode.EQUIVOCATE)
+        other = "a prepare message"
+        assert injector.transform_outgoing(other, dest=1) is other
+
+
+class TestMalformedBatches:
+    def test_garbled_batch_decodes_to_empty(self):
+        injector = FaultInjector(mode=CorruptionMode.MALFORMED_BATCHES)
+        batch = encode_batch([b"request-one", b"request-two"])
+        for _ in range(6):  # cover all three attack shapes
+            out = injector.transform_outgoing(
+                AbcInitiate(request_id="rid", payload=batch)
+            )
+            assert out.payload != batch
+            assert decode_batch(out.payload) == []
+        assert injector.stats["garbled_batches"] == 6
+
+    def test_non_batch_initiates_untouched(self):
+        injector = FaultInjector(mode=CorruptionMode.MALFORMED_BATCHES)
+        plain = AbcInitiate(request_id="rid", payload=b"single request")
+        assert injector.transform_outgoing(plain) is plain
+
+    def test_garbling_is_seed_replayable(self):
+        batch = encode_batch([b"request-one", b"request-two"])
+        def run():
+            import random
+
+            injector = FaultInjector(mode=CorruptionMode.MALFORMED_BATCHES)
+            injector.rng = random.Random(5)
+            return [
+                injector.transform_outgoing(
+                    AbcInitiate(request_id="rid", payload=batch)
+                ).payload
+                for _ in range(8)
+            ]
+        assert run() == run()
+
+
+class TestWithholdShares:
+    def test_swallows_shares_and_finals(self, threshold_4_1, share_message):
+        injector = FaultInjector(mode=CorruptionMode.WITHHOLD_SHARES)
+        assert injector.transform_outgoing(share_message) is None
+        final = WrapperSigning(SigningMessage.final("sid", b"\x01\x02"))
+        assert injector.transform_outgoing(final) is None
+        assert injector.stats["withheld_messages"] == 2
+
+    def test_agreement_traffic_flows(self):
+        injector = FaultInjector(mode=CorruptionMode.WITHHOLD_SHARES)
+        order = AbcOrder(epoch=0, seq=0, request_id="r", payload=b"p")
+        assert injector.transform_outgoing(order) is order
+
+
+class TestExtendedPaletteEndToEnd:
+    """The new corruption modes exercised through a whole deployment."""
+
+    def _make(self, **kwargs):
+        from repro.config import ServiceConfig
+        from repro.core.service import ReplicatedNameService
+        from repro.sim.machines import lan_setup
+
+        config_extra = kwargs.pop("config_extra", {})
+        n = kwargs.pop("n", 4)
+        t = kwargs.pop("t", 1)
+        kwargs.setdefault("topology", lan_setup(n))
+        return ReplicatedNameService(
+            ServiceConfig(n=n, t=t, **config_extra), **kwargs
+        )
+
+    def test_equivocating_leader_cannot_split_state(self):
+        from repro.dns import constants as c
+
+        svc = self._make(config_extra={"abc_timeout": 2.0})
+        svc.corrupt(0, CorruptionMode.EQUIVOCATE)
+        for i in range(3):
+            op = svc.add_record(
+                f"eq{i}.example.com.", c.TYPE_A, 300, f"192.0.2.{20 + i}"
+            )
+            assert op.response.rcode == c.RCODE_NOERROR
+        assert svc.states_consistent()
+
+    def test_poisoned_gateway_defeated_by_full_client(self):
+        from repro.dns import constants as c
+
+        svc = self._make(client_model="full")
+        svc.corrupt(0, CorruptionMode.POISON_STALE)
+        svc.query("www.example.com.", c.TYPE_A)  # poison records this
+        svc.add_record("www.example.com.", c.TYPE_A, 300, "192.0.2.99")
+        op = svc.query("www.example.com.", c.TYPE_A)
+        addresses = {
+            rr.rdata.address for rr in op.response.answers if rr.rtype == c.TYPE_A
+        }
+        # t+1 matching honest answers outvote the authentic-but-stale replay.
+        assert "192.0.2.99" in addresses
+
+    def test_withholding_replica_leaves_service_live(self):
+        from repro.dns import constants as c
+
+        svc = self._make(config_extra={"signing_protocol": "optproof"})
+        svc.corrupt(1, CorruptionMode.WITHHOLD_SHARES)
+        op = svc.add_record("wh.example.com.", c.TYPE_A, 300, "192.0.2.31")
+        assert op.response.rcode == c.RCODE_NOERROR
+        assert svc.states_consistent()
+        assert svc.verify_all_zones() > 0
+
+    def test_crash_of_non_gateway_does_not_block_updates(self):
+        from repro.dns import constants as c
+
+        svc = self._make()
+        svc.corrupt(2, CorruptionMode.CRASH)
+        op = svc.add_record("cr.example.com.", c.TYPE_A, 300, "192.0.2.41")
+        assert op.response.rcode == c.RCODE_NOERROR
+        read = svc.query("cr.example.com.", c.TYPE_A)
+        assert read.response.rcode == c.RCODE_NOERROR
+        assert read.verified

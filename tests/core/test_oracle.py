@@ -1,7 +1,5 @@
 """Goals G1/G1' checked against the trusted-server oracles (§3.1, §3.4)."""
 
-import pytest
-
 from repro.config import ServiceConfig
 from repro.core.faults import CorruptionMode
 from repro.core.oracle import TrustedServer, WeakTrustedServer, responses_match

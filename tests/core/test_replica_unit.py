@@ -1,7 +1,5 @@
 """Replica-level unit tests (execution queue, caching, determinism)."""
 
-import pytest
-
 from repro.config import ServiceConfig
 from repro.core.service import ReplicatedNameService
 from repro.dns import constants as c
@@ -51,8 +49,7 @@ class TestExecutionOrdering:
 class TestResponseCache:
     def test_duplicate_request_replayed_from_cache(self):
         svc = make_service()
-        op1 = svc.query("www.example.com.", c.TYPE_A)
-        queries_before = svc.replicas[0].stats["queries"]
+        svc.query("www.example.com.", c.TYPE_A)
         # Re-send the identical wire (same msg_id) straight to the gateway.
         from repro.broadcast.messages import ClientRequest
 

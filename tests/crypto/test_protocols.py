@@ -6,7 +6,7 @@ endpoints, with optional Byzantine replicas that invert their share bits
 isolate protocol logic from timing.
 """
 
-from typing import Dict, List, Set
+from typing import List, Set
 
 import pytest
 
@@ -22,7 +22,7 @@ from repro.crypto.protocols import (
     SigningMessage,
     make_signing_protocol,
 )
-from repro.crypto.shoup import SignatureShare, ThresholdKeyShare
+from repro.crypto.shoup import SignatureShare
 from repro.errors import ConfigError
 
 MESSAGE = b"sig-target: new.example.com. A 192.0.2.99"

@@ -12,7 +12,7 @@ from repro.crypto.shoup import (
     ThresholdPublicKey,
     reshare,
 )
-from repro.crypto.params import demo_threshold_key, safe_prime_pair
+from repro.crypto.params import safe_prime_pair
 from repro.errors import AssemblyError, ConfigError, InvalidShare
 
 MESSAGE = b"www.example.com. 3600 IN A 192.0.2.80"

@@ -8,9 +8,8 @@ from hypothesis import strategies as st
 from repro.dns import constants as c
 from repro.dns.message import Message, RR, make_query
 from repro.dns.name import Name
-from repro.dns.rdata import A, MX, NS, TXT, decode_rdata
+from repro.dns.rdata import A, MX, TXT, decode_rdata
 from repro.dns.rrset import RRset
-from repro.dns.zone import Zone
 from repro.dns.zonefile import parse_zone_text, write_zone_text
 
 # -- strategies -------------------------------------------------------------

@@ -98,7 +98,7 @@ class TestIterativeResolution:
         assert result.ok and result.referrals_followed == 0
 
     def test_referral_limit(self):
-        from repro.dns.message import Message, RR, make_response
+        from repro.dns.message import RR, make_response
         from repro.dns.rdata import NS
 
         def evil_query(zone_origin, message):

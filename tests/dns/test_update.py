@@ -1,11 +1,9 @@
 """RFC 2136 dynamic update processing."""
 
-import pytest
-
 from repro.dns import constants as c
 from repro.dns.message import RR, make_update
 from repro.dns.name import Name
-from repro.dns.rdata import A, NS, SOA, TXT
+from repro.dns.rdata import A
 from repro.dns.update import UpdateProcessor
 
 ORIGIN = Name.from_text("example.com.")

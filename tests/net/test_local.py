@@ -7,6 +7,8 @@ import pytest
 from repro.config import ServiceConfig
 from repro.core.faults import CorruptionMode
 from repro.dns import constants as c
+from repro.dns.name import Name
+from repro.dns.rdata import rdata_from_text
 from repro.errors import ConfigError
 from repro.net.local import AsyncNameService, AsyncNetwork
 
@@ -142,3 +144,62 @@ class TestAsyncNameService:
         op = run(scenario())
         assert op.retries >= 1
         assert op.response.rcode == c.RCODE_NOERROR
+
+
+class TestAsyncBatching:
+    """BatchQueue over the asyncio transport: timers are real, so batches
+    fill only when several clients have requests in flight at once."""
+
+    def test_concurrent_clients_fill_batches(self):
+        async def scenario():
+            service = AsyncNameService(
+                ServiceConfig(n=4, t=1, batch_size=4, batch_delay=0.1)
+            )
+            clients = [service.client] + [service.add_client() for _ in range(2)]
+            names = ["www.example.com.", "ns1.example.com.", "ns2.example.com."]
+            ops = await asyncio.gather(
+                *(
+                    service.query(names[i % len(names)], c.TYPE_A, client=clients[i % len(clients)])
+                    for i in range(6)
+                )
+            )
+            await service.settle()
+            batches = sum(r.stats["batches_delivered"] for r in service.replicas)
+            return ops, batches, service.states_consistent()
+
+        ops, batches, consistent = run(scenario())
+        assert all(op.response.rcode == c.RCODE_NOERROR for op in ops)
+        # With three clients firing simultaneously into one gateway, at
+        # least one multi-request batch must have been ordered.
+        assert batches > 0
+        assert consistent
+
+    def test_batched_updates_apply_once(self):
+        async def scenario():
+            service = AsyncNameService(
+                ServiceConfig(n=4, t=1, batch_size=3, batch_delay=0.05)
+            )
+            extra = service.add_client()
+            op1, op2 = await asyncio.gather(
+                service.add_record("b1.example.com.", c.TYPE_A, 300, "192.0.2.51"),
+                service._await_op(
+                    lambda cb: extra.add_record(
+                        Name.from_text("b2.example.com."),
+                        c.TYPE_A,
+                        300,
+                        rdata_from_text(c.TYPE_A, ["192.0.2.52"], service.zone_origin),
+                        cb,
+                    )
+                ),
+            )
+            await service.settle()
+            read1 = await service.query("b1.example.com.", c.TYPE_A)
+            read2 = await service.query("b2.example.com.", c.TYPE_A)
+            return op1, op2, read1, read2, service.states_consistent()
+
+        op1, op2, read1, read2, consistent = run(scenario())
+        assert op1.response.rcode == c.RCODE_NOERROR
+        assert op2.response.rcode == c.RCODE_NOERROR
+        assert read1.response.rcode == c.RCODE_NOERROR
+        assert read2.response.rcode == c.RCODE_NOERROR
+        assert consistent

@@ -1,0 +1,82 @@
+"""AdversarialScheduler unit behaviour (no protocol machinery involved)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.network import AdversarialScheduler, PartitionWindow
+
+
+def make_adversary(**kwargs):
+    defaults = dict(seed=11, n_replicas=4)
+    defaults.update(kwargs)
+    return AdversarialScheduler(**defaults)
+
+
+class TestReliableLinks:
+    def test_replica_links_never_drop(self):
+        adv = make_adversary(drop_rate=1.0)
+        for src in range(4):
+            for dest in range(4):
+                assert adv.schedule_deliveries(src, dest, 1.0) != []
+        assert adv.stats["dropped"] == 0
+
+    def test_client_links_may_drop(self):
+        adv = make_adversary(drop_rate=1.0)
+        assert adv.schedule_deliveries(4, 0, 1.0) == []  # client -> replica
+        assert adv.schedule_deliveries(0, 4, 1.0) == []  # replica -> client
+        assert adv.stats["dropped"] == 2
+
+    def test_quiescent_after_active_until(self):
+        adv = make_adversary(
+            drop_rate=1.0, dup_rate=1.0, delay_rate=1.0, active_until=10.0
+        )
+        assert adv.schedule_deliveries(4, 0, 10.0) == [0.0]
+        assert adv.schedule_deliveries(0, 1, 99.0) == [0.0]
+
+
+class TestScheduleShape:
+    def test_duplication_yields_two_deliveries(self):
+        adv = make_adversary(dup_rate=1.0)
+        deliveries = adv.schedule_deliveries(0, 1, 1.0)
+        assert len(deliveries) == 2
+        assert adv.stats["duplicated"] == 1
+
+    def test_slow_sender_adds_fixed_delay(self):
+        adv = make_adversary(slow_senders=(2,), slow_delay=0.5)
+        assert adv.schedule_deliveries(2, 0, 1.0) == [0.5]
+        assert adv.schedule_deliveries(0, 2, 1.0) == [0.0]
+
+    def test_determinism_from_seed(self):
+        traffic = [(s, d, float(i)) for i, (s, d) in enumerate(
+            [(0, 1), (1, 2), (4, 0), (0, 4), (2, 3), (3, 0)] * 20
+        )]
+        def run():
+            adv = make_adversary(
+                seed=99, drop_rate=0.3, dup_rate=0.3, delay_rate=0.5
+            )
+            return [adv.schedule_deliveries(*t) for t in traffic], adv.log
+        first, second = run(), run()
+        assert first == second
+
+
+class TestPartitions:
+    def test_partition_holds_until_heal(self):
+        window = PartitionWindow(start=1.0, heal=5.0, groups=((0, 1), (2, 3)))
+        adv = make_adversary(partitions=(window,), active_until=10.0)
+        (hold,) = adv.schedule_deliveries(0, 2, 2.0)
+        assert hold >= 3.0  # delivered at/after the heal, never lost
+        assert adv.stats["held"] == 1
+        # Same side of the cut: unaffected.
+        assert adv.schedule_deliveries(0, 1, 2.0) == [0.0]
+        # After the heal: unaffected.
+        assert adv.schedule_deliveries(0, 2, 6.0) == [0.0]
+
+    def test_clients_roam_across_partitions(self):
+        window = PartitionWindow(start=0.0, heal=5.0, groups=((0, 1), (2, 3)))
+        adv = make_adversary(partitions=(window,), active_until=10.0)
+        assert adv.schedule_deliveries(4, 2, 1.0) == [0.0]
+
+    def test_partition_must_heal_before_deactivation(self):
+        window = PartitionWindow(start=1.0, heal=50.0, groups=((0,), (1,)))
+        with pytest.raises(ConfigError):
+            make_adversary(partitions=(window,), active_until=10.0)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.crypto.costmodel import CostModel
-from repro.sim.machines import PAPER_MACHINES, MachineSpec, Topology, lan_setup, paper_setup
+from repro.sim.machines import PAPER_MACHINES, MachineSpec, lan_setup, paper_setup
 from repro.sim.network import SimNetwork
 
 
