@@ -35,6 +35,11 @@ from repro.errors import ConfigError
 Outgoing = Tuple[int, object]
 BROADCAST = -1
 
+#: EST/AUX messages for rounds this far beyond the local round are ignored:
+#: honest replicas stay within one round of each other, so per-round state
+#: keyed by an attacker-chosen round number must not grow unboundedly.
+MAX_ROUND_AHEAD = 64
+
 
 class AbaInstance:
     """One agreement instance (one ``sid``) at one replica."""
@@ -102,6 +107,8 @@ class AbaInstance:
     def _on_est(self, sender: int, msg: AbaEst) -> List[Outgoing]:
         if msg.value not in (0, 1):
             return []
+        if msg.round > self.round + MAX_ROUND_AHEAD:
+            return []
         key = (msg.round, msg.value)
         senders = self._est_senders.setdefault(key, set())
         if sender in senders:
@@ -135,6 +142,8 @@ class AbaInstance:
 
     def _on_aux(self, sender: int, msg: AbaAux) -> List[Outgoing]:
         if msg.value not in (0, 1):
+            return []
+        if msg.round > self.round + MAX_ROUND_AHEAD:
             return []
         per_round = self._aux_senders.setdefault(msg.round, {})
         if sender in per_round:

@@ -65,6 +65,18 @@ ScheduleFn = Callable[[float, Callable[[], None]], Any]  # returns cancellable
 
 DEFAULT_TIMEOUT = 5.0
 
+#: Cap on not-yet-delivered requests buffered in ``pending``: one INITIATE
+#: per distinct payload, so without a cap any peer (or a flood of clients
+#: through an honest gateway) could grow memory without bound (KeyTrap).
+MAX_PENDING_REQUESTS = 65536
+
+#: Fast-path messages for sequence slots this far beyond ``next_deliver``
+#: are ignored.  A Byzantine replica can *sign* prepares for arbitrary
+#: sequence numbers, so each accepted seq opens a pool entry; honest
+#: replicas never run ahead of delivery by anything close to this window,
+#: so the bound affects adversarial traffic only.
+MAX_SEQ_AHEAD = 4096
+
 MODE_FAST = "fast"
 MODE_RECOVERY = "recovery"
 
@@ -244,6 +256,8 @@ class AtomicBroadcast:
             "recovery_deliveries": 0,
             "epoch_changes": 0,
             "complaints_sent": 0,
+            "initiates_dropped": 0,
+            "out_of_window": 0,
         }
 
     # ------------------------------------------------------------------
@@ -309,6 +323,9 @@ class AtomicBroadcast:
         if msg.request_id in self.delivered_ids:
             return
         if msg.request_id not in self.pending:
+            if len(self.pending) >= MAX_PENDING_REQUESTS:
+                self.stats["initiates_dropped"] += 1
+                return
             self.pending[msg.request_id] = msg.payload
             self._arm_timer()
         if self.mode == MODE_FAST and self.me == self.leader:
@@ -331,6 +348,13 @@ class AtomicBroadcast:
             self._broadcast(order)
             self._on_order(self.me, order)
 
+    def _seq_in_window(self, seq: int) -> bool:
+        """Bound per-sequence state against Byzantine far-future slots."""
+        if seq >= self.next_deliver + MAX_SEQ_AHEAD:
+            self.stats["out_of_window"] += 1
+            return False
+        return True
+
     def _buffer_future(self, sender: int, msg: object, epoch: int) -> bool:
         """Hold fast-path messages we cannot process *yet* (not stale ones)."""
         if epoch > self.epoch or (epoch == self.epoch and self.mode != MODE_FAST):
@@ -351,6 +375,8 @@ class AtomicBroadcast:
             return
         if sender != self.leader:
             return  # only the epoch's leader may order
+        if not self._seq_in_window(msg.seq):
+            return
         key = (msg.epoch, msg.seq)
         if key in self._prepared_digest:
             return  # first ORDER for a slot wins; equivocation is ignored
@@ -378,6 +404,8 @@ class AtomicBroadcast:
         if msg.epoch != self.epoch or self.mode != MODE_FAST:
             return
         if msg.signer != sender:
+            return
+        if not self._seq_in_window(msg.seq):
             return
         if not self._verify_prepare(msg):
             return
@@ -425,6 +453,8 @@ class AtomicBroadcast:
         if msg.epoch != self.epoch or self.mode != MODE_FAST:
             return
         if msg.signer != sender:
+            return
+        if not self._seq_in_window(msg.seq):
             return
         voters = self._commits.setdefault((msg.epoch, msg.seq, msg.digest), set())
         if sender in voters:
@@ -508,6 +538,9 @@ class AtomicBroadcast:
         if not sid.startswith("switch/") or value != 1:
             return
         epoch = int(sid.split("/", 1)[1])
+        # Bounded: one entry per *decided* ABA instance, each of which
+        # needed 2t+1 participating replicas — not attacker-drivable.
+        # repro-lint: disable=C304
         self._switch_decided.add(epoch)
         self._enter_recovery(epoch)
 

@@ -26,6 +26,9 @@ from repro.errors import ConfigError
 Outgoing = Tuple[int, object]
 BROADCAST = -1
 
+#: Cap on distinct payloads kept per RBC instance (KeyTrap bound).
+MAX_TRACKED_PAYLOADS = 4096
+
 
 def _digest(payload: bytes) -> bytes:
     return hashlib.sha256(payload).digest()
@@ -65,6 +68,8 @@ class RbcInstance:
         if self._sent_echo:
             return []
         self._sent_echo = True
+        # Bounded: guarded by _sent_echo — at most one store per instance.
+        # repro-lint: disable=C304
         self._payload_by_digest[_digest(msg.payload)] = msg.payload
         echo = RbcEcho(self.sid, msg.payload)
         # Echo to everyone, then process our own echo locally.
@@ -72,7 +77,13 @@ class RbcInstance:
 
     def _on_echo(self, sender: int, msg: RbcEcho) -> List[Outgoing]:
         digest = _digest(msg.payload)
-        self._payload_by_digest[digest] = msg.payload
+        # Bound distinct tracked payloads: honest replicas echo one payload
+        # each, so only Byzantine spam can push past n distinct digests.
+        if (
+            digest in self._payload_by_digest
+            or len(self._payload_by_digest) < MAX_TRACKED_PAYLOADS
+        ):
+            self._payload_by_digest[digest] = msg.payload
         voters = self._echoes.setdefault(digest, set())
         if sender in voters:
             return []

@@ -107,7 +107,7 @@ def check_g2(
     report: InvariantReport,
 ) -> None:
     """Every issued client operation completed before the deadline."""
-    for op, result in zip(plan, results):
+    for op, result in zip(plan, results, strict=True):
         if result is None:
             report.g2.append(
                 f"G2: op {op.index} ({op.kind} {op.name}) never answered"

@@ -427,7 +427,7 @@ def run_scenario(
     service.net.set_adversary(adversary)
 
     corrupted: List[Tuple[int, CorruptionMode]] = []
-    for replica, mode in list(zip(scenario.placement, scenario.corruptions))[:t]:
+    for replica, mode in list(zip(scenario.placement, scenario.corruptions, strict=False))[:t]:
         if replica >= n:
             continue
         service.corrupt(replica, mode)
@@ -467,7 +467,7 @@ def run_scenario(
             f"type={op.rtype}{detail}"
         )
     lines.extend(f"adv {entry}" for entry in adversary.log)
-    for op, outcome in zip(plan, results):
+    for op, outcome in zip(plan, results, strict=True):
         if outcome is None:
             lines.append(f"op {op.index} {op.kind} {op.name} -> UNANSWERED")
         else:

@@ -286,6 +286,62 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lint import baseline as bl
+    from repro.lint import mypy_ratchet, report
+    from repro.lint.framework import LintConfig, load_rules, run_paths
+
+    root = Path(args.root).resolve()
+    rules = load_rules()
+    if args.list_rules:
+        print(report.render_rule_catalog(rules))
+        return 0
+
+    config = LintConfig.from_pyproject(root / "pyproject.toml")
+    exit_code = 0
+
+    if args.mypy_strict:
+        code, output = mypy_ratchet.check(root)
+        print(output)
+        exit_code = max(exit_code, code)
+        if not args.paths and not (args.check_baseline or args.update_baseline):
+            return exit_code
+
+    paths = [Path(p) for p in args.paths] if args.paths else [root / "src" / "repro"]
+    findings = run_paths(paths, root, config=config)
+    baseline_path = Path(args.baseline) if args.baseline else root / "lint-baseline.json"
+
+    try:
+        if args.update_baseline:
+            old = bl.load_baseline(baseline_path)
+            new = bl.update_baseline(findings, old, allow_growth=args.allow_growth)
+            bl.save_baseline(baseline_path, new)
+            total = sum(sum(rules.values()) for rules in new.values())
+            print(f"baseline written to {baseline_path} ({total} finding(s) tracked)")
+            return exit_code
+        if args.check_baseline or baseline_path.is_file():
+            problems = bl.check_against_baseline(findings, bl.load_baseline(baseline_path))
+            if problems:
+                print("\n".join(problems), file=sys.stderr)
+                return 1
+            print(
+                f"lint clean: {len(findings)} baselined finding(s), "
+                "0 new, 0 stale"
+            )
+            return exit_code
+    except bl.BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.format == "json":
+        print(report.render_json(findings))
+    else:
+        print(report.render_text(findings))
+    return max(exit_code, 1 if findings else 0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Secure Distributed DNS tools"
@@ -381,6 +437,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repetitions", type=int, default=3)
     _add_service_args(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the determinism/protocol-safety analyzer (DESIGN.md §5c)",
+    )
+    p.add_argument(
+        "paths", nargs="*", help="files/directories to analyze (default: src/repro)"
+    )
+    p.add_argument("--root", default=".", help="repository root (default: cwd)")
+    p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline file (default: <root>/lint-baseline.json)",
+    )
+    p.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="fail on findings not covered by the baseline and on stale entries",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from current findings (ratchets down only)",
+    )
+    p.add_argument(
+        "--allow-growth",
+        action="store_true",
+        help="let --update-baseline raise per-file/per-rule counts",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    p.add_argument(
+        "--mypy-strict",
+        action="store_true",
+        help="check the per-module mypy strictness ratchet",
+    )
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

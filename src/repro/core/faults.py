@@ -113,8 +113,12 @@ class FaultInjector:
     mode: CorruptionMode = CorruptionMode.HONEST
     modulus: int = 0  # zone key modulus, needed for bit inversion
     corrupted_sessions: Set[str] = field(default_factory=set)
-    #: Seeded so a chaos replay reproduces the same misbehaviour choices.
-    rng: random.Random = field(default_factory=lambda: random.Random(0xFA17))
+    #: Misbehaviour-choice RNG seed.  The owning replica derives it from
+    #: the scenario seed (see :meth:`derive_seed`) so chaos replays
+    #: reproduce the same choices and different scenario seeds explore
+    #: different misbehaviour schedules.
+    seed: int = 0xFA17
+    rng: random.Random = field(init=False, repr=False)
     #: POISON_STALE memory: (qname, qtype) -> first response sent.
     recorded_answers: Dict[Tuple[object, int], ClientResponse] = field(
         default_factory=dict
@@ -127,6 +131,22 @@ class FaultInjector:
             "withheld_messages": 0,
         }
     )
+
+    def __post_init__(self) -> None:
+        self.rng = random.Random(self.seed)
+
+    @staticmethod
+    def derive_seed(scenario_seed: int, replica_index: int) -> int:
+        """Mix the scenario seed with the replica index.
+
+        Two corrupted servers in one run make different (but replayable)
+        choices; the same scenario seed always reproduces both streams.
+        """
+        return (scenario_seed << 20) ^ (replica_index << 8) ^ 0xFA17
+
+    def reseed(self, scenario_seed: int, replica_index: int) -> None:
+        self.seed = self.derive_seed(scenario_seed, replica_index)
+        self.rng = random.Random(self.seed)
 
     @property
     def is_corrupted(self) -> bool:

@@ -145,6 +145,7 @@ class ReplicaServer:
         node: SimNode,
         costs: Optional[CostModel] = None,
         signing_policy: Optional[SigningPolicy] = None,
+        seed: int = 0,
     ) -> None:
         self.index = index
         self.deployment = deployment
@@ -153,12 +154,16 @@ class ReplicaServer:
         self.node = node
         self.costs = costs if costs is not None else CostModel()
         self.policy = signing_policy if signing_policy is not None else SigningPolicy()
+        self._seed = seed
 
         self.server = AuthoritativeServer(zone)
         self.processor = UpdateProcessor(zone)
         self.keyring = TsigKeyring()
         self.keyring.add(deployment.tsig_key)
-        self.fault = FaultInjector(modulus=deployment.zone_public.modulus)
+        self.fault = FaultInjector(
+            modulus=deployment.zone_public.modulus,
+            seed=FaultInjector.derive_seed(seed, index),
+        )
         self._stale_zone = zone.copy()
         self._stale_server = AuthoritativeServer(self._stale_zone)
 
@@ -248,9 +253,9 @@ class ReplicaServer:
         from repro.core.faults import tampered_zone_share
 
         self.fault.mode = mode
-        # Reseed per replica so two corrupted servers make different (but
-        # still replayable) misbehaviour choices.
-        self.fault.rng.seed(0xFA17 ^ (self.index << 8))
+        # Restart the misbehaviour stream from the scenario-derived seed so
+        # corruption at any point in a run replays identically.
+        self.fault.reseed(self._seed, self.index)
         if mode is CorruptionMode.CRASH:
             self.node.dropped = True
         if mode is CorruptionMode.BAD_SHARES:
@@ -299,6 +304,8 @@ class ReplicaServer:
             return
         payload = encode_request(client, msg.wire)
         if self.batch_queue is not None:
+            # Bounded: BatchQueue flushes itself at max_batch entries.
+            # repro-lint: disable=C304
             self.batch_queue.append(payload)
         else:
             self.abc.a_broadcast(payload)

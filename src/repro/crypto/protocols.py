@@ -55,6 +55,9 @@ OP_VERIFY_SIGNATURE = "verify_signature"
 
 BROADCAST = -1  # destination meaning "all other replicas"
 
+#: Cap on buffered not-yet-started signing sessions per coordinator.
+MAX_PENDING_SESSIONS = 4096
+
 _MSG_SHARE = 1
 _MSG_PROOF_REQUEST = 2
 _MSG_FINAL = 3
@@ -178,12 +181,20 @@ class SigningProtocol:
             return True
         return False
 
-    def _store_share(self, share: SignatureShare) -> bool:
+    def _store_share(self, sender: int, share: SignatureShare) -> bool:
         """Store a share by sender index; returns False on duplicates.
+
+        The claimed share index must match the authenticated sender
+        (replica ids are 0-based, share indices 1-based): without this
+        check a single Byzantine peer could stuff the pool with shares
+        for arbitrary indices, growing state and poisoning interpolation
+        sets with shares it never proved it holds.
 
         A proof-carrying share may replace a previously stored bare share
         (needed by OptProof's fall-back phase).
         """
+        if share.index != sender + 1 or not 1 <= share.index <= self.public.n:
+            return False
         existing = self._shares.get(share.index)
         if existing is not None and (existing.proof or not share.proof):
             return False
@@ -225,12 +236,15 @@ class BasicSigningProtocol(SigningProtocol):
             return []
         if not msg.is_share or msg.share is None:
             return []
-        if not self._store_share(msg.share):
+        if not self._store_share(sender, msg.share):
             return []
         if msg.share.index in self._valid:
             return []
         self.record_op(OP_VERIFY_SHARE)
         if self.public.share_is_valid(self.message, msg.share):
+            # Bounded: _store_share pins index == sender + 1 <= n, so at
+            # most one entry per replica.
+            # repro-lint: disable=C304
             self._valid[msg.share.index] = msg.share
         return self._try_finish()
 
@@ -304,7 +318,7 @@ class OptProofSigningProtocol(SigningProtocol):
             return self._answer_proof_request()
         if not msg.is_share or msg.share is None:
             return []
-        if not self._store_share(msg.share):
+        if not self._store_share(sender, msg.share):
             return []
         out: List[Outgoing] = []
         if not self._fallback:
@@ -351,7 +365,7 @@ class OptProofSigningProtocol(SigningProtocol):
             proof = self.key_share.prove(self.message, self._own_share)
             self.record_op(OP_GENERATE_PROOF)
             self._own_share = self._own_share.with_proof(proof)
-            self._store_share(self._own_share)
+            self._store_share(self.key_share.index - 1, self._own_share)
             self._valid[self._own_share.index] = self._own_share
         return [
             (BROADCAST, SigningMessage.share_message(self.sign_id, self._own_share))
@@ -428,7 +442,7 @@ class OptTESigningProtocol(SigningProtocol):
             return []
         if not msg.is_share or msg.share is None:
             return []
-        if not self._store_share(msg.share):
+        if not self._store_share(sender, msg.share):
             return []
         return self._try_subsets()
 
@@ -505,6 +519,13 @@ class SigningCoordinator:
         self.sessions: Dict[str, SigningProtocol] = {}
         self._pending: Dict[str, List[Tuple[int, SigningMessage]]] = {}
         self._completed: Dict[str, bytes] = {}
+        # KeyTrap-style bounds on the not-yet-started buffer: a Byzantine
+        # peer could otherwise stuff unbounded sign_ids (or unbounded
+        # messages for one sign_id) into memory before the local state
+        # machine ever starts the session.
+        self.max_pending_sessions = MAX_PENDING_SESSIONS
+        self.max_pending_per_session = 3 * key_share.public.n
+        self.dropped_messages = 0
         # Distributed signing rounds actually started (a completed or
         # already-running sign_id does not start a new round).  Benchmarks
         # use this to show the signed-answer cache eliminating rounds.
@@ -536,7 +557,16 @@ class SigningCoordinator:
             return []
         protocol = self.sessions.get(msg.sign_id)
         if protocol is None:
-            self._pending.setdefault(msg.sign_id, []).append((sender, msg))
+            pending = self._pending.get(msg.sign_id)
+            if pending is None:
+                if len(self._pending) >= self.max_pending_sessions:
+                    self.dropped_messages += 1
+                    return []
+                pending = self._pending[msg.sign_id] = []
+            if len(pending) >= self.max_pending_per_session:
+                self.dropped_messages += 1
+                return []
+            pending.append((sender, msg))
             return []
         out = protocol.on_message(sender, msg)
         if protocol.done:

@@ -10,7 +10,7 @@ file parsing.
 from __future__ import annotations
 
 from functools import total_ordering
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Set, Tuple
 
 from repro.dns.constants import MAX_LABEL_LENGTH, MAX_NAME_LENGTH
 from repro.errors import NameError_, WireFormatError
@@ -174,7 +174,7 @@ class Name:
     def from_wire(cls, data: bytes, offset: int = 0) -> Tuple["Name", int]:
         """Decode a (possibly compressed) name; return ``(name, new_offset)``."""
         labels: List[bytes] = []
-        seen_offsets = set()
+        seen_offsets: Set[int] = set()
         cursor = offset
         end = -1  # offset after the name in the original stream
         while True:

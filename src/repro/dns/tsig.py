@@ -239,6 +239,8 @@ def verify_message(
     key = keyring.get(tsig.key_name)
     if key is None:
         raise TsigError(f"unknown TSIG key {tsig.key_name.to_text()}")
+    # Algorithm *name* comparison — not key material, no timing oracle.
+    # repro-lint: disable=C301
     if tsig.algorithm != HMAC_SHA1:
         raise TsigError(f"unsupported TSIG algorithm {tsig.algorithm.to_text()}")
     to_mac = b""

@@ -1,0 +1,22 @@
+"""``repro lint``: AST-based determinism & protocol-safety analyzer.
+
+See DESIGN.md §5c for the rule catalog and the ratchet workflow.
+"""
+
+from repro.lint.framework import (
+    Finding,
+    LintConfig,
+    load_rules,
+    run_file,
+    run_paths,
+    run_source,
+)
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "load_rules",
+    "run_file",
+    "run_paths",
+    "run_source",
+]

@@ -1,0 +1,116 @@
+"""A-rules: asyncio safety (DESIGN.md §5c).
+
+The live deployment (:mod:`repro.net.local`) runs every replica on one
+event loop; a blocking call inside ``async def`` stalls all replicas at
+once (indistinguishable from a network partition), and an unawaited
+coroutine silently does nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.lint.framework import SCOPE_ALL, Rule, register
+
+BLOCKING_CALLS = {
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+}
+
+_AWAIT_WRAPPERS = {
+    "asyncio.create_task",
+    "asyncio.ensure_future",
+    "asyncio.gather",
+    "asyncio.wait",
+    "asyncio.wait_for",
+    "asyncio.shield",
+}
+
+
+@register
+class BlockingInAsyncRule(Rule):
+    """A201: blocking call directly inside an ``async def`` body."""
+
+    rule_id = "A201"
+    summary = "blocking call inside async def"
+    scope = SCOPE_ALL
+
+    def run(self, tree: ast.Module) -> None:
+        self._async_depth = 0
+        self.visit(tree)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._async_depth += 1
+        self.generic_visit(node)
+        self._async_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # A sync helper nested in a coroutine runs synchronously when
+        # called, but flagging it here would double-report call sites.
+        saved, self._async_depth = self._async_depth, 0
+        self.generic_visit(node)
+        self._async_depth = saved
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._async_depth > 0:
+            resolved = self.ctx.imports.resolve(node.func)
+            if resolved in BLOCKING_CALLS or (
+                resolved is not None and resolved.startswith("requests.")
+            ):
+                self.report(
+                    node,
+                    f"{resolved} blocks the event loop (stalls every replica "
+                    "sharing it); use the asyncio equivalent",
+                )
+        self.generic_visit(node)
+
+
+@register
+class UnawaitedCoroutineRule(Rule):
+    """A202: module-local coroutine called as a bare statement.
+
+    Only expression statements whose value is a direct call to an
+    ``async def`` defined in the same module are flagged — ``await f()``,
+    ``asyncio.create_task(f())`` and value-consuming uses never match.
+    """
+
+    rule_id = "A202"
+    summary = "coroutine created but never awaited or scheduled"
+    scope = SCOPE_ALL
+
+    def run(self, tree: ast.Module) -> None:
+        async_names = self._collect_async_names(tree)
+        if not async_names:
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Expr) or not isinstance(node.value, ast.Call):
+                continue
+            call = node.value
+            name = self._called_name(call)
+            if name in async_names:
+                self.report(
+                    call,
+                    f"{name}() returns a coroutine that is never awaited; "
+                    "await it or hand it to asyncio.create_task",
+                )
+
+    def _collect_async_names(self, tree: ast.Module) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                names.add(node.name)
+        return names
+
+    def _called_name(self, call: ast.Call) -> str:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return ""

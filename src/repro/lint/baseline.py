@@ -1,0 +1,122 @@
+"""Baseline + ratchet engine for ``repro lint``.
+
+The baseline file records how many findings of each rule each file is
+*allowed* to have.  The ratchet is one-way:
+
+* a finding not covered by the baseline **fails** the check;
+* a per-(file, rule) count above its baseline entry **fails**;
+* a count *below* its entry is a **stale** entry — also a failure, with
+  instructions to run ``--update-baseline`` so the ceiling ratchets down
+  and the fix can never silently regress.
+
+``--update-baseline`` refuses to grow any entry unless ``--allow-growth``
+is passed explicitly (growth should be a reviewed decision, not a reflex).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.lint.framework import Finding
+
+BASELINE_VERSION = 1
+
+Counts = Dict[str, Dict[str, int]]
+
+
+class BaselineError(Exception):
+    """Malformed baseline file."""
+
+
+def collect_counts(findings: Sequence[Finding]) -> Counts:
+    """Per-file, per-rule finding counts."""
+    counts: Counts = {}
+    for finding in findings:
+        per_file = counts.setdefault(finding.path, {})
+        per_file[finding.rule] = per_file.get(finding.rule, 0) + 1
+    return counts
+
+
+def load_baseline(path: Path) -> Counts:
+    if not path.is_file():
+        return {}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"{path}: expected a version-{BASELINE_VERSION} baseline object"
+        )
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict):
+        raise BaselineError(f"{path}: 'entries' must be an object")
+    return {
+        str(file): {str(rule): int(count) for rule, count in rules.items()}
+        for file, rules in entries.items()
+    }
+
+
+def save_baseline(path: Path, counts: Counts) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": {
+            file: {rule: counts[file][rule] for rule in sorted(counts[file])}
+            for file in sorted(counts)
+            if counts[file]
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def check_against_baseline(
+    findings: Sequence[Finding], baseline: Counts
+) -> List[str]:
+    """Problems that must fail the check; empty list means clean."""
+    problems: List[str] = []
+    current = collect_counts(findings)
+    for file in sorted(set(current) | set(baseline)):
+        current_rules = current.get(file, {})
+        baseline_rules = baseline.get(file, {})
+        for rule in sorted(set(current_rules) | set(baseline_rules)):
+            have = current_rules.get(rule, 0)
+            allowed = baseline_rules.get(rule, 0)
+            if have > allowed:
+                examples = [
+                    f.render() for f in findings if f.path == file and f.rule == rule
+                ]
+                problems.append(
+                    f"{file}: {rule} has {have} finding(s), baseline allows "
+                    f"{allowed} — new violation(s):\n    "
+                    + "\n    ".join(examples)
+                )
+            elif have < allowed:
+                problems.append(
+                    f"{file}: {rule} baseline entry is stale ({allowed} allowed, "
+                    f"{have} found) — run 'repro lint --update-baseline' to "
+                    "ratchet it down"
+                )
+    return problems
+
+
+def update_baseline(
+    findings: Sequence[Finding],
+    old: Counts,
+    allow_growth: bool = False,
+) -> Counts:
+    """New baseline from current findings; refuses growth by default."""
+    new = collect_counts(findings)
+    if not allow_growth:
+        grown: List[str] = []
+        for file, rules in new.items():
+            for rule, count in rules.items():
+                if count > old.get(file, {}).get(rule, 0):
+                    grown.append(f"{file}: {rule} {old.get(file, {}).get(rule, 0)} -> {count}")
+        if grown:
+            raise BaselineError(
+                "refusing to grow the baseline (fix the findings or pass "
+                "--allow-growth):\n  " + "\n  ".join(sorted(grown))
+            )
+    return new

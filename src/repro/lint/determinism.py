@@ -1,0 +1,316 @@
+"""D-rules: replica-determinism checks (DESIGN.md §5c).
+
+Atomic broadcast only yields G1 — every honest replica computes the
+identical response wire, zone digest, and signing input for the same
+delivered sequence — if the execute path is a pure function of delivered
+state.  These rules mechanically forbid the ways Python code silently
+stops being one.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Optional, Set
+
+from repro.lint.framework import SCOPE_ALL, SCOPE_DETERMINISTIC, Rule, register
+
+WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+ENTROPY_CALLS = {
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+#: Identifiers that name protocol sequence state; float arithmetic on
+#: them rounds differently than the integer protocol spec.
+_SEQ_NAME_RE = re.compile(r"(^|_)(serial|seq|seqno|sequence|epoch)(_|$|s$)")
+
+
+def _terminal_identifier(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register
+class WallClockRule(Rule):
+    """D101: wall-clock reads in deterministic modules."""
+
+    rule_id = "D101"
+    summary = "wall-clock read in a deterministic (replica execute) path"
+    scope = SCOPE_DETERMINISTIC
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.ctx.imports.resolve(node.func)
+        if resolved in WALL_CLOCK_CALLS:
+            self.report(
+                node,
+                f"call to {resolved} breaks replica determinism; derive time "
+                "from delivered state or the simulated node clock",
+            )
+        self.generic_visit(node)
+
+
+@register
+class EntropyRule(Rule):
+    """D102: unseeded entropy sources in deterministic modules."""
+
+    rule_id = "D102"
+    summary = "entropy source (os.urandom/uuid/secrets/module random) in a deterministic path"
+    scope = SCOPE_DETERMINISTIC
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.ctx.imports.resolve(node.func)
+        if resolved is not None:
+            if resolved in ENTROPY_CALLS or resolved.startswith("secrets."):
+                self.report(
+                    node,
+                    f"call to {resolved} injects entropy into a deterministic "
+                    "path; all randomness must flow from the scenario seed",
+                )
+            elif resolved.startswith("random.") and resolved != "random.Random":
+                self.report(
+                    node,
+                    f"module-level {resolved} uses the global (unseeded) RNG; "
+                    "use an explicitly seeded random.Random instance",
+                )
+        self.generic_visit(node)
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """D103: iterating a set/frozenset where order reaches the output.
+
+    ``sorted(...)`` is the sanctioned fix: ``for x in sorted(s)`` never
+    matches because the loop iterates the ``sorted`` call, not the set.
+    """
+
+    rule_id = "D103"
+    summary = "iteration over an unordered set feeding ordered output"
+    scope = SCOPE_DETERMINISTIC
+
+    _CONSUMERS = {"list", "tuple"}
+
+    def run(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(node)
+
+    def _check_function(self, func: ast.AST) -> None:
+        set_vars = self._collect_set_vars(func)
+        for node in ast.walk(func):
+            if isinstance(node, ast.For):
+                if self._is_setish(node.iter, set_vars):
+                    self.report(
+                        node.iter,
+                        "for-loop over an unordered set; wrap in sorted() so "
+                        "every replica sees the same order",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                for gen in node.generators:
+                    if self._is_setish(gen.iter, set_vars):
+                        self.report(
+                            gen.iter,
+                            "comprehension over an unordered set; wrap in "
+                            "sorted() so every replica sees the same order",
+                        )
+            elif isinstance(node, ast.Call):
+                self._check_consumer(node, set_vars)
+
+    def _check_consumer(self, node: ast.Call, set_vars: Set[str]) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            name = "join"
+        if name in self._CONSUMERS or name == "join":
+            for arg in node.args[:1]:
+                if self._is_setish(arg, set_vars):
+                    self.report(
+                        arg,
+                        f"{name}() materializes an unordered set into a "
+                        "sequence; wrap in sorted()",
+                    )
+
+    def _collect_set_vars(self, func: ast.AST) -> Set[str]:
+        """Names whose every assignment in this function is set-valued."""
+        assigned_setish: Set[str] = set()
+        assigned_other: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                targets = [t for t in node.targets if isinstance(t, ast.Name)]
+                for target in targets:
+                    if self._is_setish(node.value, assigned_setish):
+                        assigned_setish.add(target.id)
+                    else:
+                        assigned_other.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if node.value is not None and self._is_setish(node.value, assigned_setish):
+                    assigned_setish.add(node.target.id)
+                else:
+                    assigned_other.add(node.target.id)
+        return assigned_setish - assigned_other
+
+    def _is_setish(self, node: ast.AST, set_vars: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.Name) and node.id in set_vars:
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_setish(node.left, set_vars) or self._is_setish(
+                node.right, set_vars
+            )
+        return False
+
+
+@register
+class BuiltinHashRule(Rule):
+    """D104: builtin hash() outside __hash__ (str/bytes hashing is salted)."""
+
+    rule_id = "D104"
+    summary = "salted builtin hash() in a deterministic path"
+    scope = SCOPE_DETERMINISTIC
+
+    def run(self, tree: ast.Module) -> None:
+        self._in_dunder_hash = 0
+        self.visit(tree)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node.name == "__hash__":
+            self._in_dunder_hash += 1
+            self.generic_visit(node)
+            self._in_dunder_hash -= 1
+        else:
+            self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self._in_dunder_hash == 0
+            and isinstance(node.func, ast.Name)
+            and self.ctx.imports.resolve(node.func) == "hash"
+        ):
+            self.report(
+                node,
+                "builtin hash() is salted per process (PYTHONHASHSEED); use "
+                "hashlib for anything that crosses the wire or keys state",
+            )
+        self.generic_visit(node)
+
+
+@register
+class FloatSequenceRule(Rule):
+    """D105: float arithmetic on serials / sequence numbers."""
+
+    rule_id = "D105"
+    summary = "float arithmetic on a serial/sequence number"
+    scope = SCOPE_DETERMINISTIC
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Div):
+            for side in (node.left, node.right):
+                name = _terminal_identifier(side)
+                if name and _SEQ_NAME_RE.search(name):
+                    self.report(
+                        node,
+                        f"true division involving {name!r} produces a float; "
+                        "serials and sequence numbers are integers (use //)",
+                    )
+                    break
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "float":
+            for arg in node.args:
+                name = _terminal_identifier(arg)
+                if name and _SEQ_NAME_RE.search(name):
+                    self.report(
+                        node,
+                        f"float({name}) on a protocol sequence value; keep "
+                        "serials integral end to end",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+@register
+class SharedDefaultRngRule(Rule):
+    """D106: random.Random constructed as a shared default.
+
+    A ``random.Random`` in a function default, a dataclass
+    ``default_factory`` lambda, or at module scope gives every caller /
+    instance the same stream regardless of the scenario seed — exactly
+    the ``FaultInjector`` bug class.  Runs repo-wide.
+    """
+
+    rule_id = "D106"
+    summary = "shared default random.Random (same stream for every instance)"
+    scope = SCOPE_ALL
+
+    _MSG = (
+        "random.Random as a shared default gives every instance the same "
+        "stream regardless of the scenario seed; thread a seed parameter "
+        "through instead"
+    )
+
+    def run(self, tree: ast.Module) -> None:
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                value = stmt.value
+                if value is not None and self._is_random_call(value):
+                    self.report(value, "module-level " + self._MSG)
+        self.visit(tree)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            for sub in ast.walk(default):
+                if self._is_random_call(sub):
+                    self.report(sub, "argument-default " + self._MSG)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.ctx.imports.resolve(node.func)
+        if resolved in ("dataclasses.field", "field"):
+            for keyword in node.keywords:
+                if keyword.arg != "default_factory":
+                    continue
+                value = keyword.value
+                if self._resolves_to_random(value):
+                    self.report(value, "default_factory " + self._MSG)
+                elif isinstance(value, ast.Lambda):
+                    for sub in ast.walk(value.body):
+                        if self._is_random_call(sub):
+                            self.report(sub, "default_factory " + self._MSG)
+        self.generic_visit(node)
+
+    def _is_random_call(self, node: ast.AST) -> bool:
+        return isinstance(node, ast.Call) and self._resolves_to_random(node.func)
+
+    def _resolves_to_random(self, node: ast.AST) -> bool:
+        return self.ctx.imports.resolve(node) == "random.Random"

@@ -1,0 +1,347 @@
+"""Rule framework for the ``repro lint`` static analyzer.
+
+The analyzer enforces the repository's protocol-correctness contract
+(DESIGN.md §5c): replicas are deterministic state machines, so the
+execute/broadcast paths must not read wall clocks or entropy, iterate
+unordered collections into ordered output, or do float arithmetic on
+sequence numbers; crypto paths must compare secrets in constant time and
+bound work on untrusted collections (KeyTrap).
+
+Everything here is stdlib-only (``ast`` + ``tokenize``-free comment
+scanning); rules are small :class:`Rule` visitors registered with
+:func:`register` and scoped to module families via fnmatch patterns.
+
+Suppressions::
+
+    risky_call()  # repro-lint: disable=D101
+    # repro-lint: disable=D103        (on the line above also works)
+    # repro-lint: disable-file=C304   (anywhere in the file: whole file)
+
+A suppression comment should carry a justification after the rule list.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Type
+
+# -- scopes -------------------------------------------------------------------
+
+#: Modules whose execute/broadcast paths feed the replicated state machine:
+#: G1 (all honest replicas agree) requires them to be bit-deterministic.
+SCOPE_DETERMINISTIC = "deterministic"
+#: Modules holding key material / authenticators.
+SCOPE_CRYPTO = "crypto"
+#: Modules with network-facing message handlers (KeyTrap-style bounds).
+SCOPE_HANDLERS = "handlers"
+#: Everything.
+SCOPE_ALL = "all"
+
+DEFAULT_SCOPE_PATTERNS: Dict[str, Tuple[str, ...]] = {
+    SCOPE_DETERMINISTIC: (
+        "repro.core.replica",
+        "repro.core.service",
+        "repro.broadcast.*",
+        "repro.dns.zone",
+    ),
+    SCOPE_CRYPTO: (
+        "repro.crypto.*",
+        "repro.dns.tsig",
+        "repro.dns.dnssec",
+        "repro.core.keytool",
+    ),
+    SCOPE_HANDLERS: (
+        "repro.broadcast.*",
+        "repro.crypto.protocols",
+        "repro.core.replica",
+    ),
+    SCOPE_ALL: ("*",),
+}
+
+
+@dataclass
+class LintConfig:
+    """Analyzer configuration (normally loaded from pyproject.toml)."""
+
+    scope_patterns: Dict[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_SCOPE_PATTERNS)
+    )
+    strict_modules: Tuple[str, ...] = ()
+
+    @classmethod
+    def from_pyproject(cls, pyproject: Path) -> "LintConfig":
+        config = cls()
+        if not pyproject.is_file():
+            return config
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - py3.10
+            return config
+        with open(pyproject, "rb") as handle:
+            data = tomllib.load(handle)
+        section = data.get("tool", {}).get("repro-lint", {})
+        for scope in (SCOPE_DETERMINISTIC, SCOPE_CRYPTO, SCOPE_HANDLERS):
+            key = f"{scope}_modules"
+            if key in section:
+                config.scope_patterns[scope] = tuple(section[key])
+        config.strict_modules = tuple(section.get("strict_modules", ()))
+        return config
+
+    def module_in_scope(self, module: str, scope: str) -> bool:
+        patterns = self.scope_patterns.get(scope, ())
+        return any(fnmatch.fnmatchcase(module, pat) for pat in patterns)
+
+
+# -- findings -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+# -- rule registry ------------------------------------------------------------
+
+
+class Rule(ast.NodeVisitor):
+    """Base class: one instance per (rule, file) pass."""
+
+    rule_id: str = ""
+    summary: str = ""
+    scope: str = SCOPE_ALL
+
+    def __init__(self, ctx: "FileContext") -> None:
+        self.ctx = ctx
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.ctx.add(
+            self.rule_id,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            message,
+        )
+
+    def run(self, tree: ast.Module) -> None:
+        self.visit(tree)
+
+
+RULES: List[Type[Rule]] = []
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global catalog."""
+    if not rule_cls.rule_id:
+        raise ValueError("rule must define rule_id")
+    if any(existing.rule_id == rule_cls.rule_id for existing in RULES):
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
+    RULES.append(rule_cls)
+    return rule_cls
+
+
+def load_rules() -> List[Type[Rule]]:
+    """Import the rule modules (populating :data:`RULES`) and return them."""
+    from repro.lint import asyncsafety, cryptohygiene, determinism  # noqa: F401
+
+    return sorted(RULES, key=lambda rule: rule.rule_id)
+
+
+# -- suppressions -------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9, ]+)")
+_SUPPRESS_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Z0-9, ]+)")
+
+
+def parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Map line number -> suppressed rules, plus whole-file suppressions.
+
+    A ``disable=`` comment covers its own line and, when it is the only
+    thing on the line, the line below (so a suppression can sit above a
+    long statement).
+    """
+    per_line: Dict[int, Set[str]] = {}
+    whole_file: Set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_FILE_RE.search(text)
+        if match:
+            whole_file.update(r.strip() for r in match.group(1).split(",") if r.strip())
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+        per_line.setdefault(lineno, set()).update(rules)
+        if text.lstrip().startswith("#"):  # comment-only line covers the next one
+            per_line.setdefault(lineno + 1, set()).update(rules)
+    return per_line, whole_file
+
+
+# -- import resolution --------------------------------------------------------
+
+
+class ImportMap:
+    """Resolve names/attribute chains to dotted import paths.
+
+    ``import time`` makes ``time.time`` resolve to ``"time.time"``;
+    ``from os import urandom as u`` makes ``u`` resolve to
+    ``"os.urandom"``.  Unimported bare names resolve to themselves, which
+    lets rules match builtins like ``hash``/``set`` unless shadowed.
+    """
+
+    def __init__(self, tree: ast.Module, module: str) -> None:
+        self.aliases: Dict[str, str] = {}
+        package = module.rsplit(".", 1)[0] if "." in module else module
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        top = alias.name.split(".", 1)[0]
+                        self.aliases[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    prefix = package
+                    for _ in range(node.level - 1):
+                        prefix = prefix.rsplit(".", 1)[0] if "." in prefix else ""
+                    base = f"{prefix}.{base}".strip(".") if base else prefix
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self.aliases[bound] = f"{base}.{alias.name}" if base else alias.name
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted path for a Name/Attribute chain, or None."""
+        if isinstance(node, ast.Name):
+            return self.aliases.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+
+# -- per-file context & runner ------------------------------------------------
+
+
+class FileContext:
+    """Everything a rule needs to analyze one file."""
+
+    def __init__(
+        self,
+        path: str,
+        module: str,
+        source: str,
+        tree: ast.Module,
+        config: LintConfig,
+    ) -> None:
+        self.path = path
+        self.module = module
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self.imports = ImportMap(tree, module)
+        self.findings: List[Finding] = []
+        self._line_suppress, self._file_suppress = parse_suppressions(source)
+
+    def add(self, rule: str, line: int, col: int, message: str) -> None:
+        if rule in self._file_suppress:
+            return
+        if rule in self._line_suppress.get(line, set()):
+            return
+        self.findings.append(Finding(rule, self.path, line, col, message))
+
+
+def module_name_for_path(path: Path) -> str:
+    """Dotted module path, derived from the ``src/`` layout.
+
+    Files outside ``src/`` (tests, benchmarks, fixtures) get an empty
+    module name and therefore only match ``all``-scoped rules.
+    """
+    parts = path.with_suffix("").parts
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    elif parts and parts[0] in ("tests", "benchmarks"):
+        return ""
+    else:
+        return ""
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def run_source(
+    source: str,
+    module: str,
+    path: str = "<string>",
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Type[Rule]]] = None,
+) -> List[Finding]:
+    """Analyze one source blob as if it were module ``module``."""
+    config = config if config is not None else LintConfig()
+    rules = rules if rules is not None else load_rules()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding("E000", path, exc.lineno or 1, 0, f"syntax error: {exc.msg}")
+        ]
+    ctx = FileContext(path, module, source, tree, config)
+    for rule_cls in rules:
+        if not config.module_in_scope(module, rule_cls.scope):
+            continue
+        rule_cls(ctx).run(tree)
+    return sorted(ctx.findings, key=lambda f: (f.line, f.col, f.rule))
+
+
+def run_file(
+    path: Path,
+    root: Path,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Type[Rule]]] = None,
+) -> List[Finding]:
+    """Analyze one file; finding paths are repo-relative POSIX paths."""
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = path
+    module = module_name_for_path(rel)
+    source = path.read_text(encoding="utf-8")
+    return run_source(source, module, rel.as_posix(), config=config, rules=rules)
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            out.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def run_paths(
+    paths: Sequence[Path],
+    root: Path,
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Analyze every Python file under ``paths``."""
+    rules = load_rules()
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(run_file(file_path, root, config=config, rules=rules))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))

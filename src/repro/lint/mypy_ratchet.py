@@ -1,0 +1,102 @@
+"""Per-module mypy strictness ratchet.
+
+Modules graduate into ``[tool.repro-lint] strict_modules`` in
+pyproject.toml; this checker enforces that every graduated module
+
+1. has a matching ``[[tool.mypy.overrides]]`` entry that turns
+   ``check_untyped_defs`` back on and clears ``disable_error_code``
+   (the configuration half — checked with stdlib ``tomllib``, always);
+2. actually passes mypy under that configuration (the enforcement half —
+   run only when mypy is importable; the CI lint job installs it, while
+   the hermetic test container does not).
+
+Like the finding baseline, the list is a ratchet: modules are added as
+their signatures firm up and never removed.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+
+def check_strict_config(pyproject: Path) -> Tuple[List[str], List[str]]:
+    """(strict_modules, problems) from the pyproject configuration."""
+    problems: List[str] = []
+    if not pyproject.is_file():
+        return [], [f"{pyproject}: not found"]
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - py3.10
+        return [], []
+    with open(pyproject, "rb") as handle:
+        data = tomllib.load(handle)
+    tool = data.get("tool", {})
+    strict_modules = list(tool.get("repro-lint", {}).get("strict_modules", []))
+    overrides = tool.get("mypy", {}).get("overrides", [])
+    by_module = {}
+    for entry in overrides:
+        modules = entry.get("module", [])
+        if isinstance(modules, str):
+            modules = [modules]
+        for module in modules:
+            by_module[module] = entry
+    for module in strict_modules:
+        entry = by_module.get(module)
+        if entry is None:
+            problems.append(
+                f"strict module {module} has no [[tool.mypy.overrides]] entry"
+            )
+            continue
+        if not entry.get("check_untyped_defs", False):
+            problems.append(
+                f"strict module {module}: override must set check_untyped_defs = true"
+            )
+        if entry.get("disable_error_code"):
+            problems.append(
+                f"strict module {module}: override must not disable error codes"
+            )
+    return strict_modules, problems
+
+
+def mypy_available() -> bool:
+    return importlib.util.find_spec("mypy") is not None
+
+
+def run_mypy_strict(root: Path, modules: List[str]) -> Tuple[int, str]:
+    """Run mypy over the strict modules; (exit_code, output)."""
+    if not modules:
+        return 0, "no strict modules configured"
+    if not mypy_available():
+        return 0, (
+            "mypy is not installed in this environment; configuration "
+            "checked, type run skipped (CI runs it)"
+        )
+    cmd = [sys.executable, "-m", "mypy"]
+    for module in modules:
+        cmd.extend(["-p", module])
+    env_path = str(root / "src")
+    proc = subprocess.run(
+        cmd,
+        cwd=root,
+        capture_output=True,
+        text=True,
+        env={**__import__("os").environ, "MYPYPATH": env_path, "PYTHONPATH": env_path},
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check(root: Path) -> Tuple[int, str]:
+    """Full ratchet check; (exit_code, human-readable report)."""
+    pyproject = root / "pyproject.toml"
+    modules, problems = check_strict_config(pyproject)
+    lines = [f"strict modules: {', '.join(modules) if modules else '(none)'}"]
+    if problems:
+        lines.extend(f"ERROR: {p}" for p in problems)
+        return 1, "\n".join(lines)
+    code, output = run_mypy_strict(root, modules)
+    lines.append(output.strip())
+    return (1 if code else 0), "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Rendering for ``repro lint`` findings (text and JSON)."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence, Type
+
+from repro.lint.framework import Finding, Rule
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    lines: List[str] = [f.render() for f in findings]
+    if findings:
+        lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps(
+        [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        indent=2,
+    )
+
+
+def render_rule_catalog(rules: Sequence[Type[Rule]]) -> str:
+    lines = []
+    for rule in rules:
+        lines.append(f"{rule.rule_id}  [{rule.scope:>13}]  {rule.summary}")
+    return "\n".join(lines)

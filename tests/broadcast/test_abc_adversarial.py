@@ -82,7 +82,7 @@ class TestCrashDuringEpochChange:
         abcs, delivered = build(4, 1, net, keys_4_1, timeout=1.0)
         inject(net, abcs, 1, [b"early0", b"early1"])
         # Crash the leader shortly after the first batch.
-        net.sim.schedule(0.5, lambda: setattr(net.node(0), "dropped", True))
+        net.sim.schedule(0.5, lambda: setattr(net.node(0), "dropped", True))  # noqa: B010
         net.node(1).run_local(0.6, lambda: abcs[1].a_broadcast(b"late0"))
         net.node(2).run_local(0.7, lambda: abcs[2].a_broadcast(b"late1"))
         net.run(until=600)
@@ -97,7 +97,7 @@ class TestCrashDuringEpochChange:
         net = SimNetwork(lan_setup(4), cpu_jitter=0.0)
         abcs, delivered = build(4, 1, net, keys_4_1, timeout=1.0)
         inject(net, abcs, 2, [b"once"])
-        net.sim.schedule(0.0005, lambda: setattr(net.node(0), "dropped", True))
+        net.sim.schedule(0.0005, lambda: setattr(net.node(0), "dropped", True))  # noqa: B010
         net.run(until=600)
         for i in (1, 2, 3):
             assert delivered[i].count(b"once") == 1

@@ -1,5 +1,7 @@
 """Service configuration validation."""
 
+import dataclasses
+
 import pytest
 
 from repro.config import ServiceConfig
@@ -37,7 +39,7 @@ class TestValidation:
 
     def test_frozen(self):
         config = ServiceConfig(n=4, t=1)
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             config.n = 7  # type: ignore[misc]
 
     def test_defaults_match_paper_model(self):

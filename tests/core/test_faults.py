@@ -226,3 +226,49 @@ class TestExtendedPaletteEndToEnd:
         read = svc.query("cr.example.com.", c.TYPE_A)
         assert read.response.rcode == c.RCODE_NOERROR
         assert read.verified
+
+
+class TestSeedThreading:
+    """The injector RNG is a pure function of (scenario seed, replica)."""
+
+    def _garble_stream(self, injector, rounds=6):
+        batch = encode_batch([b"request-one", b"request-two"])
+        return [
+            injector.transform_outgoing(
+                AbcInitiate(request_id="rid", payload=batch)
+            ).payload
+            for _ in range(rounds)
+        ]
+
+    def test_derive_seed_distinct_per_scenario_and_replica(self):
+        seeds = {
+            FaultInjector.derive_seed(s, i) for s in range(4) for i in range(4)
+        }
+        assert len(seeds) == 16
+
+    def test_reseed_replays_identically(self):
+        a = FaultInjector(mode=CorruptionMode.MALFORMED_BATCHES)
+        b = FaultInjector(mode=CorruptionMode.MALFORMED_BATCHES)
+        a.reseed(7, 2)
+        b.reseed(7, 2)
+        assert self._garble_stream(a) == self._garble_stream(b)
+
+    def test_scenario_seed_changes_the_stream(self):
+        a = FaultInjector(mode=CorruptionMode.MALFORMED_BATCHES)
+        b = FaultInjector(mode=CorruptionMode.MALFORMED_BATCHES)
+        a.reseed(1, 2)
+        b.reseed(2, 2)
+        assert self._garble_stream(a) != self._garble_stream(b)
+
+    def test_service_threads_seed_into_injectors(self):
+        from repro.config import ServiceConfig
+        from repro.core.service import ReplicatedNameService
+        from repro.sim.machines import lan_setup
+
+        svc = ReplicatedNameService(
+            ServiceConfig(n=4, t=1), topology=lan_setup(4), seed=11
+        )
+        svc.corrupt(0, CorruptionMode.MALFORMED_BATCHES)
+        assert svc.replicas[0].fault.seed == FaultInjector.derive_seed(11, 0)
+        # Uncorrupted replicas got per-replica seeds too (no shared RNG).
+        assert svc.replicas[1].fault.seed == FaultInjector.derive_seed(11, 1)

@@ -257,3 +257,71 @@ class TestCoordinator:
                 signature = coordinator.result(sid)
                 assert signature is not None
                 public.verify_signature(payload, signature)
+
+
+class TestShareIndexValidation:
+    """A share's claimed index must match its authenticated sender."""
+
+    def test_forged_index_rejected(self, threshold_4_1):
+        public, shares = threshold_4_1
+        protocol = make_signing_protocol(PROTOCOL_BASIC, shares[0], SID, MESSAGE)
+        protocol.start()
+        # Sender 1 replays replica 2's (perfectly valid) share: without
+        # the index==sender+1 pin this would poison the pool.
+        forged = shares[2].generate_share_with_proof(MESSAGE)
+        protocol.on_message(1, SigningMessage.share_message(SID, forged))
+        assert forged.index not in protocol._shares
+
+    def test_out_of_range_index_rejected(self, threshold_4_1):
+        public, shares = threshold_4_1
+        protocol = make_signing_protocol(PROTOCOL_BASIC, shares[0], SID, MESSAGE)
+        protocol.start()
+        legit = shares[1].generate_share_with_proof(MESSAGE)
+        bogus = SignatureShare(index=public.n + 5, value=legit.value, proof=legit.proof)
+        protocol.on_message(public.n + 4, SigningMessage.share_message(SID, bogus))
+        assert bogus.index not in protocol._shares
+
+    def test_matching_index_accepted(self, threshold_4_1):
+        public, shares = threshold_4_1
+        protocol = make_signing_protocol(PROTOCOL_BASIC, shares[0], SID, MESSAGE)
+        protocol.start()
+        share = shares[1].generate_share_with_proof(MESSAGE)
+        protocol.on_message(1, SigningMessage.share_message(SID, share))
+        assert share.index in protocol._shares
+
+
+class TestCoordinatorBounds:
+    """KeyTrap-style caps on the pre-session message buffer."""
+
+    def test_pending_session_flood_capped(self, threshold_4_1):
+        public, shares = threshold_4_1
+        coordinator = SigningCoordinator(PROTOCOL_BASIC, shares[0])
+        coordinator.max_pending_sessions = 2
+        share = shares[1].generate_share_with_proof(MESSAGE)
+        for k in range(5):
+            coordinator.on_message(1, SigningMessage.share_message(f"flood-{k}", share))
+        assert len(coordinator._pending) == 2
+        assert coordinator.dropped_messages == 3
+
+    def test_per_session_flood_capped(self, threshold_4_1):
+        public, shares = threshold_4_1
+        coordinator = SigningCoordinator(PROTOCOL_BASIC, shares[0])
+        coordinator.max_pending_per_session = 3
+        share = shares[1].generate_share_with_proof(MESSAGE)
+        for _ in range(7):
+            coordinator.on_message(1, SigningMessage.share_message("one-sid", share))
+        assert len(coordinator._pending["one-sid"]) == 3
+        assert coordinator.dropped_messages == 4
+
+    def test_bounded_buffer_still_replays_on_sign(self, threshold_4_1):
+        # The caps must not break the legitimate early-arrival path.
+        public, shares = threshold_4_1
+        coordinator = SigningCoordinator(PROTOCOL_BASIC, shares[0])
+        for peer in (1, 2):
+            share = shares[peer].generate_share_with_proof(MESSAGE)
+            coordinator.on_message(peer, SigningMessage.share_message(SID, share))
+        assert coordinator.dropped_messages == 0
+        coordinator.sign(SID, MESSAGE)
+        signature = coordinator.result(SID)
+        assert signature is not None
+        public.verify_signature(MESSAGE, signature)

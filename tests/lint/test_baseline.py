@@ -1,0 +1,133 @@
+"""Ratchet semantics for lint-baseline.json: new findings fail, fixed
+findings make their entries stale (an error until re-recorded), and the
+baseline may only shrink without an explicit --allow-growth."""
+
+import json
+
+import pytest
+
+from repro.lint.baseline import (
+    BaselineError,
+    check_against_baseline,
+    collect_counts,
+    load_baseline,
+    save_baseline,
+    update_baseline,
+)
+from repro.lint.framework import Finding
+
+
+def finding(rule, path, line=3):
+    return Finding(rule=rule, path=path, line=line, col=0, message="fixture")
+
+
+class TestCheck:
+    def test_clean_when_counts_match(self):
+        findings = [finding("C304", "src/a.py"), finding("C304", "src/a.py", 9)]
+        assert check_against_baseline(findings, {"src/a.py": {"C304": 2}}) == []
+
+    def test_new_finding_fails(self):
+        findings = [finding("C304", "src/a.py"), finding("D101", "src/a.py")]
+        problems = check_against_baseline(findings, {"src/a.py": {"C304": 1}})
+        assert any("D101" in p and "new violation" in p for p in problems)
+
+    def test_count_growth_fails(self):
+        findings = [finding("C304", "src/a.py"), finding("C304", "src/a.py", 9)]
+        problems = check_against_baseline(findings, {"src/a.py": {"C304": 1}})
+        assert any("new violation" in p for p in problems)
+
+    def test_new_file_fails(self):
+        problems = check_against_baseline(
+            [finding("C304", "src/b.py")], {"src/a.py": {"C304": 1}}
+        )
+        assert any("src/b.py" in p and "new violation" in p for p in problems)
+
+    def test_new_finding_message_names_the_line(self):
+        problems = check_against_baseline([finding("D101", "src/a.py", 42)], {})
+        assert any("src/a.py:42" in p for p in problems)
+
+    def test_fixed_finding_makes_entry_stale(self):
+        # Fewer findings than allowed is ALSO an error: the baseline must
+        # be re-recorded so the ceiling ratchets down and can't regress.
+        problems = check_against_baseline(
+            [finding("C304", "src/a.py")], {"src/a.py": {"C304": 2}}
+        )
+        assert any("stale" in p for p in problems)
+
+    def test_fully_fixed_file_is_stale(self):
+        problems = check_against_baseline([], {"src/a.py": {"C304": 1}})
+        assert any("stale" in p for p in problems)
+
+
+class TestUpdate:
+    def test_update_shrinks(self):
+        new = update_baseline(
+            [finding("C304", "src/a.py")],
+            {"src/a.py": {"C304": 3}},
+            allow_growth=False,
+        )
+        assert new == {"src/a.py": {"C304": 1}}
+
+    def test_update_drops_fixed_files(self):
+        assert update_baseline([], {"src/a.py": {"C304": 1}}, allow_growth=False) == {}
+
+    def test_update_refuses_growth(self):
+        findings = [finding("C304", "src/a.py"), finding("C304", "src/a.py", 9)]
+        with pytest.raises(BaselineError, match="C304 1 -> 2"):
+            update_baseline(findings, {"src/a.py": {"C304": 1}}, allow_growth=False)
+
+    def test_update_refuses_new_rule(self):
+        findings = [finding("C304", "src/a.py"), finding("D101", "src/a.py")]
+        with pytest.raises(BaselineError):
+            update_baseline(findings, {"src/a.py": {"C304": 1}}, allow_growth=False)
+
+    def test_allow_growth_overrides(self):
+        new = update_baseline([finding("C304", "src/a.py")], {}, allow_growth=True)
+        assert new == {"src/a.py": {"C304": 1}}
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        counts = {"src/a.py": {"D101": 1, "C304": 2}}
+        save_baseline(path, counts)
+        assert load_baseline(path) == counts
+        # Stable serialization: version wrapper, sorted keys, newline EOF.
+        text = path.read_text()
+        assert text.endswith("\n")
+        data = json.loads(text)
+        assert data["version"] == 1
+        assert list(data["entries"]["src/a.py"]) == ["C304", "D101"]
+
+    def test_empty_entries_dropped_on_save(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        save_baseline(path, {"src/a.py": {}})
+        assert load_baseline(path) == {}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text("not json {")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+
+class TestCollect:
+    def test_counts_grouped_by_file_and_rule(self):
+        findings = [
+            finding("C304", "src/a.py"),
+            finding("C304", "src/a.py", 9),
+            finding("D101", "src/b.py"),
+        ]
+        assert collect_counts(findings) == {
+            "src/a.py": {"C304": 2},
+            "src/b.py": {"D101": 1},
+        }

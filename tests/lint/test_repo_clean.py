@@ -1,0 +1,38 @@
+"""The shipped tree must be lint-clean against the shipped baseline.
+
+This mirrors the CI ``lint-protocol`` job: running the analyzer over
+``src/repro`` with ``lint-baseline.json`` must produce zero new and zero
+stale findings.  If this test fails you either introduced a violation
+(fix it or suppress it with a justification) or fixed a baselined one
+(run ``repro lint --update-baseline`` to ratchet the ceiling down).
+"""
+
+from pathlib import Path
+
+from repro.lint.baseline import check_against_baseline, load_baseline
+from repro.lint.framework import LintConfig, run_paths
+from repro.lint.mypy_ratchet import check_strict_config
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_tree_matches_baseline():
+    config = LintConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
+    findings = run_paths([REPO_ROOT / "src" / "repro"], REPO_ROOT, config=config)
+    baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
+    problems = check_against_baseline(findings, baseline)
+    assert problems == [], "\n".join(problems)
+
+
+def test_baseline_is_not_empty():
+    # The ratchet only means something while there is debt being tracked;
+    # if the last baselined finding is fixed, rewrite this to assert empty.
+    baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
+    assert baseline, "baseline unexpectedly empty — tighten this test"
+
+
+def test_strict_modules_config_consistent():
+    strict, problems = check_strict_config(REPO_ROOT / "pyproject.toml")
+    assert problems == [], "\n".join(problems)
+    # The mypy graduation satellite: at least three modules are strict.
+    assert len(strict) >= 3

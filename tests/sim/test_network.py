@@ -3,6 +3,7 @@
 import pytest
 
 from repro.crypto.costmodel import CostModel
+from repro.errors import ConfigError
 from repro.sim.machines import PAPER_MACHINES, MachineSpec, lan_setup, paper_setup
 from repro.sim.network import SimNetwork
 
@@ -201,7 +202,7 @@ class TestMachinesData:
             "Zurich", "Zurich", "New York", "San Jose",
         ]
         assert len(paper_setup(7)) == 7
-        with pytest.raises(Exception):
+        with pytest.raises(ConfigError):
             paper_setup(5)
 
     def test_cpu_factor_reference(self):
