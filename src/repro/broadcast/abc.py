@@ -42,6 +42,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.broadcast.aba import BinaryAgreement
 from repro.broadcast.messages import (
+    MAX_BATCH_NESTING,
     AbaAux,
     AbaDecided,
     AbaEst,
@@ -54,7 +55,11 @@ from repro.broadcast.messages import (
     AbcPrepare,
     CoinShare,
     PrepareCertificate,
+    decode_batch,
+    encode_batch,
+    is_batch_payload,
 )
+from repro.crypto.executor import CryptoExecutor
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
 from repro.crypto.shoup import ThresholdKeyShare
 from repro.errors import ConfigError
@@ -177,6 +182,47 @@ class BatchQueue:
         self._flush_fn(batch)
 
 
+class AuthPlane:
+    """Broadcast-layer authenticator crypto (PREPARE / EPOCH_FINAL RSA).
+
+    Routes signing and verification through a pluggable
+    :class:`~repro.crypto.executor.CryptoExecutor` when one is attached;
+    :meth:`verify_many` amortizes a whole authenticator pool — a PREPARE
+    certificate's 2t+1 signatures, or a NEW_EPOCH's n-t signed finals —
+    into one executor task instead of one per signature.  Without an
+    executor it computes inline, exactly as the pre-plane code did.
+    """
+
+    def __init__(
+        self,
+        auth_key: RsaPrivateKey,
+        auth_public: List[RsaPublicKey],
+        executor: Optional[CryptoExecutor] = None,
+    ) -> None:
+        self.auth_key = auth_key
+        self.auth_public = list(auth_public)
+        self.executor = executor
+
+    def sign(self, data: bytes) -> bytes:
+        if self.executor is not None and self.executor.auth_key is not None:
+            return self.executor.rsa_sign(data)
+        return self.auth_key.sign(data)
+
+    def verify(self, signer: int, data: bytes, signature: bytes) -> bool:
+        if self.executor is not None:
+            return self.executor.rsa_verify(
+                self.auth_public[signer], data, signature
+            )
+        return self.auth_public[signer].is_valid(data, signature)
+
+    def verify_many(
+        self, items: List[Tuple[RsaPublicKey, bytes, bytes]]
+    ) -> List[bool]:
+        if self.executor is not None:
+            return self.executor.rsa_verify_many(items)
+        return [key.is_valid(data, sig) for key, data, sig in items]
+
+
 class AtomicBroadcast:
     """One replica's endpoint of the atomic broadcast channel.
 
@@ -198,16 +244,26 @@ class AtomicBroadcast:
         send: SendFn,
         schedule: ScheduleFn,
         timeout: float = DEFAULT_TIMEOUT,
+        crypto: Optional[AuthPlane] = None,
+        rebatch_max: int = 1,
     ) -> None:
         if n <= 3 * t:
             raise ConfigError("atomic broadcast requires n > 3t")
         if len(auth_public) != n:
             raise ConfigError("need one verification key per replica")
+        if rebatch_max < 1:
+            raise ConfigError("rebatch_max must be at least 1")
         self.n = n
         self.t = t
         self.me = me
         self.auth_key = auth_key
         self.auth_public = auth_public
+        self.crypto = crypto if crypto is not None else AuthPlane(auth_key, auth_public)
+        # Leader-side re-batching on epoch change: a new leader re-frames
+        # the pending backlog into fresh batches of up to this many
+        # payloads per sequence slot, instead of ordering the requests
+        # that piled up during the switch one agreement instance each.
+        self.rebatch_max = rebatch_max
         self._deliver = deliver
         self._send = send
         self._schedule = schedule
@@ -258,6 +314,8 @@ class AtomicBroadcast:
             "complaints_sent": 0,
             "initiates_dropped": 0,
             "out_of_window": 0,
+            "rebatches": 0,
+            "rebatched_requests": 0,
         }
 
     # ------------------------------------------------------------------
@@ -331,22 +389,48 @@ class AtomicBroadcast:
         if self.mode == MODE_FAST and self.me == self.leader:
             self._order_pending()
 
-    def _order_pending(self) -> None:
-        """Leader: assign sequence numbers to not-yet-ordered requests."""
+    def _order_pending(self, rebatch: bool = False) -> None:
+        """Leader: assign sequence numbers to not-yet-ordered requests.
+
+        With ``rebatch=True`` (a new leader right after an epoch switch)
+        the backlog is re-framed into fresh batches of up to
+        ``rebatch_max`` whole payloads per slot — recovery traffic is
+        amortized the same way the gateway amortizes client traffic,
+        instead of running one agreement instance per piled-up request.
+        Re-batched payloads may themselves be gateway batch frames;
+        delivery unwraps the nesting (see ``_mark_batch_delivered`` and
+        the replica's recursive batch decoding).
+        """
         already = {
             rid
             for (epoch, _), (rid, _) in self._ordered.items()
             if epoch == self.epoch
         }
-        for rid in sorted(self.pending):
-            if rid in already or rid in self.delivered_ids:
-                continue
-            seq = self._next_order_seq
-            self._next_order_seq += 1
-            payload = self.pending[rid]
-            order = AbcOrder(self.epoch, seq, rid, payload)
-            self._broadcast(order)
-            self._on_order(self.me, order)
+        backlog = [
+            rid
+            for rid in sorted(self.pending)
+            if rid not in already and rid not in self.delivered_ids
+        ]
+        if rebatch and self.rebatch_max > 1 and len(backlog) > 1:
+            for i in range(0, len(backlog), self.rebatch_max):
+                group = backlog[i : i + self.rebatch_max]
+                if len(group) == 1:
+                    self._order_one(group[0], self.pending[group[0]])
+                    continue
+                payload = encode_batch([self.pending[rid] for rid in group])
+                self.stats["rebatches"] += 1
+                self.stats["rebatched_requests"] += len(group)
+                self._order_one(derive_request_id(payload), payload)
+            return
+        for rid in backlog:
+            self._order_one(rid, self.pending[rid])
+
+    def _order_one(self, rid: str, payload: bytes) -> None:
+        seq = self._next_order_seq
+        self._next_order_seq += 1
+        order = AbcOrder(self.epoch, seq, rid, payload)
+        self._broadcast(order)
+        self._on_order(self.me, order)
 
     def _seq_in_window(self, seq: int) -> bool:
         """Bound per-sequence state against Byzantine far-future slots."""
@@ -386,7 +470,7 @@ class AtomicBroadcast:
         self._ordered[key] = (msg.request_id, msg.payload)
         self._payload_by_digest[digest] = (msg.request_id, msg.payload)
         self._prepared_digest[key] = digest
-        signature = self.auth_key.sign(
+        signature = self.crypto.sign(
             _prepare_signing_input(msg.epoch, msg.seq, digest)
         )
         prepare = AbcPrepare(msg.epoch, msg.seq, digest, self.me, signature)
@@ -419,9 +503,10 @@ class AtomicBroadcast:
     def _verify_prepare(self, msg: AbcPrepare) -> bool:
         if not 0 <= msg.signer < self.n:
             return False
-        public = self.auth_public[msg.signer]
-        return public.is_valid(
-            _prepare_signing_input(msg.epoch, msg.seq, msg.digest), msg.signature
+        return self.crypto.verify(
+            msg.signer,
+            _prepare_signing_input(msg.epoch, msg.seq, msg.digest),
+            msg.signature,
         )
 
     def _form_certificate(
@@ -487,9 +572,28 @@ class AtomicBroadcast:
         self.delivered_ids.add(rid)
         self.delivered_log.append((seq, rid))
         self.pending.pop(rid, None)
+        self._mark_batch_delivered(payload)
         key = "fast_deliveries" if fast else "recovery_deliveries"
         self.stats[key] += 1
         self._deliver(rid, payload)
+
+    def _mark_batch_delivered(self, payload: bytes, depth: int = 0) -> None:
+        """Mark a delivered batch frame's constituent requests delivered.
+
+        A re-batched frame carries payloads that entered the channel under
+        their own request ids (they sit in ``pending`` and may be
+        re-INITIATEd by peers); delivering the frame delivers them, so
+        their ids must be marked to clear complaint pressure and dedupe
+        future INITIATEs.  Recurses through nested frames (a new leader
+        re-batches whole gateway batches) up to the decoding depth cap.
+        """
+        if depth >= MAX_BATCH_NESTING or not is_batch_payload(payload):
+            return
+        for entry in decode_batch(payload):
+            entry_rid = derive_request_id(entry)
+            self.delivered_ids.add(entry_rid)
+            self.pending.pop(entry_rid, None)
+            self._mark_batch_delivered(entry, depth + 1)
 
     # ------------------------------------------------------------------
     # complaints and epoch switch
@@ -562,7 +666,7 @@ class AtomicBroadcast:
             ),
             pending=tuple(sorted(self.pending.items())),
         )
-        signed = (final, self.auth_key.sign(_final_signing_input(final)))
+        signed = (final, self.crypto.sign(_final_signing_input(final)))
         self._broadcast(signed)
         self._on_epoch_final(self.me, signed)
         # If the next leader stalls, complain about the next epoch.
@@ -583,9 +687,7 @@ class AtomicBroadcast:
         final, signature = msg
         if not isinstance(final, AbcEpochFinal) or final.sender != sender:
             return
-        if not self.auth_public[sender].is_valid(
-            _final_signing_input(final), signature
-        ):
+        if not self.crypto.verify(sender, _final_signing_input(final), signature):
             return
         pool = self._finals.setdefault(final.epoch, {})
         if sender in pool:
@@ -616,6 +718,15 @@ class AtomicBroadcast:
         adopted, start_seq, merged_pending = self._validate_new_epoch(msg)
         if adopted is None:
             return
+        # Explicit local bound on the certificate-validated state installed
+        # below: _validate_new_epoch clamps every final's delivered-seq
+        # claim to its own certificate evidence, so a legitimate NEW_EPOCH
+        # can never open a window wider than the fast path's delivery
+        # window — refuse anything larger outright instead of installing
+        # unbounded per-slot state.
+        if len(adopted) > MAX_SEQ_AHEAD or start_seq > self.next_deliver + MAX_SEQ_AHEAD:
+            self.stats["out_of_window"] += 1
+            return
         # Install the certified prefix.
         for seq in sorted(adopted):
             cert = adopted[seq]
@@ -625,8 +736,8 @@ class AtomicBroadcast:
             )
             self._committed[seq] = cert.digest
             self._certificates[seq] = cert
-        for seq in range(0, start_seq):
-            if seq not in self._committed and seq >= self.next_deliver:
+        for seq in range(self.next_deliver, start_seq):
+            if seq not in self._committed:
                 self._skipped.add(seq)
         self._advance_delivery(fast=False)
         if self.next_deliver < start_seq:
@@ -636,14 +747,20 @@ class AtomicBroadcast:
         self.mode = MODE_FAST
         self._next_order_seq = max(self._next_order_seq, start_seq)
         for rid, payload in merged_pending.items():
-            if rid not in self.delivered_ids:
-                self.pending.setdefault(rid, payload)
+            if rid in self.delivered_ids:
+                continue
+            if len(self.pending) >= MAX_PENDING_REQUESTS:
+                self.stats["initiates_dropped"] += 1
+                break
+            self.pending.setdefault(rid, payload)
         if self._recovery_timer is not None:
             self._recovery_timer.cancel()
             self._recovery_timer = None
         self._arm_timer()
         if self.me == self.leader:
-            self._order_pending()
+            # The backlog that piled up during the switch is re-framed
+            # into fresh batches rather than ordered one slot per request.
+            self._order_pending(rebatch=True)
         # Replay fast-path traffic that arrived while we lagged behind the
         # epoch switch; anything still ahead of us is re-buffered.
         self._replay_buffered()
@@ -653,28 +770,37 @@ class AtomicBroadcast:
     ) -> Tuple[Optional[Dict[int, PrepareCertificate]], int, Dict[str, bytes]]:
         """Revalidate a NEW_EPOCH deterministically from its signed finals."""
         prev_epoch = msg.epoch - 1
-        seen: Set[int] = set()
-        valid_finals: List[AbcEpochFinal] = []
+        candidates: List[Tuple[AbcEpochFinal, bytes]] = []
         for item in msg.certificates:
             if not (isinstance(item, tuple) and len(item) == 2):
                 continue
             final, signature = item
             if not isinstance(final, AbcEpochFinal):
                 continue
-            if final.epoch != prev_epoch or final.sender in seen:
+            if final.epoch != prev_epoch:
                 continue
             if not 0 <= final.sender < self.n:
                 continue
-            if not self.auth_public[final.sender].is_valid(
-                _final_signing_input(final), signature
-            ):
-                continue
-            seen.add(final.sender)
-            valid_finals.append(final)
+            candidates.append((final, signature))
+        # Amortized verification: every structurally-valid final is checked
+        # in one crypto-plane task instead of one verify call per final.
+        verdicts = self.crypto.verify_many(
+            [
+                (self.auth_public[final.sender], _final_signing_input(final), sig)
+                for final, sig in candidates
+            ]
+        )
+        seen: Set[int] = set()
+        valid_finals: List[AbcEpochFinal] = []
+        for (final, _sig), ok in zip(candidates, verdicts):
+            if ok and final.sender not in seen:
+                seen.add(final.sender)
+                valid_finals.append(final)
         if len(valid_finals) < self.n - self.t:
             return None, 0, {}
         adopted: Dict[int, PrepareCertificate] = {}
         merged_pending: Dict[str, bytes] = {}
+        delivered_claim = 0
         for final in valid_finals:
             for cert in final.certificates:
                 if not self._validate_certificate(cert):
@@ -684,10 +810,17 @@ class AtomicBroadcast:
                     adopted[cert.seq] = cert
             for rid, payload in final.pending:
                 merged_pending.setdefault(rid, payload)
+            # A final's delivered-seq claim counts only up to its own
+            # certificate evidence: honest replicas carry certificates for
+            # every slot at or above their watermark, so clamping changes
+            # nothing for them, while a Byzantine final cannot skip the
+            # sequence space ahead with a bare delivered_seq number.
+            evidence = max((c.seq for c in final.certificates), default=-1)
+            delivered_claim = max(
+                delivered_claim, min(final.delivered_seq, evidence) + 1
+            )
         start_seq = max(adopted) + 1 if adopted else 0
-        start_seq = max(
-            start_seq, max((f.delivered_seq + 1 for f in valid_finals), default=0)
-        )
+        start_seq = max(start_seq, delivered_claim)
         return adopted, start_seq, merged_pending
 
     def _validate_certificate(self, cert: PrepareCertificate) -> bool:
@@ -695,16 +828,16 @@ class AtomicBroadcast:
             return False
         if cert.digest != request_digest(cert.epoch, cert.seq, cert.payload):
             return False
-        valid = 0
         seen: Set[int] = set()
         data = _prepare_signing_input(cert.epoch, cert.seq, cert.digest)
+        items = []
         for signer, signature in cert.signatures:
             if signer in seen or not 0 <= signer < self.n:
                 continue
             seen.add(signer)
-            if self.auth_public[signer].is_valid(data, signature):
-                valid += 1
-        return valid >= 2 * self.t + 1
+            items.append((self.auth_public[signer], data, signature))
+        # One amortized crypto-plane task checks the whole prepare pool.
+        return sum(self.crypto.verify_many(items)) >= 2 * self.t + 1
 
     # ------------------------------------------------------------------
     # plumbing

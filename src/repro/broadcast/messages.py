@@ -27,6 +27,11 @@ from repro.crypto.shoup import SignatureShare
 #: so the prefix cannot collide with a legitimate request payload.
 BATCH_MAGIC = b"\xffBATCH1\x00"
 
+#: Batch frames may nest (a new leader re-batches whole pending payloads,
+#: including gateway batch frames, on epoch change); decoding recursion is
+#: capped so a Byzantine frame cannot nest arbitrarily deep.
+MAX_BATCH_NESTING = 8
+
 
 def encode_batch(payloads: List[bytes]) -> bytes:
     """Frame a list of request payloads as one length-prefixed batch.

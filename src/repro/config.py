@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.crypto.executor import ALL_EXECUTORS, EXECUTOR_SERIAL
 from repro.crypto.protocols import ALL_PROTOCOLS, PROTOCOL_OPTTE
 from repro.errors import ConfigError
 
@@ -44,6 +45,23 @@ class ServiceConfig:
     # (qname, qtype, zone serial); entries are invalidated when an update
     # executes and bumps the serial.
     answer_cache: bool = True
+    # Crypto execution plane: "serial" keeps every bigint operation inline
+    # and deterministic (the simulator's default); "pool" fans share
+    # generation, proof checks, subset trials, and RSA authenticator work
+    # out to ``crypto_workers`` processes that deserialize key material
+    # once at warmup.  Both planes are behaviour-preserving: a run yields
+    # identical ABC transcripts and signatures under either.
+    crypto_executor: str = EXECUTOR_SERIAL
+    crypto_workers: int = 4
+    # Session pipelining: the signing coordinator speculatively generates
+    # shares (and, on the pool plane, pre-verifies buffered peer shares)
+    # for up to this many upcoming signing tasks while the current session
+    # assembles.  0 disables pipelining.
+    signing_lookahead: int = 2
+    # Leader-side re-batching on epoch change: the new leader re-frames
+    # the recovery backlog into batches of up to this many payloads per
+    # sequence slot.  1 keeps the paper's one-request-per-slot recovery.
+    recovery_batch_size: int = 32
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -64,6 +82,17 @@ class ServiceConfig:
             raise ConfigError("batch_size must be at least 1")
         if self.batch_size > 1 and self.batch_delay <= 0:
             raise ConfigError("batching requires a positive batch_delay")
+        if self.crypto_executor not in ALL_EXECUTORS:
+            raise ConfigError(
+                f"unknown crypto executor {self.crypto_executor!r}; "
+                f"choose from {ALL_EXECUTORS}"
+            )
+        if self.crypto_workers < 1:
+            raise ConfigError("crypto_workers must be at least 1")
+        if self.signing_lookahead < 0:
+            raise ConfigError("signing_lookahead cannot be negative")
+        if self.recovery_batch_size < 1:
+            raise ConfigError("recovery_batch_size must be at least 1")
 
     @property
     def quorum(self) -> int:

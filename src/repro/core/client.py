@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.broadcast.messages import ClientRequest, ClientResponse
 from repro.config import ServiceConfig
 from repro.crypto.costmodel import CostModel
+from repro.crypto.executor import CryptoExecutor
 from repro.crypto.protocols import OP_VERIFY_SIGNATURE
 from repro.crypto.rsa import RsaPublicKey
 from repro.dns import constants as c
@@ -77,6 +78,7 @@ class _ClientBase:
         costs: Optional[CostModel] = None,
         verify_signatures: bool = True,
         id_rng: Optional[random.Random] = None,
+        executor: Optional[CryptoExecutor] = None,
     ) -> None:
         self.node = node
         self.config = config
@@ -86,6 +88,9 @@ class _ClientBase:
         self.tsig_key = tsig_key
         self.costs = costs if costs is not None else CostModel()
         self.verify_signatures = verify_signatures
+        # Crypto execution plane for answer verification; None verifies
+        # inline (identical verdicts — the plane only moves the modexp).
+        self.executor = executor
         # DNS message ids are random per RFC practice; a seeded RNG makes
         # them — and everything downstream that hashes the request wire —
         # replayable, which the chaos harness's transcript contract needs.
@@ -209,10 +214,12 @@ class _ClientBase:
             return False
         modulus, exponent = self.zone_key.rsa_parameters()
         self.node.charge(self.costs.crypto_cost(OP_VERIFY_SIGNATURE))
+        key = RsaPublicKey(modulus=modulus, exponent=exponent)
+        data = b"\x00\x00" + msg.wire[2:]
+        if self.executor is not None:
+            return self.executor.rsa_verify(key, data, signature)
         try:
-            RsaPublicKey(modulus=modulus, exponent=exponent).verify(
-                b"\x00\x00" + msg.wire[2:], signature
-            )
+            key.verify(data, signature)
         except InvalidSignature:
             return False
         return True

@@ -25,8 +25,14 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
-from repro.broadcast.abc import AtomicBroadcast, BatchQueue, derive_request_id
+from repro.broadcast.abc import (
+    AtomicBroadcast,
+    AuthPlane,
+    BatchQueue,
+    derive_request_id,
+)
 from repro.broadcast.messages import (
+    MAX_BATCH_NESTING,
     AbcOrder,
     AbcPrepare,
     ClientRequest,
@@ -40,6 +46,7 @@ from repro.config import ServiceConfig
 from repro.core.faults import CorruptionMode, FaultInjector
 from repro.core.keytool import Deployment
 from repro.crypto.costmodel import CostModel
+from repro.crypto.executor import CryptoExecutor
 from repro.crypto.protocols import SigningCoordinator, SigningMessage
 from repro.dns import constants as c
 from repro.dns import dnssec
@@ -146,6 +153,7 @@ class ReplicaServer:
         costs: Optional[CostModel] = None,
         signing_policy: Optional[SigningPolicy] = None,
         seed: int = 0,
+        executor: Optional[CryptoExecutor] = None,
     ) -> None:
         self.index = index
         self.deployment = deployment
@@ -168,8 +176,12 @@ class ReplicaServer:
         self._stale_server = AuthoritativeServer(self._stale_zone)
 
         keys = deployment.replicas[index]
+        self.executor = executor
         self.coordinator = SigningCoordinator(
-            self.config.signing_protocol, keys.zone_share
+            self.config.signing_protocol,
+            keys.zone_share,
+            executor=executor,
+            lookahead=self.config.signing_lookahead,
         )
         if self.config.replicated:
             self.abc: Optional[AtomicBroadcast] = AtomicBroadcast(
@@ -183,6 +195,12 @@ class ReplicaServer:
                 send=self._send,
                 schedule=node.schedule_timer,
                 timeout=self.config.abc_timeout,
+                crypto=AuthPlane(
+                    keys.auth_key.private,
+                    list(deployment.auth_public),
+                    executor=executor,
+                ),
+                rebatch_max=self.config.recovery_batch_size,
             )
         else:
             self.abc = None
@@ -340,13 +358,28 @@ class ReplicaServer:
     # execution (the deterministic state machine)
     # ------------------------------------------------------------------
 
+    def _flatten_batches(self, payload: bytes, depth: int = 0) -> List[bytes]:
+        """Unwrap (possibly nested) batch frames into request payloads.
+
+        A new leader re-batches whole pending payloads on epoch change —
+        including gateway batch frames — so delivered batches may nest.
+        Nesting is capped at MAX_BATCH_NESTING; a deeper (necessarily
+        Byzantine) frame is dropped whole, identically on every replica.
+        """
+        if not is_batch_payload(payload):
+            return [payload]
+        if depth >= MAX_BATCH_NESTING:
+            return []
+        entries = decode_batch(payload)
+        self.stats["batches_delivered"] += 1
+        self.stats["batched_requests"] += len(entries)
+        flat: List[bytes] = []
+        for entry in entries:
+            flat.extend(self._flatten_batches(entry, depth + 1))
+        return flat
+
     def _on_deliver(self, rid: str, payload: bytes) -> None:
-        if is_batch_payload(payload):
-            entries = decode_batch(payload)
-            self.stats["batches_delivered"] += 1
-            self.stats["batched_requests"] += len(entries)
-        else:
-            entries = [payload]
+        entries = self._flatten_batches(payload)
         for entry in entries:
             # Batch entries execute in frame order, and every request
             # executes at most once system-wide: sub-request ids are
@@ -565,9 +598,20 @@ class ReplicaServer:
             self._respond(pending.request_id, pending.client, pending.response_wire)
             self._drain_exec_queue()
             return
-        task = self._pending_update.current
+        pending = self._pending_update
+        task = pending.current
         self._task_data[task.sign_id] = task.data
         outs = self.coordinator.sign(task.sign_id, task.data)
+        # Session pipelining: while this session verifies and assembles,
+        # speculatively generate our shares for the next few SIG tasks of
+        # the same update (bounded in-flight; refusals just fall back to
+        # on-demand generation when the session starts).
+        if self.coordinator.lookahead > 0:
+            upcoming = pending.tasks[
+                pending.index + 1 : pending.index + 1 + self.coordinator.lookahead
+            ]
+            for nxt in upcoming:
+                self.coordinator.prefetch(nxt.sign_id, nxt.data)
         self.node.charge_ops(self.coordinator.drain_ops(), self.costs)
         self._send_signing(outs)
         self._check_signing_progress()

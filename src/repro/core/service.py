@@ -19,6 +19,12 @@ from repro.core.faults import CorruptionMode
 from repro.core.keytool import Deployment, generate_deployment
 from repro.core.replica import ReplicaServer
 from repro.crypto.costmodel import CostModel
+from repro.crypto.executor import (
+    EXECUTOR_POOL,
+    CryptoExecutor,
+    CryptoWorkerPool,
+    PoolExecutor,
+)
 from repro.crypto.shoup import ThresholdKeyShare, ThresholdPublicKey
 from repro.dns import constants as c
 from repro.dns import dnssec
@@ -74,6 +80,49 @@ def local_threshold_signer(
     return signer
 
 
+def build_crypto_plane(
+    config: ServiceConfig,
+    deployment: Deployment,
+    costs: Optional[CostModel] = None,
+) -> Tuple[
+    Optional[CryptoWorkerPool],
+    List[Optional[CryptoExecutor]],
+    Optional[CryptoExecutor],
+]:
+    """Construct the deployment's crypto execution plane, if pooled.
+
+    Returns ``(pool, replica_executors, client_executor)``.  With the
+    (default) serial plane everything is ``None`` and each component falls
+    back to its own inline :class:`~repro.crypto.executor.SerialExecutor`.
+    With the pool plane, one shared :class:`CryptoWorkerPool` serves a
+    per-owner :class:`PoolExecutor` for every replica plus one for the
+    client side; all key material registers here, *before* the first job,
+    so pool workers deserialize it exactly once at warmup.
+    """
+    if config.crypto_executor != EXECUTOR_POOL:
+        return None, [None] * config.n, None
+    pool = CryptoWorkerPool(config.crypto_workers)
+    executors: List[Optional[CryptoExecutor]] = []
+    for i in range(config.n):
+        keys = deployment.replicas[i]
+        owner = f"replica{i}"
+        pool.register(
+            owner, key_share=keys.zone_share, auth_key=keys.auth_key.private
+        )
+        executors.append(
+            PoolExecutor(
+                pool,
+                owner,
+                key_share=keys.zone_share,
+                auth_key=keys.auth_key.private,
+                costs=costs,
+            )
+        )
+    pool.register("client")
+    client_executor = PoolExecutor(pool, "client", costs=costs)
+    return pool, executors, client_executor
+
+
 class ReplicatedNameService:
     """A complete simulated deployment of the secure replicated zone."""
 
@@ -117,6 +166,9 @@ class ReplicatedNameService:
             dnssec.sign_zone_locally(base_zone, key_record, signer)
         self.initial_zone = base_zone
 
+        self._pool, replica_executors, self._client_executor = build_crypto_plane(
+            config, self.deployment, costs=self.costs
+        )
         self.replicas: List[ReplicaServer] = []
         for i in range(config.n):
             replica = ReplicaServer(
@@ -125,6 +177,8 @@ class ReplicatedNameService:
                 zone=base_zone.copy(),
                 node=self.net.node(i),
                 costs=self.costs,
+                seed=seed,
+                executor=replica_executors[i],
             )
             self.replicas.append(replica)
 
@@ -143,6 +197,7 @@ class ReplicatedNameService:
             costs=self.costs,
             verify_signatures=verify_signatures,
             id_rng=self._id_rng,
+            executor=self._client_executor,
         )
         if client_model == "pragmatic":
             self.client = PragmaticClient(gateway=gateway, **client_args)
@@ -177,9 +232,22 @@ class ReplicatedNameService:
             costs=self.costs,
             verify_signatures=self._verify_signatures,
             id_rng=self._id_rng,
+            executor=self._client_executor,
         )
         self.extra_clients.append(client)
         return client
+
+    def close(self) -> None:
+        """Shut down the shared crypto worker pool, if one was started."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ReplicatedNameService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # fault injection

@@ -23,14 +23,24 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.crypto.executor import (
+    OP_ASSEMBLE,
+    OP_GENERATE_PROOF,
+    OP_GENERATE_SHARE,
+    OP_VERIFY_SHARE,
+    OP_VERIFY_SIGNATURE,
+    CryptoExecutor,
+    CryptoFuture,
+    SerialExecutor,
+)
 from repro.crypto.shoup import (
     SignatureShare,
     ThresholdKeyShare,
     ThresholdPublicKey,
 )
-from repro.errors import AssemblyError, ConfigError
+from repro.errors import ConfigError
 from repro.util.serialization import (
     pack_bytes,
     pack_str,
@@ -46,12 +56,9 @@ PROTOCOL_OPTTE = "optte"
 
 ALL_PROTOCOLS = (PROTOCOL_BASIC, PROTOCOL_OPTPROOF, PROTOCOL_OPTTE)
 
-# Operation names used in the op log (match Table 3's row labels).
-OP_GENERATE_SHARE = "generate_share"
-OP_GENERATE_PROOF = "generate_proof"
-OP_VERIFY_SHARE = "verify_share"
-OP_ASSEMBLE = "assemble"
-OP_VERIFY_SIGNATURE = "verify_signature"
+# The OP_* operation names used in the op log (matching Table 3's row
+# labels) are defined in repro.crypto.executor and re-exported here; the
+# cost model keys its per-operation prices on them.
 
 BROADCAST = -1  # destination meaning "all other replicas"
 
@@ -136,15 +143,27 @@ class SigningProtocol:
         key_share: ThresholdKeyShare,
         sign_id: str,
         message: bytes,
+        executor: Optional[CryptoExecutor] = None,
+        own_share: Optional[CryptoFuture] = None,
     ) -> None:
         self.key_share = key_share
         self.public: ThresholdPublicKey = key_share.public
         self.sign_id = sign_id
         self.message = message
+        self.executor: CryptoExecutor = (
+            executor if executor is not None else SerialExecutor(key_share)
+        )
         self.signature: Optional[bytes] = None
         self._ops: List[Tuple[str, int]] = []
         self._shares: Dict[int, SignatureShare] = {}
         self._arrival_order: List[int] = []
+        # Speculatively generated own share (coordinator pipelining).
+        self._own_future = own_share
+        # Memoized proof-check verdicts, keyed by the (frozen) share.
+        # Populated lazily by _share_valid and in batches by prevalidate /
+        # preload_verdicts; bounded by _store_share's one-share-per-replica
+        # rule plus the coordinator's pre-session buffer caps.
+        self._preverified: Dict[SignatureShare, bool] = {}
         self._started = False
 
     # -- lifecycle ----------------------------------------------------------
@@ -176,10 +195,70 @@ class SigningProtocol:
     def _accept_final(self, msg: SigningMessage) -> bool:
         """Validate and adopt a final signature received from a peer."""
         self.record_op(OP_VERIFY_SIGNATURE)
-        if self.public.signature_is_valid(self.message, msg.signature):
+        if self.executor.verify_signature(self.message, msg.signature):
             self.signature = msg.signature
             return True
         return False
+
+    def _materialize_own_share(self, with_proof: bool) -> SignatureShare:
+        """Our own share: take the pipelined prefetch or generate now."""
+        if self._own_future is not None:
+            share = self._own_future.result()
+            self._own_future = None
+            if isinstance(share, SignatureShare):
+                if with_proof and share.proof is None:
+                    # Prefetched bare but the protocol wants a proof —
+                    # finish the job rather than redo it.
+                    proof = self.executor.generate_proof(self.message, share)
+                    share = share.with_proof(proof)
+                return share
+        return self.executor.generate_share(self.message, with_proof=with_proof)
+
+    def _share_valid(self, share: SignatureShare) -> bool:
+        """Proof-check one share through the executor, memoizing the verdict."""
+        cached = self._preverified.get(share)
+        if cached is None:
+            self.record_op(OP_VERIFY_SHARE)
+            cached = self.executor.verify_shares(self.message, [share])[0]
+            self._preverified[share] = cached
+        return cached
+
+    def _prevalidate_limit(self) -> int:
+        # Our own share is trusted without verification, so t valid peer
+        # shares complete a t+1 assembly set; checking more up front would
+        # charge verification the serial protocol never performs.
+        return self.public.t
+
+    def prevalidate(self, shares: Sequence[SignatureShare]) -> None:
+        """Amortized verification: one executor task checks a share batch.
+
+        No-op for executors that don't batch (serial execution keeps the
+        exact lazy verification order of the unpooled protocol).
+        """
+        if not self.executor.prefers_batching:
+            return
+        fresh = [
+            share
+            for share in shares
+            if share.proof is not None and share not in self._preverified
+        ]
+        fresh = fresh[: self._prevalidate_limit()]
+        if not fresh:
+            return
+        self.record_op(OP_VERIFY_SHARE, len(fresh))
+        for share, ok in zip(
+            fresh, self.executor.verify_shares(self.message, fresh), strict=True
+        ):
+            self._preverified[share] = ok
+
+    def preload_verdicts(
+        self, shares: Sequence[SignatureShare], verdicts: Sequence[bool]
+    ) -> None:
+        """Adopt verdicts from a pipelined background verification job."""
+        for share, ok in zip(shares, verdicts, strict=True):
+            if share not in self._preverified:
+                self.record_op(OP_VERIFY_SHARE)
+                self._preverified[share] = ok
 
     def _store_share(self, sender: int, share: SignatureShare) -> bool:
         """Store a share by sender index; returns False on duplicates.
@@ -209,15 +288,17 @@ class BasicSigningProtocol(SigningProtocol):
 
     name = PROTOCOL_BASIC
 
-    def __init__(self, key_share, sign_id, message) -> None:
-        super().__init__(key_share, sign_id, message)
+    def __init__(self, key_share, sign_id, message, executor=None, own_share=None) -> None:
+        super().__init__(
+            key_share, sign_id, message, executor=executor, own_share=own_share
+        )
         self._valid: Dict[int, SignatureShare] = {}
 
     def start(self) -> List[Outgoing]:
         if self._started:
             return []
         self._started = True
-        share = self.key_share.generate_share_with_proof(self.message)
+        share = self._materialize_own_share(with_proof=True)
         self.record_op(OP_GENERATE_SHARE)
         self.record_op(OP_GENERATE_PROOF)
         out: List[Outgoing] = [(BROADCAST, SigningMessage.share_message(self.sign_id, share))]
@@ -240,8 +321,7 @@ class BasicSigningProtocol(SigningProtocol):
             return []
         if msg.share.index in self._valid:
             return []
-        self.record_op(OP_VERIFY_SHARE)
-        if self.public.share_is_valid(self.message, msg.share):
+        if self._share_valid(msg.share):
             # Bounded: _store_share pins index == sender + 1 <= n, so at
             # most one entry per replica.
             # repro-lint: disable=C304
@@ -253,12 +333,9 @@ class BasicSigningProtocol(SigningProtocol):
             return []
         shares = list(self._valid.values())[: self.public.t + 1]
         self.record_op(OP_ASSEMBLE)
-        try:
-            signature = self.public.assemble(self.message, shares)
-        except AssemblyError:
-            signature = None
+        signature = self.executor.assemble(self.message, shares)
         self.record_op(OP_VERIFY_SIGNATURE)
-        if signature is not None and self.public.signature_is_valid(
+        if signature is not None and self.executor.verify_signature(
             self.message, signature
         ):
             self.signature = signature
@@ -269,7 +346,7 @@ class BasicSigningProtocol(SigningProtocol):
         own = self._valid.get(getattr(self, "_own_index", -1))
         if own is not None:
             self.record_op(OP_VERIFY_SHARE)
-            if not self.public.share_is_valid(self.message, own):
+            if not self.executor.verify_shares(self.message, [own])[0]:
                 del self._valid[own.index]
         return []
 
@@ -279,8 +356,10 @@ class OptProofSigningProtocol(SigningProtocol):
 
     name = PROTOCOL_OPTPROOF
 
-    def __init__(self, key_share, sign_id, message) -> None:
-        super().__init__(key_share, sign_id, message)
+    def __init__(self, key_share, sign_id, message, executor=None, own_share=None) -> None:
+        super().__init__(
+            key_share, sign_id, message, executor=executor, own_share=own_share
+        )
         self._own_share: Optional[SignatureShare] = None
         self._fallback = False
         self._valid: Dict[int, SignatureShare] = {}
@@ -299,7 +378,7 @@ class OptProofSigningProtocol(SigningProtocol):
         if self._started:
             return []
         self._started = True
-        self._own_share = self.key_share.generate_share(self.message)
+        self._own_share = self._materialize_own_share(with_proof=False)
         self.record_op(OP_GENERATE_SHARE)
         # Per §3.5 the server assembles the first t+1 shares it *receives*;
         # its own share is sent to the others but not put in the pool.
@@ -335,12 +414,9 @@ class OptProofSigningProtocol(SigningProtocol):
         self._optimistic_tried = True
         shares = list(self._shares.values())[:needed]
         self.record_op(OP_ASSEMBLE)
-        try:
-            signature = self.public.assemble(self.message, shares)
-        except AssemblyError:
-            signature = None
+        signature = self.executor.assemble(self.message, shares)
         self.record_op(OP_VERIFY_SIGNATURE)
-        if signature is not None and self.public.signature_is_valid(
+        if signature is not None and self.executor.verify_signature(
             self.message, signature
         ):
             self.signature = signature
@@ -352,7 +428,9 @@ class OptProofSigningProtocol(SigningProtocol):
             (BROADCAST, SigningMessage.proof_request(self.sign_id))
         ]
         out.extend(self._answer_proof_request())
-        # Re-examine shares that already carry proofs (none yet, typically).
+        # Re-examine shares that already carry proofs (none yet, typically);
+        # amortize their proof checks into one executor batch first.
+        self.prevalidate(list(self._shares.values()))
         for share in list(self._shares.values()):
             out.extend(self._try_fallback(share))
         return out
@@ -362,7 +440,7 @@ class OptProofSigningProtocol(SigningProtocol):
         if self._own_share is None:
             return []
         if self._own_share.proof is None:
-            proof = self.key_share.prove(self.message, self._own_share)
+            proof = self.executor.generate_proof(self.message, self._own_share)
             self.record_op(OP_GENERATE_PROOF)
             self._own_share = self._own_share.with_proof(proof)
             self._store_share(self.key_share.index - 1, self._own_share)
@@ -375,20 +453,16 @@ class OptProofSigningProtocol(SigningProtocol):
         """BASIC-style verified processing of proof-carrying shares."""
         if share.proof is None or share.index in self._valid:
             return []
-        self.record_op(OP_VERIFY_SHARE)
-        if not self.public.share_is_valid(self.message, share):
+        if not self._share_valid(share):
             return []
         self._valid[share.index] = share
         if len(self._valid) < self.public.t + 1:
             return []
         chosen = list(self._valid.values())[: self.public.t + 1]
         self.record_op(OP_ASSEMBLE)
-        try:
-            signature = self.public.assemble(self.message, chosen)
-        except AssemblyError:
-            signature = None
+        signature = self.executor.assemble(self.message, chosen)
         self.record_op(OP_VERIFY_SIGNATURE)
-        if signature is None or not self.public.signature_is_valid(
+        if signature is None or not self.executor.verify_signature(
             self.message, signature
         ):
             # Our own never-verified share may be the bad one (we might BE
@@ -396,7 +470,7 @@ class OptProofSigningProtocol(SigningProtocol):
             own = self._own_share
             if own is not None and own.index in self._valid and own.proof:
                 self.record_op(OP_VERIFY_SHARE)
-                if not self.public.share_is_valid(self.message, own):
+                if not self.executor.verify_shares(self.message, [own])[0]:
                     del self._valid[own.index]
             return []
         self.signature = signature
@@ -417,16 +491,22 @@ class OptTESigningProtocol(SigningProtocol):
 
     name = PROTOCOL_OPTTE
 
-    def __init__(self, key_share, sign_id, message) -> None:
-        super().__init__(key_share, sign_id, message)
+    def __init__(self, key_share, sign_id, message, executor=None, own_share=None) -> None:
+        super().__init__(
+            key_share, sign_id, message, executor=executor, own_share=own_share
+        )
         self._tried: Set[Tuple[int, ...]] = set()
-        self.attempts = 0  # exposed for the A4 ablation bench
+        # Subset-assembly attempts actually evaluated (exposed for the A4
+        # ablation bench).  A pooled trial evaluates whole candidate
+        # batches in parallel, so this may exceed the serial early-exit
+        # count; the signature found is identical either way.
+        self.attempts = 0
 
     def start(self) -> List[Outgoing]:
         if self._started:
             return []
         self._started = True
-        share = self.key_share.generate_share(self.message)
+        share = self._materialize_own_share(with_proof=False)
         self.record_op(OP_GENERATE_SHARE)
         # As in OptProof, assembly draws on the shares *received* (§3.5);
         # the local share is only sent to the other servers.
@@ -461,21 +541,28 @@ class OptTESigningProtocol(SigningProtocol):
         )
 
     def _try_subsets(self) -> List[Outgoing]:
-        for subset in self._candidate_subsets():
-            if subset in self._tried:
-                continue
-            self._tried.add(subset)
-            self.attempts += 1
-            shares = [self._shares[i] for i in subset]
-            self.record_op(OP_ASSEMBLE)
-            try:
-                signature = self.public.assemble(self.message, shares)
-            except AssemblyError:
-                continue
-            self.record_op(OP_VERIFY_SIGNATURE)
-            if self.public.signature_is_valid(self.message, signature):
-                self.signature = signature
-                return [(BROADCAST, SigningMessage.final(self.sign_id, signature))]
+        subsets = [s for s in self._candidate_subsets() if s not in self._tried]
+        if not subsets:
+            return []
+        # Trial-and-error assembly as one executor job: the serial
+        # executor evaluates candidates lazily with early exit (the
+        # pre-pool behavior, op for op); the pool fans the whole candidate
+        # batch across workers and keeps the first winner in subset order.
+        share_lists = [[self._shares[i] for i in subset] for subset in subsets]
+        result = self.executor.assemble_candidates(self.message, share_lists)
+        self.attempts += result.assembled
+        if result.assembled:
+            self.record_op(OP_ASSEMBLE, result.assembled)
+        if result.verified:
+            self.record_op(OP_VERIFY_SIGNATURE, result.verified)
+        if result.winner is not None:
+            self._tried.update(subsets[: result.winner + 1])
+            assert result.signature is not None
+            self.signature = result.signature
+            return [
+                (BROADCAST, SigningMessage.final(self.sign_id, result.signature))
+            ]
+        self._tried.update(subsets)
         return []
 
 
@@ -491,6 +578,8 @@ def make_signing_protocol(
     key_share: ThresholdKeyShare,
     sign_id: str,
     message: bytes,
+    executor: Optional[CryptoExecutor] = None,
+    own_share: Optional[CryptoFuture] = None,
 ) -> SigningProtocol:
     """Instantiate a signing protocol by configuration name."""
     try:
@@ -499,7 +588,17 @@ def make_signing_protocol(
         raise ConfigError(
             f"unknown signing protocol {name!r}; choose from {ALL_PROTOCOLS}"
         ) from None
-    return cls(key_share, sign_id, message)
+    return cls(key_share, sign_id, message, executor=executor, own_share=own_share)
+
+
+@dataclass
+class _Prefetch:
+    """In-flight speculative work for a not-yet-started signing session."""
+
+    message: bytes
+    share: CryptoFuture
+    verify_shares: List[SignatureShare]
+    verify: Optional[CryptoFuture]
 
 
 class SigningCoordinator:
@@ -511,11 +610,31 @@ class SigningCoordinator:
     update and calls :meth:`sign`.
     """
 
-    def __init__(self, protocol_name: str, key_share: ThresholdKeyShare) -> None:
+    def __init__(
+        self,
+        protocol_name: str,
+        key_share: ThresholdKeyShare,
+        executor: Optional[CryptoExecutor] = None,
+        lookahead: int = 0,
+    ) -> None:
         if protocol_name not in _PROTOCOL_CLASSES:
             raise ConfigError(f"unknown signing protocol {protocol_name!r}")
         self.protocol_name = protocol_name
         self.key_share = key_share
+        self.executor: CryptoExecutor = (
+            executor if executor is not None else SerialExecutor(key_share)
+        )
+        # Session pipelining: how many upcoming sessions the replica may
+        # prefetch (session k's assembly overlaps k+1's share generation).
+        self.lookahead = max(0, lookahead)
+        self.max_inflight_prefetch = max(2, 2 * self.executor.clock.workers)
+        self._prefetched: Dict[str, _Prefetch] = {}
+        self.pipeline_stats: Dict[str, int] = {
+            "prefetched": 0,  # speculative share generations submitted
+            "used": 0,        # prefetches consumed by a started session
+            "dropped": 0,     # refused: in-flight queue full (backpressure)
+            "discarded": 0,   # stale: message changed before the session started
+        }
         self.sessions: Dict[str, SigningProtocol] = {}
         self._pending: Dict[str, List[Tuple[int, SigningMessage]]] = {}
         self._completed: Dict[str, bytes] = {}
@@ -531,6 +650,55 @@ class SigningCoordinator:
         # use this to show the signed-answer cache eliminating rounds.
         self.rounds_started = 0
 
+    def prefetch(self, sign_id: str, message: bytes) -> bool:
+        """Speculatively start share generation for an upcoming session.
+
+        Returns True if a prefetch was submitted.  The in-flight queue is
+        bounded; refusals bump the backpressure counter and the session
+        simply generates its share on demand when it starts.
+        """
+        if (
+            sign_id in self._completed
+            or sign_id in self.sessions
+            or sign_id in self._prefetched
+        ):
+            return False
+        if len(self._prefetched) >= self.max_inflight_prefetch:
+            self.pipeline_stats["dropped"] += 1
+            return False
+        with_proof = self.protocol_name == PROTOCOL_BASIC
+        entry = _Prefetch(
+            message=message,
+            share=self.executor.submit_generate_share(message, with_proof=with_proof),
+            verify_shares=[],
+            verify=None,
+        )
+        if self.executor.prefers_batching:
+            # Amortized verification ahead of the session: batch-check the
+            # proof-carrying shares already buffered for this sign_id.
+            buffered = [
+                m.share
+                for _, m in self._pending.get(sign_id, [])
+                if m.is_share and m.share is not None and m.share.proof is not None
+            ]
+            buffered = buffered[: self.key_share.public.t]
+            if buffered:
+                entry.verify_shares = buffered
+                entry.verify = self.executor.submit_verify_shares(message, buffered)
+        self._prefetched[sign_id] = entry
+        self.pipeline_stats["prefetched"] += 1
+        return True
+
+    def _take_prefetch(self, sign_id: str, message: bytes) -> Optional[_Prefetch]:
+        entry = self._prefetched.pop(sign_id, None)
+        if entry is None:
+            return None
+        if entry.message != message:
+            self.pipeline_stats["discarded"] += 1
+            return None
+        self.pipeline_stats["used"] += 1
+        return entry
+
     def sign(self, sign_id: str, message: bytes) -> List[Outgoing]:
         """Start (or resume) a signing session for ``message``."""
         if sign_id in self._completed:
@@ -538,11 +706,29 @@ class SigningCoordinator:
         if sign_id in self.sessions:
             return []
         self.rounds_started += 1
+        entry = self._take_prefetch(sign_id, message)
         protocol = make_signing_protocol(
-            self.protocol_name, self.key_share, sign_id, message
+            self.protocol_name,
+            self.key_share,
+            sign_id,
+            message,
+            executor=self.executor,
+            own_share=entry.share if entry is not None else None,
         )
         self.sessions[sign_id] = protocol
         out = protocol.start()
+        if entry is not None and entry.verify is not None:
+            verdicts = entry.verify.result()
+            if isinstance(verdicts, list):
+                protocol.preload_verdicts(entry.verify_shares, verdicts)
+        if self.executor.prefers_batching:
+            protocol.prevalidate(
+                [
+                    m.share
+                    for _, m in self._pending.get(sign_id, [])
+                    if m.is_share and m.share is not None
+                ]
+            )
         for sender, msg in self._pending.pop(sign_id, []):
             if protocol.done:
                 break
@@ -576,6 +762,7 @@ class SigningCoordinator:
     def _finish(self, sign_id: str, protocol: SigningProtocol) -> None:
         assert protocol.signature is not None
         self._completed[sign_id] = protocol.signature
+        self._prefetched.pop(sign_id, None)
 
     def result(self, sign_id: str) -> Optional[bytes]:
         """The assembled signature for a completed session, if any."""

@@ -144,7 +144,7 @@ class SignatureShare:
         value, offset = unpack_int(data, offset)
         flag = data[offset]
         offset += 1
-        proof = None
+        proof: Optional[ShareProof] = None
         if flag:
             proof, offset = ShareProof.from_bytes(data, offset)
         return cls(index=index, value=value, proof=proof), offset
@@ -307,7 +307,7 @@ class ThresholdPublicKey:
         n, offset = unpack_u16(data, offset)
         t, offset = unpack_u16(data, offset)
         verifier, offset = unpack_int(data, offset)
-        share_verifiers = []
+        share_verifiers: list[int] = []
         for _ in range(n):
             v_i, offset = unpack_int(data, offset)
             share_verifiers.append(v_i)
@@ -490,9 +490,9 @@ def reshare(
     m = dealer._m
     d_check = invmod(public.exponent, m)
     coeffs = [d_check] + [secrets.randbelow(m) for _ in range(public.t)]
-    new_shares = []
+    new_shares: list[int] = []
     N = public.modulus
-    new_verifiers = []
+    new_verifiers: list[int] = []
     for i in range(1, public.n + 1):
         acc = 0
         for coeff in reversed(coeffs):

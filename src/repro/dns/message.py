@@ -76,13 +76,14 @@ def rrs_to_rrsets(rrs: List[RR]) -> List[RRset]:
             grouped[key] = []
             order.append(key)
         grouped[key].append(rr)
-    rrsets = []
+    rrsets: List[RRset] = []
     for key in order:
         members = grouped[key]
         ttl = min(m.ttl for m in members)
-        rrsets.append(
-            RRset(key[0], key[1], ttl, [m.rdata for m in members], key[2])
-        )
+        # Empty-rdata RRs (RFC 2136 prerequisites / RRset-deletes) carry no
+        # data to group; responses never contain them.
+        rdatas = [m.rdata for m in members if m.rdata is not None]
+        rrsets.append(RRset(key[0], key[1], ttl, rdatas, key[2]))
     return rrsets
 
 
@@ -197,9 +198,8 @@ class Message:
                 rdlength = reader.read_u16()
                 if reader.remaining < rdlength:
                     raise WireFormatError("rdata overruns message")
-                if rdlength == 0:
-                    rdata = None
-                else:
+                rdata: Rdata | None = None
+                if rdlength != 0:
                     rdata = decode_rdata(rtype, reader.data, reader.offset, rdlength)
                 reader.offset += rdlength
                 section.append(RR(name, rtype, rclass, ttl, rdata))

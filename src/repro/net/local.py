@@ -153,12 +153,22 @@ class AsyncNameService:
         deployment: Optional[Deployment] = None,
         gateway: int = 0,
     ) -> None:
-        from repro.core.service import DEFAULT_ZONE, local_threshold_signer
+        from repro.core.service import (
+            DEFAULT_ZONE,
+            build_crypto_plane,
+            local_threshold_signer,
+        )
 
         self.config = config
         self.net = AsyncNetwork(config.n, topology=topology)
         self.deployment = (
             deployment if deployment is not None else generate_deployment(config)
+        )
+        # Real-time runs are where the pool plane actually pays off: the
+        # worker processes do the modexps while the event loop keeps
+        # pumping messages.
+        self._pool, self._replica_executors, self._client_executor = (
+            build_crypto_plane(config, self.deployment)
         )
 
         base_zone = parse_zone_text(zone_text or DEFAULT_ZONE)
@@ -178,6 +188,7 @@ class AsyncNameService:
                 deployment=self.deployment,
                 zone=base_zone.copy(),
                 node=self.net.node(i),
+                executor=self._replica_executors[i],
             )
             for i in range(config.n)
         ]
@@ -190,6 +201,7 @@ class AsyncNameService:
             zone_origin=self.zone_origin,
             zone_key=self.deployment.zone_key_record if config.signed_zone else None,
             tsig_key=self.deployment.tsig_key if config.require_tsig else None,
+            executor=self._client_executor,
         )
         if client_model == "pragmatic":
             self.client = PragmaticClient(gateway=gateway, **client_args)
@@ -218,9 +230,16 @@ class AsyncNameService:
             tsig_key=(
                 self.deployment.tsig_key if self.config.require_tsig else None
             ),
+            executor=self._client_executor,
         )
         self.extra_clients.append(client)
         return client
+
+    def close(self) -> None:
+        """Shut down the shared crypto worker pool, if one was started."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     # -- async experiment API ---------------------------------------------------
 

@@ -1,0 +1,129 @@
+"""Cross-executor determinism: the pool plane is behavior-preserving.
+
+The execution plane changes *where* crypto runs, never *what* it
+computes: the same seeded workload over the same deployment must yield
+identical ABC delivery fingerprints, zone digests, response contents,
+and assembled threshold signatures whether crypto runs inline
+(:class:`SerialExecutor`) or on a process pool (:class:`PoolExecutor`).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.core.keytool import generate_deployment
+from repro.core.service import ReplicatedNameService
+from repro.crypto.executor import EXECUTOR_POOL, EXECUTOR_SERIAL
+from repro.crypto.protocols import (
+    PROTOCOL_BASIC,
+    PROTOCOL_OPTPROOF,
+    PROTOCOL_OPTTE,
+)
+from repro.dns import constants as c
+from repro.sim.machines import lan_setup
+
+from tests.conftest import ZONE_TEXT
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    # Shared across both executor legs: identical key material is what
+    # makes the transcripts comparable at all.
+    return generate_deployment(ServiceConfig(n=4, t=1))
+
+
+def run_workload(executor_kind, protocol, deployment):
+    config = ServiceConfig(
+        n=4,
+        t=1,
+        signing_protocol=protocol,
+        crypto_executor=executor_kind,
+        crypto_workers=2,
+    )
+    # Replicas read their config off the deployment; rebind it so the two
+    # executor legs share key material but honor this run's protocol.
+    deployment = dataclasses.replace(deployment, config=config)
+    with ReplicatedNameService(
+        config,
+        topology=lan_setup(4),
+        zone_text=ZONE_TEXT,
+        seed=SEED,
+        deployment=deployment,
+    ) as service:
+        ops = [
+            service.add_record("pool0.example.com.", c.TYPE_A, 300, "192.0.2.10"),
+            service.query("www.example.com.", c.TYPE_A),
+            service.add_record("pool1.example.com.", c.TYPE_A, 300, "192.0.2.11"),
+            service.query("pool0.example.com.", c.TYPE_A),
+            service.delete_name("pool1.example.com."),
+        ]
+        service.settle()
+        transcript = {
+            "deliveries": [r.abc.delivery_digest() for r in service.replicas],
+            "zones": [r.zone.digest() for r in service.replicas],
+            "signatures": [
+                sorted(r.coordinator._completed.items()) for r in service.replicas
+            ],
+            "rcodes": [op.response.rcode for op in ops],
+            "answers": [
+                tuple(rr.to_text() for rr in op.response.answers) for op in ops
+            ],
+        }
+        latencies = [op.latency for op in ops]
+    return transcript, latencies
+
+
+@pytest.mark.parametrize(
+    "protocol", [PROTOCOL_BASIC, PROTOCOL_OPTPROOF, PROTOCOL_OPTTE]
+)
+def test_identical_transcripts_serial_vs_pool(protocol, deployment):
+    serial, serial_latencies = run_workload(EXECUTOR_SERIAL, protocol, deployment)
+    pooled, pooled_latencies = run_workload(EXECUTOR_POOL, protocol, deployment)
+    assert serial == pooled
+    # Replicas agree among themselves, too (sanity on the fingerprints).
+    assert len(set(serial["deliveries"])) == 1
+    assert len(set(serial["zones"])) == 1
+    if protocol != PROTOCOL_OPTTE:
+        # BASIC and OptProof charge identical op logs under both planes,
+        # so even the *simulated latencies* line up exactly.  (A pooled
+        # OptTE trial may legitimately assemble more candidate subsets
+        # than the serial early exit, shifting modelled CPU time.)
+        assert serial_latencies == pooled_latencies
+
+
+def test_pool_plane_actually_engaged(deployment):
+    # A3 mode (sign_every_response) threshold-signs read responses, which
+    # is the path where the *client* verifies through the executor: a
+    # negative answer carries no per-RRset DNSSEC signatures, so the
+    # client falls back to checking the whole-response signature.
+    config = ServiceConfig(
+        n=4,
+        t=1,
+        crypto_executor=EXECUTOR_POOL,
+        crypto_workers=2,
+        sign_every_response=True,
+    )
+    deployment = dataclasses.replace(deployment, config=config)
+    with ReplicatedNameService(
+        config,
+        topology=lan_setup(4),
+        zone_text=ZONE_TEXT,
+        seed=SEED,
+        deployment=deployment,
+    ) as service:
+        op = service.query("missing.example.com.", c.TYPE_A)
+        assert op.response.rcode == c.RCODE_NXDOMAIN
+        assert op.verified
+        assert service._pool is not None and service._pool.started
+        assert all(
+            r.coordinator.executor.kind == EXECUTOR_POOL for r in service.replicas
+        )
+        assert sum(
+            r.coordinator.executor.stats["jobs"] for r in service.replicas
+        ) > 0
+        # Client-side answer verification rides the pool as well.
+        assert service.client.executor is not None
+        assert service.client.executor.stats["jobs"] > 0
