@@ -82,6 +82,13 @@ MAX_PENDING_REQUESTS = 65536
 #: so the bound affects adversarial traffic only.
 MAX_SEQ_AHEAD = 4096
 
+#: Complaints and epoch-final messages for epochs this far beyond our own
+#: are ignored.  Epoch numbers only advance through a 2t+1 quorum, so an
+#: honest replica can lag at most a handful of epochs; without the bound a
+#: single Byzantine replica could key unbounded ``_complaints``/``_finals``
+#: state by inventing far-future epoch numbers.
+MAX_EPOCH_AHEAD = 64
+
 MODE_FAST = "fast"
 MODE_RECOVERY = "recovery"
 
@@ -281,6 +288,11 @@ class AtomicBroadcast:
         self._payload_by_digest: Dict[bytes, Tuple[str, bytes]] = {}
         self._prepared_digest: Dict[Tuple[int, int], bytes] = {}
         self._prepares: Dict[Tuple[int, int, bytes], Dict[int, bytes]] = {}
+        # Distinct digests admitted per (epoch, seq) slot.  A Byzantine
+        # signer carries a valid signature over any digest it invents, so
+        # without this cap each in-window slot admits unlimited pool
+        # entries in _prepares/_commits (digest stuffing).
+        self._slot_digests: Dict[Tuple[int, int], Set[bytes]] = {}
         self._certificates: Dict[int, PrepareCertificate] = {}  # seq -> best cert
         self._commit_sent: Set[Tuple[int, int]] = set()
         self._commits: Dict[Tuple[int, int, bytes], Set[int]] = {}
@@ -295,7 +307,9 @@ class AtomicBroadcast:
         self._future_buffer: List[Tuple[int, object]] = []
         self._complaints: Dict[int, Set[int]] = {}
         self._complained: Set[int] = set()
-        self._finals: Dict[int, Dict[int, AbcEpochFinal]] = {}
+        # epoch -> sender -> the signed (final, signature) tuple, kept
+        # whole so NEW_EPOCH can forward the signatures for re-verification
+        self._finals: Dict[int, Dict[int, Tuple[AbcEpochFinal, bytes]]] = {}
         self._final_sent: Set[int] = set()
         self._new_epoch_done: Set[int] = set()
         self._timer: Optional[Any] = None
@@ -493,12 +507,30 @@ class AtomicBroadcast:
             return
         if not self._verify_prepare(msg):
             return
+        if not self._admit_slot_digest(msg.epoch, msg.seq, msg.digest):
+            return
         pool = self._prepares.setdefault((msg.epoch, msg.seq, msg.digest), {})
         if msg.signer in pool:
             return
         pool[msg.signer] = msg.signature
         if len(pool) >= 2 * self.t + 1:
             self._form_certificate(msg.epoch, msg.seq, msg.digest, pool)
+
+    def _admit_slot_digest(self, epoch: int, seq: int, digest: bytes) -> bool:
+        """Admit at most ``n`` distinct digests per (epoch, seq) slot.
+
+        Honest replicas prepare/commit one digest per slot, so any
+        legitimate run needs at most ``n`` distinct digests; everything
+        past that is Byzantine digest stuffing aimed at growing the
+        ``_prepares``/``_commits`` pools without bound.
+        """
+        digests = self._slot_digests.setdefault((epoch, seq), set())
+        if digest in digests:
+            return True
+        if len(digests) >= self.n:
+            return False
+        digests.add(digest)
+        return True
 
     def _verify_prepare(self, msg: AbcPrepare) -> bool:
         if not 0 <= msg.signer < self.n:
@@ -540,6 +572,8 @@ class AtomicBroadcast:
         if msg.signer != sender:
             return
         if not self._seq_in_window(msg.seq):
+            return
+        if not self._admit_slot_digest(msg.epoch, msg.seq, msg.digest):
             return
         voters = self._commits.setdefault((msg.epoch, msg.seq, msg.digest), set())
         if sender in voters:
@@ -591,6 +625,10 @@ class AtomicBroadcast:
             return
         for entry in decode_batch(payload):
             entry_rid = derive_request_id(entry)
+            # Bounded by total-ordered committed deliveries: every id
+            # marked here rode inside a frame that passed consensus, so a
+            # lone Byzantine replica cannot drive this growth.
+            # repro-lint: disable=T404
             self.delivered_ids.add(entry_rid)
             self.pending.pop(entry_rid, None)
             self._mark_batch_delivered(entry, depth + 1)
@@ -627,6 +665,8 @@ class AtomicBroadcast:
     def _on_complain(self, sender: int, msg: AbcComplain) -> None:
         if msg.complainer != sender or msg.epoch < self.epoch:
             return
+        if msg.epoch > self.epoch + MAX_EPOCH_AHEAD:
+            return  # far-future epochs only come from Byzantine senders
         voters = self._complaints.setdefault(msg.epoch, set())
         if sender in voters:
             return
@@ -644,7 +684,7 @@ class AtomicBroadcast:
         epoch = int(sid.split("/", 1)[1])
         # Bounded: one entry per *decided* ABA instance, each of which
         # needed 2t+1 participating replicas — not attacker-drivable.
-        # repro-lint: disable=C304
+        # repro-lint: disable=C304,T404
         self._switch_decided.add(epoch)
         self._enter_recovery(epoch)
 
@@ -689,10 +729,12 @@ class AtomicBroadcast:
             return
         if not self.crypto.verify(sender, _final_signing_input(final), signature):
             return
+        if final.epoch < self.epoch or final.epoch > self.epoch + MAX_EPOCH_AHEAD:
+            return  # stale finals are useless; far-future ones are Byzantine
         pool = self._finals.setdefault(final.epoch, {})
         if sender in pool:
             return
-        pool[sender] = msg  # store signed tuple for NEW_EPOCH forwarding
+        pool[sender] = (final, signature)  # signed tuple, forwarded in NEW_EPOCH
         next_epoch = final.epoch + 1
         if (
             len(pool) >= self.n - self.t

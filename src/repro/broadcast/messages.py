@@ -222,10 +222,15 @@ class AbcEpochFinal:
 
 @dataclass(frozen=True)
 class AbcNewEpoch:
-    """New leader's epoch-start message: the adopted certified prefix."""
+    """New leader's epoch-start message: the adopted certified prefix.
+
+    ``certificates`` carries the signed EPOCH_FINAL messages themselves
+    (``(final, signature)`` pairs) so every validator can re-verify the
+    n-t closing states instead of trusting the new leader's summary.
+    """
 
     epoch: int  # the NEW epoch
-    certificates: Tuple[PrepareCertificate, ...]
+    certificates: Tuple[Tuple[AbcEpochFinal, bytes], ...]
     start_seq: int
 
 

@@ -84,6 +84,9 @@ class RbcInstance:
             or len(self._payload_by_digest) < MAX_TRACKED_PAYLOADS
         ):
             self._payload_by_digest[digest] = msg.payload
+        if digest not in self._echoes:
+            if len(self._echoes) >= MAX_TRACKED_PAYLOADS:
+                return []  # digest spam: honest replicas echo one payload each
         voters = self._echoes.setdefault(digest, set())
         if sender in voters:
             return []
@@ -93,6 +96,9 @@ class RbcInstance:
         return []
 
     def _on_ready(self, sender: int, msg: RbcReady) -> List[Outgoing]:
+        if msg.digest not in self._readies:
+            if len(self._readies) >= MAX_TRACKED_PAYLOADS:
+                return []  # digest spam: honest replicas ready one digest each
         voters = self._readies.setdefault(msg.digest, set())
         if sender in voters:
             return []

@@ -306,12 +306,28 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     from repro.lint import baseline as bl
     from repro.lint import mypy_ratchet, report
-    from repro.lint.framework import LintConfig, load_rules, run_paths
+    from repro.lint.framework import (
+        STALE_SUPPRESSION_RULE,
+        LintConfig,
+        find_repo_root,
+        load_rules,
+        run_paths_ctx,
+        stale_suppression_findings,
+    )
+    from repro.taint import TAINT_RULES
 
-    root = Path(args.root).resolve()
+    # Anchor to the repository root (marker files, src layout) so the
+    # command behaves identically from any subdirectory; --root overrides.
+    root = Path(args.root).resolve() if args.root else find_repo_root()
     rules = load_rules()
     if args.list_rules:
         print(report.render_rule_catalog(rules))
+        for rule_id, (summary, _description) in sorted(TAINT_RULES.items()):
+            print(f"{rule_id}  [{'taint':>13}]  {summary}")
+        print(
+            f"{STALE_SUPPRESSION_RULE}  [{'framework':>13}]  "
+            "suppression comment no longer shields any finding"
+        )
         return 0
 
     config = LintConfig.from_pyproject(root / "pyproject.toml")
@@ -325,7 +341,48 @@ def cmd_lint(args: argparse.Namespace) -> int:
             return exit_code
 
     paths = [Path(p) for p in args.paths] if args.paths else [root / "src" / "repro"]
-    findings = run_paths(paths, root, config=config)
+    findings, contexts = run_paths_ctx(paths, root, config=config)
+
+    active_rules = [rule.rule_id for rule in rules]
+    if args.taint:
+        from repro.taint import analyze_files as taint_analyze
+        from repro.taint.indexer import module_files
+
+        shared_suppressions = {
+            path: ctx.suppressions for path, ctx in contexts.items()
+        }
+        findings.extend(
+            taint_analyze(
+                module_files(paths, root),
+                config=config,
+                suppressions=shared_suppressions,
+            )
+        )
+        active_rules.extend(TAINT_RULES)
+
+    # Stale-suppression reporting must run after every producer above has
+    # marked the comments it actually used.
+    for ctx in contexts.values():
+        findings.extend(stale_suppression_findings(ctx, active_rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    if args.sarif:
+        from repro.taint import render_sarif
+
+        catalog = {
+            rule.rule_id: (rule.summary, getattr(rule, "description", rule.summary))
+            for rule in rules
+        }
+        catalog.update(TAINT_RULES)
+        catalog[STALE_SUPPRESSION_RULE] = (
+            "stale suppression comment",
+            "A repro-lint suppression comment that no longer shields any "
+            "finding; delete it so the suppression set ratchets down.",
+        )
+        sarif_path = Path(args.sarif)
+        sarif_path.write_text(render_sarif(findings, catalog), encoding="utf-8")
+        print(f"SARIF written to {sarif_path}")
+
     baseline_path = Path(args.baseline) if args.baseline else root / "lint-baseline.json"
 
     try:
@@ -460,7 +517,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "paths", nargs="*", help="files/directories to analyze (default: src/repro)"
     )
-    p.add_argument("--root", default=".", help="repository root (default: cwd)")
+    p.add_argument(
+        "--root",
+        default=None,
+        help="repository root (default: auto-discovered from marker files)",
+    )
+    p.add_argument(
+        "--taint",
+        action="store_true",
+        help="also run the interprocedural Byzantine-taint analysis (T401-T408)",
+    )
+    p.add_argument(
+        "--sarif",
+        default=None,
+        metavar="FILE",
+        help="write findings as a SARIF 2.1.0 log to FILE",
+    )
     p.add_argument(
         "--baseline",
         default=None,

@@ -61,6 +61,14 @@ from repro.errors import TsigError, WireFormatError, ZoneError
 from repro.sim.network import SimNode
 
 
+#: Caps on the retry/answer caches.  Both are keyed by client-chosen input
+#: (request-wire hash, question name/type), so without a bound a client
+#: flooding distinct queries grows replica memory without limit; at the
+#: cap the oldest entry is evicted (insertion order ~= arrival order).
+MAX_RESPONSE_CACHE_ENTRIES = 4096
+MAX_ANSWER_CACHE_ENTRIES = 4096
+
+
 def encode_request(client: int, wire: bytes) -> bytes:
     """ABC payload: the requesting client's node id plus the DNS wire."""
     return struct.pack(">I", client) + wire
@@ -219,7 +227,6 @@ class ReplicaServer:
         self._busy = False
         self._pending_update: Optional[_PendingUpdate] = None
         self._pending_read: Optional[_PendingSignedRead] = None
-        self._task_data: Dict[str, bytes] = {}
         # Responses already produced, keyed by request-wire hash.  Clients
         # retry by resending the same message (§3.4); the atomic broadcast
         # deduplicates it, so replicas must replay the cached response.
@@ -453,7 +460,7 @@ class ReplicaServer:
                 self.stats["answer_cache_hits"] += 1
                 self.node.charge(self.costs.answer_cache_hit)
                 response_wire = wire[:2] + hit.wire[2:]
-                self._response_cache[hashlib.sha256(wire).digest()] = response_wire
+                self._cache_response(hashlib.sha256(wire).digest(), response_wire)
                 self._respond(rid, client, response_wire, threshold_sig=hit.signature)
                 return
             self.stats["answer_cache_misses"] += 1
@@ -464,7 +471,7 @@ class ReplicaServer:
             response = self.server.handle_query(query)
         owner_names, volatile = self._answer_meta(response)
         response_wire = response.to_wire()
-        self._response_cache[hashlib.sha256(wire).digest()] = response_wire
+        self._cache_response(hashlib.sha256(wire).digest(), response_wire)
         if self.config.sign_every_response:
             self._start_response_signing(
                 rid, client, response_wire, cache_key, query_tail,
@@ -472,13 +479,13 @@ class ReplicaServer:
             )
             return
         if cache_key is not None:
-            self._answer_cache[cache_key] = _CachedAnswer(
+            self._cache_answer(cache_key, _CachedAnswer(
                 query_tail=query_tail,
                 wire=canonical_response_wire(response_wire),
                 signature=b"",
                 owner_names=owner_names,
                 volatile=volatile,
-            )
+            ))
         self._respond(rid, client, response_wire)
 
     @staticmethod
@@ -491,6 +498,22 @@ class ReplicaServer:
             rr.rtype in (c.TYPE_SOA, c.TYPE_NXT) for rr in rrs
         )
         return frozenset(names), volatile
+
+    def _cache_response(self, wire_hash: bytes, response_wire: bytes) -> None:
+        """Bounded insert into the retry cache (oldest entry evicted)."""
+        if wire_hash not in self._response_cache:
+            if len(self._response_cache) >= MAX_RESPONSE_CACHE_ENTRIES:
+                self._response_cache.pop(next(iter(self._response_cache)))
+        self._response_cache[wire_hash] = response_wire
+
+    def _cache_answer(
+        self, cache_key: Tuple[object, int, int], entry: "_CachedAnswer"
+    ) -> None:
+        """Bounded insert into the signed-answer cache (oldest evicted)."""
+        if cache_key not in self._answer_cache:
+            if len(self._answer_cache) >= MAX_ANSWER_CACHE_ENTRIES:
+                self._answer_cache.pop(next(iter(self._answer_cache)))
+        self._answer_cache[cache_key] = entry
 
     def _invalidate_answer_cache(self, result: UpdateResult) -> None:
         """Per-name invalidation after a data-changing update.
@@ -555,14 +578,14 @@ class ReplicaServer:
         response_wire = response.to_wire()
         wire_hash = hashlib.sha256(wire).digest()
         if not (self.config.signed_zone and result.ok and result.data_changed):
-            self._response_cache[wire_hash] = response_wire
+            self._cache_response(wire_hash, response_wire)
             self._respond(rid, client, response_wire)
             return
         tasks = dnssec.signing_tasks_for_update(
             self.zone, result, self.deployment.zone_key_record, self.policy
         )
         if not tasks:
-            self._response_cache[wire_hash] = response_wire
+            self._cache_response(wire_hash, response_wire)
             self._respond(rid, client, response_wire)
             return
         self._busy = True
@@ -593,6 +616,10 @@ class ReplicaServer:
                 share = keys.generate_share(task.data)
                 signature = keys.public.assemble(task.data, [share])
                 self.node.charge(self.costs.local_sign)
+                # The signature was produced just above from our own key
+                # share over update data that already passed TSIG + policy
+                # checks; there is nothing remote left to verify.
+                # repro-lint: disable=T405
                 dnssec.attach_signature(self.zone, task, signature)
                 self.stats["signatures_completed"] += 1
             self._respond(pending.request_id, pending.client, pending.response_wire)
@@ -600,7 +627,6 @@ class ReplicaServer:
             return
         pending = self._pending_update
         task = pending.current
-        self._task_data[task.sign_id] = task.data
         outs = self.coordinator.sign(task.sign_id, task.data)
         # Session pipelining: while this session verifies and assembles,
         # speculatively generate our shares for the next few SIG tasks of
@@ -666,6 +692,11 @@ class ReplicaServer:
                 task = self._pending_update.current
                 signature = self.coordinator.result(task.sign_id)
                 if signature is not None:
+                    # coordinator.result only exposes assembled signatures
+                    # after the signing protocol verified them against the
+                    # zone public key (shares proof-checked or the OptTE
+                    # assemble-then-verify path, §3.5).
+                    # repro-lint: disable=T405
                     dnssec.attach_signature(self.zone, task, signature)
                     self.stats["signatures_completed"] += 1
                     self._pending_update.index += 1
@@ -674,7 +705,7 @@ class ReplicaServer:
                         self._pending_update = None
                         self._busy = False
                         if done.wire_hash:
-                            self._response_cache[done.wire_hash] = done.response_wire
+                            self._cache_response(done.wire_hash, done.response_wire)
                         self._respond(done.request_id, done.client, done.response_wire)
                         self._drain_exec_queue()
                     else:
@@ -688,13 +719,13 @@ class ReplicaServer:
                     self._busy = False
                     self.stats["signatures_completed"] += 1
                     if done.cache_key is not None:
-                        self._answer_cache[done.cache_key] = _CachedAnswer(
+                        self._cache_answer(done.cache_key, _CachedAnswer(
                             query_tail=done.query_tail,
                             wire=canonical_response_wire(done.response_wire),
                             signature=signature,
                             owner_names=done.owner_names,
                             volatile=done.volatile,
-                        )
+                        ))
                     self._respond(
                         done.request_id,
                         done.client,

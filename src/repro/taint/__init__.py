@@ -1,0 +1,27 @@
+"""``repro.taint`` — interprocedural Byzantine-taint analysis (T401-T408).
+
+Tracks attacker-controlled message fields from transport ingress
+(``on_message`` handlers, wire decoders) through the call graph to
+protocol sinks (signature assembly, epoch control flow, allocation,
+handler collections, zone mutation), subtracting sanitizers
+(share/signature verification, certificate validation, bounds checks).
+See DESIGN.md §5e.
+"""
+
+from repro.taint.engine import Taint, TaintEngine, analyze, analyze_files
+from repro.taint.indexer import ProgramIndex, build_index, module_files
+from repro.taint.sarif import render_sarif, to_sarif
+from repro.taint.specs import TAINT_RULES
+
+__all__ = [
+    "Taint",
+    "TaintEngine",
+    "TAINT_RULES",
+    "ProgramIndex",
+    "analyze",
+    "analyze_files",
+    "build_index",
+    "module_files",
+    "render_sarif",
+    "to_sarif",
+]

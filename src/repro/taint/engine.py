@@ -1,0 +1,1153 @@
+"""Interprocedural taint engine (rules T401-T408).
+
+Model (DESIGN.md §5e): every value carries a :class:`Taint` — a set of
+*markers* (``"src"`` for real attacker-controlled data, ``"p<i>"`` as a
+symbolic stand-in for the i-th parameter of the function under analysis),
+the set of rules already *cleared* by sanitizers on this path, a
+*laundered* bit set by serialization round-trips, and optional per-field
+taints for dataclass message construction.
+
+Each function is summarized as: which parameter markers reach its return
+value, which reach sinks inside it (transitively, through its own
+callees), and which are stored into ``self.<attr>``.  Summaries are
+recomputed to a fixpoint (the lattice is finite: markers/cleared/sink
+sites are drawn from fixed sets, so it terminates; a widening cap bounds
+pathological recursion).  A final reporting pass walks every function
+with real taint bound to handler parameters and class attributes and
+emits findings through the standard lint :class:`Finding` machinery.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.framework import Finding, LintConfig
+
+from repro.taint.indexer import (
+    FunctionInfo,
+    ProgramIndex,
+    module_files,
+)
+from repro.taint.specs import (
+    ALLOC_CALLS,
+    BOUND_NAME_HINTS,
+    CONTROL_STATE_ATTRS,
+    DEFAULT_TAINT_MODULES,
+    GROWTH_CALLS,
+    IDENTITY_ATTRS,
+    LAUNDERABLE_RULES,
+    SANITIZERS,
+    SINK_CALLS,
+    SINK_MESSAGE_FIRST,
+    SOURCE_CALLS,
+    TRUSTED_PRODUCERS,
+    UNTAINTED_HANDLER_PARAMS,
+)
+
+#: Widening cap on summary fixpoint rounds (lattice is finite, so this is
+#: a safety net for pathological recursion, not the termination argument).
+MAX_FIXPOINT_ROUNDS = 12
+
+#: Serialization methods whose output on tainted input is "laundered".
+SERIALIZERS = frozenset({"to_bytes", "to_wire", "encode", "serialize", "pack"})
+
+
+# -- taint lattice ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Taint:
+    markers: FrozenSet[str] = frozenset()
+    cleared: FrozenSet[str] = frozenset()
+    laundered: bool = False
+    fields: Tuple[Tuple[str, "Taint"], ...] = ()
+
+    @property
+    def is_tainted(self) -> bool:
+        return bool(self.markers) or bool(self.fields)
+
+    def clear(self, rules: FrozenSet[str]) -> "Taint":
+        if not self.is_tainted:
+            return self
+        return replace(
+            self,
+            cleared=self.cleared | rules,
+            fields=tuple((n, t.clear(rules)) for n, t in self.fields),
+        )
+
+    def field_taint(self, name: str) -> "Taint":
+        for fname, ftaint in self.fields:
+            if fname == name:
+                return ftaint
+        if self.markers:
+            return Taint(self.markers, self.cleared, self.laundered)
+        return EMPTY
+
+    def flat(self) -> "Taint":
+        """Collapse field taints into one value (for sink checks)."""
+        out = Taint(self.markers, self.cleared, self.laundered)
+        for _name, ftaint in self.fields:
+            out = merge(out, ftaint.flat())
+        return out
+
+
+EMPTY = Taint()
+
+
+def merge(a: Taint, b: Taint) -> Taint:
+    if not a.is_tainted and not a.fields:
+        return b
+    if not b.is_tainted and not b.fields:
+        return a
+    field_names = {n for n, _ in a.fields} | {n for n, _ in b.fields}
+    fields = tuple(
+        sorted((n, merge(a.field_taint(n), b.field_taint(n))) for n in field_names)
+    )
+    cleared: FrozenSet[str]
+    if a.markers and b.markers:
+        cleared = a.cleared & b.cleared
+    else:
+        cleared = a.cleared | b.cleared
+    return Taint(
+        markers=a.markers | b.markers,
+        cleared=cleared,
+        laundered=a.laundered or b.laundered,
+        fields=fields,
+    )
+
+
+# -- summaries ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """Inside some function, parameter ``marker`` reaches a ``rule`` sink."""
+
+    marker: str
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+@dataclass(frozen=True)
+class Summary:
+    returns: Taint = EMPTY
+    sink_hits: FrozenSet[SinkHit] = frozenset()
+    #: (class qname, attribute, marker, cleared rules, laundered): param
+    #: flows into self.<attr>.  Carrying the cleared set is what lets a
+    #: callee's sanitization (``share_is_valid`` before the store) survive
+    #: summary substitution at the call site.
+    attr_stores: FrozenSet[
+        Tuple[str, str, str, FrozenSet[str], bool]
+    ] = frozenset()
+
+
+# -- engine -------------------------------------------------------------------
+
+
+class TaintEngine:
+    def __init__(self, index: ProgramIndex, modules: Tuple[str, ...]) -> None:
+        self.index = index
+        self.module_patterns = modules or DEFAULT_TAINT_MODULES
+        self.summaries: Dict[str, Summary] = {}
+        #: (class qname, attr) -> real taint stored cross-function
+        self.attr_map: Dict[Tuple[str, str], Taint] = {}
+        self.changed = False
+
+    def in_scope(self, fn: FunctionInfo) -> bool:
+        import fnmatch
+
+        module = fn.module
+        # files outside the src layout (tests, corpus fixtures) are keyed
+        # by path: always analyzed when explicitly passed
+        if not module or module.endswith(".py"):
+            return True
+        # "!pattern" entries exclude (and win over inclusions): the fault
+        # injector is the modeled adversary, not the defended surface
+        for pat in self.module_patterns:
+            if pat.startswith("!") and fnmatch.fnmatchcase(module, pat[1:]):
+                return False
+        return any(
+            fnmatch.fnmatchcase(module, pat)
+            for pat in self.module_patterns
+            if not pat.startswith("!")
+        )
+
+    def store_attr(self, cls_qname: str, attr: str, taint: Taint) -> None:
+        key = (cls_qname, attr)
+        merged = merge(self.attr_map.get(key, EMPTY), taint)
+        if merged != self.attr_map.get(key, EMPTY):
+            self.attr_map[key] = merged
+            self.changed = True
+
+    def read_attr(self, cls_qname: Optional[str], attr: str) -> Taint:
+        if cls_qname is None:
+            return EMPTY
+        out = EMPTY
+        for cls in self.index.mro(cls_qname):
+            out = merge(out, self.attr_map.get((cls.qname, attr), EMPTY))
+        return out
+
+    def run(self) -> List[Finding]:
+        fns = [fn for fn in self.index.functions.values() if self.in_scope(fn)]
+        fns.sort(key=lambda f: f.qname)
+        for fn in fns:
+            self.summaries[fn.qname] = Summary()
+        for _round in range(MAX_FIXPOINT_ROUNDS):
+            self.changed = False
+            for fn in fns:
+                analyzer = FunctionAnalyzer(self, fn, report=False)
+                summary = analyzer.analyze()
+                if summary != self.summaries[fn.qname]:
+                    self.summaries[fn.qname] = summary
+                    self.changed = True
+            if not self.changed:
+                break
+        findings: List[Finding] = []
+        for fn in fns:
+            analyzer = FunctionAnalyzer(self, fn, report=True)
+            analyzer.analyze()
+            findings.extend(analyzer.findings)
+        unique = {(f.rule, f.path, f.line, f.col): f for f in findings}
+        return sorted(
+            unique.values(), key=lambda f: (f.path, f.line, f.col, f.rule)
+        )
+
+
+def _expr_text(node: ast.AST, limit: int = 48) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - defensive
+        text = "<expr>"
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+class FunctionAnalyzer(ast.NodeVisitor):
+    """One flow-sensitive pass over a function body."""
+
+    def __init__(self, engine: TaintEngine, fn: FunctionInfo, report: bool) -> None:
+        self.engine = engine
+        self.index = engine.index
+        self.fn = fn
+        self.report = report
+        self.findings: List[Finding] = []
+        self.sink_hits: Set[SinkHit] = set()
+        self.attr_stores: Set[Tuple[str, str, str]] = set()
+        self.return_taint = EMPTY
+        #: collections (self-attr or local names) with a membership/len guard
+        self.guarded: Set[str] = set()
+        #: path -> [(rule, line)] sinks already hit (for T408)
+        self.sunk: Dict[str, List[Tuple[str, int]]] = {}
+        #: local name -> self-attr it aliases (setdefault/get/subscript)
+        self.aliases: Dict[str, str] = {}
+
+    # -- entry ----------------------------------------------------------------
+
+    def analyze(self) -> Summary:
+        env: Dict[str, Taint] = {}
+        node = self.fn.node
+        params = self.fn.params
+        for i, name in enumerate(params):
+            if name in ("self", "cls"):
+                continue
+            markers = {f"p{i}"}
+            if self.fn.is_handler and name not in UNTAINTED_HANDLER_PARAMS:
+                markers.add("src")
+            env[name] = Taint(frozenset(markers))
+        if isinstance(node, ast.Lambda):
+            self.return_taint = merge(self.return_taint, self.eval(node.body, env))
+        else:
+            self.exec_block(node.body, env)
+        returns = Taint(
+            markers=frozenset(
+                m for m in self.return_taint.markers if m == "src" or m.startswith("p")
+            ),
+            cleared=self.return_taint.cleared,
+            laundered=self.return_taint.laundered,
+        )
+        return Summary(
+            returns=returns,
+            sink_hits=frozenset(self.sink_hits),
+            attr_stores=frozenset(self.attr_stores),
+        )
+
+    # -- statements -----------------------------------------------------------
+
+    def exec_block(self, stmts: Sequence[ast.stmt], env: Dict[str, Taint]) -> bool:
+        """Execute statements in order; True if the block terminated
+        (return/raise/break/continue) before falling through."""
+        for stmt in stmts:
+            if self.exec_stmt(stmt, env):
+                return True
+        return False
+
+    def exec_stmt(self, stmt: ast.stmt, env: Dict[str, Taint]) -> bool:
+        if isinstance(stmt, ast.Assign):
+            taint = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self.assign(target, taint, env, stmt)
+                self._track_alias(target, stmt.value)
+            return False
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.assign(stmt.target, self.eval(stmt.value, env), env, stmt)
+                self._track_alias(stmt.target, stmt.value)
+            return False
+        if isinstance(stmt, ast.AugAssign):
+            taint = merge(self.eval(stmt.target, env), self.eval(stmt.value, env))
+            self.assign(stmt.target, taint, env, stmt)
+            return False
+        if isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env)
+            return False
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.return_taint = merge(self.return_taint, self.eval(stmt.value, env))
+            return True
+        if isinstance(stmt, (ast.Raise, ast.Break, ast.Continue)):
+            if isinstance(stmt, ast.Raise) and stmt.exc is not None:
+                self.eval(stmt.exc, env)
+            return True
+        if isinstance(stmt, ast.If):
+            self.eval(stmt.test, env)  # guard side effects (clears)
+            then_env = dict(env)
+            else_env = dict(env)
+            then_done = self.exec_block(stmt.body, then_env)
+            else_done = self.exec_block(stmt.orelse, else_env)
+            if then_done and else_done:
+                return True
+            if then_done:
+                env.clear()
+                env.update(else_env)
+            elif else_done:
+                env.clear()
+                env.update(then_env)
+            else:
+                merged = self.merge_envs(then_env, else_env)
+                env.clear()
+                env.update(merged)
+            return False
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            target, it = stmt.target, stmt.iter
+            if (
+                isinstance(target, ast.Tuple)
+                and isinstance(it, (ast.Tuple, ast.List))
+                and it.elts
+                and all(
+                    isinstance(e, (ast.Tuple, ast.List))
+                    and len(e.elts) == len(target.elts)
+                    for e in it.elts
+                )
+            ):
+                # literal ``for a, b in ((x, n1), (y, n2))``: bind each
+                # target position to the merge of that column only, so a
+                # bounds-cleared count does not re-absorb unrelated taint
+                for i, tgt in enumerate(target.elts):
+                    taint = EMPTY
+                    for e in it.elts:
+                        taint = merge(taint, self.eval(e.elts[i], env))  # type: ignore[attr-defined]
+                    self.bind_loop_target(tgt, taint, env)
+            else:
+                iter_taint = self.eval(it, env)
+                self.bind_loop_target(target, iter_taint, env)
+            # two passes so loop-carried taint stabilizes
+            for _ in range(2):
+                body_env = dict(env)
+                self.exec_block(stmt.body, body_env)
+                merged = self.merge_envs(env, body_env)
+                env.clear()
+                env.update(merged)
+            self.exec_block(stmt.orelse, env)
+            return False
+        if isinstance(stmt, ast.While):
+            self.eval(stmt.test, env)
+            for _ in range(2):
+                body_env = dict(env)
+                self.exec_block(stmt.body, body_env)
+                merged = self.merge_envs(env, body_env)
+                env.clear()
+                env.update(merged)
+            self.exec_block(stmt.orelse, env)
+            return False
+        if isinstance(stmt, ast.Try):
+            done = self.exec_block(stmt.body, env)
+            for handler in stmt.handlers:
+                handler_env = dict(env)
+                self.exec_block(handler.body, handler_env)
+                merged = self.merge_envs(env, handler_env)
+                env.clear()
+                env.update(merged)
+            self.exec_block(stmt.orelse, env)
+            final_done = self.exec_block(stmt.finalbody, env)
+            return (done and not stmt.handlers) or final_done
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self.eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, taint, env, stmt)
+            return self.exec_block(stmt.body, env)
+        if isinstance(stmt, ast.Assert):
+            self.eval(stmt.test, env)
+            return False
+        # nested defs/classes/imports/global: no taint effect modeled
+        return False
+
+    def merge_envs(
+        self, a: Dict[str, Taint], b: Dict[str, Taint]
+    ) -> Dict[str, Taint]:
+        out: Dict[str, Taint] = {}
+        for key in set(a) | set(b):
+            out[key] = merge(a.get(key, EMPTY), b.get(key, EMPTY))
+        return out
+
+    def bind_loop_target(
+        self, target: ast.expr, taint: Taint, env: Dict[str, Taint]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = taint
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.bind_loop_target(elt, taint, env)
+
+    # -- assignment targets ---------------------------------------------------
+
+    def assign(
+        self,
+        target: ast.expr,
+        taint: Taint,
+        env: Dict[str, Taint],
+        stmt: ast.stmt,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = taint
+            prefix = target.id + "."
+            for key in [k for k in env if k.startswith(prefix)]:
+                del env[key]
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                inner = taint
+                if isinstance(elt, ast.Starred):
+                    elt = elt.value
+                self.assign(elt, inner, env, stmt)
+            return
+        if isinstance(target, ast.Attribute):
+            path = self.path_of(target)
+            if path is not None:
+                env[path] = taint
+            if (
+                isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and self.fn.cls is not None
+            ):
+                attr = target.attr
+                flat = taint.flat()
+                if attr in CONTROL_STATE_ATTRS:
+                    value = getattr(stmt, "value", None)
+                    self.hit_sink(
+                        "T402",
+                        flat,
+                        stmt,
+                        f"control state self.{attr} assigned from "
+                        f"'{_expr_text(stmt)}' without certificate/"
+                        "signature validation on this path",
+                        self.paths_in(value) if value is not None else (),
+                    )
+                if "src" in flat.markers:
+                    self.engine.store_attr(
+                        self.fn.cls,
+                        attr,
+                        Taint(frozenset({"src"}), flat.cleared, flat.laundered),
+                    )
+                for marker in flat.markers:
+                    if marker.startswith("p"):
+                        self.attr_stores.add(
+                            (self.fn.cls, attr, marker, flat.cleared, flat.laundered)
+                        )
+            return
+        if isinstance(target, ast.Subscript):
+            key_taint = self.eval(target.slice, env).flat()
+            base_path = self.path_of(target.value)
+            self.check_growth(target.value, target.slice, key_taint, stmt)
+            # the collection now holds the assigned *value* (keys are
+            # checked by T404/T406 above, not mixed into content taint)
+            attr: Optional[str] = None
+            if (
+                isinstance(target.value, ast.Attribute)
+                and isinstance(target.value.value, ast.Name)
+                and target.value.value.id == "self"
+            ):
+                attr = target.value.attr
+            elif isinstance(target.value, ast.Name):
+                attr = self.aliases.get(target.value.id)
+            if attr is not None and self.fn.cls is not None:
+                self.store_content(attr, taint.flat())
+            if base_path is not None:
+                env[base_path] = merge(env.get(base_path, EMPTY), taint)
+            return
+
+    def store_content(self, attr: str, flat: Taint) -> None:
+        """Record that ``self.<attr>`` now contains ``flat``-tainted data."""
+        if self.fn.cls is None:
+            return
+        if "src" in flat.markers:
+            self.engine.store_attr(
+                self.fn.cls,
+                attr,
+                Taint(frozenset({"src"}), flat.cleared, flat.laundered),
+            )
+        for marker in flat.markers:
+            if marker.startswith("p"):
+                self.attr_stores.add(
+                    (self.fn.cls, attr, marker, flat.cleared, flat.laundered)
+                )
+
+    def _track_alias(self, target: ast.expr, value: ast.expr) -> None:
+        """``pool = self._shares.setdefault(k, {})`` makes writes through
+        ``pool`` visible as content of ``self._shares``."""
+        if not isinstance(target, ast.Name):
+            return
+        expr = value
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in ("setdefault", "get")
+        ):
+            expr = expr.func.value
+        if isinstance(expr, ast.Subscript):
+            expr = expr.value
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            self.aliases[target.id] = expr.attr
+        else:
+            self.aliases.pop(target.id, None)
+
+    # -- expressions ----------------------------------------------------------
+
+    def path_of(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            base = self.path_of(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    def paths_in(self, node: ast.expr) -> List[str]:
+        """Dotted paths of every Name/Attribute chain inside ``node``
+        (so a sink on ``[msg.share]`` records ``msg.share`` for T408)."""
+        direct = self.path_of(node)
+        if direct is not None:
+            return [direct]
+        out: List[str] = []
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                out.extend(self.paths_in(child))
+        return out
+
+    def eval(self, node: ast.expr, env: Dict[str, Taint]) -> Taint:
+        if isinstance(node, ast.Constant):
+            return EMPTY
+        if isinstance(node, ast.Name):
+            return env.get(node.id, EMPTY)
+        if isinstance(node, ast.Attribute):
+            path = self.path_of(node)
+            if path is not None and path in env:
+                return env[path]
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                return self.engine.read_attr(self.fn.cls, node.attr)
+            base = self.eval(node.value, env)
+            return base.field_taint(node.attr)
+        if isinstance(node, ast.Call):
+            return self.eval_call(node, env)
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left, env)
+            right = self.eval(node.right, env)
+            if isinstance(node.op, ast.Mult):
+                self.check_repetition(node, left, right)
+            return merge(left, right)
+        if isinstance(node, ast.BoolOp):
+            out = EMPTY
+            for value in node.values:
+                out = merge(out, self.eval(value, env))
+            return out
+        if isinstance(node, ast.UnaryOp):
+            inner = self.eval(node.operand, env)
+            if isinstance(node.op, ast.Not):
+                return EMPTY
+            return inner
+        if isinstance(node, ast.Compare):
+            self.eval_compare(node, env)
+            return EMPTY
+        if isinstance(node, ast.Subscript):
+            self.check_identity_index(node, env)
+            value = self.eval(node.value, env)
+            self.eval(node.slice, env)
+            return value
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = EMPTY
+            for elt in node.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                out = merge(out, self.eval(inner, env))
+            return out
+        if isinstance(node, ast.Dict):
+            out = EMPTY
+            for key in node.keys:
+                if key is not None:
+                    out = merge(out, self.eval(key, env))
+            for value in node.values:
+                out = merge(out, self.eval(value, env))
+            return out
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env)
+            return merge(self.eval(node.body, env), self.eval(node.orelse, env))
+        if isinstance(node, (ast.Await, ast.Starred, ast.FormattedValue)):
+            return self.eval(node.value, env)
+        if isinstance(node, ast.JoinedStr):
+            out = EMPTY
+            for value in node.values:
+                out = merge(out, self.eval(value, env))
+            return out
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            comp_env = dict(env)
+            for gen in node.generators:
+                iter_taint = self.eval(gen.iter, comp_env)
+                self.bind_loop_target(gen.target, iter_taint, comp_env)
+                for cond in gen.ifs:
+                    self.eval(cond, comp_env)
+            return self.eval(node.elt, comp_env)
+        if isinstance(node, ast.DictComp):
+            comp_env = dict(env)
+            for gen in node.generators:
+                iter_taint = self.eval(gen.iter, comp_env)
+                self.bind_loop_target(gen.target, iter_taint, comp_env)
+                for cond in gen.ifs:
+                    self.eval(cond, comp_env)
+            return merge(
+                self.eval(node.key, comp_env), self.eval(node.value, comp_env)
+            )
+        if isinstance(node, ast.Lambda):
+            return EMPTY
+        if isinstance(node, ast.NamedExpr):
+            taint = self.eval(node.value, env)
+            self.assign(node.target, taint, env, ast.Expr(value=node))
+            return taint
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self.eval(part, env)
+            return EMPTY
+        return EMPTY
+
+    # -- guards (comparisons) -------------------------------------------------
+
+    def eval_compare(self, node: ast.Compare, env: Dict[str, Taint]) -> None:
+        operands = [node.left] + list(node.comparators)
+        for operand in operands:
+            self.eval(operand, env)
+        is_membership = any(isinstance(op, (ast.In, ast.NotIn)) for op in node.ops)
+        if is_membership:
+            key = node.left
+            key_path = self.path_of(key)
+            if key_path is not None:
+                self.clear_path(env, key_path, frozenset({"T404"}), node.lineno)
+            for container in node.comparators:
+                cpath = self.path_of(container)
+                if cpath is not None:
+                    self.guarded.add(cpath)
+            return
+        for operand in operands:
+            path = self.path_of(operand)
+            if path is None:
+                # len(coll) bound check guards that collection
+                if (
+                    isinstance(operand, ast.Call)
+                    and isinstance(operand.func, ast.Name)
+                    and operand.func.id == "len"
+                    and operand.args
+                ):
+                    inner = self.path_of(operand.args[0])
+                    if inner is not None:
+                        self.guarded.add(inner)
+                continue
+            taint = self.lookup_path(env, path)
+            others = [o for o in operands if o is not operand]
+            if self._is_identity_path(operand) and others:
+                self.clear_path(env, path, frozenset({"T406"}), node.lineno)
+            if taint.is_tainted and any(self._is_bound_expr(o) for o in others):
+                self.clear_path(
+                    env, path, frozenset({"T403", "T404"}), node.lineno
+                )
+
+    def _is_identity_path(self, node: ast.expr) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr in IDENTITY_ATTRS
+
+    def _is_bound_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+            return True
+        if isinstance(node, ast.BinOp):  # self.round + MAX_ROUND_AHEAD
+            return self._is_bound_expr(node.left) or self._is_bound_expr(node.right)
+        if isinstance(node, ast.Call):
+            name = (
+                node.func.id
+                if isinstance(node.func, ast.Name)
+                else getattr(node.func, "attr", "")
+            )
+            return name in ("len", "min", "max")
+        path = self.path_of(node)
+        if path is not None:
+            upper = path.upper()
+            return any(hint in upper for hint in BOUND_NAME_HINTS) or path.startswith(
+                "self."
+            )
+        return False
+
+    def lookup_path(self, env: Dict[str, Taint], path: str) -> Taint:
+        """Taint of a dotted path: exact env entry, else parent fields."""
+        if path in env:
+            return env[path]
+        if "." in path:
+            base, _, attr = path.rpartition(".")
+            if base == "self":
+                return self.engine.read_attr(self.fn.cls, attr)
+            return self.lookup_path(env, base).field_taint(attr)
+        return EMPTY
+
+    def clear_path(
+        self,
+        env: Dict[str, Taint],
+        path: str,
+        rules: FrozenSet[str],
+        lineno: int,
+        from_sanitizer: bool = False,
+    ) -> None:
+        # T408: an explicit sanitizer *call* arrived after the value
+        # already hit a sink (compare-based guards are exempt: a late
+        # dedupe/bounds comparison is not a misplaced verification).
+        if from_sanitizer:
+            for rule, sink_line in self.sunk.get(path, ()):
+                if rule in rules and sink_line < lineno and self.report:
+                    self.findings.append(
+                        Finding(
+                            "T408",
+                            self.fn.path,
+                            lineno,
+                            0,
+                            f"'{path}' is sanitized here but already "
+                            f"reached a {rule} sink at line {sink_line}; "
+                            "the check cannot protect the earlier use",
+                        )
+                    )
+        env[path] = self.lookup_path(env, path).clear(rules)
+        prefix = path + "."
+        for key in list(env):
+            if key.startswith(prefix):
+                env[key] = env[key].clear(rules)
+
+    # -- calls ----------------------------------------------------------------
+
+    def eval_call(self, node: ast.Call, env: Dict[str, Taint]) -> Taint:
+        func = node.func
+        callee_qname, call_name = self.index.resolve_call(node, self.fn)
+        # evaluate the receiver chain so nested calls (sinks inside
+        # x.setdefault(...).append(...)) are not skipped
+        receiver = EMPTY
+        if isinstance(func, ast.Attribute):
+            receiver = self.eval(func.value, env)
+        arg_taints: List[Taint] = [self.eval(a, env) for a in node.args]
+        kw_taints: Dict[str, Taint] = {
+            kw.arg: self.eval(kw.value, env)
+            for kw in node.keywords
+            if kw.arg is not None
+        }
+
+        # serialization of tainted data -> laundered bytes
+        if call_name in SERIALIZERS and isinstance(func, ast.Attribute):
+            base = receiver.flat()
+            if base.is_tainted:
+                return replace(base, laundered=True, fields=())
+            return EMPTY
+
+        if call_name == "len":
+            out = EMPTY
+            for t in arg_taints:
+                out = merge(out, t)
+            # len() measures data already held: its result is not an
+            # attacker-*claimed* size, so allocation by it is not T403.
+            return out.clear(frozenset({"T403", "T404"}))
+
+        if call_name in TRUSTED_PRODUCERS:
+            # locally-generated shares/signatures over any message are
+            # trusted material, even when the message itself is remote
+            return EMPTY
+
+        # sinks ---------------------------------------------------------------
+        if call_name in SINK_CALLS:
+            rule = SINK_CALLS[call_name]
+            skip_first = call_name in SINK_MESSAGE_FIRST and len(node.args) >= 2
+            for pos, (arg, taint) in enumerate(zip(node.args, arg_taints)):
+                if skip_first and pos == 0:
+                    continue
+                self.hit_sink(
+                    rule,
+                    taint.flat(),
+                    node,
+                    f"'{_expr_text(arg)}' reaches {call_name}() without "
+                    "the required verification on this path",
+                    self.paths_in(arg),
+                )
+            for name, taint in kw_taints.items():
+                self.hit_sink(
+                    rule,
+                    taint.flat(),
+                    node,
+                    f"argument '{name}' reaches {call_name}() without "
+                    "the required verification on this path",
+                )
+        if call_name in ALLOC_CALLS:
+            rule = ALLOC_CALLS[call_name]
+            for arg, taint in zip(node.args, arg_taints):
+                self.hit_sink(
+                    rule,
+                    taint.flat(),
+                    node,
+                    f"allocation {call_name}({_expr_text(arg)}) sized by a "
+                    "remote value without a bounds check",
+                    self.paths_in(arg),
+                )
+        if (
+            call_name in GROWTH_CALLS
+            and isinstance(func, ast.Attribute)
+            and node.args
+        ):
+            key_taint = arg_taints[0].flat()
+            self.check_growth(func.value, node.args[0], key_taint, node)
+
+        # collection mutation stores taint cross-function (content only:
+        # for setdefault the key is checked by T404/T406, not stored)
+        if (
+            isinstance(func, ast.Attribute)
+            and call_name in ("setdefault", "add", "append", "update", "extend")
+            and self.fn.cls is not None
+        ):
+            attr: Optional[str] = None
+            if (
+                isinstance(func.value, ast.Attribute)
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id == "self"
+            ):
+                attr = func.value.attr
+            elif isinstance(func.value, ast.Name):
+                attr = self.aliases.get(func.value.id)
+            if attr is not None:
+                content = arg_taints[1:] if call_name == "setdefault" else arg_taints
+                stored = EMPTY
+                for t in content:
+                    stored = merge(stored, t.flat())
+                self.store_content(attr, stored)
+
+        # dict access returns content, never the key
+        if call_name in ("setdefault", "get") and isinstance(func, ast.Attribute):
+            out = receiver.flat()
+            for t in arg_taints[1:2]:  # default value
+                out = merge(out, t.flat())
+            return out
+
+        # sanitizers ----------------------------------------------------------
+        sanitized = call_name in SANITIZERS
+        if sanitized:
+            rules = SANITIZERS[call_name]
+            cleared_args: List[Taint] = []
+            for arg, taint in zip(node.args, arg_taints):
+                # paths_in, not path_of: verify_shares(m, [msg.share])
+                # must clear msg.share inside the list literal too
+                for path in self.paths_in(arg):
+                    self.clear_path(env, path, rules, node.lineno, from_sanitizer=True)
+                cleared_args.append(taint.clear(rules))
+            arg_taints = cleared_args
+            kw_taints = {k: t.clear(rules) for k, t in kw_taints.items()}
+            # verifying a method's receiver (msg.verify()) clears it too
+            if isinstance(func, ast.Attribute):
+                rpath = self.path_of(func.value)
+                if rpath is not None:
+                    self.clear_path(env, rpath, rules, node.lineno, from_sanitizer=True)
+
+        # sources -------------------------------------------------------------
+        if call_name in SOURCE_CALLS:
+            merged = EMPTY
+            for t in list(arg_taints) + list(kw_taints.values()):
+                merged = merge(merged, t.flat())
+            return Taint(
+                markers=frozenset({"src"}) | merged.markers,
+                cleared=merged.cleared | frozenset({"T405"}),
+                laundered=merged.laundered,
+            )
+        if sanitized:
+            return EMPTY
+
+        # dataclass constructor: field-sensitive message taint
+        ctor = self.index.resolve_constructor(node, self.fn)
+        if ctor is not None and ctor.fields:
+            fields: List[Tuple[str, Taint]] = []
+            for pos, taint in enumerate(arg_taints):
+                if pos < len(ctor.fields) and taint.is_tainted:
+                    fields.append((ctor.fields[pos], taint.flat()))
+            for name, taint in kw_taints.items():
+                if name in ctor.fields and taint.is_tainted:
+                    fields.append((name, taint.flat()))
+            if fields:
+                return Taint(fields=tuple(sorted(fields)))
+            return EMPTY
+
+        # interprocedural: apply the callee's summary ------------------------
+        if callee_qname is not None and callee_qname in self.engine.summaries:
+            return self.apply_summary(
+                node, callee_qname, arg_taints, kw_taints, receiver
+            )
+
+        # unknown call: propagate conservatively
+        out = receiver.flat()
+        for t in list(arg_taints) + list(kw_taints.values()):
+            out = merge(out, t.flat())
+        return out
+
+    def apply_summary(
+        self,
+        node: ast.Call,
+        callee_qname: str,
+        arg_taints: List[Taint],
+        kw_taints: Dict[str, Taint],
+        receiver: Taint = EMPTY,
+    ) -> Taint:
+        callee = self.index.functions[callee_qname]
+        summary = self.engine.summaries[callee_qname]
+        offset = 1 if callee.params and callee.params[0] in ("self", "cls") and isinstance(
+            node.func, ast.Attribute
+        ) else 0
+        bindings: Dict[str, Taint] = {}
+        if offset == 1 and receiver.is_tainted:
+            bindings["p0"] = receiver.flat()
+        for pos, taint in enumerate(arg_taints):
+            idx = pos + offset
+            if idx < len(callee.params):
+                bindings[f"p{idx}"] = taint.flat()
+        for name, taint in kw_taints.items():
+            if name in callee.params:
+                bindings[f"p{callee.params.index(name)}"] = taint.flat()
+
+        for hit in summary.sink_hits:
+            bound = bindings.get(hit.marker)
+            if bound is None or hit.rule in bound.cleared:
+                continue
+            if "src" in bound.markers:
+                if self.report:
+                    rule = (
+                        "T407"
+                        if bound.laundered and hit.rule in LAUNDERABLE_RULES
+                        else hit.rule
+                    )
+                    self.findings.append(
+                        Finding(rule, hit.path, hit.line, hit.col, hit.message)
+                    )
+            for marker in bound.markers:
+                if marker.startswith("p"):
+                    self.sink_hits.add(replace(hit, marker=marker))
+
+        for cls_qname, attr, marker, cleared, laundered in summary.attr_stores:
+            bound = bindings.get(marker)
+            if bound is None:
+                continue
+            # sanitization performed inside the callee before the store
+            # applies on top of whatever the caller had already cleared
+            eff_cleared = bound.cleared | cleared
+            eff_laundered = bound.laundered or laundered
+            if "src" in bound.markers:
+                self.engine.store_attr(
+                    cls_qname,
+                    attr,
+                    Taint(frozenset({"src"}), eff_cleared, eff_laundered),
+                )
+            for m in bound.markers:
+                if m.startswith("p"):
+                    self.attr_stores.add(
+                        (cls_qname, attr, m, eff_cleared, eff_laundered)
+                    )
+
+        markers: Set[str] = set()
+        cleared = summary.returns.cleared
+        laundered = summary.returns.laundered
+        if "src" in summary.returns.markers:
+            markers.add("src")
+        for marker in summary.returns.markers:
+            bound = bindings.get(marker)
+            if bound is not None and bound.is_tainted:
+                markers.update(bound.markers)
+                laundered = laundered or bound.laundered
+        if not markers:
+            return EMPTY
+        return Taint(frozenset(markers), cleared, laundered)
+
+    # -- sink helpers ---------------------------------------------------------
+
+    def hit_sink(
+        self,
+        rule: str,
+        taint: Taint,
+        node: ast.AST,
+        message: str,
+        paths: Sequence[str] = (),
+    ) -> None:
+        if not taint.markers or rule in taint.cleared:
+            return
+        line = getattr(node, "lineno", self.fn.lineno)
+        col = getattr(node, "col_offset", 0)
+        if "src" in taint.markers and self.report:
+            effective = (
+                "T407" if taint.laundered and rule in LAUNDERABLE_RULES else rule
+            )
+            if effective == "T407":
+                message += " (value was laundered through a serialization round-trip)"
+            self.findings.append(
+                Finding(effective, self.fn.path, line, col, message)
+            )
+        for marker in taint.markers:
+            if marker.startswith("p"):
+                self.sink_hits.add(
+                    SinkHit(marker, rule, self.fn.path, line, col, message)
+                )
+        for path in paths:
+            self.sunk.setdefault(path, []).append((rule, line))
+
+    def check_growth(
+        self,
+        container: ast.expr,
+        key: ast.expr,
+        key_taint: Taint,
+        node: ast.AST,
+    ) -> None:
+        cpath = self.path_of(container)
+        if cpath is not None and cpath in self.guarded:
+            return
+        # only replica state (self.<attr>) growth is in scope
+        if not (cpath or "").startswith("self."):
+            return
+        if self._is_identity_path(key):
+            self.hit_sink(
+                "T406",
+                key_taint,
+                node,
+                f"message-claimed identity '{_expr_text(key)}' indexes "
+                f"{cpath} without a sender/bounds check",
+                self.paths_in(key),
+            )
+            return
+        self.hit_sink(
+            "T404",
+            key_taint,
+            node,
+            f"remote value '{_expr_text(key)}' keys unbounded growth of "
+            f"{cpath} (no membership/bounds guard on this path)",
+            self.paths_in(key),
+        )
+
+    def check_identity_index(self, node: ast.Subscript, env: Dict[str, Taint]) -> None:
+        if not self._is_identity_path(node.slice):
+            return
+        base_path = self.path_of(node.value)
+        if not (base_path or "").startswith("self."):
+            return
+        slice_path = self.path_of(node.slice)
+        taint = (
+            env.get(slice_path, EMPTY).flat() if slice_path else EMPTY
+        )
+        if not taint.is_tainted and isinstance(node.slice, ast.Attribute):
+            taint = self.eval(node.slice, env).flat()
+        self.hit_sink(
+            "T406",
+            taint,
+            node,
+            f"message-claimed identity '{_expr_text(node.slice)}' indexes "
+            f"{base_path} without a sender/bounds check",
+            [slice_path] if slice_path else (),
+        )
+
+    def check_repetition(self, node: ast.BinOp, left: Taint, right: Taint) -> None:
+        def is_seq_literal(expr: ast.expr) -> bool:
+            return isinstance(expr, (ast.List, ast.Tuple)) or (
+                isinstance(expr, ast.Constant)
+                and isinstance(expr.value, (str, bytes))
+            )
+
+        for seq, count_expr, count in (
+            (node.left, node.right, right),
+            (node.right, node.left, left),
+        ):
+            if is_seq_literal(seq):
+                self.hit_sink(
+                    "T403",
+                    count.flat(),
+                    node,
+                    f"sequence repetition '{_expr_text(node)}' sized by a "
+                    "remote value without a bounds check",
+                    self.paths_in(count_expr),
+                )
+
+
+# -- public API ---------------------------------------------------------------
+
+
+def analyze_files(
+    files: Sequence[Tuple[Path, str, str]],
+    config: Optional[LintConfig] = None,
+    suppressions: Optional[Dict[str, List["Suppression"]]] = None,
+) -> List[Finding]:
+    """Run the taint analysis over pre-loaded (path, module, source) files.
+
+    Inline ``# repro-lint: disable=T4xx`` comments are honored; pass
+    ``suppressions`` (path -> parsed suppressions, keyed like
+    ``Finding.path``) to share usage tracking with the caller (the CLI
+    does, so stale-suppression reporting sees taint-rule hits).
+    """
+    from repro.lint.framework import parse_suppression_comments
+
+    config = config or LintConfig()
+    index = ProgramIndex.build(files)
+    engine = TaintEngine(index, tuple(config.taint_modules))
+    findings = engine.run()
+    if suppressions is None:
+        suppressions = {
+            path.as_posix(): parse_suppression_comments(source)
+            for path, _module, source in files
+        }
+    kept: List[Finding] = []
+    for f in findings:
+        shields = [
+            s for s in suppressions.get(f.path, []) if s.shields(f.rule, f.line)
+        ]
+        if shields:
+            for s in shields:
+                s.used.add(f.rule)
+            continue
+        kept.append(f)
+    return kept
+
+
+def analyze(
+    paths: Sequence[Path],
+    root: Path,
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Run the taint analysis over every Python file under ``paths``."""
+    return analyze_files(module_files(paths, root), config=config)

@@ -1,0 +1,115 @@
+"""SARIF 2.1.0 emitter for lint/taint findings.
+
+Emits the minimal static-analysis interchange subset consumed by code
+hosts and SARIF viewers: one run, a rule catalog under
+``tool.driver.rules``, and one result per finding with a physical
+location.  Output is deterministic (sorted findings, sorted keys) so the
+artifact diffs cleanly between CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.framework import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Rule families mapped to SARIF levels.
+_LEVELS = {
+    "T": "error",  # taint: attacker-controlled data at a protocol sink
+    "C": "error",  # crypto hygiene
+    "D": "warning",  # determinism
+    "A": "warning",  # async safety
+    "S": "note",  # stale suppressions
+    "E": "error",  # parse errors
+}
+
+
+def _level_for(rule: str) -> str:
+    return _LEVELS.get(rule[:1], "warning")
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    rule_catalog: Optional[Dict[str, Tuple[str, str]]] = None,
+    tool_name: str = "repro-lint",
+    tool_version: str = "1.0",
+) -> Dict[str, object]:
+    """Build the SARIF log dict for ``findings``.
+
+    ``rule_catalog`` maps rule id -> (short summary, full description);
+    rules seen in findings but absent from the catalog still get stub
+    descriptors so the log is self-contained.
+    """
+    catalog = dict(rule_catalog or {})
+    seen_rules = sorted({f.rule for f in findings} | set(catalog))
+    rules: List[Dict[str, object]] = []
+    rule_index: Dict[str, int] = {}
+    for i, rule_id in enumerate(seen_rules):
+        summary, description = catalog.get(rule_id, (rule_id, rule_id))
+        rule_index[rule_id] = i
+        rules.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": summary},
+                "fullDescription": {"text": description},
+                "defaultConfiguration": {"level": _level_for(rule_id)},
+            }
+        )
+    results: List[Dict[str, object]] = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        results.append(
+            {
+                "ruleId": f.rule,
+                "ruleIndex": rule_index[f.rule],
+                "level": _level_for(f.rule),
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": f.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": f.line,
+                                "startColumn": f.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "version": tool_version,
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    rule_catalog: Optional[Dict[str, Tuple[str, str]]] = None,
+) -> str:
+    return json.dumps(
+        to_sarif(findings, rule_catalog), indent=2, sort_keys=True
+    )

@@ -1,0 +1,120 @@
+"""Byzantine resource-exhaustion hardening pinned by the taint analysis.
+
+These regressions cover the true positives the interprocedural taint run
+surfaced: digest stuffing in the ABC prepare/commit pools, far-future
+epoch spam in complaints and epoch finals, and digest spam in the RBC
+echo/ready pools.
+"""
+
+import pytest
+
+from repro.broadcast import rbc as rbc_mod
+from repro.broadcast.abc import MAX_EPOCH_AHEAD
+from repro.broadcast.messages import AbcCommit, AbcComplain
+from repro.broadcast.rbc import RbcEcho, RbcInstance, RbcReady
+
+from tests.broadcast.harness import auth_keys, coin_keys, make_lan
+from tests.broadcast.test_abc import build
+
+
+@pytest.fixture(scope="module")
+def keys_4_1():
+    pairs, pubs = auth_keys(4)
+    coins = coin_keys(4, 1)
+    return pairs, pubs, coins
+
+
+def make_abc(keys, index=0):
+    net = make_lan(4)
+    abcs, _delivered = build(4, 1, net, keys)
+    return abcs[index]
+
+
+class TestSlotDigestCap:
+    def test_at_most_n_distinct_digests_per_slot(self, keys_4_1):
+        abc = make_abc(keys_4_1)
+        for i in range(abc.n + 3):
+            assert abc._admit_slot_digest(0, 0, bytes([i]) * 32) == (i < abc.n)
+
+    def test_known_digest_readmitted(self, keys_4_1):
+        abc = make_abc(keys_4_1)
+        for i in range(abc.n):
+            abc._admit_slot_digest(0, 0, bytes([i]) * 32)
+        # a digest admitted before the cap stays admitted (revotes work)
+        assert abc._admit_slot_digest(0, 0, bytes([0]) * 32)
+
+    def test_cap_is_per_slot(self, keys_4_1):
+        abc = make_abc(keys_4_1)
+        for i in range(abc.n):
+            abc._admit_slot_digest(0, 0, bytes([i]) * 32)
+        # a different (epoch, seq) slot has its own budget
+        assert abc._admit_slot_digest(0, 1, bytes([99]) * 32)
+
+    def test_commit_digest_stuffing_bounded(self, keys_4_1):
+        abc = make_abc(keys_4_1)
+        for i in range(abc.n + 4):
+            abc.on_message(2, AbcCommit(0, 0, bytes([i]) * 32, 2, b"sig"))
+        slot_keys = [k for k in abc._commits if k[0] == 0 and k[1] == 0]
+        assert len(slot_keys) <= abc.n
+
+
+class TestEpochWindows:
+    def test_far_future_complain_dropped(self, keys_4_1):
+        abc = make_abc(keys_4_1)
+        far = abc.epoch + MAX_EPOCH_AHEAD + 1
+        abc.on_message(2, AbcComplain(far, 2))
+        assert far not in abc._complaints
+
+    def test_near_future_complain_tracked(self, keys_4_1):
+        abc = make_abc(keys_4_1)
+        near = abc.epoch + 1
+        abc.on_message(2, AbcComplain(near, 2))
+        assert 2 in abc._complaints[near]
+
+    def test_complain_flood_cannot_grow_state_unboundedly(self, keys_4_1):
+        abc = make_abc(keys_4_1)
+        for k in range(200):
+            abc.on_message(2, AbcComplain(abc.epoch + MAX_EPOCH_AHEAD + 1 + k, 2))
+        assert len(abc._complaints) == 0
+
+
+class TestRbcDigestSpam:
+    def _instance(self):
+        return RbcInstance(4, 1, 0, "sid")
+
+    def test_echo_digest_spam_capped(self, monkeypatch):
+        monkeypatch.setattr(rbc_mod, "MAX_TRACKED_PAYLOADS", 8)
+        inst = self._instance()
+        for i in range(12):
+            inst.on_message(1, RbcEcho("sid", b"payload-%d" % i))
+        assert len(inst._echoes) == 8
+
+    def test_ready_digest_spam_capped(self, monkeypatch):
+        monkeypatch.setattr(rbc_mod, "MAX_TRACKED_PAYLOADS", 8)
+        inst = self._instance()
+        for i in range(12):
+            inst.on_message(1, RbcReady("sid", bytes([i]) * 32))
+        assert len(inst._readies) == 8
+
+    def test_known_digest_still_accumulates_votes_at_cap(self, monkeypatch):
+        monkeypatch.setattr(rbc_mod, "MAX_TRACKED_PAYLOADS", 2)
+        inst = self._instance()
+        inst.on_message(1, RbcEcho("sid", b"a"))
+        inst.on_message(1, RbcEcho("sid", b"b"))
+        inst.on_message(1, RbcEcho("sid", b"c"))  # spam: dropped
+        inst.on_message(2, RbcEcho("sid", b"a"))  # vote on tracked digest: kept
+        digest_a = rbc_mod._digest(b"a")
+        assert inst._echoes[digest_a] == {1, 2}
+        assert len(inst._echoes) == 2
+
+    def test_delivery_still_works_under_cap(self, monkeypatch):
+        monkeypatch.setattr(rbc_mod, "MAX_TRACKED_PAYLOADS", 4)
+        inst = self._instance()
+        payload = b"the real payload"
+        digest = rbc_mod._digest(payload)
+        inst.on_message(1, RbcEcho("sid", payload))
+        inst.on_message(2, RbcEcho("sid", payload))
+        inst.on_message(3, RbcEcho("sid", payload))  # 2t+1 echoes -> ready
+        inst.on_message(1, RbcReady("sid", digest))
+        inst.on_message(2, RbcReady("sid", digest))
+        assert inst.delivered == payload

@@ -1,0 +1,48 @@
+"""Response/answer cache eviction: remote queries must not grow replica
+caches without bound (each distinct query is an attacker-chosen key)."""
+
+from types import SimpleNamespace
+
+from repro.core import replica as replica_mod
+from repro.core.replica import ReplicaServer
+
+
+def stub():
+    return SimpleNamespace(_response_cache={}, _answer_cache={})
+
+
+class TestResponseCache:
+    def test_evicts_oldest_at_cap(self, monkeypatch):
+        monkeypatch.setattr(replica_mod, "MAX_RESPONSE_CACHE_ENTRIES", 3)
+        s = stub()
+        for i in range(5):
+            ReplicaServer._cache_response(s, b"h%d" % i, b"wire%d" % i)
+        assert len(s._response_cache) == 3
+        # FIFO: the two oldest entries are gone, the newest remain
+        assert b"h0" not in s._response_cache
+        assert b"h1" not in s._response_cache
+        assert s._response_cache[b"h4"] == b"wire4"
+
+    def test_rewrite_of_existing_key_does_not_evict(self, monkeypatch):
+        monkeypatch.setattr(replica_mod, "MAX_RESPONSE_CACHE_ENTRIES", 2)
+        s = stub()
+        ReplicaServer._cache_response(s, b"a", b"1")
+        ReplicaServer._cache_response(s, b"b", b"2")
+        ReplicaServer._cache_response(s, b"a", b"1-updated")
+        assert len(s._response_cache) == 2
+        assert s._response_cache[b"a"] == b"1-updated"
+
+
+class TestAnswerCache:
+    def test_evicts_oldest_at_cap(self, monkeypatch):
+        monkeypatch.setattr(replica_mod, "MAX_ANSWER_CACHE_ENTRIES", 3)
+        s = stub()
+        for i in range(5):
+            ReplicaServer._cache_answer(s, (f"name{i}", 1, 1), f"entry{i}")
+        assert len(s._answer_cache) == 3
+        assert ("name0", 1, 1) not in s._answer_cache
+        assert s._answer_cache[("name4", 1, 1)] == "entry4"
+
+    def test_default_caps_are_sane(self):
+        assert replica_mod.MAX_RESPONSE_CACHE_ENTRIES >= 1024
+        assert replica_mod.MAX_ANSWER_CACHE_ENTRIES >= 1024

@@ -1,0 +1,45 @@
+"""Header count inflation must be rejected before the section parse
+loops run (KeyTrap-style: the loop bound is attacker-chosen wire data)."""
+
+import struct
+
+import pytest
+
+from repro.dns import constants as c
+from repro.dns.message import Message, make_query
+from repro.dns.name import Name
+from repro.errors import WireFormatError
+
+
+def header(qd=0, an=0, ns=0, ar=0, flags=0):
+    return struct.pack("!6H", 0x1234, flags, qd, an, ns, ar)
+
+
+class TestCountInflation:
+    @pytest.mark.parametrize("section", ["qd", "an", "ns", "ar"])
+    def test_count_beyond_message_size_rejected(self, section):
+        wire = header(**{section: 0xFFFF})
+        with pytest.raises(WireFormatError, match="section count"):
+            Message.from_wire(wire)
+
+    def test_inflated_count_with_some_body_rejected(self):
+        # 4 bytes of body cannot hold 60000 answers.
+        wire = header(an=60_000) + b"\x00\x00\x00\x00"
+        with pytest.raises(WireFormatError):
+            Message.from_wire(wire)
+
+    def test_rejection_is_immediate_not_mid_parse(self):
+        # The guard fires on the header alone: no partial section parse
+        # should be attempted (which would raise a different error).
+        with pytest.raises(WireFormatError, match="section count exceeds"):
+            Message.from_wire(header(qd=0xFFFF))
+
+    def test_legitimate_message_still_parses(self):
+        query = make_query(Name.from_text("www.example.com."), c.TYPE_A)
+        parsed = Message.from_wire(query.to_wire())
+        assert parsed.questions == query.questions
+
+    def test_empty_message_parses(self):
+        parsed = Message.from_wire(header())
+        assert parsed.questions == []
+        assert parsed.answers == []

@@ -1,0 +1,118 @@
+"""``repro lint`` CLI integration: subdirectory invocation, --taint,
+--sarif, and --list-rules wiring."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSubdirInvocation:
+    def test_check_baseline_from_subdirectory(self, monkeypatch, capsys):
+        # The analyzer must anchor to the repo root (pyproject.toml /
+        # lint-baseline.json), not the CWD: same result from tests/.
+        monkeypatch.chdir(REPO_ROOT / "tests")
+        assert main(["lint", "--check-baseline"]) == 0
+        assert "lint clean" in capsys.readouterr().out
+
+    def test_taint_check_baseline_from_subdirectory(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT / "src" / "repro" / "dns")
+        assert main(["lint", "--taint", "--check-baseline"]) == 0
+        assert "lint clean" in capsys.readouterr().out
+
+    def test_explicit_root_override(self, capsys):
+        assert main(["lint", "--root", str(REPO_ROOT), "--check-baseline"]) == 0
+
+
+class TestTaintFlag:
+    def test_taint_flags_seeded_corpus_file(self, tmp_path, capsys):
+        corpus = REPO_ROOT / "tests" / "taint" / "corpus"
+        code = main(
+            [
+                "lint",
+                "--root",
+                str(REPO_ROOT),
+                "--taint",
+                "--format",
+                "text",
+                # point at a nonexistent baseline so findings print rather
+                # than being diffed against the repo's ratchet file
+                "--baseline",
+                str(tmp_path / "none.json"),
+                str(corpus / "vuln_t401_share_assembly.py"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "T401" in out
+
+    def test_without_taint_corpus_file_is_quiet_on_t_rules(self, tmp_path, capsys):
+        corpus = REPO_ROOT / "tests" / "taint" / "corpus"
+        main(
+            [
+                "lint",
+                "--root",
+                str(REPO_ROOT),
+                "--format",
+                "text",
+                "--baseline",
+                str(tmp_path / "none.json"),
+                str(corpus / "vuln_t401_share_assembly.py"),
+            ]
+        )
+        assert "T401" not in capsys.readouterr().out
+
+
+class TestSarif:
+    def test_sarif_written_with_rule_catalog(self, tmp_path, capsys):
+        corpus = REPO_ROOT / "tests" / "taint" / "corpus"
+        out_file = tmp_path / "out.sarif"
+        main(
+            [
+                "lint",
+                "--root",
+                str(REPO_ROOT),
+                "--taint",
+                "--sarif",
+                str(out_file),
+                str(corpus / "vuln_t403_alloc.py"),
+            ]
+        )
+        doc = json.loads(out_file.read_text())
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"T401", "T408", "S101"} <= rule_ids
+        results = run["results"]
+        assert any(r["ruleId"] == "T403" for r in results)
+
+    def test_sarif_on_clean_input_has_no_results(self, tmp_path, capsys):
+        corpus = REPO_ROOT / "tests" / "taint" / "corpus"
+        out_file = tmp_path / "clean.sarif"
+        assert (
+            main(
+                [
+                    "lint",
+                    "--root",
+                    str(REPO_ROOT),
+                    "--taint",
+                    "--sarif",
+                    str(out_file),
+                    str(corpus / "clean_verified.py"),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(out_file.read_text())
+        assert doc["runs"][0]["results"] == []
+
+
+class TestListRules:
+    def test_catalog_includes_taint_and_framework_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("T401", "T402", "T403", "T404", "T405", "T406", "T407", "T408"):
+            assert rule_id in out
+        assert "S101" in out

@@ -35,5 +35,27 @@ def test_baseline_is_empty():
 def test_strict_modules_config_consistent():
     strict, problems = check_strict_config(REPO_ROOT / "pyproject.toml")
     assert problems == [], "\n".join(problems)
-    # The mypy graduation satellite: at least three modules are strict.
+    # The mypy graduation ratchet: the protocol surface has graduated.
+    assert "repro.crypto.protocols" in strict
+    assert "repro.broadcast.abc" in strict
     assert len(strict) >= 3
+
+
+def test_tree_taint_clean():
+    # The interprocedural taint analysis must run clean over the shipped
+    # tree: every true positive it surfaced was fixed, every intentional
+    # pattern carries a justified inline suppression (DESIGN.md §5e).
+    from repro.taint import analyze
+
+    config = LintConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
+    findings = analyze([REPO_ROOT / "src" / "repro"], REPO_ROOT, config=config)
+    assert findings == [], "\n".join(
+        f"{f.path}:{f.line} {f.rule} {f.message}" for f in findings
+    )
+
+
+def test_taint_modules_configured():
+    config = LintConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
+    assert "repro.broadcast.*" in config.taint_modules
+    # the fault injector is the modeled adversary, not the defended surface
+    assert "!repro.core.faults" in config.taint_modules

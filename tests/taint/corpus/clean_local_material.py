@@ -1,0 +1,23 @@
+"""Clean control: locally-generated crypto material is trusted.
+
+Shares produced by our own key over a remote message are not tainted
+(T401 must stay quiet), and strict decoding of our own serialization is
+not laundering.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SignRequest:
+    data: bytes
+
+
+class Endpoint:
+    def __init__(self, key_share):
+        self.key_share = key_share
+        self.public = key_share.public
+
+    def on_message(self, sender, msg):
+        share = self.key_share.generate_share(msg.data)
+        return self.public.assemble(msg.data, [share])

@@ -1,0 +1,45 @@
+"""Clean control: every remote value is sanitized before its sink.
+
+The analyzer must report nothing here — each pattern mirrors one of the
+seeded vulnerabilities with the missing check put back.
+"""
+
+from dataclasses import dataclass
+
+MAX_TRACKED = 64
+
+
+@dataclass
+class ShareMsg:
+    sid: str
+    index: int
+    count: int
+    share: object
+
+
+class Endpoint:
+    def __init__(self, public, zone):
+        self.public = public
+        self.zone = zone
+        self.votes = {}
+        self._slots = {}
+
+    def on_message(self, sender, msg):
+        # share verified before assembly (T401 counterpart)
+        if not self.public.verify_shares(b"m", [msg.share]):
+            return None
+        # identity claim checked against the authenticated sender (T406)
+        if msg.index != sender + 1:
+            return None
+        self._slots[msg.index] = msg.share
+        # allocation bounds-checked (T403)
+        if msg.count > MAX_TRACKED:
+            return None
+        sizes = list(range(msg.count))
+        # growth behind a membership + size guard (T404)
+        if msg.sid not in self.votes:
+            if len(self.votes) >= MAX_TRACKED:
+                return None
+        pool = self.votes.setdefault(msg.sid, set())
+        pool.add(sender)
+        return self.public.assemble(b"m", [msg.share]), sizes

@@ -1,0 +1,32 @@
+"""Seeded vulnerability: taint flows through replica state (T401).
+
+One handler stores the unverified share into ``self._pool``; a different
+method later assembles from it.  Detecting this requires cross-function
+attribute taint, not just local dataflow.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ShareMsg:
+    sid: str
+    share: object
+
+
+class Endpoint:
+    def __init__(self, public):
+        self.public = public
+        self._pool = {}
+
+    def on_message(self, sender, msg):
+        # BUG: stored without verification ...
+        pool = self._pool.setdefault(msg.sid, [])
+        pool.append(msg.share)
+
+    def try_assemble(self, sid):
+        shares = self._pool.get(sid, [])
+        if len(shares) < 2:
+            return None
+        # ... and consumed by assembly in another method entirely.
+        return self.public.assemble(b"m", shares)

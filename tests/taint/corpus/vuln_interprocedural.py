@@ -1,0 +1,27 @@
+"""Seeded vulnerability: taint crosses two helper calls to a sink (T401).
+
+Exercises the interprocedural summaries: the handler itself never touches
+a sink, the leaf helper never sees a source.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ShareMsg:
+    share: object
+
+
+class Endpoint:
+    def __init__(self, public):
+        self.public = public
+
+    def on_message(self, sender, msg):
+        return self._collect(msg.share)
+
+    def _collect(self, share):
+        return self._finish([share])
+
+    def _finish(self, shares):
+        # BUG: reached from on_message with an unverified remote share.
+        return self.public.assemble(b"m", shares)

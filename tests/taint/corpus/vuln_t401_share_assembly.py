@@ -1,0 +1,23 @@
+"""Seeded vulnerability: unverified remote share reaches assemble() (T401)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ShareMsg:
+    sid: str
+    share: object
+
+
+class Endpoint:
+    def __init__(self, public):
+        self.public = public
+        self.shares = []
+
+    def on_message(self, sender, msg):
+        # BUG: msg.share is attacker-controlled and never runs through
+        # verify_shares/share_is_valid before assembly.
+        self.shares.append(msg.share)
+        if len(self.shares) >= 3:
+            return self.public.assemble(b"m", self.shares)
+        return None

@@ -1,0 +1,18 @@
+"""Seeded vulnerability: remote integer sizes an allocation (T403)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ChunkRequest:
+    count: int
+
+
+class Endpoint:
+    def on_message(self, sender, msg):
+        # BUG: msg.count is never bounds-checked, so a single message
+        # makes us allocate an attacker-chosen amount of memory.
+        chunks = []
+        for i in range(msg.count):
+            chunks.append(bytearray(msg.count))
+        return chunks

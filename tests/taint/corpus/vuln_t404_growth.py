@@ -1,0 +1,20 @@
+"""Seeded vulnerability: remote key grows replica state unbounded (T404)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Vote:
+    ballot: str
+    value: int
+
+
+class Endpoint:
+    def __init__(self):
+        self.votes = {}
+
+    def on_message(self, sender, msg):
+        # BUG: msg.ballot is attacker-chosen and there is no membership
+        # or size guard, so distinct ballots grow `votes` without limit.
+        pool = self.votes.setdefault(msg.ballot, set())
+        pool.add(sender)

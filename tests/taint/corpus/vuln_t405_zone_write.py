@@ -1,0 +1,19 @@
+"""Seeded vulnerability: raw wire bytes reach zone mutation (T405)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RawUpdate:
+    name: bytes
+    rdata: bytes
+
+
+class Endpoint:
+    def __init__(self, zone):
+        self.zone = zone
+
+    def on_message(self, sender, msg):
+        # BUG: the raw fields go straight into the zone without a strict
+        # decoder or TSIG verification on this path.
+        self.zone.add_rdata(msg.name, 1, 300, msg.rdata)

@@ -1,0 +1,19 @@
+"""Seeded vulnerability: message-claimed identity indexes state (T406)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SlotShare:
+    index: int
+    share: object
+
+
+class Endpoint:
+    def __init__(self):
+        self._slots = {}
+
+    def on_message(self, sender, msg):
+        # BUG: msg.index is whatever the sender claims; without an
+        # index-vs-sender check a Byzantine replica overwrites any slot.
+        self._slots[msg.index] = msg.share

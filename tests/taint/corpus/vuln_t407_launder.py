@@ -1,0 +1,21 @@
+"""Seeded vulnerability: serialization round-trip launders taint (T407)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ShareMsg:
+    share: object
+
+
+class Endpoint:
+    def __init__(self, public, codec):
+        self.public = public
+        self.codec = codec
+
+    def on_message(self, sender, msg):
+        # BUG: re-encoding and re-parsing the share does not make it
+        # trustworthy, but the re-decoded copy skips verification.
+        wire = msg.share.to_bytes()
+        reparsed = self.codec.from_bytes(wire)
+        return self.public.assemble(b"m", [reparsed])

@@ -1,0 +1,21 @@
+"""Seeded vulnerability: the sanitizer runs after the sink (T408)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ShareMsg:
+    share: object
+
+
+class Endpoint:
+    def __init__(self, public):
+        self.public = public
+
+    def on_message(self, sender, msg):
+        # BUG: assembly happens first; verifying afterwards cannot
+        # protect the signature that was already produced.
+        signature = self.public.assemble(b"m", [msg.share])
+        if not self.public.verify_shares(b"m", [msg.share]):
+            return None
+        return signature
