@@ -290,9 +290,14 @@ class AtomicBroadcast:
         self._prepares: Dict[Tuple[int, int, bytes], Dict[int, bytes]] = {}
         # Distinct digests admitted per (epoch, seq) slot.  A Byzantine
         # signer carries a valid signature over any digest it invents, so
-        # without this cap each in-window slot admits unlimited pool
-        # entries in _prepares/_commits (digest stuffing).
+        # without a cap each in-window slot admits unlimited pool entries
+        # in _prepares/_commits (digest stuffing).  Admission is bounded
+        # *per sender* — each replica may introduce at most one digest per
+        # slot — so a flooder exhausts only its own budget and can never
+        # crowd out the honest leader's digest (a global first-come cap
+        # would let one replica censor every slot).
         self._slot_digests: Dict[Tuple[int, int], Set[bytes]] = {}
+        self._slot_introducer: Dict[Tuple[int, int], Dict[int, bytes]] = {}
         self._certificates: Dict[int, PrepareCertificate] = {}  # seq -> best cert
         self._commit_sent: Set[Tuple[int, int]] = set()
         self._commits: Dict[Tuple[int, int, bytes], Set[int]] = {}
@@ -507,7 +512,7 @@ class AtomicBroadcast:
             return
         if not self._verify_prepare(msg):
             return
-        if not self._admit_slot_digest(msg.epoch, msg.seq, msg.digest):
+        if not self._admit_slot_digest(sender, msg.epoch, msg.seq, msg.digest):
             return
         pool = self._prepares.setdefault((msg.epoch, msg.seq, msg.digest), {})
         if msg.signer in pool:
@@ -516,19 +521,27 @@ class AtomicBroadcast:
         if len(pool) >= 2 * self.t + 1:
             self._form_certificate(msg.epoch, msg.seq, msg.digest, pool)
 
-    def _admit_slot_digest(self, epoch: int, seq: int, digest: bytes) -> bool:
-        """Admit at most ``n`` distinct digests per (epoch, seq) slot.
+    def _admit_slot_digest(
+        self, sender: int, epoch: int, seq: int, digest: bytes
+    ) -> bool:
+        """Admit at most one *introduced* digest per sender per slot.
 
-        Honest replicas prepare/commit one digest per slot, so any
-        legitimate run needs at most ``n`` distinct digests; everything
-        past that is Byzantine digest stuffing aimed at growing the
-        ``_prepares``/``_commits`` pools without bound.
+        Honest replicas prepare/commit exactly one digest per slot, so a
+        sender presenting a second distinct digest is equivocating —
+        Byzantine digest stuffing aimed at growing the
+        ``_prepares``/``_commits`` pools without bound.  Bounding per
+        sender (rather than a global first-come cap) keeps the slot at
+        ≤ ``n`` distinct digests while guaranteeing the honest leader's
+        digest is always admitted: a flooder only burns its own budget.
+        Voting for a digest someone else already introduced is free.
         """
         digests = self._slot_digests.setdefault((epoch, seq), set())
         if digest in digests:
             return True
-        if len(digests) >= self.n:
-            return False
+        introducer = self._slot_introducer.setdefault((epoch, seq), {})
+        if sender in introducer:
+            return False  # this sender already introduced a different digest
+        introducer[sender] = digest
         digests.add(digest)
         return True
 
@@ -573,7 +586,7 @@ class AtomicBroadcast:
             return
         if not self._seq_in_window(msg.seq):
             return
-        if not self._admit_slot_digest(msg.epoch, msg.seq, msg.digest):
+        if not self._admit_slot_digest(sender, msg.epoch, msg.seq, msg.digest):
             return
         voters = self._commits.setdefault((msg.epoch, msg.seq, msg.digest), set())
         if sender in voters:
@@ -727,10 +740,12 @@ class AtomicBroadcast:
         final, signature = msg
         if not isinstance(final, AbcEpochFinal) or final.sender != sender:
             return
-        if not self.crypto.verify(sender, _final_signing_input(final), signature):
-            return
+        # Window check first: it reads only final.epoch, so stale/far-future
+        # spam is shed before paying for a full signature verification.
         if final.epoch < self.epoch or final.epoch > self.epoch + MAX_EPOCH_AHEAD:
             return  # stale finals are useless; far-future ones are Byzantine
+        if not self.crypto.verify(sender, _final_signing_input(final), signature):
+            return
         pool = self._finals.setdefault(final.epoch, {})
         if sender in pool:
             return

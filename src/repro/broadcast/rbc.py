@@ -26,16 +26,22 @@ from repro.errors import ConfigError
 Outgoing = Tuple[int, object]
 BROADCAST = -1
 
-#: Cap on distinct payloads kept per RBC instance (KeyTrap bound).
-MAX_TRACKED_PAYLOADS = 4096
-
 
 def _digest(payload: bytes) -> bytes:
     return hashlib.sha256(payload).digest()
 
 
 class RbcInstance:
-    """State of one reliable-broadcast session at one replica."""
+    """State of one reliable-broadcast session at one replica.
+
+    Resource bound (KeyTrap class): an honest replica echoes exactly one
+    payload and readies exactly one digest per session, so each sender is
+    allowed to introduce at most one echo digest and one ready digest —
+    a second distinct digest from the same sender is equivocation and is
+    ignored outright.  That caps tracked digests at ``n`` per vote type
+    per instance without any first-come global limit a flooder could
+    exhaust before honest votes arrive.
+    """
 
     def __init__(self, n: int, t: int, me: int, sid: str) -> None:
         self.n = n
@@ -47,6 +53,8 @@ class RbcInstance:
         self._echoes: Dict[bytes, Set[int]] = {}
         self._readies: Dict[bytes, Set[int]] = {}
         self._payload_by_digest: Dict[bytes, bytes] = {}
+        self._echo_digest: Dict[int, bytes] = {}   # sender -> echoed digest
+        self._ready_digest: Dict[int, bytes] = {}  # sender -> readied digest
         self._sent_echo = False
         self._sent_ready = False
 
@@ -77,16 +85,14 @@ class RbcInstance:
 
     def _on_echo(self, sender: int, msg: RbcEcho) -> List[Outgoing]:
         digest = _digest(msg.payload)
-        # Bound distinct tracked payloads: honest replicas echo one payload
-        # each, so only Byzantine spam can push past n distinct digests.
-        if (
-            digest in self._payload_by_digest
-            or len(self._payload_by_digest) < MAX_TRACKED_PAYLOADS
-        ):
-            self._payload_by_digest[digest] = msg.payload
-        if digest not in self._echoes:
-            if len(self._echoes) >= MAX_TRACKED_PAYLOADS:
-                return []  # digest spam: honest replicas echo one payload each
+        # One echo digest per sender: a second distinct digest from the
+        # same sender is equivocation, so its vote (and payload) is
+        # dropped.  Tracked state is thereby ≤ n digests per instance.
+        prev = self._echo_digest.get(sender)
+        if prev is not None and prev != digest:
+            return []
+        self._echo_digest[sender] = digest
+        self._payload_by_digest[digest] = msg.payload
         voters = self._echoes.setdefault(digest, set())
         if sender in voters:
             return []
@@ -96,9 +102,15 @@ class RbcInstance:
         return []
 
     def _on_ready(self, sender: int, msg: RbcReady) -> List[Outgoing]:
-        if msg.digest not in self._readies:
-            if len(self._readies) >= MAX_TRACKED_PAYLOADS:
-                return []  # digest spam: honest replicas ready one digest each
+        # One ready digest per sender (honest replicas ready exactly one);
+        # equivocating readies are dropped, bounding tracked digests at n.
+        prev = self._ready_digest.get(sender)
+        if prev is not None and prev != msg.digest:
+            return []
+        self._ready_digest[sender] = msg.digest
+        # Bounded: the per-sender equivocation guard above admits at most
+        # one digest per sender, so _readies holds ≤ n keys.
+        # repro-lint: disable=T404
         voters = self._readies.setdefault(msg.digest, set())
         if sender in voters:
             return []

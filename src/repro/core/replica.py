@@ -306,8 +306,12 @@ class ReplicaServer:
 
     def _on_client_request(self, client: int, msg: ClientRequest) -> None:
         """Gateway role: accept a client request and disseminate it (§3.4)."""
-        cached = self._response_cache.get(hashlib.sha256(msg.wire).digest())
+        wire_hash = hashlib.sha256(msg.wire).digest()
+        cached = self._response_cache.get(wire_hash)
         if cached is not None:
+            # Refresh the entry's LRU position: active retries must not be
+            # evictable by a flood of one-shot queries (§3.4 retry replay).
+            self._cache_response(wire_hash, cached)
             self._send(
                 client,
                 ClientResponse(
@@ -328,6 +332,22 @@ class ReplicaServer:
             self._execute(msg.request_id, client, msg.wire)
             return
         payload = encode_request(client, msg.wire)
+        if (
+            opcode == c.OPCODE_QUERY
+            and derive_request_id(payload) in self._executed_rids
+        ):
+            # Retry of an already-delivered query whose cached response was
+            # evicted.  Re-broadcasting cannot answer it — the broadcast
+            # layer deduplicates the request id — so the retry would go
+            # silent forever.  Queries are idempotent reads: re-execute
+            # against the current zone instead.  Never while _busy: a
+            # delivered rid may still be queued behind an in-flight
+            # signing round, during which the zone's SIGs are incomplete
+            # and serving them would violate G3 — staying silent lets the
+            # client's next retry land after the queue drains.
+            if not self._busy:
+                self._execute(msg.request_id, client, msg.wire)
+            return
         if self.batch_queue is not None:
             # Bounded: BatchQueue flushes itself at max_batch entries.
             # repro-lint: disable=C304
@@ -500,10 +520,16 @@ class ReplicaServer:
         return frozenset(names), volatile
 
     def _cache_response(self, wire_hash: bytes, response_wire: bytes) -> None:
-        """Bounded insert into the retry cache (oldest entry evicted)."""
-        if wire_hash not in self._response_cache:
-            if len(self._response_cache) >= MAX_RESPONSE_CACHE_ENTRIES:
-                self._response_cache.pop(next(iter(self._response_cache)))
+        """Bounded LRU insert into the retry cache.
+
+        Re-inserting an existing key moves it to the back of the eviction
+        order, so entries that clients are actively retrying survive a
+        flood of one-shot queries; the least-recently-used entry is
+        evicted at capacity.
+        """
+        self._response_cache.pop(wire_hash, None)
+        if len(self._response_cache) >= MAX_RESPONSE_CACHE_ENTRIES:
+            self._response_cache.pop(next(iter(self._response_cache)))
         self._response_cache[wire_hash] = response_wire
 
     def _cache_answer(

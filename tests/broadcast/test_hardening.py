@@ -3,7 +3,10 @@
 These regressions cover the true positives the interprocedural taint run
 surfaced: digest stuffing in the ABC prepare/commit pools, far-future
 epoch spam in complaints and epoch finals, and digest spam in the RBC
-echo/ready pools.
+echo/ready pools.  Admission is bounded *per sender* — a global
+first-come cap would itself be an attack surface: one Byzantine replica
+could fill a slot with invented digests before the honest leader's
+prepare arrives and censor the slot forever.
 """
 
 import pytest
@@ -11,7 +14,7 @@ import pytest
 from repro.broadcast import rbc as rbc_mod
 from repro.broadcast.abc import MAX_EPOCH_AHEAD
 from repro.broadcast.messages import AbcCommit, AbcComplain
-from repro.broadcast.rbc import RbcEcho, RbcInstance, RbcReady
+from repro.broadcast.rbc import RbcEcho, RbcInstance, RbcReady, RbcSend
 
 from tests.broadcast.harness import auth_keys, coin_keys, make_lan
 from tests.broadcast.test_abc import build
@@ -30,32 +33,54 @@ def make_abc(keys, index=0):
     return abcs[index]
 
 
-class TestSlotDigestCap:
+class TestSlotDigestAdmission:
+    def test_one_introduced_digest_per_sender_per_slot(self, keys_4_1):
+        abc = make_abc(keys_4_1)
+        assert abc._admit_slot_digest(2, 0, 0, b"\x01" * 32)
+        # the same sender cannot introduce a second distinct digest
+        assert not abc._admit_slot_digest(2, 0, 0, b"\x02" * 32)
+        # but revoting its own digest stays admitted
+        assert abc._admit_slot_digest(2, 0, 0, b"\x01" * 32)
+
+    def test_voting_an_admitted_digest_is_free(self, keys_4_1):
+        abc = make_abc(keys_4_1)
+        assert abc._admit_slot_digest(2, 0, 0, b"\x01" * 32)
+        # other senders may vote for sender 2's digest without burning
+        # their own introduction budget ...
+        assert abc._admit_slot_digest(3, 0, 0, b"\x01" * 32)
+        # ... and can still introduce their own digest afterwards
+        assert abc._admit_slot_digest(3, 0, 0, b"\x03" * 32)
+
+    def test_flooder_cannot_censor_honest_digest(self, keys_4_1):
+        """The REVIEW scenario: one Byzantine replica stuffs a slot with
+        invented digests before the honest leader's prepare arrives; the
+        honest digest must still be admitted."""
+        abc = make_abc(keys_4_1)
+        for i in range(abc.n + 4):
+            abc._admit_slot_digest(2, 0, 0, bytes([i + 10]) * 32)
+        honest = b"\x07" * 32
+        assert abc._admit_slot_digest(0, 0, 0, honest)
+        assert abc._admit_slot_digest(1, 0, 0, honest)
+
     def test_at_most_n_distinct_digests_per_slot(self, keys_4_1):
         abc = make_abc(keys_4_1)
-        for i in range(abc.n + 3):
-            assert abc._admit_slot_digest(0, 0, bytes([i]) * 32) == (i < abc.n)
+        for sender in range(abc.n):
+            for i in range(3):  # each sender tries to introduce 3 digests
+                abc._admit_slot_digest(sender, 0, 0, bytes([10 * sender + i]) * 32)
+        assert len(abc._slot_digests[(0, 0)]) <= abc.n
 
-    def test_known_digest_readmitted(self, keys_4_1):
+    def test_budget_is_per_slot(self, keys_4_1):
         abc = make_abc(keys_4_1)
-        for i in range(abc.n):
-            abc._admit_slot_digest(0, 0, bytes([i]) * 32)
-        # a digest admitted before the cap stays admitted (revotes work)
-        assert abc._admit_slot_digest(0, 0, bytes([0]) * 32)
-
-    def test_cap_is_per_slot(self, keys_4_1):
-        abc = make_abc(keys_4_1)
-        for i in range(abc.n):
-            abc._admit_slot_digest(0, 0, bytes([i]) * 32)
+        abc._admit_slot_digest(2, 0, 0, b"\x01" * 32)
         # a different (epoch, seq) slot has its own budget
-        assert abc._admit_slot_digest(0, 1, bytes([99]) * 32)
+        assert abc._admit_slot_digest(2, 0, 1, b"\x63" * 32)
 
     def test_commit_digest_stuffing_bounded(self, keys_4_1):
         abc = make_abc(keys_4_1)
         for i in range(abc.n + 4):
             abc.on_message(2, AbcCommit(0, 0, bytes([i]) * 32, 2, b"sig"))
         slot_keys = [k for k in abc._commits if k[0] == 0 and k[1] == 0]
-        assert len(slot_keys) <= abc.n
+        assert len(slot_keys) <= 1  # one introduced digest per sender
 
 
 class TestEpochWindows:
@@ -77,38 +102,79 @@ class TestEpochWindows:
             abc.on_message(2, AbcComplain(abc.epoch + MAX_EPOCH_AHEAD + 1 + k, 2))
         assert len(abc._complaints) == 0
 
+    def test_out_of_window_final_skips_signature_verification(self, keys_4_1, monkeypatch):
+        """Cheap epoch check runs before crypto.verify, so stale/far-future
+        finals cannot be used to burn verification CPU."""
+        abc = make_abc(keys_4_1)
+        calls = []
+        monkeypatch.setattr(
+            abc.crypto, "verify", lambda *a, **k: calls.append(a) or False
+        )
+        from repro.broadcast.messages import AbcEpochFinal
+
+        far = AbcEpochFinal(
+            epoch=abc.epoch + MAX_EPOCH_AHEAD + 1,
+            sender=2,
+            delivered_seq=0,
+            certificates=(),
+            pending=(),
+        )
+        abc._on_epoch_final(2, (far, b"junk"))
+        assert calls == []
+
 
 class TestRbcDigestSpam:
     def _instance(self):
         return RbcInstance(4, 1, 0, "sid")
 
-    def test_echo_digest_spam_capped(self, monkeypatch):
-        monkeypatch.setattr(rbc_mod, "MAX_TRACKED_PAYLOADS", 8)
+    def test_echo_equivocation_ignored(self):
         inst = self._instance()
         for i in range(12):
             inst.on_message(1, RbcEcho("sid", b"payload-%d" % i))
-        assert len(inst._echoes) == 8
+        # only sender 1's first digest is tracked; the rest is equivocation
+        assert len(inst._echoes) == 1
+        assert len(inst._payload_by_digest) == 1
 
-    def test_ready_digest_spam_capped(self, monkeypatch):
-        monkeypatch.setattr(rbc_mod, "MAX_TRACKED_PAYLOADS", 8)
+    def test_ready_equivocation_ignored(self):
         inst = self._instance()
         for i in range(12):
             inst.on_message(1, RbcReady("sid", bytes([i]) * 32))
-        assert len(inst._readies) == 8
+        assert len(inst._readies) == 1
 
-    def test_known_digest_still_accumulates_votes_at_cap(self, monkeypatch):
-        monkeypatch.setattr(rbc_mod, "MAX_TRACKED_PAYLOADS", 2)
+    def test_tracked_state_bounded_by_n(self):
+        inst = self._instance()
+        for sender in range(4):
+            for i in range(6):
+                inst.on_message(sender, RbcEcho("sid", b"p-%d-%d" % (sender, i)))
+                inst.on_message(sender, RbcReady("sid", bytes([10 * sender + i]) * 32))
+        assert len(inst._echoes) <= inst.n
+        assert len(inst._readies) <= inst.n
+        assert len(inst._payload_by_digest) <= inst.n + 1
+
+    def test_repeat_votes_on_same_digest_accumulate(self):
         inst = self._instance()
         inst.on_message(1, RbcEcho("sid", b"a"))
-        inst.on_message(1, RbcEcho("sid", b"b"))
-        inst.on_message(1, RbcEcho("sid", b"c"))  # spam: dropped
-        inst.on_message(2, RbcEcho("sid", b"a"))  # vote on tracked digest: kept
+        inst.on_message(2, RbcEcho("sid", b"a"))
         digest_a = rbc_mod._digest(b"a")
         assert inst._echoes[digest_a] == {1, 2}
-        assert len(inst._echoes) == 2
 
-    def test_delivery_still_works_under_cap(self, monkeypatch):
-        monkeypatch.setattr(rbc_mod, "MAX_TRACKED_PAYLOADS", 4)
+    def test_delivery_survives_byzantine_digest_flood(self):
+        """The REVIEW scenario: a flooder spams distinct digests *before*
+        any honest vote arrives; the real payload must still deliver."""
+        inst = self._instance()
+        for i in range(50):
+            inst.on_message(1, RbcEcho("sid", b"fake-%d" % i))
+            inst.on_message(1, RbcReady("sid", bytes([i]) * 32))
+        payload = b"the real payload"
+        digest = rbc_mod._digest(payload)
+        inst.on_message(2, RbcSend("sid", payload))  # we echo the real payload
+        inst.on_message(2, RbcEcho("sid", payload))
+        inst.on_message(3, RbcEcho("sid", payload))  # 2t+1 echoes -> ready
+        inst.on_message(2, RbcReady("sid", digest))
+        inst.on_message(3, RbcReady("sid", digest))
+        assert inst.delivered == payload
+
+    def test_delivery_still_works(self):
         inst = self._instance()
         payload = b"the real payload"
         digest = rbc_mod._digest(payload)

@@ -32,6 +32,19 @@ class TestResponseCache:
         assert len(s._response_cache) == 2
         assert s._response_cache[b"a"] == b"1-updated"
 
+    def test_reinsert_refreshes_lru_position(self, monkeypatch):
+        """An actively-retried entry must survive a flood of one-shot
+        queries: re-inserting moves it to the back of the eviction order."""
+        monkeypatch.setattr(replica_mod, "MAX_RESPONSE_CACHE_ENTRIES", 3)
+        s = stub()
+        ReplicaServer._cache_response(s, b"victim", b"v")
+        ReplicaServer._cache_response(s, b"x1", b"1")
+        ReplicaServer._cache_response(s, b"x2", b"2")
+        ReplicaServer._cache_response(s, b"victim", b"v")  # retry hit refresh
+        ReplicaServer._cache_response(s, b"x3", b"3")      # evicts x1, not victim
+        assert b"victim" in s._response_cache
+        assert b"x1" not in s._response_cache
+
 
 class TestAnswerCache:
     def test_evicts_oldest_at_cap(self, monkeypatch):

@@ -76,6 +76,37 @@ class TestResponseCache:
         assert from_gateway[-1].wire == from_gateway[0].wire
 
 
+class TestRetryAfterEviction:
+    def test_evicted_retry_is_reexecuted_not_silent(self):
+        """A retry whose cached response was evicted must still be
+        answered: the broadcast layer dedupes the request id, so the
+        gateway re-executes the idempotent read locally (REVIEW §3.4)."""
+        svc = make_service()
+        from repro.broadcast.messages import ClientRequest
+
+        _msg_id, wire = svc.client.build_query_wire(
+            Name.from_text("ns1.example.com."), c.TYPE_A
+        )
+        responses = []
+        svc.client._inflight.clear()
+        client_node = svc.client.node
+        client_node.set_handler(lambda s, m: responses.append(m))
+        client_node.run_local(
+            0.0, lambda: client_node.send(0, ClientRequest("r1", wire))
+        )
+        svc.net.sim.run()
+        assert responses
+        # Simulate a query flood having evicted the gateway's entry.
+        svc.replicas[0]._response_cache.clear()
+        before = len(responses)
+        client_node.run_local(
+            0.0, lambda: client_node.send(0, ClientRequest("r1", wire))
+        )
+        svc.net.sim.run()
+        assert len(responses) == before + 1
+        assert responses[-1].wire == responses[0].wire
+
+
 class TestDeterminism:
     def test_same_seed_same_latencies(self):
         def run(seed):
