@@ -62,6 +62,16 @@ class ServiceConfig:
     # the recovery backlog into batches of up to this many payloads per
     # sequence slot.  1 keeps the paper's one-request-per-slot recovery.
     recovery_batch_size: int = 32
+    # Write-path fan-out: start every signing session of an update at
+    # once (the coordinator multiplexes them; the pool plane overlaps
+    # their share generation).  Off by default: the serialized
+    # session-at-a-time schedule is what reproduces Table 2's add:delete
+    # latency shape, so only the write-throughput experiments flip this.
+    parallel_update_signing: bool = False
+    # Baseline ablation for the write-path benchmark: derive an update's
+    # re-sign work from the whole zone (every RRset) instead of the
+    # incremental touched-set.  Measures what incremental re-signing buys.
+    resign_whole_zone: bool = False
 
     def __post_init__(self) -> None:
         if self.n < 1:

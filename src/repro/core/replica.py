@@ -22,7 +22,7 @@ from __future__ import annotations
 import hashlib
 import struct
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.broadcast.abc import (
@@ -92,7 +92,12 @@ def canonical_response_wire(wire: bytes) -> bytes:
 
 @dataclass
 class _PendingUpdate:
-    """An update waiting for its threshold signatures."""
+    """An update waiting for its threshold signatures.
+
+    Sequential mode walks ``tasks`` one session at a time through
+    ``index``; parallel mode (``parallel_update_signing``) opens every
+    session up front and tracks per-task completion in ``attached``.
+    """
 
     request_id: str
     client: int
@@ -100,6 +105,8 @@ class _PendingUpdate:
     tasks: List[SigningTask]
     index: int = 0
     wire_hash: bytes = b""
+    parallel: bool = False
+    attached: Set[int] = field(default_factory=set)
 
     @property
     def current(self) -> SigningTask:
@@ -107,6 +114,8 @@ class _PendingUpdate:
 
     @property
     def finished(self) -> bool:
+        if self.parallel:
+            return len(self.attached) >= len(self.tasks)
         return self.index >= len(self.tasks)
 
 
@@ -570,7 +579,7 @@ class ReplicaServer:
         self._answer_cache = survivors
 
     @staticmethod
-    def _names_related(owner_names, affected) -> bool:
+    def _names_related(owner_names: frozenset, affected: Set[Name]) -> bool:
         for name in owner_names:
             for changed in affected:
                 if not isinstance(name, Name) or not isinstance(changed, Name):
@@ -607,22 +616,35 @@ class ReplicaServer:
             self._cache_response(wire_hash, response_wire)
             self._respond(rid, client, response_wire)
             return
-        tasks = dnssec.signing_tasks_for_update(
-            self.zone, result, self.deployment.zone_key_record, self.policy
-        )
+        if self.config.resign_whole_zone:
+            # Baseline ablation for the write benchmarks: re-derive and
+            # re-sign every RRset of the zone after each update (the
+            # pre-incremental write path).
+            tasks = dnssec.signing_tasks_for_zone(
+                self.zone, self.deployment.zone_key_record, self.policy
+            )
+        else:
+            tasks = dnssec.signing_tasks_for_update(
+                self.zone, result, self.deployment.zone_key_record, self.policy
+            )
         if not tasks:
             self._cache_response(wire_hash, response_wire)
             self._respond(rid, client, response_wire)
             return
         self._busy = True
+        parallel = self.config.parallel_update_signing and self.abc is not None
         self._pending_update = _PendingUpdate(
             request_id=rid,
             client=client,
             response_wire=response_wire,
             tasks=tasks,
             wire_hash=wire_hash,
+            parallel=parallel,
         )
-        self._start_current_task()
+        if parallel:
+            self._start_all_tasks()
+        else:
+            self._start_current_task()
 
     # ------------------------------------------------------------------
     # threshold signing orchestration
@@ -668,6 +690,23 @@ class ReplicaServer:
         self._send_signing(outs)
         self._check_signing_progress()
 
+    def _start_all_tasks(self) -> None:
+        """Write-path fan-out: open every signing session of the update.
+
+        The coordinator multiplexes concurrent sessions (peers buffer
+        shares for sessions they have not reached yet), and on the pool
+        plane the share generation of all sessions overlaps.  Session
+        order is the deterministic task order, so transcripts still match
+        across replicas and executor planes.
+        """
+        pending = self._pending_update
+        assert pending is not None
+        for task in pending.tasks:
+            outs = self.coordinator.sign(task.sign_id, task.data)
+            self.node.charge_ops(self.coordinator.drain_ops(), self.costs)
+            self._send_signing(outs)
+        self._check_signing_progress()
+
     def _start_response_signing(
         self,
         rid: str,
@@ -710,11 +749,36 @@ class ReplicaServer:
         self._send_signing(outs)
         self._check_signing_progress()
 
+    def _finish_pending_update(self) -> None:
+        done = self._pending_update
+        assert done is not None
+        self._pending_update = None
+        self._busy = False
+        if done.wire_hash:
+            self._cache_response(done.wire_hash, done.response_wire)
+        self._respond(done.request_id, done.client, done.response_wire)
+        self._drain_exec_queue()
+
     def _check_signing_progress(self) -> None:
         progressed = True
         while progressed:
             progressed = False
-            if self._pending_update is not None:
+            if self._pending_update is not None and self._pending_update.parallel:
+                pending = self._pending_update
+                for i, task in enumerate(pending.tasks):
+                    if i in pending.attached:
+                        continue
+                    signature = self.coordinator.result(task.sign_id)
+                    if signature is None:
+                        continue
+                    # Verified exactly as in the sequential branch below.
+                    # repro-lint: disable=T405
+                    dnssec.attach_signature(self.zone, task, signature)
+                    self.stats["signatures_completed"] += 1
+                    pending.attached.add(i)
+                if pending.finished:
+                    self._finish_pending_update()
+            elif self._pending_update is not None:
                 task = self._pending_update.current
                 signature = self.coordinator.result(task.sign_id)
                 if signature is not None:
@@ -727,13 +791,7 @@ class ReplicaServer:
                     self.stats["signatures_completed"] += 1
                     self._pending_update.index += 1
                     if self._pending_update.finished:
-                        done = self._pending_update
-                        self._pending_update = None
-                        self._busy = False
-                        if done.wire_hash:
-                            self._cache_response(done.wire_hash, done.response_wire)
-                        self._respond(done.request_id, done.client, done.response_wire)
-                        self._drain_exec_queue()
+                        self._finish_pending_update()
                     else:
                         self._start_current_task()
                         progressed = False  # _start_current_task loops itself

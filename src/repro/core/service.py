@@ -11,7 +11,7 @@ and integration tests all sit on top of this class.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import ServiceConfig
 from repro.core.client import CompletedOp, FullClient, PragmaticClient
@@ -373,3 +373,19 @@ class ReplicatedNameService:
         start new rounds — benchmarks and tests assert on this counter.
         """
         return sum(r.signing_rounds for r in self.honest_replicas())
+
+    def render_cache_stats(self) -> Dict[str, int]:
+        """Summed canonical-render-cache stats across honest replicas."""
+        totals: Dict[str, int] = {}
+        for replica in self.honest_replicas():
+            for key, value in replica.zone.render.stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def cancelled_trials(self) -> int:
+        """OptTE subset trials cancelled by the lane-cancel protocol."""
+        total = 0
+        for replica in self.honest_replicas():
+            if replica.coordinator.executor is not None:
+                total += replica.coordinator.executor.stats["cancelled_trials"]
+        return total

@@ -215,6 +215,10 @@ class CryptoExecutor:
             "jobs": 0,
             "batch_jobs": 0,
             "batched_items": 0,
+            # OptTE lane-cancel protocol: speculative subset trials whose
+            # lanes were cancelled after an earlier wave produced the
+            # winner (always 0 on the serial plane).
+            "cancelled_trials": 0,
         }
 
     @property
@@ -693,34 +697,53 @@ class PoolExecutor(CryptoExecutor):
             # A single candidate is cheaper inline than over IPC.
             return SerialExecutor.assemble_candidates(self, message, subsets)
         self._require_key_share()
-        # Parallel trial-and-error: split the candidates across workers;
-        # every chunk is evaluated fully (no early exit), but the *first*
-        # valid subset in submission order wins, exactly as serially.
-        chunks: List[List[Sequence[SignatureShare]]] = [
-            list(subsets[i :: self.clock.workers])
-            for i in range(min(self.clock.workers, len(subsets)))
-        ]
-        futures = [
-            self._submit(_job_assemble_candidates, message, chunk)
-            for chunk in chunks
+        # Cancel-on-first-winner lane protocol.  Candidates are grouped
+        # into *waves* of one trial per worker; waves are evaluated in
+        # submission order with one speculative wave kept in flight ahead.
+        # The first valid subset inside the earliest winning wave is the
+        # winner — identical to the serial early exit, because all lower-
+        # indexed candidates belong to waves that were fully evaluated
+        # first.  On a win, every lane still outstanding in later waves is
+        # cancelled and counted (the modelled clock never charges them).
+        width = self.clock.workers
+        waves: List[List[Sequence[SignatureShare]]] = [
+            list(subsets[i : i + width]) for i in range(0, len(subsets), width)
         ]
         per_try = self.clock.crypto_cost(OP_ASSEMBLE) + self.clock.crypto_cost(
             OP_VERIFY_SIGNATURE
         )
-        done = max(
-            self.clock.background(per_try * len(chunk)) for chunk in chunks
-        )
-        self.clock.wait_until(done)
-        self._count_job(batch=len(subsets))
-        outcomes: List[Optional[bytes]] = [None] * len(subsets)
-        for lane, future in enumerate(futures):
-            for j, outcome in enumerate(future.result()):
-                outcomes[lane + j * self.clock.workers] = outcome
-        assembled = len(subsets)
-        verified = sum(1 for outcome in outcomes if outcome is not None)
-        for i, outcome in enumerate(outcomes):
-            if outcome is not None:
-                return SubsetTrialResult(i, outcome, assembled, verified)
+        lanes: List[List[Future]] = []
+
+        def launch(wave_index: int) -> None:
+            lanes.append(
+                [
+                    self._submit(_job_assemble_candidates, message, [candidate])
+                    for candidate in waves[wave_index]
+                ]
+            )
+
+        launch(0)
+        if len(waves) > 1:
+            launch(1)
+        assembled = verified = 0
+        for w, wave in enumerate(waves):
+            done = max(self.clock.background(per_try) for _ in wave)
+            self.clock.wait_until(done)
+            outcomes = [lane.result()[0] for lane in lanes[w]]
+            assembled += len(wave)
+            verified += sum(1 for outcome in outcomes if outcome is not None)
+            for j, outcome in enumerate(outcomes):
+                if outcome is None:
+                    continue
+                for later in lanes[w + 1 :]:
+                    for lane in later:
+                        lane.cancel()
+                    self.stats["cancelled_trials"] += len(later)
+                self._count_job(batch=assembled)
+                return SubsetTrialResult(w * width + j, outcome, assembled, verified)
+            if w + 2 < len(waves):
+                launch(w + 2)
+        self._count_job(batch=assembled)
         return SubsetTrialResult(None, None, assembled, verified)
 
     def rsa_sign(self, message: bytes) -> bytes:

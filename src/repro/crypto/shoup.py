@@ -78,6 +78,23 @@ def _verification_base(x: int, delta: int, modulus: int) -> int:
     return pow(x, 4 * delta, modulus)
 
 
+def verification_base_cache_stats() -> Dict[str, int]:
+    """Bound/usage stats of the ``x^{4 delta}`` memo (KeyTrap hygiene audit).
+
+    The cache is keyed by attacker-influenceable inputs (the message hash
+    ``x``), so its explicit bound matters; see
+    :mod:`repro.util.cachestats` for the repo-wide audit.
+    """
+    info = _verification_base.cache_info()
+    return {
+        "maxsize": int(info.maxsize or 0),
+        "currsize": info.currsize,
+        "hits": info.hits,
+        "misses": info.misses,
+        "evictions": info.misses - info.currsize,
+    }
+
+
 def _proof_challenge(
     modulus: int,
     v: int,

@@ -20,6 +20,7 @@ take roughly twice as long as deletes in Table 2.
 
 from __future__ import annotations
 
+import bisect
 import hashlib
 import struct
 from dataclasses import dataclass
@@ -80,9 +81,16 @@ def _sig_template(
     )
 
 
-def sig_data(rrset: RRset, template: SIG) -> bytes:
-    """The byte string a SIG covers: rdata-minus-signature || canonical RRset."""
-    return template.header_wire(canonical=True) + rrset.canonical_wire()
+def sig_data(rrset: RRset, template: SIG, zone: Optional[Zone] = None) -> bytes:
+    """The byte string a SIG covers: rdata-minus-signature || canonical RRset.
+
+    With ``zone`` given the RRset rendering goes through the zone's
+    canonical render cache (byte-identical output, memoized per serial).
+    """
+    rendered = (
+        zone.canonical_rrset_wire(rrset) if zone is not None else rrset.canonical_wire()
+    )
+    return template.header_wire(canonical=True) + rendered
 
 
 def make_signing_task(
@@ -91,10 +99,11 @@ def make_signing_task(
     signer_name: Name,
     policy: SigningPolicy,
     serial: int,
+    zone: Optional[Zone] = None,
 ) -> SigningTask:
     """Build the signing task for one RRset."""
     template = _sig_template(rrset, key, signer_name, policy, serial)
-    data = sig_data(rrset, template)
+    data = sig_data(rrset, template, zone)
     digest = hashlib.sha256()
     digest.update(signer_name.canonical_wire())
     digest.update(struct.pack(">IH", serial, rrset.rtype))
@@ -154,11 +163,7 @@ def rebuild_nxt_chain(zone: Zone, nxt_ttl: Optional[int] = None) -> Set[Name]:
     changed: Set[Name] = set()
     wanted: Dict[Name, NXT] = {}
     for i, name in enumerate(names):
-        next_name = names[(i + 1) % len(names)]
-        types = {rrset.rtype for rrset in zone.rrsets_at(name)}
-        types -= {c.TYPE_NXT}
-        types |= {c.TYPE_SIG, c.TYPE_NXT}
-        wanted[name] = NXT(next_name, sorted(types))
+        wanted[name] = _wanted_nxt(zone, name, names[(i + 1) % len(names)])
     # Remove NXT records at names that no longer carry data.
     for name in zone.names():
         existing = zone.find_rrset(name, c.TYPE_NXT)
@@ -182,6 +187,72 @@ def _has_authoritative_data(zone: Zone, name: Name) -> bool:
     """A name deserves an NXT entry if it has data besides NXT/SIG."""
     types = {rrset.rtype for rrset in zone.rrsets_at(name)}
     return bool(types - {c.TYPE_NXT, c.TYPE_SIG})
+
+
+def _wanted_nxt(zone: Zone, name: Name, next_name: Name) -> NXT:
+    types = {rrset.rtype for rrset in zone.rrsets_at(name)}
+    types -= {c.TYPE_NXT}
+    types |= {c.TYPE_SIG, c.TYPE_NXT}
+    return NXT(next_name, sorted(types))
+
+
+def update_nxt_chain_incremental(
+    zone: Zone, result: UpdateResult, nxt_ttl: Optional[int] = None
+) -> Set[Name]:
+    """Repair the NXT chain after one update; return names whose NXT changed.
+
+    Equivalent to :func:`rebuild_nxt_chain` when the chain was complete
+    before the update (the steady state between committed updates), but
+    only recomputes the NXT records the update could have moved: the
+    touched names themselves (type bitmaps) and the canonical
+    predecessors of names that entered or left the chain (next pointers).
+    Falls back to the full rebuild when the apex data changed (the NXT
+    TTL derives from SOA.minimum, which re-TTLs the whole chain) or when
+    the chain turns out to be incomplete.
+    """
+    affected = result.changed_names | result.added_names | result.deleted_names
+    if zone.origin in result.changed_names:
+        return rebuild_nxt_chain(zone, nxt_ttl)
+    if nxt_ttl is None:
+        nxt_ttl = zone.soa.minimum
+    names = [n for n in zone.names() if _has_authoritative_data(zone, n)]
+    if not names:
+        return rebuild_nxt_chain(zone, nxt_ttl)
+    chain = set(names)
+    targets: Set[Name] = set()
+    for name in affected:
+        if name in chain:
+            targets.add(name)
+        # the predecessor's next pointer moves when a chain entry appears
+        # or disappears at this position
+        idx = bisect.bisect_left(names, name)
+        targets.add(names[(idx - 1) % len(names)])
+    # precondition check: every untouched chain name must already carry
+    # an NXT, otherwise the incremental repair cannot be equivalent
+    if any(
+        zone.find_rrset(name, c.TYPE_NXT) is None
+        for name in names
+        if name not in targets
+    ):
+        return rebuild_nxt_chain(zone, nxt_ttl)
+    changed: Set[Name] = set()
+    # names that dropped out of the chain lose their NXT
+    for name in sorted(affected - chain):
+        if zone.find_rrset(name, c.TYPE_NXT) is not None:
+            # the update that emptied this name was TSIG/policy-verified
+            # before it was applied (same justification as the rebuild).
+            # repro-lint: disable=T405
+            zone.delete_rrset(name, c.TYPE_NXT)
+            changed.add(name)
+    for name in sorted(targets):
+        idx = bisect.bisect_left(names, name)
+        nxt = _wanted_nxt(zone, name, names[(idx + 1) % len(names)])
+        existing = zone.find_rrset(name, c.TYPE_NXT)
+        if existing is not None and len(existing) == 1 and existing.rdatas[0] == nxt:
+            continue
+        zone.put_rrset(RRset(name, c.TYPE_NXT, nxt_ttl, [nxt]))
+        changed.add(name)
+    return changed
 
 
 # --------------------------------------------------------------------------
@@ -208,7 +279,9 @@ def signing_tasks_for_zone(
     for rrset in zone:
         if rrset.rtype == c.TYPE_SIG:
             continue
-        tasks.append(make_signing_task(rrset, key, signer_name, policy, serial))
+        tasks.append(
+            make_signing_task(rrset, key, signer_name, policy, serial, zone)
+        )
     return tasks
 
 
@@ -217,6 +290,7 @@ def signing_tasks_for_update(
     result: UpdateResult,
     key: KEY,
     policy: SigningPolicy = SigningPolicy(),
+    incremental: bool = True,
 ) -> List[SigningTask]:
     """Tasks for re-signing after a dynamic update (deterministic order).
 
@@ -224,10 +298,18 @@ def signing_tasks_for_update(
     then changed NXT records, then the SOA.  For the paper's benchmark
     update shapes this yields exactly 4 tasks for an add-new-name and 2
     for a delete-name.
+
+    ``incremental`` selects the NXT repair strategy: the default
+    incremental repair touches only the affected chain region; the full
+    rebuild walks the whole zone (kept as the test oracle — both produce
+    identical task lists on a well-formed chain).
     """
     if not result.ok or not result.data_changed:
         return []
-    nxt_changed = rebuild_nxt_chain(zone)
+    if incremental:
+        nxt_changed = update_nxt_chain_incremental(zone, result)
+    else:
+        nxt_changed = rebuild_nxt_chain(zone)
     serial = zone.serial
     signer_name = zone.origin
     tasks: List[SigningTask] = []
@@ -237,16 +319,20 @@ def signing_tasks_for_update(
         for rrset in zone.rrsets_at(name):
             if rrset.rtype in (c.TYPE_SIG, c.TYPE_NXT, c.TYPE_SOA):
                 continue
-            tasks.append(make_signing_task(rrset, key, signer_name, policy, serial))
+            tasks.append(
+                make_signing_task(rrset, key, signer_name, policy, serial, zone)
+            )
 
     for name in sorted(nxt_changed):
         nxt_rrset = zone.find_rrset(name, c.TYPE_NXT)
         if nxt_rrset is None:
             continue  # the name was deleted
-        tasks.append(make_signing_task(nxt_rrset, key, signer_name, policy, serial))
+        tasks.append(
+            make_signing_task(nxt_rrset, key, signer_name, policy, serial, zone)
+        )
 
     tasks.append(
-        make_signing_task(zone.soa_rrset, key, signer_name, policy, serial)
+        make_signing_task(zone.soa_rrset, key, signer_name, policy, serial, zone)
     )
     return tasks
 
@@ -292,6 +378,7 @@ def verify_rrset(
     sig: SIG,
     key: KEY,
     now: Optional[int] = None,
+    zone: Optional[Zone] = None,
 ) -> None:
     """Verify a SIG over an RRset against the zone KEY; raise on failure."""
     from repro.crypto.rsa import RsaPublicKey
@@ -307,7 +394,7 @@ def verify_rrset(
             raise DnssecError("signature outside its validity window")
     modulus, exponent = key.rsa_parameters()
     public = RsaPublicKey(modulus=modulus, exponent=exponent)
-    data = sig.header_wire(canonical=True) + rrset.canonical_wire()
+    data = sig_data(rrset, sig, zone)
     try:
         public.verify(data, sig.signature)
     except InvalidSignature as exc:
@@ -328,7 +415,7 @@ def verify_zone(zone: Zone, key: KEY, now: Optional[int] = None) -> int:
                     f"SIG at {name.to_text()} covers missing type "
                     f"{c.type_to_text(sig.type_covered)}"  # type: ignore[attr-defined]
                 )
-            verify_rrset(covered, sig, key, now)  # type: ignore[arg-type]
+            verify_rrset(covered, sig, key, now, zone)  # type: ignore[arg-type]
             count += 1
     return count
 

@@ -1,0 +1,140 @@
+"""Bounded LRU cache for canonical RRset wire rendering.
+
+Canonical rendering (RFC 2535 / RFC 4034 §6: sort rdatas by their wire
+form, pack owner + header per record) is re-done for the same RRset many
+times on the write path: once per signing task, once per zone digest,
+once per verification pass.  This cache memoizes the rendered bytes keyed
+by ``(owner name, rtype, zone serial)`` — the same keying discipline as
+the replica's signed-answer cache — so a zone state between two updates
+renders each RRset at most once.
+
+Invalidation mirrors the answer cache's per-name semantics:
+
+* every zone mutation primitive drops the mutated ``(name, rtype)``
+  entries immediately (same-serial mutations happen: NXT maintenance
+  runs *after* the serial bump);
+* after an RFC 2136 update commits, :meth:`rekey_for_update` drops the
+  touched names and re-keys untouched survivors to the new serial, so an
+  update to one name does not cold-start rendering for the whole zone.
+
+The cache is strictly bounded (KeyTrap hygiene): insertion beyond
+``max_entries`` evicts the least-recently-used entry and counts it in
+``stats["evictions"]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.dns.name import Name
+
+#: Default bound: comfortably covers the benchmark zones (a few hundred
+#: RRsets) while capping adversarial name churn at a few MB of wire.
+DEFAULT_MAX_ENTRIES = 8192
+
+_Key = Tuple[Name, int, int]  # (owner, rtype, serial)
+
+
+class CanonicalRenderCache:
+    """LRU map ``(name, rtype, serial) -> canonical wire bytes``."""
+
+    __slots__ = ("max_entries", "_entries", "_by_name", "stats")
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("render cache needs at least one entry")
+        self.max_entries = max_entries
+        # dict preserves insertion order; re-inserting on hit gives LRU.
+        self._entries: Dict[_Key, bytes] = {}
+        self._by_name: Dict[Name, Set[_Key]] = {}
+        self.stats: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "invalidated": 0,
+            "rekeyed": 0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, name: Name, rtype: int, serial: int) -> Optional[bytes]:
+        key = (name, rtype, serial)
+        wire = self._entries.get(key)
+        if wire is None:
+            self.stats["misses"] += 1
+            return None
+        # refresh recency; re-inserting a just-deleted key cannot grow
+        # the dict past the store()-enforced bound.
+        del self._entries[key]
+        # repro-lint: disable=T404
+        self._entries[key] = wire
+        self.stats["hits"] += 1
+        return wire
+
+    def store(self, name: Name, rtype: int, serial: int, wire: bytes) -> None:
+        key = (name, rtype, serial)
+        if key in self._entries:
+            del self._entries[key]
+        elif len(self._entries) >= self.max_entries:
+            oldest = next(iter(self._entries))
+            self._drop(oldest)
+            self.stats["evictions"] += 1
+        self._entries[key] = wire
+        # Bounded: the eviction branch above caps len(_entries) at
+        # max_entries, and _by_name only indexes live entry keys.
+        # repro-lint: disable=T404
+        self._by_name.setdefault(name, set()).add(key)
+
+    def _drop(self, key: _Key) -> None:
+        del self._entries[key]
+        keys = self._by_name.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_name[key[0]]
+
+    def invalidate(self, name: Name, rtype: Optional[int] = None) -> None:
+        """Drop entries at ``name`` (all serials); ``rtype=None`` = all types."""
+        keys = self._by_name.get(name)
+        if not keys:
+            return
+        doomed = [k for k in keys if rtype is None or k[1] == rtype]
+        for key in doomed:
+            self._drop(key)
+            self.stats["invalidated"] += 1
+
+    def rekey_for_update(
+        self,
+        affected: Set[Name],
+        new_serial: int,
+        soa_name: Optional[Name] = None,
+        soa_type: Optional[int] = None,
+    ) -> None:
+        """After an update commits: drop touched names, re-key survivors.
+
+        ``affected`` is the update's changed|added|deleted name set.  The
+        apex SOA changed too (serial bump), so its ``(soa_name, soa_type)``
+        entries are dropped even when the apex is otherwise untouched.
+        Survivors' rendered bytes are still exact — only the serial in
+        their key is stale — so they migrate to ``new_serial`` instead of
+        being re-rendered.
+        """
+        survivors: Dict[_Key, bytes] = {}
+        for (name, rtype, _serial), wire in self._entries.items():
+            if name in affected or (name == soa_name and rtype == soa_type):
+                self.stats["invalidated"] += 1
+                continue
+            survivors[(name, rtype, new_serial)] = wire
+            self.stats["rekeyed"] += 1
+        self._entries = survivors
+        self._by_name = {}
+        for key in survivors:
+            # Bounded: survivors is a subset of the already-bounded
+            # entry set; this only rebuilds the per-name index over it.
+            # repro-lint: disable=T404
+            self._by_name.setdefault(key[0], set()).add(key)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._by_name.clear()

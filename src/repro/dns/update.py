@@ -88,8 +88,17 @@ class UpdateProcessor:
         if result.data_changed:
             working.bump_serial()
             result.serial_bumped = True
-        # Swap the mutated copy into place.
+        # Swap the mutated copy into place.  The swap bypasses the zone's
+        # mutation hooks, so repair the render cache explicitly: drop the
+        # touched names, migrate untouched entries to the new serial.
         self.zone._nodes = working._nodes  # noqa: SLF001 — same-module ownership
+        if result.data_changed:
+            self.zone.render.rekey_for_update(
+                changed | added | deleted,
+                working.serial,
+                soa_name=self.zone.origin,
+                soa_type=c.TYPE_SOA,
+            )
         return result
 
     def respond(self, update: Message) -> tuple[Message, UpdateResult]:

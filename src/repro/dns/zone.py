@@ -15,6 +15,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.dns import constants as c
 from repro.dns.name import Name
 from repro.dns.rdata import Rdata, SOA
+from repro.dns.rendercache import CanonicalRenderCache
 from repro.dns.rrset import RRset
 from repro.errors import ZoneError
 
@@ -22,9 +23,12 @@ from repro.errors import ZoneError
 class Zone:
     """Authoritative data for one zone, keyed by owner name and type."""
 
-    def __init__(self, origin: Name) -> None:
+    def __init__(
+        self, origin: Name, render_cache: Optional[CanonicalRenderCache] = None
+    ) -> None:
         self.origin = origin
         self._nodes: Dict[Name, Dict[int, RRset]] = {}
+        self.render = render_cache if render_cache is not None else CanonicalRenderCache()
 
     # -- lookup -----------------------------------------------------------------
 
@@ -135,6 +139,7 @@ class Zone:
         ):
             raise ZoneError(f"data clashes with CNAME at {rrset.name.to_text()}")
         node[rrset.rtype] = rrset
+        self.render.invalidate(rrset.name, rrset.rtype)
 
     def add_rdata(self, name: Name, rtype: int, ttl: int, rdata: Rdata) -> bool:
         """Add one record; returns False if it already existed.
@@ -172,10 +177,12 @@ class Zone:
             del node[rtype]
             if not node:
                 del self._nodes[name]
+            self.render.invalidate(name, rtype)
             return True
         if len(remaining) == len(node[rtype]):
             return False
         node[rtype] = remaining
+        self.render.invalidate(name, rtype)
         return True
 
     def delete_rrset(self, name: Name, rtype: int) -> bool:
@@ -185,6 +192,7 @@ class Zone:
         del node[rtype]
         if not node:
             del self._nodes[name]
+        self.render.invalidate(name, rtype)
         return True
 
     def delete_name(self, name: Name, keep_types: Tuple[int, ...] = ()) -> bool:
@@ -198,8 +206,11 @@ class Zone:
                 self._nodes[name] = kept
             else:
                 del self._nodes[name]
+            if removed:
+                self.render.invalidate(name)
             return removed
         del self._nodes[name]
+        self.render.invalidate(name)
         return True
 
     def bump_serial(self) -> int:
@@ -223,9 +234,32 @@ class Zone:
                 f"{name.to_text()} is not in zone {self.origin.to_text()}"
             )
 
+    # -- canonical rendering ------------------------------------------------------
+
+    def canonical_rrset_wire(self, rrset: RRset) -> bytes:
+        """Canonical wire for an RRset, memoized while it lives in this zone.
+
+        Cache entries are keyed ``(name, rtype, serial)`` and only used
+        when ``rrset`` is the zone's *current* RRset for that key (an
+        identity check), so stale or foreign RRsets always render fresh.
+        """
+        try:
+            serial = self.serial
+        except ZoneError:
+            return rrset.canonical_wire()
+        if self.find_rrset(rrset.name, rrset.rtype) is not rrset:
+            return rrset.canonical_wire()
+        wire = self.render.lookup(rrset.name, rrset.rtype, serial)
+        if wire is None:
+            wire = rrset.canonical_wire()
+            self.render.store(rrset.name, rrset.rtype, serial, wire)
+        return wire
+
     # -- snapshots / comparison --------------------------------------------------------
 
     def copy(self) -> "Zone":
+        # The clone gets a fresh (empty) render cache: working copies are
+        # short-lived and the committed zone re-keys its own cache.
         clone = Zone(self.origin)
         for name, node in self._nodes.items():
             clone._nodes[name] = dict(node)
@@ -235,7 +269,7 @@ class Zone:
         """Canonical SHA-256 over all RRsets — replica state fingerprint."""
         h = hashlib.sha256()
         for rrset in self:
-            h.update(rrset.canonical_wire())
+            h.update(self.canonical_rrset_wire(rrset))
         return h.digest()
 
     def __eq__(self, other: object) -> bool:

@@ -45,6 +45,7 @@ from repro.taint.specs import (
     SOURCE_CALLS,
     TRUSTED_PRODUCERS,
     UNTAINTED_HANDLER_PARAMS,
+    VERDICT_CALLS,
 )
 
 #: Widening cap on summary fixpoint rounds (lattice is finite, so this is
@@ -245,6 +246,10 @@ class FunctionAnalyzer(ast.NodeVisitor):
         self.sunk: Dict[str, List[Tuple[str, int]]] = {}
         #: local name -> self-attr it aliases (setdefault/get/subscript)
         self.aliases: Dict[str, str] = {}
+        #: local name -> rules its per-item verdicts clear (VERDICT_CALLS)
+        self.verdict_lists: Dict[str, FrozenSet[str]] = {}
+        #: bool name -> (paired item name, rules) from a verdict zip
+        self.verdict_guards: Dict[str, Tuple[str, FrozenSet[str]]] = {}
 
     # -- entry ----------------------------------------------------------------
 
@@ -292,6 +297,7 @@ class FunctionAnalyzer(ast.NodeVisitor):
             for target in stmt.targets:
                 self.assign(target, taint, env, stmt)
                 self._track_alias(target, stmt.value)
+                self._track_verdict(target, stmt.value)
             return False
         if isinstance(stmt, ast.AnnAssign):
             if stmt.value is not None:
@@ -317,6 +323,17 @@ class FunctionAnalyzer(ast.NodeVisitor):
             self.eval(stmt.test, env)  # guard side effects (clears)
             then_env = dict(env)
             else_env = dict(env)
+            guard = self._verdict_guard_in_test(stmt.test)
+            if guard is not None:
+                item, rules, positive = guard
+                # a verdict guard is a comparison, not a late sanitizer
+                # call, so it clears without the T408 check
+                self.clear_path(
+                    then_env if positive else else_env,
+                    item,
+                    rules,
+                    stmt.lineno,
+                )
             then_done = self.exec_block(stmt.body, then_env)
             else_done = self.exec_block(stmt.orelse, else_env)
             if then_done and else_done:
@@ -352,6 +369,8 @@ class FunctionAnalyzer(ast.NodeVisitor):
                     for e in it.elts:
                         taint = merge(taint, self.eval(e.elts[i], env))  # type: ignore[attr-defined]
                     self.bind_loop_target(tgt, taint, env)
+            elif self._bind_verdict_zip(target, it, env):
+                pass
             else:
                 iter_taint = self.eval(it, env)
                 self.bind_loop_target(target, iter_taint, env)
@@ -529,6 +548,85 @@ class FunctionAnalyzer(ast.NodeVisitor):
             self.aliases[target.id] = expr.attr
         else:
             self.aliases.pop(target.id, None)
+
+    # -- verdict-list flow (batch verification) -------------------------------
+
+    def _track_verdict(self, target: ast.expr, value: ast.expr) -> None:
+        """``verdicts = executor.rsa_verify_many(pairs)`` remembers that
+        ``verdicts`` holds one verification verdict per submitted item."""
+        if not isinstance(target, ast.Name):
+            return
+        name: Optional[str] = None
+        if isinstance(value, ast.Call):
+            func = value.func
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+        if name is not None and name in VERDICT_CALLS:
+            self.verdict_lists[target.id] = SANITIZERS[name]
+        else:
+            self.verdict_lists.pop(target.id, None)
+
+    def _bind_verdict_zip(
+        self, target: ast.expr, it: ast.expr, env: Dict[str, Taint]
+    ) -> bool:
+        """``for item, ok in zip(items, verdicts)``: bind ``item`` to the
+        items' own taint (not the coarse merge of both zip arguments) and
+        register ``ok`` as its per-item verification verdict so a
+        subsequent ``if ok:`` / ``if not ok: continue`` guard clears the
+        verifier's rules on ``item``."""
+        if not (isinstance(target, ast.Tuple) and len(target.elts) == 2):
+            return False
+        if not (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id == "zip"
+            and len(it.args) == 2
+        ):
+            return False
+        names = [
+            arg.id if isinstance(arg, ast.Name) else None for arg in it.args
+        ]
+        for v_pos in (0, 1):
+            v_name = names[v_pos]
+            if v_name is None or v_name not in self.verdict_lists:
+                continue
+            item_tgt = target.elts[1 - v_pos]
+            ok_tgt = target.elts[v_pos]
+            if not (
+                isinstance(item_tgt, ast.Name) and isinstance(ok_tgt, ast.Name)
+            ):
+                return False
+            self.bind_loop_target(
+                item_tgt, self.eval(it.args[1 - v_pos], env), env
+            )
+            env[ok_tgt.id] = EMPTY
+            self.verdict_guards[ok_tgt.id] = (
+                item_tgt.id,
+                self.verdict_lists[v_name],
+            )
+            return True
+        return False
+
+    def _verdict_guard_in_test(
+        self, test: ast.expr
+    ) -> Optional[Tuple[str, FrozenSet[str], bool]]:
+        """``if ok:`` / ``if not ok:`` where ``ok`` is a registered verdict:
+        return (item path, rules to clear, whether the *then* branch is the
+        verified one)."""
+        if isinstance(test, ast.Name) and test.id in self.verdict_guards:
+            item, rules = self.verdict_guards[test.id]
+            return item, rules, True
+        if (
+            isinstance(test, ast.UnaryOp)
+            and isinstance(test.op, ast.Not)
+            and isinstance(test.operand, ast.Name)
+            and test.operand.id in self.verdict_guards
+        ):
+            item, rules = self.verdict_guards[test.operand.id]
+            return item, rules, False
+        return None
 
     # -- expressions ----------------------------------------------------------
 

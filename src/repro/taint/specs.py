@@ -216,6 +216,18 @@ SANITIZERS: Dict[str, FrozenSet[str]] = {
     "decode_request": frozenset({"T405"}),
 }
 
+#: Batch verifiers whose *return value* is a per-item verdict list.  The
+#: idiom ``verdicts = rsa_verify_many(pairs)`` followed by
+#: ``for item, ok in zip(items, verdicts): if ok: ...`` verifies each
+#: item individually; the engine threads the verdict flow so the guarded
+#: branch counts as sanitized for the paired item (clearing the same
+#: rules the sanitizer clears) instead of coarsely tainting — and without
+#: a spurious T408, since a verdict guard is a comparison, not a late
+#: sanitizer call.
+VERDICT_CALLS: FrozenSet[str] = frozenset(
+    {"rsa_verify_many", "verify_many", "verify_shares"}
+)
+
 #: Substrings in a compared-against name that make an int comparison a
 #: bounds check (clears T403/T404), mirroring the C304 heuristic.
 BOUND_NAME_HINTS: Tuple[str, ...] = (

@@ -117,12 +117,14 @@ def random_safe_prime(bits: int, max_attempts: int = 1_000_000) -> int:
     )
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=64)
 def factorial(n: int) -> int:
     """``n!`` — Shoup's ``delta``. Thin wrapper for symmetry with the paper.
 
     Memoized: ``delta`` is recomputed on every share generation,
     verification, and assembly, always for the same handful of ``n``.
+    Bounded (KeyTrap hygiene): a deployment uses a single group size, so
+    64 distinct ``n`` values is already adversarial territory.
     """
     return math.factorial(n)
 

@@ -94,6 +94,65 @@ def test_identical_transcripts_serial_vs_pool(protocol, deployment):
         assert serial_latencies == pooled_latencies
 
 
+def run_write_workload(executor_kind, protocol, deployment):
+    # A3 fully-signed mode with the incremental write path: updates fan
+    # their re-sign tasks through the executor, so this pins down the
+    # write path's determinism, not just the read path's.
+    config = ServiceConfig(
+        n=4,
+        t=1,
+        signing_protocol=protocol,
+        crypto_executor=executor_kind,
+        crypto_workers=2,
+        parallel_update_signing=True,
+        sign_every_response=True,
+    )
+    deployment = dataclasses.replace(deployment, config=config)
+    with ReplicatedNameService(
+        config,
+        topology=lan_setup(4),
+        zone_text=ZONE_TEXT,
+        seed=SEED,
+        deployment=deployment,
+    ) as service:
+        ops = [
+            service.add_record("wp0.example.com.", c.TYPE_A, 300, "192.0.2.20"),
+            service.add_record("wp0.example.com.", c.TYPE_A, 300, "192.0.2.21"),
+            service.query("wp0.example.com.", c.TYPE_A),
+            service.delete_name("txt.example.com."),
+            service.add_record("wp1.example.com.", c.TYPE_A, 300, "192.0.2.22"),
+        ]
+        service.settle()
+        transcript = {
+            "deliveries": [r.abc.delivery_digest() for r in service.replicas],
+            "zones": [r.zone.digest() for r in service.replicas],
+            "signatures": [
+                sorted(r.coordinator._completed.items()) for r in service.replicas
+            ],
+            "rcodes": [op.response.rcode for op in ops],
+            "answers": [
+                tuple(rr.to_text() for rr in op.response.answers) for op in ops
+            ],
+        }
+        latencies = [op.latency for op in ops]
+    return transcript, latencies
+
+
+@pytest.mark.parametrize("protocol", [PROTOCOL_OPTPROOF, PROTOCOL_OPTTE])
+def test_write_path_identical_transcripts_serial_vs_pool(protocol, deployment):
+    serial, serial_latencies = run_write_workload(
+        EXECUTOR_SERIAL, protocol, deployment
+    )
+    pooled, pooled_latencies = run_write_workload(
+        EXECUTOR_POOL, protocol, deployment
+    )
+    assert serial == pooled
+    assert len(set(serial["deliveries"])) == 1
+    assert len(set(serial["zones"])) == 1
+    if protocol != PROTOCOL_OPTTE:
+        assert serial_latencies == pooled_latencies
+
+
 def test_pool_plane_actually_engaged(deployment):
     # A3 mode (sign_every_response) threshold-signs read responses, which
     # is the path where the *client* verifies through the executor: a

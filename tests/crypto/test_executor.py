@@ -165,6 +165,35 @@ class TestPrimitiveEquivalence:
         # candidates than the serial early exit, never fewer.
         assert res_pooled.assembled >= res_serial.assembled
 
+    def test_wave_cancellation_counts_speculative_lanes(
+        self, threshold_4_1, plane
+    ):
+        public, shares = threshold_4_1
+        _, executors, _ = plane
+        executor = executors[0]
+        before = executor.stats["cancelled_trials"]
+        good = [s.generate_share(MESSAGE) for s in shares[:3]]
+        subsets = [
+            [good[0], good[1]],
+            [good[0], good[2]],
+            [good[1], good[2]],
+        ]
+        result = executor.assemble_candidates(MESSAGE, subsets)
+        # All candidates are valid, so the earliest subset wins...
+        assert result.winner == 0
+        # ...and on the width-2 pool the speculative second wave (one
+        # lane holding the third candidate) is cancelled and counted.
+        assert executor.stats["cancelled_trials"] - before == 1
+
+    def test_serial_plane_never_cancels(self, threshold_4_1):
+        public, shares = threshold_4_1
+        serial = SerialExecutor(shares[0])
+        good = [s.generate_share(MESSAGE) for s in shares[:3]]
+        serial.assemble_candidates(
+            MESSAGE, [[good[0], good[1]], [good[1], good[2]]]
+        )
+        assert serial.stats["cancelled_trials"] == 0
+
     def test_assemble_candidates_empty_and_single(self, threshold_4_1, plane):
         public, shares = threshold_4_1
         _, executors, _ = plane

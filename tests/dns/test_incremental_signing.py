@@ -1,0 +1,133 @@
+"""Incremental vs full-rebuild re-signing: byte-identical signed zones.
+
+``signing_tasks_for_update(..., incremental=True)`` repairs only the NXT
+chain region an update touched; ``incremental=False`` rebuilds the whole
+chain (the pre-optimization oracle).  For every update shape the two
+strategies must derive the *identical* task list — same ``sign_id``s,
+same signed bytes — and leave byte-identical zones once the signatures
+attach.
+"""
+
+import pytest
+
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.dns import constants as c
+from repro.dns import dnssec
+from repro.dns.message import RR, make_update
+from repro.dns.name import Name
+from repro.dns.rdata import KEY, TXT, A
+from repro.dns.update import UpdateProcessor
+
+ORIGIN = Name.from_text("example.com.")
+
+
+@pytest.fixture(scope="module")
+def rsa_key():
+    return generate_rsa_keypair(512)
+
+
+@pytest.fixture()
+def pair(zone, rsa_key):
+    """Two identical signed zones: one per NXT-repair strategy."""
+    key_record = KEY.for_rsa(rsa_key.public.modulus, rsa_key.public.exponent)
+    zone.add_rdata(ORIGIN, c.TYPE_KEY, 3600, key_record)
+    dnssec.sign_zone_locally(zone, key_record, rsa_key.private.sign)
+    return zone, zone.copy(), key_record
+
+
+def _rr_add(name, address):
+    return RR(
+        Name.from_text(name), c.TYPE_A, c.CLASS_IN, 300, A(address)
+    )
+
+
+def _rr_delete_name(name):
+    return RR(Name.from_text(name), c.TYPE_ANY, c.CLASS_ANY, 0, None)
+
+
+def _rr_delete_rdata(name, address):
+    return RR(
+        Name.from_text(name), c.TYPE_A, c.CLASS_NONE, 0, A(address)
+    )
+
+
+#: Each step is one RFC 2136 update message (a list of authority RRs).
+#: Shapes: fresh adds at both canonical extremes (NXT wrap-around), an
+#: RRset extension, targeted rdata and whole-name deletes, a multi-RR
+#: update, and an apex change (incremental's full-rebuild fallback).
+WORKLOAD = [
+    [_rr_add("new.example.com.", "192.0.2.9")],
+    [_rr_add("aaa.example.com.", "192.0.2.10")],       # first after apex
+    [_rr_add("zzz.example.com.", "192.0.2.11")],       # wraps to apex
+    [_rr_add("www.example.com.", "192.0.2.12")],       # extends an RRset
+    [_rr_delete_name("txt.example.com.")],
+    [_rr_delete_rdata("www.example.com.", "192.0.2.81")],
+    [                                                   # multi-RR update
+        _rr_add("multi1.example.com.", "192.0.2.13"),
+        _rr_add("multi2.example.com.", "192.0.2.14"),
+        _rr_delete_name("v6.example.com."),
+    ],
+    [RR(ORIGIN, c.TYPE_TXT, c.CLASS_IN, 300, TXT([b"apex change"]))],
+]
+
+
+def _apply(zone, rrs):
+    msg = make_update(ORIGIN)
+    msg.authority.extend(rrs)
+    return UpdateProcessor(zone).apply(msg)
+
+
+def _step(zone, rrs, key_record, signer, incremental):
+    result = _apply(zone, rrs)
+    assert result.ok and result.data_changed
+    tasks = dnssec.signing_tasks_for_update(
+        zone, result, key_record, incremental=incremental
+    )
+    for task in tasks:
+        dnssec.attach_signature(zone, task, signer(task.data))
+    return tasks
+
+
+@pytest.mark.parametrize("step", range(len(WORKLOAD)), ids=lambda i: f"step{i}")
+def test_single_update_equivalence(pair, rsa_key, step):
+    inc_zone, full_zone, key_record = pair
+    rrs = WORKLOAD[step]
+    inc_tasks = _step(inc_zone, rrs, key_record, rsa_key.private.sign, True)
+    full_tasks = _step(full_zone, rrs, key_record, rsa_key.private.sign, False)
+    assert [t.sign_id for t in inc_tasks] == [t.sign_id for t in full_tasks]
+    assert [t.data for t in inc_tasks] == [t.data for t in full_tasks]
+    assert inc_zone.digest() == full_zone.digest()
+
+
+def test_mixed_workload_stays_equivalent(pair, rsa_key):
+    inc_zone, full_zone, key_record = pair
+    for rrs in WORKLOAD:
+        inc_tasks = _step(inc_zone, rrs, key_record, rsa_key.private.sign, True)
+        full_tasks = _step(
+            full_zone, rrs, key_record, rsa_key.private.sign, False
+        )
+        assert [t.sign_id for t in inc_tasks] == [
+            t.sign_id for t in full_tasks
+        ], rrs
+        assert inc_zone.digest() == full_zone.digest(), rrs
+    # Both zones still verify end to end.
+    assert dnssec.verify_zone(inc_zone, key_record) == dnssec.verify_zone(
+        full_zone, key_record
+    )
+
+
+def test_incremental_keeps_untouched_sig_bytes(pair, rsa_key):
+    """Incremental repair must not re-stamp signatures it did not derive:
+    an untouched name's SIG survives the update byte-for-byte."""
+    inc_zone, _full, key_record = pair
+    mail = Name.from_text("mail.example.com.")
+    before = inc_zone.find_rrset(mail, c.TYPE_SIG).canonical_wire()
+    _step(
+        inc_zone,
+        [_rr_add("new.example.com.", "192.0.2.9")],
+        key_record,
+        rsa_key.private.sign,
+        True,
+    )
+    after = inc_zone.find_rrset(mail, c.TYPE_SIG).canonical_wire()
+    assert before == after

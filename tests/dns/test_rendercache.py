@@ -1,0 +1,138 @@
+"""Canonical-wire render cache: keying, invalidation, bound, zone wiring."""
+
+import pytest
+
+from repro.dns import constants as c
+from repro.dns.message import RR, make_update
+from repro.dns.name import Name
+from repro.dns.rdata import A
+from repro.dns.rendercache import CanonicalRenderCache
+from repro.dns.rrset import RRset
+from repro.dns.update import UpdateProcessor
+
+ORIGIN = Name.from_text("example.com.")
+WWW = Name.from_text("www.example.com.")
+OTHER = Name.from_text("other.example.com.")
+
+
+def _apply(zone, *rrs):
+    msg = make_update(ORIGIN)
+    msg.authority.extend(rrs)
+    return UpdateProcessor(zone).apply(msg)
+
+
+def _name(i):
+    return Name.from_text(f"n{i}.example.com.")
+
+
+class TestCacheUnit:
+    def test_bound_is_mandatory(self):
+        with pytest.raises(ValueError):
+            CanonicalRenderCache(max_entries=0)
+
+    def test_hit_miss_stats(self):
+        cache = CanonicalRenderCache()
+        assert cache.lookup(WWW, c.TYPE_A, 100) is None
+        cache.store(WWW, c.TYPE_A, 100, b"wire")
+        assert cache.lookup(WWW, c.TYPE_A, 100) == b"wire"
+        assert cache.lookup(WWW, c.TYPE_A, 101) is None  # serial is keyed
+        assert cache.stats["hits"] == 1
+        assert cache.stats["misses"] == 2
+
+    def test_lru_eviction_counts_and_keeps_recent(self):
+        cache = CanonicalRenderCache(max_entries=2)
+        cache.store(_name(0), c.TYPE_A, 100, b"w0")
+        cache.store(_name(1), c.TYPE_A, 100, b"w1")
+        assert cache.lookup(_name(0), c.TYPE_A, 100) == b"w0"  # refresh n0
+        cache.store(_name(2), c.TYPE_A, 100, b"w2")  # evicts LRU = n1
+        assert cache.stats["evictions"] == 1
+        assert cache.lookup(_name(1), c.TYPE_A, 100) is None
+        assert cache.lookup(_name(0), c.TYPE_A, 100) == b"w0"
+        assert len(cache) == 2
+
+    def test_invalidate_by_name_and_type(self):
+        cache = CanonicalRenderCache()
+        cache.store(WWW, c.TYPE_A, 100, b"a")
+        cache.store(WWW, c.TYPE_SIG, 100, b"sig")
+        cache.store(OTHER, c.TYPE_A, 100, b"o")
+        cache.invalidate(WWW, c.TYPE_A)
+        assert cache.lookup(WWW, c.TYPE_A, 100) is None
+        assert cache.lookup(WWW, c.TYPE_SIG, 100) == b"sig"
+        cache.invalidate(WWW)  # all types at the name
+        assert cache.lookup(WWW, c.TYPE_SIG, 100) is None
+        assert cache.lookup(OTHER, c.TYPE_A, 100) == b"o"
+        assert cache.stats["invalidated"] == 2
+
+    def test_rekey_drops_affected_and_migrates_survivors(self):
+        cache = CanonicalRenderCache()
+        cache.store(WWW, c.TYPE_A, 100, b"a")
+        cache.store(OTHER, c.TYPE_A, 100, b"o")
+        cache.store(ORIGIN, c.TYPE_SOA, 100, b"soa")
+        cache.rekey_for_update(
+            {WWW}, 101, soa_name=ORIGIN, soa_type=c.TYPE_SOA
+        )
+        assert cache.lookup(WWW, c.TYPE_A, 101) is None
+        assert cache.lookup(ORIGIN, c.TYPE_SOA, 101) is None  # serial bumped
+        assert cache.lookup(OTHER, c.TYPE_A, 101) == b"o"  # migrated
+        assert cache.lookup(OTHER, c.TYPE_A, 100) is None  # old key gone
+        assert cache.stats["rekeyed"] == 1
+        assert cache.stats["invalidated"] == 2
+
+
+class TestZoneIntegration:
+    def test_repeat_render_hits(self, zone):
+        rrset = zone.find_rrset(WWW, c.TYPE_A)
+        first = zone.canonical_rrset_wire(rrset)
+        second = zone.canonical_rrset_wire(rrset)
+        assert first == second == rrset.canonical_wire()
+        assert zone.render.stats["hits"] == 1
+
+    def test_foreign_rrset_bypasses_cache(self, zone):
+        # An RRset that is not the zone's own object must not be cached
+        # under the zone's key (it may hold different data).
+        foreign = RRset(WWW, c.TYPE_A, 300, [A("9.9.9.9")])
+        wire = zone.canonical_rrset_wire(foreign)
+        assert wire == foreign.canonical_wire()
+        assert zone.render.lookup(WWW, c.TYPE_A, zone.serial) is None
+
+    def test_mutation_invalidates_same_serial_entry(self, zone):
+        rrset = zone.find_rrset(WWW, c.TYPE_A)
+        zone.canonical_rrset_wire(rrset)  # warm
+        zone.add_rdata(WWW, c.TYPE_A, 3600, A("192.0.2.99"))
+        updated = zone.find_rrset(WWW, c.TYPE_A)
+        wire = zone.canonical_rrset_wire(updated)
+        assert wire == updated.canonical_wire()  # freshly rendered
+
+    def test_update_rekeys_unrelated_survivors(self, zone):
+        rrset = zone.find_rrset(WWW, c.TYPE_A)
+        zone.canonical_rrset_wire(rrset)  # warm at old serial
+        result = _apply(
+            zone, RR(OTHER, c.TYPE_A, c.CLASS_IN, 300, A("192.0.2.50"))
+        )
+        assert result.ok and result.data_changed
+        assert zone.render.stats["rekeyed"] > 0
+        # The untouched entry now hits under the *new* serial.
+        hits_before = zone.render.stats["hits"]
+        zone.canonical_rrset_wire(zone.find_rrset(WWW, c.TYPE_A))
+        assert zone.render.stats["hits"] == hits_before + 1
+
+    def test_update_drops_affected_and_soa_entries(self, zone):
+        zone.canonical_rrset_wire(zone.find_rrset(WWW, c.TYPE_A))
+        zone.canonical_rrset_wire(zone.find_rrset(ORIGIN, c.TYPE_SOA))
+        result = _apply(
+            zone, RR(WWW, c.TYPE_A, c.CLASS_IN, 300, A("192.0.2.51"))
+        )
+        assert result.ok
+        serial = zone.serial
+        assert zone.render.lookup(WWW, c.TYPE_A, serial) is None
+        # The serial bump rewrote the SOA, so its entry must not survive.
+        assert zone.render.lookup(ORIGIN, c.TYPE_SOA, serial) is None
+
+    def test_zone_copy_gets_fresh_cache(self, zone):
+        zone.canonical_rrset_wire(zone.find_rrset(WWW, c.TYPE_A))
+        clone = zone.copy()
+        assert clone.render is not zone.render
+        assert len(clone.render) == 0
+        # The clone renders (and caches) independently.
+        clone.canonical_rrset_wire(clone.find_rrset(WWW, c.TYPE_A))
+        assert clone.render.stats["misses"] == 1

@@ -1,0 +1,30 @@
+"""Clean control: batch verification consumed via a per-item verdict list.
+
+``rsa_verify_many`` returns one verdict per submitted item.  Walking the
+batch with ``for msg, ok in zip(batch, verdicts)`` under an ``if not ok:
+continue`` guard means every item that reaches the zone write *has* been
+verified — the engine must thread the verdict flow and stay silent: no
+T405 at ``add_rdata`` and no T408 (the guard is a comparison, not a
+misplaced sanitizer call).  Before verdict tracking, the zip binding
+merged the verdict list's taint into ``msg`` and the guard cleared
+nothing, producing a false T405 here.
+"""
+
+
+class BatchGate:
+    """Admits a batch of signed update records after batch verification."""
+
+    def __init__(self, executor, zone):
+        self.executor = executor
+        self.zone = zone
+
+    def on_message(self, sender, batch):
+        pairs = [(m.key, m.wire, m.signature) for m in batch]
+        verdicts = self.executor.rsa_verify_many(pairs)
+        accepted = []
+        for msg, ok in zip(batch, verdicts):
+            if not ok:
+                continue
+            self.zone.add_rdata(msg.name, msg.rtype, msg.ttl, msg.rdata)
+            accepted.append(msg)
+        return accepted

@@ -31,7 +31,11 @@ EXPECTED = {
     "vuln_attr_flow.py": "T401",
 }
 
-CLEAN = ["clean_verified.py", "clean_local_material.py"]
+CLEAN = [
+    "clean_verified.py",
+    "clean_local_material.py",
+    "clean_verdict_flow.py",
+]
 
 
 def rules_for(filename):

@@ -335,3 +335,83 @@ class TestSuppressions:
                     return self.public.assemble(b"m", [msg.share])
             """
         )
+
+
+class TestVerdictFlow:
+    """Per-item verdict lists from batch verifiers (VERDICT_CALLS)."""
+
+    GATE = """
+        class Gate:
+            def __init__(self, executor, zone):
+                self.executor = executor
+                self.zone = zone
+
+            def on_message(self, sender, batch):
+                verdicts = self.executor.rsa_verify_many(self.pairs)
+                for msg, ok in zip(batch, verdicts):
+                    {body}
+        """
+
+    def gate(self, *body):
+        # the {body} placeholder sits 20 columns deep pre-dedent
+        return self.GATE.format(body=("\n" + " " * 20).join(body))
+
+    def test_guarded_negative_continue_is_clean(self):
+        # ``if not ok: continue`` — only verified items reach the sink.
+        assert run(self.gate(
+            "if not ok:",
+            "    continue",
+            "self.zone.add_rdata(msg.name, msg.rtype, msg.ttl, msg.rdata)",
+        )) == []
+
+    def test_guarded_positive_branch_is_clean(self):
+        assert run(self.gate(
+            "if ok:",
+            "    self.zone.add_rdata(msg.name, msg.rtype, msg.ttl, msg.rdata)",
+        )) == []
+
+    def test_unguarded_sink_still_flagged(self):
+        # Without consulting the verdict, the item stays unverified:
+        # the zip pairing alone must not clear anything.
+        assert "T405" in run(self.gate(
+            "self.zone.add_rdata(msg.name, msg.rtype, msg.ttl, msg.rdata)",
+        ))
+
+    def test_sink_in_unverified_branch_still_flagged(self):
+        # ``if not ok:`` then-branch is the *failed* side.
+        assert "T405" in run(self.gate(
+            "if not ok:",
+            "    self.zone.add_rdata(msg.name, msg.rtype, msg.ttl, msg.rdata)",
+        ))
+
+    def test_verdict_guard_does_not_report_t408(self):
+        # A verdict guard after an earlier (flagged) sink is a comparison,
+        # not a misplaced sanitizer call: T405 yes, T408 no.
+        rules = run(self.gate(
+            "self.zone.add_rdata(msg.name, msg.rtype, msg.ttl, msg.rdata)",
+            "if not ok:",
+            "    continue",
+            "self.zone.attach_signature(msg.name, msg.rtype, msg.sig)",
+        ))
+        assert "T405" in rules
+        assert "T408" not in rules
+
+    def test_reassigned_verdict_var_loses_tracking(self):
+        # Overwriting the verdict list with unrelated data must drop the
+        # registration, so the guard no longer sanitizes.
+        assert "T405" in run(
+            """
+            class Gate:
+                def __init__(self, executor, zone):
+                    self.executor = executor
+                    self.zone = zone
+
+                def on_message(self, sender, batch):
+                    verdicts = self.executor.rsa_verify_many(self.pairs)
+                    verdicts = [True for _ in batch]
+                    for msg, ok in zip(batch, verdicts):
+                        if not ok:
+                            continue
+                        self.zone.add_rdata(msg.name, msg.rtype, msg.ttl, msg.rdata)
+            """
+        )

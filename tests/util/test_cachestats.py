@@ -1,0 +1,64 @@
+"""Repo-wide lru_cache audit: every memo is bounded and reports stats."""
+
+import pytest
+
+from repro.crypto import shoup
+from repro.util.cachestats import AUDITED_LRU_CACHES, _resolve, lru_cache_stats
+
+STAT_KEYS = {"maxsize", "currsize", "hits", "misses", "evictions"}
+
+
+def test_every_audited_cache_is_bounded():
+    # The audit's core claim: no lru_cache in the registry may be
+    # unbounded (KeyTrap hygiene).  cache_info() existing also proves the
+    # dotted path still resolves to an lru_cache-decorated function.
+    for dotted in AUDITED_LRU_CACHES:
+        info = _resolve(dotted).cache_info()
+        assert info.maxsize is not None, f"{dotted} is unbounded"
+        assert info.maxsize > 0, dotted
+
+
+def test_stats_shape_and_consistency():
+    stats = lru_cache_stats()
+    assert set(stats) == set(AUDITED_LRU_CACHES)
+    for dotted, entry in stats.items():
+        assert set(entry) == STAT_KEYS, dotted
+        assert entry["currsize"] <= entry["maxsize"], dotted
+        # Every miss inserts exactly one entry, so the derived eviction
+        # count can never go negative.
+        assert entry["evictions"] >= 0, dotted
+
+
+def test_factorial_cache_counts_activity():
+    from repro.util.numth import factorial
+
+    factorial.cache_clear()
+    factorial(6)
+    factorial(6)
+    stats = lru_cache_stats()["repro.util.numth.factorial"]
+    assert stats["misses"] >= 1
+    assert stats["hits"] >= 1
+
+
+def test_unbounded_cache_is_rejected(monkeypatch):
+    import repro.util.cachestats as cachestats
+
+    class _Info:
+        maxsize = None
+        currsize = hits = misses = 0
+
+    class _Fake:
+        @staticmethod
+        def cache_info():
+            return _Info()
+
+    monkeypatch.setattr(cachestats, "_resolve", lambda dotted: _Fake())
+    with pytest.raises(TypeError, match="unbounded"):
+        lru_cache_stats()
+
+
+def test_shoup_verification_base_stats_exposed():
+    stats = shoup.verification_base_cache_stats()
+    assert set(stats) == STAT_KEYS
+    assert stats["maxsize"] > 0
+    assert stats["evictions"] >= 0
