@@ -9,6 +9,14 @@ exactly from ``repro chaos --seed N --scenario X``.
 """
 
 from repro.chaos.invariants import InvariantReport, check_invariants
+from repro.chaos.keytrap import (
+    KeyTrapReport,
+    KeyTrapSmokeResult,
+    build_adversarial_zone,
+    forge_key_with_tag,
+    run_keytrap_attack,
+    run_keytrap_smoke,
+)
 from repro.chaos.scenarios import (
     SCENARIOS,
     ChaosResult,
@@ -20,7 +28,12 @@ __all__ = [
     "SCENARIOS",
     "ChaosResult",
     "InvariantReport",
+    "KeyTrapReport",
+    "KeyTrapSmokeResult",
     "Scenario",
+    "build_adversarial_zone",
     "check_invariants",
-    "run_scenario",
+    "forge_key_with_tag",
+    "run_keytrap_attack",
+    "run_keytrap_smoke",
 ]

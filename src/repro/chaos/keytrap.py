@@ -1,0 +1,329 @@
+"""KeyTrap adversarial zones: validation-budget stress for the resolver.
+
+"The Harder You Try, The Harder You Fail" (PAPERS.md) showed that a
+DNSSEC validator doing the RFC-mandated try-every-pair dance can be
+driven into quadratic signature-verification work by a single crafted
+response: many garbage SIGs over one RRset (SigJam) multiplied by many
+keys crafted to share one key tag (KeySigTrap).  This module builds such
+zones deterministically from a seed and drives the caching resolver at
+them, asserting that its :class:`~repro.dns.resolver.ValidationBudget`
+caps hold — the response is refused with SERVFAIL after a bounded number
+of RSA verifies, benign queries still validate, and a replicated
+deployment alongside keeps answering.
+
+Key-tag collisions are cheap by construction: the RFC 2535 tag is a
+16-bit checksum over the rdata, so tweaking a two-byte trailer of a
+junk RSA blob finds any target tag in at most 65536 tries.  The forged
+blobs are not valid RSA keys; :meth:`RsaPublicKey.verify` rejects them
+(signature out of range) without doing modular exponentiation, exactly
+like a real validator burning a signature check on a wrong candidate.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dns import constants as c
+from repro.dns import dnssec
+from repro.dns.name import Name
+from repro.dns.rdata import KEY, SIG
+from repro.dns.resolver import (
+    CachingResolver,
+    ValidationBudget,
+    build_in_memory_tree,
+)
+from repro.dns.rrset import RRset
+from repro.dns.zone import Zone
+from repro.dns.zonefile import parse_zone_text
+from repro.crypto.rsa import RsaKeyPair, generate_rsa_keypair
+
+#: The adversarial zone template; jam/trap carry the attack RRsets.
+ZONE_TEXT = """
+$ORIGIN keytrap.example.
+$TTL 3600
+@    IN SOA ns1.keytrap.example. admin.keytrap.example. 1 7200 900 604800 300
+     IN NS ns1
+ns1  IN A 192.0.2.1
+www  IN A 192.0.2.80
+jam  IN A 192.0.2.81
+trap IN A 192.0.2.82
+"""
+
+#: Forged signatures per attacked RRset and colliding keys in the trust
+#: set.  24 x 25 candidate pairings ≈ 600 verifies if uncapped — two
+#: orders past the default budget.
+FORGED_SIGS = 24
+COLLIDING_KEYS = 24
+
+_BASE_KEYPAIR: Optional[RsaKeyPair] = None
+
+
+def _base_keypair() -> RsaKeyPair:
+    """One real 512-bit keypair shared across seeds (keygen is slow)."""
+    global _BASE_KEYPAIR
+    if _BASE_KEYPAIR is None:
+        _BASE_KEYPAIR = generate_rsa_keypair(512)
+    return _BASE_KEYPAIR
+
+
+def forge_key_with_tag(target_tag: int, rng: random.Random) -> KEY:
+    """A junk KEY record whose RFC 2535 key tag equals ``target_tag``.
+
+    The tag is a 16-bit ones'-complement-style checksum, so sweeping a
+    two-byte trailer is guaranteed to land within 65536 attempts; the
+    checksum over the fixed prefix is computed once and the trailer's
+    contribution added arithmetically, so the sweep is cheap.
+    """
+    base = bytes([1, 3]) + rng.randbytes(62)  # exponent-length 1, exp 3
+    prefix = (
+        struct.pack(">HBB", KEY.ZONE_KEY_FLAGS, 3, c.ALG_RSASHA1) + base
+    )
+    acc0 = 0
+    for i, byte in enumerate(prefix):
+        acc0 += byte << 8 if i % 2 == 0 else byte
+    hi_shift, lo_shift = (8, 0) if len(prefix) % 2 == 0 else (0, 8)
+    for trailer in range(0x10000):
+        hi, lo = trailer >> 8, trailer & 0xFF
+        acc = acc0 + (hi << hi_shift) + (lo << lo_shift)
+        acc += (acc >> 16) & 0xFFFF
+        if acc & 0xFFFF == target_tag:
+            key = KEY(
+                KEY.ZONE_KEY_FLAGS, 3, c.ALG_RSASHA1, base + bytes((hi, lo))
+            )
+            assert key.key_tag() == target_tag
+            return key
+    raise AssertionError("unreachable: 16-bit checksum sweep must hit the tag")
+
+
+def _forged_sigs(template: SIG, count: int, rng: random.Random) -> List[SIG]:
+    """Garbage signatures that pass every pre-verify sieve the resolver
+    applies (type covered, algorithm, key tag) and fail only inside the
+    costed RSA check."""
+    return [
+        SIG(
+            template.type_covered,
+            template.algorithm,
+            template.labels,
+            template.original_ttl,
+            template.expiration,
+            template.inception,
+            template.key_tag,
+            template.signer,
+            rng.randbytes(len(template.signature)),
+        )
+        for _ in range(count)
+    ]
+
+
+@dataclass
+class KeyTrapZone:
+    """A signed zone with SigJam/KeySigTrap payloads planted."""
+
+    zone: Zone
+    real_key: KEY
+    #: Trust set for the origin: the real key plus colliding junk keys.
+    trusted_keys: Tuple[KEY, ...]
+    jam_name: Name
+    trap_name: Name
+    benign_name: Name
+
+
+def build_adversarial_zone(seed: int) -> KeyTrapZone:
+    """A correctly signed zone with two attack names planted.
+
+    * ``jam`` — its A RRset's real SIG is buried behind ``FORGED_SIGS``
+      garbage signatures with the real key's tag (SigJam: the validator
+      must burn one RSA check per forgery before reaching the truth).
+    * ``trap`` — same forged SIGs, but meant to be validated against a
+      trust set of ``COLLIDING_KEYS`` junk keys sharing the real tag
+      (KeySigTrap: sigs × keys pairings explode combinatorially).
+    """
+    rng = random.Random(seed)
+    zone = parse_zone_text(ZONE_TEXT)
+    keypair = _base_keypair()
+    real_key = KEY.for_rsa(keypair.public.modulus, keypair.public.exponent)
+    zone.add_rdata(zone.origin, c.TYPE_KEY, 3600, real_key)
+    dnssec.sign_zone_locally(zone, real_key, keypair.private.sign)
+
+    jam_name = Name((b"jam",) + zone.origin.labels)
+    trap_name = Name((b"trap",) + zone.origin.labels)
+    benign_name = Name((b"www",) + zone.origin.labels)
+    for attack_name in (jam_name, trap_name):
+        sigs = zone.find_rrset(attack_name, c.TYPE_SIG)
+        assert sigs is not None, "zone must be signed before planting"
+        real_a_sig = next(
+            rdata
+            for rdata in sigs
+            if isinstance(rdata, SIG) and rdata.type_covered == c.TYPE_A
+        )
+        others = [
+            rdata
+            for rdata in sigs
+            if isinstance(rdata, SIG) and rdata.type_covered != c.TYPE_A
+        ]
+        # Forgeries first: a budget-less validator reaches the real SIG
+        # only after grinding through every forgery.
+        planted = (
+            _forged_sigs(real_a_sig, FORGED_SIGS, rng) + [real_a_sig] + others
+        )
+        zone.put_rrset(RRset(attack_name, c.TYPE_SIG, sigs.ttl, planted))
+
+    colliding = tuple(
+        forge_key_with_tag(real_key.key_tag(), rng)
+        for _ in range(COLLIDING_KEYS)
+    )
+    # Real key first: an honest RRset with one genuine SIG validates on
+    # the first pairing, so benign traffic stays inside the budget even
+    # with the colliding junk keys in the trust set.  The attack names
+    # still explode: their forged SIGs pair with every key in turn.
+    return KeyTrapZone(
+        zone=zone,
+        real_key=real_key,
+        trusted_keys=(real_key,) + colliding,
+        jam_name=jam_name,
+        trap_name=trap_name,
+        benign_name=benign_name,
+    )
+
+
+@dataclass
+class KeyTrapReport:
+    """Outcome of one seeded KeyTrap attack run against the resolver."""
+
+    seed: int
+    jam_rcode: int = c.RCODE_NOERROR
+    trap_rcode: int = c.RCODE_NOERROR
+    max_sig_checks: int = 0
+    max_key_trials: int = 0
+    benign_verified: bool = False
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_keytrap_attack(
+    seed: int, budget: Optional[ValidationBudget] = None
+) -> KeyTrapReport:
+    """Drive one adversarial zone at a budgeted caching resolver."""
+    budget = budget or ValidationBudget()
+    adversarial = build_adversarial_zone(seed)
+    query = build_in_memory_tree([adversarial.zone])
+    trusted: Dict[Name, Tuple[KEY, ...]] = {
+        adversarial.zone.origin: adversarial.trusted_keys
+    }
+    resolver = CachingResolver(
+        query,
+        root=adversarial.zone.origin,
+        trusted_keys=trusted,
+        budget=budget,
+    )
+    report = KeyTrapReport(seed=seed)
+
+    for label, name in (("jam", adversarial.jam_name),
+                        ("trap", adversarial.trap_name)):
+        result = resolver.resolve(name, c.TYPE_A)
+        if label == "jam":
+            report.jam_rcode = result.rcode
+        else:
+            report.trap_rcode = result.rcode
+        report.max_sig_checks = max(report.max_sig_checks, result.sig_checks)
+        report.max_key_trials = max(report.max_key_trials, result.key_trials)
+        if not result.budget_exhausted:
+            report.violations.append(
+                f"seed {seed}: {label} response did not exhaust the budget"
+            )
+        if result.rcode != c.RCODE_SERVFAIL:
+            report.violations.append(
+                f"seed {seed}: {label} returned rcode {result.rcode}, "
+                "expected SERVFAIL refusal"
+            )
+        if result.answers:
+            report.violations.append(
+                f"seed {seed}: {label} leaked answers past the budget"
+            )
+        if result.sig_checks > budget.max_sig_checks:
+            report.violations.append(
+                f"seed {seed}: {label} burned {result.sig_checks} sig checks "
+                f"(cap {budget.max_sig_checks})"
+            )
+        if result.key_trials > budget.max_key_trials:
+            report.violations.append(
+                f"seed {seed}: {label} tried {result.key_trials} keys "
+                f"(cap {budget.max_key_trials})"
+            )
+
+    # The budget is per-response: the same resolver must still validate
+    # honest data afterwards.
+    benign = resolver.resolve(adversarial.benign_name, c.TYPE_A)
+    report.benign_verified = benign.ok and benign.verified
+    if not report.benign_verified:
+        report.violations.append(
+            f"seed {seed}: benign query failed after the attack "
+            f"(rcode {benign.rcode}, verified={benign.verified})"
+        )
+    return report
+
+
+@dataclass
+class KeyTrapSmokeResult:
+    """Aggregate of a multi-seed KeyTrap smoke plus the liveness probe."""
+
+    reports: List[KeyTrapReport]
+    liveness_ok: bool
+    liveness_detail: str
+
+    @property
+    def ok(self) -> bool:
+        return self.liveness_ok and all(r.ok for r in self.reports)
+
+    @property
+    def violations(self) -> List[str]:
+        out = [v for r in self.reports for v in r.violations]
+        if not self.liveness_ok:
+            out.append(self.liveness_detail)
+        return out
+
+
+def run_keytrap_smoke(
+    seeds: int,
+    base_seed: int = 0,
+    budget: Optional[ValidationBudget] = None,
+    cluster: Tuple[int, int] = (4, 1),
+    liveness: bool = True,
+) -> KeyTrapSmokeResult:
+    """Seeded attack sweep plus one replicated-service liveness probe.
+
+    The attack runs entirely in the resolver tier; the probe shows the
+    replicated authoritative service behind it stays live and consistent
+    while the resolver is refusing adversarial responses.
+    """
+    reports = [
+        run_keytrap_attack(base_seed + i, budget=budget) for i in range(seeds)
+    ]
+    liveness_ok, detail = (True, "skipped")
+    if liveness:
+        liveness_ok, detail = _probe_replicated_liveness(cluster)
+    return KeyTrapSmokeResult(reports, liveness_ok, detail)
+
+
+def _probe_replicated_liveness(cluster: Tuple[int, int]) -> Tuple[bool, str]:
+    from repro.config import ServiceConfig
+    from repro.core.service import ReplicatedNameService
+
+    n, t = cluster
+    with ReplicatedNameService(ServiceConfig(n=n, t=t)) as service:
+        op = service.query("www.example.com.", c.TYPE_A)
+        honest = len(service.honest_replicas())
+        consistent = service.states_consistent()
+    if op.response.rcode != c.RCODE_NOERROR:
+        return False, f"liveness probe rcode {op.response.rcode}"
+    if honest != n:
+        return False, f"liveness probe lost replicas ({honest}/{n} honest)"
+    if not consistent:
+        return False, "liveness probe found divergent replica states"
+    return True, f"({n},{t}) answered NOERROR, {honest}/{n} honest, consistent"

@@ -301,6 +301,54 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_keytrap(args: argparse.Namespace) -> int:
+    from repro.chaos import run_keytrap_smoke
+    from repro.config import ServiceConfig
+    from repro.dns.resolver import ValidationBudget
+
+    try:
+        n_text, t_text = args.cluster.split(",")
+        cluster = (int(n_text), int(t_text))
+    except ValueError:
+        print(f"error: --cluster must look like 4,1 (got {args.cluster!r})",
+              file=sys.stderr)
+        return 2
+    defaults = ServiceConfig(n=1, t=0)
+    budget = ValidationBudget(
+        max_sig_checks=args.max_sig_checks or defaults.resolver_max_sig_checks,
+        max_key_trials=args.max_key_trials or defaults.resolver_max_key_trials,
+    )
+    result = run_keytrap_smoke(
+        seeds=max(1, args.seeds),
+        base_seed=args.seed,
+        budget=budget,
+        cluster=cluster,
+        liveness=not args.no_liveness,
+    )
+    for report in result.reports:
+        status = "ok" if report.ok else "FAIL"
+        print(
+            f"keytrap seed={report.seed} {status} "
+            f"sig_checks<={report.max_sig_checks}/{budget.max_sig_checks} "
+            f"key_trials<={report.max_key_trials}/{budget.max_key_trials} "
+            f"benign_verified={report.benign_verified}"
+        )
+    if not args.no_liveness:
+        status = "ok" if result.liveness_ok else "FAIL"
+        print(f"keytrap liveness {status}: {result.liveness_detail}")
+    if not result.ok:
+        for violation in result.violations:
+            print(f"  {violation}", file=sys.stderr)
+        print(
+            "  replay: python -m repro.cli keytrap "
+            f"--seed {args.seed} --seeds {args.seeds} "
+            f"--cluster {cluster[0]},{cluster[1]}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -503,6 +551,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full deterministic transcript of every run",
     )
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "keytrap",
+        help="KeyTrap adversarial-zone smoke: budget caps + replica liveness",
+    )
+    p.add_argument("--seed", type=int, default=0, help="first (or only) seed")
+    p.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        metavar="K",
+        help="run K consecutive seeds starting at --seed",
+    )
+    p.add_argument(
+        "--cluster",
+        default="4,1",
+        metavar="N,T",
+        help="cluster for the liveness probe (e.g. 4,1)",
+    )
+    p.add_argument(
+        "--max-sig-checks",
+        type=int,
+        default=None,
+        help="override the per-response signature-check budget",
+    )
+    p.add_argument(
+        "--max-key-trials",
+        type=int,
+        default=None,
+        help="override the per-response key-trial budget",
+    )
+    p.add_argument(
+        "--no-liveness",
+        action="store_true",
+        help="skip the replicated-service liveness probe",
+    )
+    p.set_defaults(func=cmd_keytrap)
 
     p = sub.add_parser("bench", help="run one Table 2 cell")
     p.add_argument("--setup", default="(4,0)")

@@ -72,6 +72,16 @@ class ServiceConfig:
     # re-sign work from the whole zone (every RRset) instead of the
     # incremental touched-set.  Measures what incremental re-signing buys.
     resign_whole_zone: bool = False
+    # Validating resolver tier (DESIGN.md §5g): bounds on the positive
+    # (qname, qtype, serial) answer cache and the NXT denial-proof cache
+    # fronting the replicated service.
+    resolver_positive_cache: int = 4096
+    resolver_negative_cache: int = 2048
+    # KeyTrap validation budgets: per-response caps on RSA signature
+    # checks and (signature, candidate key) trials during validation.
+    # Exhaustion yields SERVFAIL instead of unbounded verify work.
+    resolver_max_sig_checks: int = 16
+    resolver_max_key_trials: int = 8
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -103,6 +113,14 @@ class ServiceConfig:
             raise ConfigError("signing_lookahead cannot be negative")
         if self.recovery_batch_size < 1:
             raise ConfigError("recovery_batch_size must be at least 1")
+        if self.resolver_positive_cache < 1:
+            raise ConfigError("resolver_positive_cache must be at least 1")
+        if self.resolver_negative_cache < 1:
+            raise ConfigError("resolver_negative_cache must be at least 1")
+        if self.resolver_max_sig_checks < 1:
+            raise ConfigError("resolver_max_sig_checks must be at least 1")
+        if self.resolver_max_key_trials < 1:
+            raise ConfigError("resolver_max_key_trials must be at least 1")
 
     @property
     def quorum(self) -> int:

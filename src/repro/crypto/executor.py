@@ -307,6 +307,26 @@ class CryptoExecutor:
             self.stats["batch_jobs"] += 1
             self.stats["batched_items"] += batch
 
+    def _assemble_candidates_inline(
+        self, message: bytes, subsets: Sequence[Sequence[SignatureShare]]
+    ) -> SubsetTrialResult:
+        """Serial early-exit subset trials, shared by both planes."""
+        public = self._require_key_share().public
+        assembled = verified = 0
+        for i, shares in enumerate(subsets):
+            assembled += 1
+            self._count_job()
+            self.clock.run(self.clock.crypto_cost(OP_ASSEMBLE))
+            try:
+                signature = public.assemble(message, shares)
+            except AssemblyError:
+                continue
+            verified += 1
+            self.clock.run(self.clock.crypto_cost(OP_VERIFY_SIGNATURE))
+            if public.signature_is_valid(message, signature):
+                return SubsetTrialResult(i, signature, assembled, verified)
+        return SubsetTrialResult(None, None, assembled, verified)
+
 
 class SerialExecutor(CryptoExecutor):
     """Run every job inline — the deterministic reference executor."""
@@ -375,21 +395,7 @@ class SerialExecutor(CryptoExecutor):
     def assemble_candidates(
         self, message: bytes, subsets: Sequence[Sequence[SignatureShare]]
     ) -> SubsetTrialResult:
-        public = self._require_key_share().public
-        assembled = verified = 0
-        for i, shares in enumerate(subsets):
-            assembled += 1
-            self._count_job()
-            self.clock.run(self.clock.crypto_cost(OP_ASSEMBLE))
-            try:
-                signature = public.assemble(message, shares)
-            except AssemblyError:
-                continue
-            verified += 1
-            self.clock.run(self.clock.crypto_cost(OP_VERIFY_SIGNATURE))
-            if public.signature_is_valid(message, signature):
-                return SubsetTrialResult(i, signature, assembled, verified)
-        return SubsetTrialResult(None, None, assembled, verified)
+        return self._assemble_candidates_inline(message, subsets)
 
     def rsa_sign(self, message: bytes) -> bytes:
         key = self._require_auth_key()
@@ -695,7 +701,7 @@ class PoolExecutor(CryptoExecutor):
             return SubsetTrialResult(None, None, 0, 0)
         if len(subsets) == 1:
             # A single candidate is cheaper inline than over IPC.
-            return SerialExecutor.assemble_candidates(self, message, subsets)
+            return self._assemble_candidates_inline(message, subsets)
         self._require_key_share()
         # Cancel-on-first-winner lane protocol.  Candidates are grouped
         # into *waves* of one trial per worker; waves are evaluated in

@@ -9,6 +9,20 @@ optionally verifies zone signatures of the answering zone — which is what
 lets a resolver detect a forged answer from a replicated zone's corrupted
 replica (the end-to-end property DNSSEC zone signing buys, §2).
 
+Two hardening layers sit on top of the basic walk (DESIGN.md §5g):
+
+* **Validation budgets** — ``_verify`` charges every RSA signature check
+  and every candidate-key trial against a per-response
+  :class:`ValidationBudget`.  An adversarial zone stuffed with colliding
+  key tags and garbage SIGs (the KeyTrap attacks) exhausts the budget
+  after a bounded amount of work and the response is refused with
+  SERVFAIL instead of grinding through quadratically many verifies.
+* **:class:`CachingResolver`** — a validating cache tier that serves
+  repeat positive answers from a bounded (qname, qtype, serial) cache
+  and *synthesizes* NXDOMAIN/NODATA from cached NXT denial proofs
+  (RFC 8198 aggressive use), so NXDOMAIN-heavy read traffic never
+  reaches the replicated authoritative service.
+
 The resolver is deliberately transport-agnostic: it queries through a
 ``lookup`` callable mapping a zone origin to an
 :class:`~repro.dns.server.AuthoritativeServer`-compatible object, so it
@@ -19,20 +33,61 @@ or in tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.dns import constants as c
 from repro.dns import dnssec
-from repro.dns.message import Message, make_query, rrs_to_rrsets
+from repro.dns.message import RR, Message, make_query, make_response, rrs_to_rrsets
 from repro.dns.name import Name, root_name
-from repro.dns.rdata import KEY, SIG
+from repro.dns.negcache import (
+    CachedAnswer,
+    NxtProof,
+    NxtProofCache,
+    PositiveAnswerCache,
+)
+from repro.dns.rdata import KEY, NXT, SIG, SOA
+from repro.dns.rrset import RRset
 from repro.dns.server import AuthoritativeServer
 from repro.dns.zone import Zone
 from repro.errors import DnsError, DnssecError
 
+if TYPE_CHECKING:
+    from repro.config import ServiceConfig
+
 
 class ResolutionError(DnsError):
     """Resolution failed (no servers, referral loop, depth exceeded)."""
+
+
+@dataclass(frozen=True)
+class ValidationBudget:
+    """KeyTrap caps: the most validation work one response may cost.
+
+    ``max_sig_checks`` bounds actual RSA verifications; ``max_key_trials``
+    bounds (signature, candidate key) pairings examined.  Both are per
+    response, so a colliding-tag zone costs O(budget), not O(sigs × keys).
+    """
+
+    max_sig_checks: int = 16
+    max_key_trials: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_sig_checks < 1:
+            raise ValueError("max_sig_checks must be >= 1")
+        if self.max_key_trials < 1:
+            raise ValueError("max_key_trials must be >= 1")
+
+
+DEFAULT_BUDGET = ValidationBudget()
 
 
 @dataclass
@@ -40,11 +95,15 @@ class ResolutionResult:
     """Outcome of one iterative resolution."""
 
     rcode: int
-    answers: List = field(default_factory=list)     # RR list
+    answers: List[RR] = field(default_factory=list)
     zone_origin: Optional[Name] = None              # answering zone
     referrals_followed: int = 0
     cnames_followed: int = 0
     verified: bool = False
+    sig_checks: int = 0                             # RSA verifies spent
+    key_trials: int = 0                             # candidate keys tried
+    budget_exhausted: bool = False
+    from_cache: bool = False                        # served by the cache tier
 
     @property
     def ok(self) -> bool:
@@ -52,6 +111,19 @@ class ResolutionResult:
 
 
 QueryFn = Callable[[Name, Message], Message]
+TrustedKeySpec = Dict[Name, Union[KEY, Sequence[KEY]]]
+
+
+def _normalize_trusted_keys(
+    trusted_keys: Optional[TrustedKeySpec],
+) -> Dict[Name, Tuple[KEY, ...]]:
+    normalized: Dict[Name, Tuple[KEY, ...]] = {}
+    for origin, keys in (trusted_keys or {}).items():
+        if isinstance(keys, KEY):
+            normalized[origin] = (keys,)
+        else:
+            normalized[origin] = tuple(keys)
+    return normalized
 
 
 class IterativeResolver:
@@ -64,15 +136,23 @@ class IterativeResolver:
         self,
         query: QueryFn,
         root: Name | None = None,
-        trusted_keys: Optional[Dict[Name, KEY]] = None,
+        trusted_keys: Optional[TrustedKeySpec] = None,
+        budget: ValidationBudget = DEFAULT_BUDGET,
     ) -> None:
         """``query(zone_origin, message)`` sends a query to the zone's
         authoritative service and returns the response.  ``trusted_keys``
         maps zone origins to their trusted zone keys (statically
-        configured, as the paper assumes clients know pk_zone)."""
+        configured, as the paper assumes clients know pk_zone); each
+        origin may list several keys to model rollovers — and KeyTrap
+        key-collision attacks."""
         self._query = query
         self._root = root if root is not None else root_name()
-        self._trusted_keys = dict(trusted_keys or {})
+        self._trusted_keys = _normalize_trusted_keys(trusted_keys)
+        self._budget = budget
+
+    @property
+    def budget(self) -> ValidationBudget:
+        return self._budget
 
     def resolve(self, name: Name, rtype: int) -> ResolutionResult:
         result = ResolutionResult(rcode=c.RCODE_SERVFAIL)
@@ -124,7 +204,15 @@ class IterativeResolver:
         result.answers.extend(
             rr for rr in response.answers if rr.rtype != c.TYPE_SIG
         )
-        result.verified = self._verify(response, zone_origin)
+        result.verified = self._verify(response, zone_origin, result)
+        if result.budget_exhausted:
+            # KeyTrap refusal: the response demanded more validation work
+            # than the budget allows, so treat it as unusable rather than
+            # spending unbounded CPU deciding whether it is genuine.
+            result.rcode = c.RCODE_SERVFAIL
+            result.answers.clear()
+            result.verified = False
+            return result
 
         # Chase a CNAME whose target we have not answered yet.
         final_types = {rr.rtype for rr in result.answers}
@@ -142,35 +230,414 @@ class IterativeResolver:
             result.answers.extend(chased.answers)
             result.cnames_followed += 1 + chased.cnames_followed
             result.referrals_followed += chased.referrals_followed
+            result.sig_checks += chased.sig_checks
+            result.key_trials += chased.key_trials
+            result.budget_exhausted = (
+                result.budget_exhausted or chased.budget_exhausted
+            )
             result.verified = result.verified and chased.verified
             result.rcode = chased.rcode
         return result
 
-    def _verify(self, response: Message, zone_origin: Name) -> bool:
-        """Verify SIGs over the answer RRsets with the zone's trusted key."""
-        key = self._trusted_keys.get(zone_origin)
-        if key is None:
+    def _verify(
+        self,
+        response: Message,
+        zone_origin: Name,
+        result: ResolutionResult,
+    ) -> bool:
+        """Verify SIGs over the answer RRsets with the zone's trusted keys.
+
+        Work is charged against the resolver's :class:`ValidationBudget`:
+        exceeding either cap sets ``result.budget_exhausted`` and fails
+        verification immediately.
+        """
+        keys = self._trusted_keys.get(zone_origin)
+        if not keys:
             return False
         rrsets = rrs_to_rrsets(response.answers)
         data_sets = [r for r in rrsets if r.rtype != c.TYPE_SIG]
-        sigs = {
-            (rrset.name, rdata.type_covered): rdata
-            for rrset in rrsets
-            if rrset.rtype == c.TYPE_SIG
-            for rdata in rrset
-            if isinstance(rdata, SIG)
-        }
+        sigs: Dict[Tuple[Name, int], List[SIG]] = {}
+        for rrset in rrsets:
+            if rrset.rtype != c.TYPE_SIG:
+                continue
+            for rdata in rrset:
+                if isinstance(rdata, SIG):
+                    sigs.setdefault((rrset.name, rdata.type_covered), []).append(
+                        rdata
+                    )
         if not data_sets:
             return False
         for rrset in data_sets:
-            sig = sigs.get((rrset.name, rrset.rtype))
-            if sig is None:
+            covering = sigs.get((rrset.name, rrset.rtype))
+            if not covering:
                 return False
-            try:
-                dnssec.verify_rrset(rrset, sig, key)
-            except DnssecError:
+            if not self._verify_one(rrset, covering, keys, result):
                 return False
         return True
+
+    def _verify_one(
+        self,
+        rrset: RRset,
+        covering: Sequence[SIG],
+        keys: Sequence[KEY],
+        result: ResolutionResult,
+    ) -> bool:
+        """Try each (SIG, candidate key) pairing within the budget."""
+        for sig in covering:
+            for key in keys:
+                if key.algorithm != sig.algorithm or key.key_tag() != sig.key_tag:
+                    continue
+                if result.key_trials >= self._budget.max_key_trials:
+                    result.budget_exhausted = True
+                    return False
+                result.key_trials += 1
+                if result.sig_checks >= self._budget.max_sig_checks:
+                    result.budget_exhausted = True
+                    return False
+                result.sig_checks += 1
+                try:
+                    dnssec.verify_rrset(rrset, sig, key)
+                    return True
+                except DnssecError:
+                    continue
+        return False
+
+
+class CachingResolver(IterativeResolver):
+    """A validating cache tier in front of the authoritative service.
+
+    Positive answers are cached per ``(qname, qtype, serial)``; NXT
+    denial proofs observed in authoritative negative responses are
+    cached per covering interval and replayed — byte for byte — to
+    synthesize NXDOMAIN and NODATA for any name the interval covers
+    (RFC 8198).  Zone serials are tracked from every SOA that passes
+    through; a serial bump invalidates both caches for that origin.
+    """
+
+    #: Bound on the per-origin serial map — origins come from the
+    #: configured trusted-key set plus observed zones, not attacker
+    #: input, but the bound keeps the structure audit-clean.
+    MAX_TRACKED_ORIGINS = 256
+
+    def __init__(
+        self,
+        query: QueryFn,
+        root: Name | None = None,
+        trusted_keys: Optional[TrustedKeySpec] = None,
+        budget: ValidationBudget = DEFAULT_BUDGET,
+        positive_cache: Optional[PositiveAnswerCache] = None,
+        negative_cache: Optional[NxtProofCache] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        super().__init__(self._observed_query, root, trusted_keys, budget)
+        self._upstream = query
+        # Explicit None checks: an empty cache is falsy via __len__, so
+        # ``or`` would silently discard a caller-supplied (sized) cache.
+        # The annotations key the taint analyzer's annotated-attribute
+        # call resolution.
+        self._positive: PositiveAnswerCache = (
+            positive_cache if positive_cache is not None else PositiveAnswerCache()
+        )
+        self._negative: NxtProofCache = (
+            negative_cache if negative_cache is not None else NxtProofCache()
+        )
+        self._clock: Callable[[], float] = clock or (lambda: 0.0)
+        self._serials: Dict[Name, int] = {}
+        self.stats: Dict[str, int] = {
+            "queries": 0,
+            "authoritative_queries": 0,
+            "positive_hits": 0,
+            "synthesized_nxdomain": 0,
+            "synthesized_nodata": 0,
+            "proofs_cached": 0,
+            "serial_bumps": 0,
+            "rejected_proofs": 0,
+        }
+
+    @classmethod
+    def from_config(
+        cls,
+        query: QueryFn,
+        config: "ServiceConfig",
+        root: Name | None = None,
+        trusted_keys: Optional[TrustedKeySpec] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> "CachingResolver":
+        """Build a resolver tier sized by ``ServiceConfig`` knobs."""
+        return cls(
+            query,
+            root=root,
+            trusted_keys=trusted_keys,
+            budget=ValidationBudget(
+                max_sig_checks=config.resolver_max_sig_checks,
+                max_key_trials=config.resolver_max_key_trials,
+            ),
+            positive_cache=PositiveAnswerCache(config.resolver_positive_cache),
+            negative_cache=NxtProofCache(config.resolver_negative_cache),
+            clock=clock,
+        )
+
+    @property
+    def positive_cache(self) -> PositiveAnswerCache:
+        return self._positive
+
+    @property
+    def negative_cache(self) -> NxtProofCache:
+        return self._negative
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        return {
+            "resolver": dict(self.stats),
+            "positive": dict(self._positive.stats),
+            "negative": dict(self._negative.stats),
+        }
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve(self, name: Name, rtype: int) -> ResolutionResult:
+        self.stats["queries"] += 1
+        now = self._clock()
+        origin = self._best_origin(name)
+        if origin is not None:
+            serial = self._serials.get(origin)
+            if serial is not None:
+                hit = self._positive.lookup(name, rtype, serial, now)
+                if hit is not None:
+                    self.stats["positive_hits"] += 1
+                    return self._result_from_positive(hit, origin)
+                denial = self._negative.lookup(origin, serial, name, rtype, now)
+                if denial is not None:
+                    kind, proof = denial
+                    self.stats[f"synthesized_{kind}"] += 1
+                    return self._result_from_proof(kind, proof, origin)
+        result = super().resolve(name, rtype)
+        self._maybe_cache_positive(name, rtype, result, now)
+        return result
+
+    def synthesize_response(self, query: Message) -> Optional[Message]:
+        """A full negative :class:`Message` for ``query``, from cache only.
+
+        Returns None when no cached proof covers the question.  The
+        authority section replays the exact RRs of the authoritative
+        denial, so the wire bytes match what the replicated service
+        would have produced for this query.
+        """
+        if not query.questions:
+            return None
+        question = query.questions[0]
+        origin = self._best_origin(question.name)
+        if origin is None:
+            return None
+        serial = self._serials.get(origin)
+        if serial is None:
+            return None
+        denial = self._negative.lookup(
+            origin, serial, question.name, question.rtype, self._clock()
+        )
+        if denial is None:
+            return None
+        kind, proof = denial
+        self.stats[f"synthesized_{kind}"] += 1
+        rcode = c.RCODE_NXDOMAIN if kind == "nxdomain" else c.RCODE_NOERROR
+        response = make_response(query, rcode)
+        response.set_flag(c.FLAG_AA)
+        response.authority.extend(proof.authority_rrs)
+        return response
+
+    # -- observation --------------------------------------------------------
+
+    def _observed_query(self, zone_origin: Name, message: Message) -> Message:
+        self.stats["authoritative_queries"] += 1
+        response = self._upstream(zone_origin, message)
+        self._observe(zone_origin, message, response)
+        return response
+
+    def _observe(self, zone_origin: Name, query: Message, response: Message) -> None:
+        serial = self._note_serials(response)
+        if not query.questions:
+            return
+        question = query.questions[0]
+        negative = response.rcode == c.RCODE_NXDOMAIN or (
+            response.rcode == c.RCODE_NOERROR
+            and not response.answers
+            and not any(rr.rtype == c.TYPE_NS for rr in response.authority)
+        )
+        if not negative or not response.is_authoritative:
+            return
+        if serial is None:
+            return
+        self._cache_proof(zone_origin, serial, response)
+
+    def _note_serials(self, response: Message) -> Optional[int]:
+        """Track zone serials from SOAs; returns the last serial seen."""
+        seen: Optional[int] = None
+        for rr in list(response.answers) + list(response.authority):
+            if rr.rtype != c.TYPE_SOA or not isinstance(rr.rdata, SOA):
+                continue
+            seen = rr.rdata.serial
+            self._note_serial(rr.name, rr.rdata.serial)
+        return seen
+
+    def _note_serial(self, origin: Name, serial: int) -> None:
+        known = self._serials.get(origin)
+        if known is not None and serial > known:
+            self.stats["serial_bumps"] += 1
+            self._positive.invalidate_origin(origin, keep_serial=serial)
+            self._negative.invalidate_origin(origin, keep_serial=serial)
+        if known is None and len(self._serials) >= self.MAX_TRACKED_ORIGINS:
+            return
+        if known is None or serial > known:
+            # Bounded: MAX_TRACKED_ORIGINS guard above; origins are the
+            # configured zone set, not per-query attacker input.
+            self._serials[origin] = serial
+
+    def _cache_proof(self, origin: Name, serial: int, response: Message) -> None:
+        # The SOA owner is the authoritative statement of which zone the
+        # denial comes from; prefer it over the queried zone label (they
+        # differ when a single-zone service sits behind a generic root).
+        for rr in response.authority:
+            if rr.rtype == c.TYPE_SOA:
+                origin = rr.name
+                break
+        nxt_rrs = [rr for rr in response.authority if rr.rtype == c.TYPE_NXT]
+        if len(nxt_rrs) != 1 or not isinstance(nxt_rrs[0].rdata, NXT):
+            return
+        nxt_rr = nxt_rrs[0]
+        ttl = self._negative_ttl(response, nxt_rr.ttl)
+        verified = self._proof_verified(origin, response)
+        if verified is None:
+            self.stats["rejected_proofs"] += 1
+            return
+        proof = NxtProof(
+            origin=origin,
+            serial=serial,
+            owner=nxt_rr.name,
+            nxt=nxt_rr.rdata,
+            authority_rrs=tuple(response.authority),
+            verified=verified,
+            expires=self._clock() + ttl,
+        )
+        self._negative.store(proof)
+        self.stats["proofs_cached"] += 1
+
+    def _proof_verified(self, origin: Name, response: Message) -> Optional[bool]:
+        """Verify the denial's SOA+NXT SIGs.
+
+        Returns True on success, False when no trusted key is configured
+        (cached unverified, like unverified positive answers), and None
+        when a trusted key exists but verification *fails* — such proofs
+        are rejected outright rather than cached.
+        """
+        keys = self._trusted_keys.get(origin)
+        if not keys:
+            return False
+        scratch = ResolutionResult(rcode=c.RCODE_NOERROR)
+        rrsets = rrs_to_rrsets(list(response.authority))
+        sigs: Dict[Tuple[Name, int], List[SIG]] = {}
+        for rrset in rrsets:
+            if rrset.rtype != c.TYPE_SIG:
+                continue
+            for rdata in rrset:
+                if isinstance(rdata, SIG):
+                    sigs.setdefault((rrset.name, rdata.type_covered), []).append(
+                        rdata
+                    )
+        for rrset in rrsets:
+            if rrset.rtype == c.TYPE_SIG:
+                continue
+            covering = sigs.get((rrset.name, rrset.rtype))
+            if not covering:
+                return None
+            if not self._verify_one(rrset, covering, keys, scratch):
+                return None
+        return True
+
+    @staticmethod
+    def _negative_ttl(response: Message, nxt_ttl: int) -> int:
+        """RFC 2308 negative TTL: min(SOA RR ttl, SOA.minimum)."""
+        for rr in response.authority:
+            if rr.rtype == c.TYPE_SOA and isinstance(rr.rdata, SOA):
+                return min(rr.ttl, rr.rdata.minimum, nxt_ttl)
+        return nxt_ttl
+
+    # -- cache fills and synthesis ------------------------------------------
+
+    def _maybe_cache_positive(
+        self, name: Name, rtype: int, result: ResolutionResult, now: float
+    ) -> None:
+        if result.rcode != c.RCODE_NOERROR or not result.answers:
+            return
+        origin = result.zone_origin
+        serial = self._serials.get(origin) if origin is not None else None
+        if serial is None:
+            # The queried zone label may be a generic root fronting a
+            # single-zone service; fall back to the tracked origin the
+            # name falls under (learned from observed SOAs).
+            tracked = self._best_origin(name)
+            if tracked is not None:
+                origin = tracked
+                serial = self._serials.get(tracked)
+        if origin is None:
+            return
+        if serial is None:
+            serial = self._prime_serial(origin)
+            if serial is None:
+                return
+        ttl = min(rr.ttl for rr in result.answers)
+        self._positive.store(
+            name,
+            rtype,
+            CachedAnswer(
+                origin=origin,
+                serial=serial,
+                rcode=result.rcode,
+                answer_rrs=tuple(result.answers),
+                verified=result.verified,
+                expires=now + ttl,
+            ),
+        )
+
+    def _prime_serial(self, origin: Name) -> Optional[int]:
+        """Learn a zone's serial with one SOA query to its apex."""
+        try:
+            response = self._observed_query(
+                origin, make_query(origin, c.TYPE_SOA)
+            )
+        except DnsError:
+            return None
+        for rr in response.answers:
+            if rr.rtype == c.TYPE_SOA and isinstance(rr.rdata, SOA):
+                return rr.rdata.serial
+        return None
+
+    def _best_origin(self, qname: Name) -> Optional[Name]:
+        """The most specific tracked origin the query name falls under."""
+        best: Optional[Name] = None
+        for origin in self._serials:
+            if qname.is_subdomain_of(origin) or qname == origin:
+                if best is None or origin.is_subdomain_of(best):
+                    best = origin
+        return best
+
+    def _result_from_positive(
+        self, hit: CachedAnswer, origin: Name
+    ) -> ResolutionResult:
+        result = ResolutionResult(rcode=hit.rcode)
+        result.answers.extend(hit.answer_rrs)
+        result.zone_origin = origin
+        result.verified = hit.verified
+        result.from_cache = True
+        return result
+
+    def _result_from_proof(
+        self, kind: str, proof: NxtProof, origin: Name
+    ) -> ResolutionResult:
+        rcode = c.RCODE_NXDOMAIN if kind == "nxdomain" else c.RCODE_NOERROR
+        result = ResolutionResult(rcode=rcode)
+        result.zone_origin = origin
+        result.verified = proof.verified
+        result.from_cache = True
+        return result
 
 
 def build_in_memory_tree(zones: List[Zone]) -> QueryFn:

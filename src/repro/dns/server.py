@@ -10,6 +10,7 @@ signatures).
 
 from __future__ import annotations
 
+import bisect
 from typing import List, Optional
 
 from repro.dns import constants as c
@@ -66,7 +67,7 @@ class AuthoritativeServer:
     ) -> None:
         node_rrsets = self.zone.rrsets_at(qname)
         if not node_rrsets:
-            self._nxdomain_or_nodata(response, nxdomain=True)
+            self._nxdomain_or_nodata(response, qname, nxdomain=True)
             return
 
         if qtype == c.TYPE_ANY:
@@ -89,7 +90,7 @@ class AuthoritativeServer:
             return
 
         # Name exists, type doesn't: NODATA.
-        self._nxdomain_or_nodata(response, nxdomain=False)
+        self._nxdomain_or_nodata(response, qname, nxdomain=False)
 
     def _add_answer(self, response: Message, rrset: RRset) -> None:
         response.answers.extend(rrset_to_rrs(rrset))
@@ -149,7 +150,9 @@ class AuthoritativeServer:
                 if glue is not None:
                     response.additional.extend(rrset_to_rrs(glue))
 
-    def _nxdomain_or_nodata(self, response: Message, nxdomain: bool) -> None:
+    def _nxdomain_or_nodata(
+        self, response: Message, qname: Name, nxdomain: bool
+    ) -> None:
         if nxdomain:
             response.rcode = c.RCODE_NXDOMAIN
         soa = self.zone.find_rrset(self.zone.origin, c.TYPE_SOA)
@@ -159,3 +162,31 @@ class AuthoritativeServer:
                 sig = self._covering_sig(soa)
                 if sig is not None:
                     response.authority.extend(rrset_to_rrs(sig))
+        # RFC 2535 authenticated denial: the NXT whose interval covers
+        # the (missing) name, or the name's own NXT for NODATA, plus its
+        # SIG so validating resolvers can cache and replay the proof.
+        nxt = self._covering_nxt(qname, nxdomain)
+        if nxt is not None:
+            response.authority.extend(rrset_to_rrs(nxt))
+            if self.include_sigs:
+                sig = self._covering_sig(nxt)
+                if sig is not None:
+                    response.authority.extend(rrset_to_rrs(sig))
+
+    def _covering_nxt(self, qname: Name, nxdomain: bool) -> Optional[RRset]:
+        """The zone's NXT proving ``qname`` (or its type) absent."""
+        if not nxdomain:
+            return self.zone.find_rrset(qname, c.TYPE_NXT)
+        # The covering NXT lives at the canonical predecessor of qname
+        # among names that carry an NXT.  Any in-zone name sorts at or
+        # after the apex, so walking backwards needs no wrap-around.
+        names = self.zone.names()
+        idx = bisect.bisect_left(names, qname)
+        # Bounded: bisect_left returns <= len(names), so the walk visits
+        # at most the zone's own names regardless of the queried qname.
+        # repro-lint: disable=T403
+        for i in range(idx - 1, -1, -1):
+            nxt = self.zone.find_rrset(names[i], c.TYPE_NXT)
+            if nxt is not None:
+                return nxt
+        return None

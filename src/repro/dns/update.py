@@ -14,11 +14,12 @@ completely deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Set
+from typing import List, Optional, Set
 
 from repro.dns import constants as c
 from repro.dns.message import Message, RR, make_response
 from repro.dns.name import Name
+from repro.dns.rdata import SOA
 from repro.dns.zone import Zone
 from repro.errors import UpdateError, ZoneError
 
@@ -191,6 +192,7 @@ class UpdateProcessor:
             raise UpdateError(c.RCODE_FORMERR, "cannot add type ANY")
         if rr.rtype == c.TYPE_SOA:
             # §3.4.2.2: SOA add replaces, but only if serial is newer.
+            current: Optional[SOA]
             try:
                 current = zone.soa
             except ZoneError:

@@ -28,7 +28,12 @@ class Zone:
     ) -> None:
         self.origin = origin
         self._nodes: Dict[Name, Dict[int, RRset]] = {}
-        self.render = render_cache if render_cache is not None else CanonicalRenderCache()
+        # The explicit annotation also keys the taint analyzer's
+        # annotated-attribute call resolution (store/lookup are no longer
+        # globally unique method names).
+        self.render: CanonicalRenderCache = (
+            render_cache if render_cache is not None else CanonicalRenderCache()
+        )
 
     # -- lookup -----------------------------------------------------------------
 

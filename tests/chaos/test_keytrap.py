@@ -1,0 +1,76 @@
+"""KeyTrap budgets: adversarial zones cannot buy unbounded validation."""
+
+import random
+
+import pytest
+
+from repro.chaos.keytrap import (
+    COLLIDING_KEYS,
+    FORGED_SIGS,
+    build_adversarial_zone,
+    forge_key_with_tag,
+    run_keytrap_attack,
+)
+from repro.dns import constants as c
+from repro.dns.resolver import CachingResolver, ValidationBudget, build_in_memory_tree
+
+
+def test_forged_key_tags_collide_on_demand():
+    rng = random.Random(99)
+    for target in (0, 1, 0x1234, 0xFFFF):
+        key = forge_key_with_tag(target, rng)
+        assert key.key_tag() == target
+        assert key.algorithm == c.ALG_RSASHA1
+
+
+def test_adversarial_zone_shape():
+    adversarial = build_adversarial_zone(seed=0)
+    # The trust set holds the real key plus the colliding junk keys, and
+    # every junk key shares the real key's tag — the KeySigTrap setup.
+    assert len(adversarial.trusted_keys) == COLLIDING_KEYS + 1
+    real_tag = adversarial.real_key.key_tag()
+    assert all(k.key_tag() == real_tag for k in adversarial.trusted_keys)
+    sigs = adversarial.zone.find_rrset(adversarial.jam_name, c.TYPE_SIG)
+    a_sigs = [s for s in sigs if s.type_covered == c.TYPE_A]
+    assert len(a_sigs) == FORGED_SIGS + 1  # forgeries plus the real one
+
+
+def test_attack_is_refused_within_budget():
+    budget = ValidationBudget(max_sig_checks=16, max_key_trials=8)
+    report = run_keytrap_attack(seed=0, budget=budget)
+    assert report.ok, report.violations
+    assert report.jam_rcode == c.RCODE_SERVFAIL
+    assert report.trap_rcode == c.RCODE_SERVFAIL
+    # The caps are the whole point: uncapped, the planted RRsets would
+    # cost ~(FORGED_SIGS+1) x (COLLIDING_KEYS+1) pairings.
+    assert report.max_sig_checks <= budget.max_sig_checks
+    assert report.max_key_trials <= budget.max_key_trials
+    assert report.benign_verified
+
+
+def test_benign_query_verifies_against_the_polluted_trust_set():
+    # Honest RRsets carry one genuine SIG; with the real key ordered
+    # first they validate on the first pairing despite the junk keys.
+    adversarial = build_adversarial_zone(seed=1)
+    resolver = CachingResolver(
+        build_in_memory_tree([adversarial.zone]),
+        root=adversarial.zone.origin,
+        trusted_keys={adversarial.zone.origin: adversarial.trusted_keys},
+    )
+    result = resolver.resolve(adversarial.benign_name, c.TYPE_A)
+    assert result.ok and result.verified and not result.budget_exhausted
+    assert result.sig_checks == 1
+
+
+def test_tighter_budget_still_holds():
+    report = run_keytrap_attack(
+        seed=2, budget=ValidationBudget(max_sig_checks=4, max_key_trials=4)
+    )
+    assert report.ok, report.violations
+    assert report.max_sig_checks <= 4
+    assert report.max_key_trials <= 4
+
+
+def test_budget_caps_must_be_positive():
+    with pytest.raises(ValueError):
+        ValidationBudget(max_sig_checks=0, max_key_trials=1)

@@ -1,0 +1,250 @@
+"""The validating cache tier end to end: offload, synthesis, invalidation."""
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.dns import constants as c
+from repro.dns import dnssec
+from repro.dns.message import make_query
+from repro.dns.name import Name
+from repro.dns.rdata import A, SOA
+from repro.dns.resolver import (
+    CachingResolver,
+    ValidationBudget,
+    build_in_memory_tree,
+)
+from repro.dns.rrset import RRset
+from repro.dns.server import AuthoritativeServer
+from repro.dns.zonefile import parse_zone_text
+from repro.crypto.rsa import generate_rsa_keypair
+
+ZONE_TEXT = """
+$ORIGIN example.com.
+$TTL 3600
+@ IN SOA ns1.example.com. admin.example.com. ( 100 7200 900 604800 300 )
+  IN NS ns1
+ns1 IN A 192.0.2.1
+mmm IN A 192.0.2.7
+www IN A 192.0.2.80
+"""
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture()
+def signed_zone():
+    from repro.dns.rdata import KEY
+
+    keypair = generate_rsa_keypair(512)
+    zone = parse_zone_text(ZONE_TEXT)
+    key_record = KEY.for_rsa(keypair.public.modulus, keypair.public.exponent)
+    zone.add_rdata(zone.origin, c.TYPE_KEY, 3600, key_record)
+    dnssec.sign_zone_locally(zone, key_record, keypair.private.sign)
+    return zone, key_record, keypair
+
+
+def _resolver(zone, key_record, clock=None) -> CachingResolver:
+    return CachingResolver(
+        build_in_memory_tree([zone]),
+        root=zone.origin,
+        trusted_keys={zone.origin: key_record},
+        clock=clock,
+    )
+
+
+def _name(label: str, zone) -> Name:
+    return Name((label.encode(),) + zone.origin.labels)
+
+
+class TestPositiveOffload:
+    def test_repeat_query_served_from_cache(self, signed_zone):
+        zone, key_record, _ = signed_zone
+        resolver = _resolver(zone, key_record)
+        first = resolver.resolve(_name("www", zone), c.TYPE_A)
+        assert first.ok and first.verified and not first.from_cache
+        upstream_before = resolver.stats["authoritative_queries"]
+        second = resolver.resolve(_name("www", zone), c.TYPE_A)
+        assert second.ok and second.verified and second.from_cache
+        assert [rr.rdata.address for rr in second.answers] == ["192.0.2.80"]
+        assert resolver.stats["authoritative_queries"] == upstream_before
+        assert resolver.stats["positive_hits"] == 1
+
+    def test_ttl_expiry_forces_refetch(self, signed_zone):
+        zone, key_record, _ = signed_zone
+        clock = _FakeClock()
+        resolver = _resolver(zone, key_record, clock=clock)
+        resolver.resolve(_name("www", zone), c.TYPE_A)
+        clock.now = 3600.0  # at the record TTL the entry is dead
+        upstream_before = resolver.stats["authoritative_queries"]
+        result = resolver.resolve(_name("www", zone), c.TYPE_A)
+        assert result.ok and not result.from_cache
+        assert resolver.stats["authoritative_queries"] > upstream_before
+
+
+class TestNegativeSynthesis:
+    def test_nxdomain_synthesized_for_unseen_covered_name(self, signed_zone):
+        zone, key_record, _ = signed_zone
+        resolver = _resolver(zone, key_record)
+        # One authoritative miss caches the ns1..www interval...
+        first = resolver.resolve(_name("ooo", zone), c.TYPE_A)
+        assert first.rcode == c.RCODE_NXDOMAIN and not first.from_cache
+        upstream_before = resolver.stats["authoritative_queries"]
+        # ...which then denies a *different* name without any upstream.
+        other = resolver.resolve(_name("ppp", zone), c.TYPE_A)
+        assert other.rcode == c.RCODE_NXDOMAIN
+        assert other.from_cache and other.verified
+        assert resolver.stats["authoritative_queries"] == upstream_before
+        assert resolver.stats["synthesized_nxdomain"] == 1
+
+    def test_synthesized_nxdomain_is_byte_identical(self, signed_zone):
+        # The pinned claim: a synthesized negative replays the exact wire
+        # bytes the authoritative server would emit for that query.
+        zone, key_record, _ = signed_zone
+        server = AuthoritativeServer(zone)
+        resolver = _resolver(zone, key_record)
+        resolver.resolve(_name("ooo", zone), c.TYPE_A)
+        query = make_query(_name("ppp", zone), c.TYPE_A, msg_id=7777)
+        synthesized = resolver.synthesize_response(query)
+        assert synthesized is not None
+        assert synthesized.to_wire() == server.handle_query(query).to_wire()
+
+    def test_synthesized_nodata_is_byte_identical(self, signed_zone):
+        zone, key_record, _ = signed_zone
+        server = AuthoritativeServer(zone)
+        resolver = _resolver(zone, key_record)
+        # NODATA: the name exists, the type does not; the proof is the
+        # name's own NXT bitmap.
+        first = resolver.resolve(_name("www", zone), c.TYPE_MX)
+        assert first.rcode == c.RCODE_NOERROR and not first.answers
+        query = make_query(_name("www", zone), c.TYPE_MX, msg_id=7778)
+        synthesized = resolver.synthesize_response(query)
+        assert synthesized is not None
+        assert synthesized.rcode == c.RCODE_NOERROR
+        assert synthesized.to_wire() == server.handle_query(query).to_wire()
+        assert resolver.stats["synthesized_nodata"] == 1
+
+    def test_negative_ttl_is_capped_by_soa_minimum(self, signed_zone):
+        zone, key_record, _ = signed_zone
+        clock = _FakeClock()
+        resolver = _resolver(zone, key_record, clock=clock)
+        resolver.resolve(_name("ooo", zone), c.TYPE_A)
+        # SOA minimum is 300 (vs the 3600 record TTL): RFC 2308 negative
+        # TTL, so the proof dies at t=300 even though the NXT TTL is 3600.
+        clock.now = 299.0
+        assert resolver.resolve(_name("ppp", zone), c.TYPE_A).from_cache
+        clock.now = 300.0
+        result = resolver.resolve(_name("qqq", zone), c.TYPE_A)
+        assert not result.from_cache
+
+
+class TestSerialBumpInvalidation:
+    def test_zone_change_invalidates_both_caches(self, signed_zone):
+        zone, key_record, keypair = signed_zone
+        resolver = _resolver(zone, key_record)
+        www = _name("www", zone)
+        resolver.resolve(www, c.TYPE_A)
+        resolver.resolve(_name("nnn", zone), c.TYPE_A)  # caches mmm..ns1
+        assert resolver.resolve(www, c.TYPE_A).from_cache
+        assert resolver.resolve(_name("naa", zone), c.TYPE_A).from_cache
+
+        # Publish a new zone version: new address, bumped serial, re-sign.
+        soa = zone.soa
+        zone.put_rrset(
+            RRset(
+                zone.origin,
+                c.TYPE_SOA,
+                zone.soa_rrset.ttl,
+                [
+                    SOA(
+                        soa.mname,
+                        soa.rname,
+                        soa.serial + 1,
+                        soa.refresh,
+                        soa.retry,
+                        soa.expire,
+                        soa.minimum,
+                    )
+                ],
+            )
+        )
+        zone.put_rrset(RRset(www, c.TYPE_A, 3600, [A("192.0.2.99")]))
+        dnssec.sign_zone_locally(zone, key_record, keypair.private.sign)
+
+        # Any upstream contact carries the new SOA; observing it drops
+        # every old-serial entry in both caches.
+        resolver.resolve(_name("qqq", zone), c.TYPE_A)
+        assert resolver.stats["serial_bumps"] == 1
+        fresh = resolver.resolve(www, c.TYPE_A)
+        assert not fresh.from_cache and fresh.verified
+        assert [rr.rdata.address for rr in fresh.answers] == ["192.0.2.99"]
+        # The old interval proof is gone too: this denial goes upstream.
+        assert not resolver.resolve(_name("naa", zone), c.TYPE_A).from_cache
+
+
+class TestConfigWiring:
+    def test_from_config_applies_all_four_knobs(self, signed_zone):
+        zone, key_record, _ = signed_zone
+        config = ServiceConfig(
+            n=1,
+            t=0,
+            resolver_positive_cache=11,
+            resolver_negative_cache=7,
+            resolver_max_sig_checks=5,
+            resolver_max_key_trials=3,
+        )
+        resolver = CachingResolver.from_config(
+            build_in_memory_tree([zone]),
+            config,
+            root=zone.origin,
+            trusted_keys={zone.origin: key_record},
+        )
+        assert resolver.positive_cache.max_entries == 11
+        assert resolver.negative_cache.max_entries == 7
+        assert resolver.budget == ValidationBudget(
+            max_sig_checks=5, max_key_trials=3
+        )
+
+    def test_budget_rejects_nonpositive_caps(self):
+        with pytest.raises(ValueError):
+            ValidationBudget(max_sig_checks=0)
+        with pytest.raises(ValueError):
+            ValidationBudget(max_key_trials=0)
+
+
+class TestServerDenialProofs:
+    """The authoritative side of the contract: denials carry NXT + SIG."""
+
+    def test_nxdomain_authority_carries_soa_and_covering_nxt(self, signed_zone):
+        zone, _, _ = signed_zone
+        server = AuthoritativeServer(zone)
+        response = server.handle_query(
+            make_query(_name("nnn", zone), c.TYPE_A)
+        )
+        assert response.rcode == c.RCODE_NXDOMAIN
+        by_type = {}
+        for rr in response.authority:
+            by_type.setdefault(rr.rtype, []).append(rr)
+        assert len(by_type[c.TYPE_SOA]) == 1
+        [nxt] = by_type[c.TYPE_NXT]
+        # The covering NXT is the canonical predecessor's: mmm -> ns1.
+        assert nxt.name == _name("mmm", zone)
+        assert nxt.rdata.next_name == _name("ns1", zone)
+        covered = {rr.rdata.type_covered for rr in by_type[c.TYPE_SIG]}
+        assert covered == {c.TYPE_SOA, c.TYPE_NXT}
+
+    def test_nodata_authority_carries_own_nxt(self, signed_zone):
+        zone, _, _ = signed_zone
+        server = AuthoritativeServer(zone)
+        response = server.handle_query(
+            make_query(_name("www", zone), c.TYPE_MX)
+        )
+        assert response.rcode == c.RCODE_NOERROR and not response.answers
+        nxts = [rr for rr in response.authority if rr.rtype == c.TYPE_NXT]
+        assert [rr.name for rr in nxts] == [_name("www", zone)]
+        assert c.TYPE_MX not in nxts[0].rdata.types

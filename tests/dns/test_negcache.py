@@ -1,0 +1,189 @@
+"""Resolver-tier caches: bounds, TTLs, and covering-interval lookup."""
+
+import pytest
+
+from repro.dns import constants as c
+from repro.dns.name import Name
+from repro.dns.negcache import (
+    CachedAnswer,
+    NxtProof,
+    NxtProofCache,
+    PositiveAnswerCache,
+)
+from repro.dns.rdata import NXT
+
+ORIGIN = Name.from_text("example.com.")
+
+
+def _n(label: str) -> Name:
+    return Name((label.encode(),) + ORIGIN.labels)
+
+
+def _proof(
+    owner: Name,
+    next_name: Name,
+    types=(c.TYPE_A, c.TYPE_SIG, c.TYPE_NXT),
+    serial: int = 1,
+    expires: float = 100.0,
+) -> NxtProof:
+    return NxtProof(
+        origin=ORIGIN,
+        serial=serial,
+        owner=owner,
+        nxt=NXT(next_name, types),
+        authority_rrs=(),
+        verified=True,
+        expires=expires,
+    )
+
+
+def _answer(serial: int = 1, expires: float = 100.0) -> CachedAnswer:
+    return CachedAnswer(
+        origin=ORIGIN,
+        serial=serial,
+        rcode=c.RCODE_NOERROR,
+        answer_rrs=(),
+        verified=True,
+        expires=expires,
+    )
+
+
+class TestPositiveAnswerCache:
+    def test_hit_requires_matching_serial(self):
+        cache = PositiveAnswerCache()
+        cache.store(_n("www"), c.TYPE_A, _answer(serial=7))
+        assert cache.lookup(_n("www"), c.TYPE_A, 7, now=0.0) is not None
+        # Same name and type under a different serial is a different key:
+        # a serial bump makes every stale entry unreachable.
+        assert cache.lookup(_n("www"), c.TYPE_A, 8, now=0.0) is None
+        assert cache.stats["hits"] == 1 and cache.stats["misses"] == 1
+
+    def test_ttl_expiry_uses_injected_clock(self):
+        cache = PositiveAnswerCache()
+        cache.store(_n("www"), c.TYPE_A, _answer(expires=50.0))
+        assert cache.lookup(_n("www"), c.TYPE_A, 1, now=49.9) is not None
+        assert cache.lookup(_n("www"), c.TYPE_A, 1, now=50.0) is None
+        assert cache.stats["expired"] == 1
+        assert len(cache) == 0  # expiry reclaims the slot eagerly
+
+    def test_eviction_is_lru_and_hits_refresh_recency(self):
+        cache = PositiveAnswerCache(max_entries=2)
+        cache.store(_n("a"), c.TYPE_A, _answer())
+        cache.store(_n("b"), c.TYPE_A, _answer())
+        # Touch "a" so "b" becomes the oldest entry.
+        assert cache.lookup(_n("a"), c.TYPE_A, 1, now=0.0) is not None
+        cache.store(_n("d"), c.TYPE_A, _answer())
+        assert cache.stats["evictions"] == 1
+        assert cache.lookup(_n("b"), c.TYPE_A, 1, now=0.0) is None
+        assert cache.lookup(_n("a"), c.TYPE_A, 1, now=0.0) is not None
+
+    def test_invalidate_origin_spares_keep_serial(self):
+        cache = PositiveAnswerCache()
+        cache.store(_n("old"), c.TYPE_A, _answer(serial=1))
+        cache.store(_n("new"), c.TYPE_A, _answer(serial=2))
+        dropped = cache.invalidate_origin(ORIGIN, keep_serial=2)
+        assert dropped == 1
+        assert cache.lookup(_n("old"), c.TYPE_A, 1, now=0.0) is None
+        assert cache.lookup(_n("new"), c.TYPE_A, 2, now=0.0) is not None
+
+    def test_flood_never_exceeds_bound(self):
+        # KeyTrap hygiene: qnames are attacker-chosen, the bound is not.
+        cache = PositiveAnswerCache(max_entries=64)
+        for i in range(10_000):
+            cache.store(_n(f"flood{i}"), c.TYPE_A, _answer())
+        assert len(cache) == 64
+        assert cache.stats["evictions"] == 10_000 - 64
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PositiveAnswerCache(max_entries=0)
+
+
+class TestNxtProofInterval:
+    def test_covers_strict_interior_only(self):
+        proof = _proof(_n("alpha"), _n("delta"))
+        assert proof.covers(_n("bravo"))
+        assert not proof.covers(_n("alpha"))  # owner exists by definition
+        assert not proof.covers(_n("delta"))  # so does the successor
+        assert not proof.covers(_n("zulu"))
+
+    def test_wraparound_interval_covers_past_the_end(self):
+        # The zone's last NXT points back to the apex; it covers every
+        # name sorting after its owner.
+        proof = _proof(_n("zz"), ORIGIN)
+        assert proof.covers(_n("zzz"))
+        assert not proof.covers(_n("aaa"))
+
+    def test_denies_type_via_bitmap(self):
+        proof = _proof(_n("www"), _n("zzz"))
+        assert proof.denies_type(c.TYPE_MX)
+        assert not proof.denies_type(c.TYPE_A)
+
+
+class TestNxtProofCache:
+    def test_nxdomain_from_covering_interval(self):
+        cache = NxtProofCache()
+        cache.store(_proof(_n("alpha"), _n("delta")))
+        hit = cache.lookup(ORIGIN, 1, _n("bravo"), c.TYPE_A, now=0.0)
+        assert hit is not None and hit[0] == "nxdomain"
+        # Outside every cached interval: miss, goes upstream.
+        assert cache.lookup(ORIGIN, 1, _n("zulu"), c.TYPE_A, now=0.0) is None
+
+    def test_nodata_at_exact_owner(self):
+        cache = NxtProofCache()
+        cache.store(_proof(_n("www"), _n("zzz")))
+        hit = cache.lookup(ORIGIN, 1, _n("www"), c.TYPE_MX, now=0.0)
+        assert hit is not None and hit[0] == "nodata"
+        # The bitmap says A exists at www, so nothing can be synthesized.
+        assert cache.lookup(ORIGIN, 1, _n("www"), c.TYPE_A, now=0.0) is None
+
+    def test_wraparound_lookup_uses_last_owner(self):
+        cache = NxtProofCache()
+        cache.store(_proof(_n("alpha"), _n("mike")))
+        cache.store(_proof(_n("mike"), ORIGIN))
+        hit = cache.lookup(ORIGIN, 1, _n("zulu"), c.TYPE_A, now=0.0)
+        assert hit is not None and hit[0] == "nxdomain"
+        assert hit[1].owner == _n("mike")
+
+    def test_delegation_cut_blocks_synthesis_below_it(self):
+        # An NXT at a zone cut (NS in its bitmap) proves nothing about
+        # names below the cut — the authoritative answer is a referral.
+        cache = NxtProofCache()
+        cache.store(
+            _proof(_n("sub"), _n("www"), types=(c.TYPE_NS, c.TYPE_NXT))
+        )
+        below = Name((b"host",) + _n("sub").labels)
+        assert cache.lookup(ORIGIN, 1, below, c.TYPE_A, now=0.0) is None
+        # Sibling names beside the cut are still deniable.
+        hit = cache.lookup(ORIGIN, 1, _n("tango"), c.TYPE_A, now=0.0)
+        assert hit is not None and hit[0] == "nxdomain"
+
+    def test_serial_gates_every_lookup(self):
+        cache = NxtProofCache()
+        cache.store(_proof(_n("alpha"), _n("delta"), serial=1))
+        assert cache.lookup(ORIGIN, 2, _n("bravo"), c.TYPE_A, now=0.0) is None
+
+    def test_expiry_reclaims_and_misses(self):
+        cache = NxtProofCache()
+        cache.store(_proof(_n("alpha"), _n("delta"), expires=10.0))
+        assert cache.lookup(ORIGIN, 1, _n("bravo"), c.TYPE_A, now=10.0) is None
+        assert cache.stats["expired"] == 1
+        assert len(cache) == 0
+
+    def test_invalidate_origin_spares_keep_serial(self):
+        cache = NxtProofCache()
+        cache.store(_proof(_n("alpha"), _n("delta"), serial=1))
+        cache.store(_proof(_n("alpha"), _n("delta"), serial=2))
+        assert cache.invalidate_origin(ORIGIN, keep_serial=2) == 1
+        assert cache.lookup(ORIGIN, 2, _n("bravo"), c.TYPE_A, now=0.0) is not None
+
+    def test_flood_never_exceeds_bound(self):
+        cache = NxtProofCache(max_entries=32)
+        for i in range(5_000):
+            cache.store(_proof(_n(f"o{i:04d}"), _n(f"p{i:04d}")))
+        assert len(cache) == 32
+        assert cache.stats["evictions"] == 5_000 - 32
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NxtProofCache(max_entries=0)

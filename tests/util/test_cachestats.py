@@ -1,9 +1,16 @@
-"""Repo-wide lru_cache audit: every memo is bounded and reports stats."""
+"""Repo-wide cache audit: every memo is bounded and reports stats."""
 
 import pytest
 
 from repro.crypto import shoup
-from repro.util.cachestats import AUDITED_LRU_CACHES, _resolve, lru_cache_stats
+from repro.util.cachestats import (
+    AUDITED_INSTANCE_CACHES,
+    AUDITED_LRU_CACHES,
+    INSTANCE_CACHE_STAT_KEYS,
+    _resolve,
+    instance_cache_classes,
+    lru_cache_stats,
+)
 
 STAT_KEYS = {"maxsize", "currsize", "hits", "misses", "evictions"}
 
@@ -62,3 +69,64 @@ def test_shoup_verification_base_stats_exposed():
     assert set(stats) == STAT_KEYS
     assert stats["maxsize"] > 0
     assert stats["evictions"] >= 0
+
+
+def _flood_instance(cache) -> None:
+    """Insert far more entries than the bound, via the class's own API."""
+    from repro.dns import constants as c
+    from repro.dns.name import Name
+    from repro.dns.negcache import (
+        CachedAnswer,
+        NxtProof,
+        NxtProofCache,
+        PositiveAnswerCache,
+    )
+    from repro.dns.rdata import NXT
+    from repro.dns.rendercache import CanonicalRenderCache
+
+    origin = Name.from_text("audit.example.")
+    for i in range(cache.max_entries * 4):
+        name = Name((f"n{i:05d}".encode(),) + origin.labels)
+        if isinstance(cache, CanonicalRenderCache):
+            cache.store(name, c.TYPE_A, 1, b"wire")
+        elif isinstance(cache, PositiveAnswerCache):
+            cache.store(
+                name,
+                c.TYPE_A,
+                CachedAnswer(origin, 1, c.RCODE_NOERROR, (), True, 10.0),
+            )
+        elif isinstance(cache, NxtProofCache):
+            cache.store(
+                NxtProof(
+                    origin, 1, name, NXT(origin, (c.TYPE_A,)), (), True, 10.0
+                )
+            )
+        else:  # pragma: no cover - new class needs a flood arm here
+            raise AssertionError(f"no flood driver for {type(cache).__name__}")
+
+
+class TestInstanceCacheAudit:
+    """AUDITED_INSTANCE_CACHES: per-instance bound + stats discipline."""
+
+    def test_registry_resolves_to_classes(self):
+        classes = instance_cache_classes()
+        assert set(classes) == set(AUDITED_INSTANCE_CACHES)
+
+    @pytest.mark.parametrize("dotted", AUDITED_INSTANCE_CACHES)
+    def test_stats_discipline(self, dotted):
+        cache = instance_cache_classes()[dotted](max_entries=8)
+        assert set(INSTANCE_CACHE_STAT_KEYS) <= set(cache.stats)
+        assert all(isinstance(v, int) for v in cache.stats.values())
+
+    @pytest.mark.parametrize("dotted", AUDITED_INSTANCE_CACHES)
+    def test_rejects_nonpositive_bound(self, dotted):
+        cls = instance_cache_classes()[dotted]
+        with pytest.raises(ValueError):
+            cls(max_entries=0)
+
+    @pytest.mark.parametrize("dotted", AUDITED_INSTANCE_CACHES)
+    def test_flood_never_exceeds_bound(self, dotted):
+        cache = instance_cache_classes()[dotted](max_entries=8)
+        _flood_instance(cache)
+        assert len(cache) <= 8
+        assert cache.stats["evictions"] > 0
