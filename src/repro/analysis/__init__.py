@@ -1,0 +1,114 @@
+"""Protocol-invariant verifiers (DESIGN.md §5h).
+
+Two analyzers over the PR-5 program index:
+
+- :func:`analyze_quorum` — symbolic quorum-arithmetic checking
+  (Q501-Q505): every threshold comparison/truncation over ``n``/``t``
+  must match a declared obligation, proven over all admissible
+  ``(n, t)`` with ``n >= 3t+1``.
+- :func:`analyze_races` — asyncio yield-point atomicity checking
+  (Y601-Y604) over dispatcher-reachable ``async def`` handlers.
+
+Both honor ``# repro-lint: disable=`` suppressions and feed the same
+ratcheting baseline and SARIF output as the core linter and the taint
+engine.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.framework import Finding, LintConfig, Suppression
+from repro.taint.indexer import ProgramIndex, module_files
+
+from .quorum import QuorumChecker
+from .races import RaceChecker
+from .specs import (
+    DEFAULT_QUORUM_MODULES,
+    DEFAULT_RACES_MODULES,
+    QUORUM_RULES,
+    RACE_RULES,
+)
+
+__all__ = [
+    "QUORUM_RULES",
+    "RACE_RULES",
+    "analyze_quorum",
+    "analyze_races",
+    "analyze",
+]
+
+Files = Sequence[Tuple[Path, str, str]]
+
+
+def _filter_suppressed(
+    findings: List[Finding],
+    files: Files,
+    suppressions: Optional[Dict[str, List[Suppression]]],
+) -> List[Finding]:
+    from repro.lint.framework import parse_suppression_comments
+
+    if suppressions is None:
+        suppressions = {
+            path.as_posix(): parse_suppression_comments(source)
+            for path, _module, source in files
+        }
+    kept: List[Finding] = []
+    for f in findings:
+        shields = [
+            s for s in suppressions.get(f.path, []) if s.shields(f.rule, f.line)
+        ]
+        if shields:
+            for s in shields:
+                s.used.add(f.rule)
+            continue
+        kept.append(f)
+    return kept
+
+
+def analyze_quorum(
+    files: Files,
+    config: Optional[LintConfig] = None,
+    suppressions: Optional[Dict[str, List[Suppression]]] = None,
+    index: Optional[ProgramIndex] = None,
+) -> List[Finding]:
+    """Quorum-arithmetic checking over (path, module, source) triples."""
+    config = config or LintConfig()
+    index = index or ProgramIndex.build(files)
+    modules = tuple(config.quorum_modules) or DEFAULT_QUORUM_MODULES
+    findings = QuorumChecker(index, files, modules).run()
+    return _filter_suppressed(findings, files, suppressions)
+
+
+def analyze_races(
+    files: Files,
+    config: Optional[LintConfig] = None,
+    suppressions: Optional[Dict[str, List[Suppression]]] = None,
+    index: Optional[ProgramIndex] = None,
+) -> List[Finding]:
+    """Yield-point atomicity checking over (path, module, source) triples."""
+    config = config or LintConfig()
+    index = index or ProgramIndex.build(files)
+    modules = tuple(config.races_modules) or DEFAULT_RACES_MODULES
+    findings = RaceChecker(index, modules).run()
+    return _filter_suppressed(findings, files, suppressions)
+
+
+def analyze(
+    paths: Sequence[Path],
+    root: Path,
+    config: Optional[LintConfig] = None,
+    quorum: bool = True,
+    races: bool = True,
+) -> List[Finding]:
+    """Convenience wrapper: both analyzers over files under ``paths``."""
+    files = module_files(paths, root)
+    index = ProgramIndex.build(files)
+    findings: List[Finding] = []
+    if quorum:
+        findings.extend(analyze_quorum(files, config=config, index=index))
+    if races:
+        findings.extend(analyze_races(files, config=config, index=index))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

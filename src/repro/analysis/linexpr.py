@@ -1,0 +1,189 @@
+"""Small linear-expression algebra over the protocol parameters (n, t).
+
+The quorum checker (DESIGN.md §5h) needs to decide inequalities such as
+``2*Q - n >= t + 1`` for every admissible deployment.  Threshold
+expressions in the codebase are linear in ``n`` and ``t`` with small
+integer coefficients, so no SMT solver is needed: an expression is
+normalized to ``a*n + b*t + c`` and obligations are *evaluated* over the
+whole admissible domain
+
+    D = { (n, t) : t >= 1, n >= 3t + 1, n <= 64 }
+
+(the paper's resilience assumption, bounded to deployable cluster
+sizes).  An obligation holds iff it holds at every point of D; the first
+counterexample is reported so findings name a concrete broken
+deployment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+#: Largest cluster size considered by the admissible-domain sweep.
+MAX_N = 64
+
+
+@dataclass(frozen=True)
+class LinExpr:
+    """``n_coef * n + t_coef * t + const`` with integer coefficients."""
+
+    n_coef: int = 0
+    t_coef: int = 0
+    const: int = 0
+
+    def __add__(self, other: "LinExpr") -> "LinExpr":
+        return LinExpr(
+            self.n_coef + other.n_coef,
+            self.t_coef + other.t_coef,
+            self.const + other.const,
+        )
+
+    def __sub__(self, other: "LinExpr") -> "LinExpr":
+        return LinExpr(
+            self.n_coef - other.n_coef,
+            self.t_coef - other.t_coef,
+            self.const - other.const,
+        )
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr(-self.n_coef, -self.t_coef, -self.const)
+
+    def scale(self, k: int) -> "LinExpr":
+        return LinExpr(self.n_coef * k, self.t_coef * k, self.const * k)
+
+    def eval(self, n: int, t: int) -> int:
+        return self.n_coef * n + self.t_coef * t + self.const
+
+    @property
+    def mentions_params(self) -> bool:
+        return self.n_coef != 0 or self.t_coef != 0
+
+    def render(self) -> str:
+        """Canonical text form ("2t+1", "n-t", "n", "3t", "5")."""
+        parts = []
+        for coef, var in ((self.n_coef, "n"), (self.t_coef, "t")):
+            if coef == 0:
+                continue
+            sign = "-" if coef < 0 else ("+" if parts else "")
+            mag = abs(coef)
+            parts.append(f"{sign}{'' if mag == 1 else mag}{var}")
+        if self.const != 0 or not parts:
+            sign = "-" if self.const < 0 else ("+" if parts else "")
+            parts.append(f"{sign}{abs(self.const)}")
+        return "".join(parts)
+
+
+N = LinExpr(n_coef=1)
+T = LinExpr(t_coef=1)
+ONE = LinExpr(const=1)
+
+
+def const(value: int) -> LinExpr:
+    return LinExpr(const=value)
+
+
+#: Leaf attribute names recognized as the protocol parameters.  Attribute
+#: chains must be rooted at ``self`` (``self.n``, ``self.public.t``,
+#: ``self.key_share.public.t``); bare names cover constructor parameters.
+_PARAM_LEAVES = {"n": N, "t": T}
+
+
+def _rooted_at_self(node: ast.expr) -> bool:
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def parse_linear(node: ast.expr) -> Optional[LinExpr]:
+    """Normalize an AST expression to a :class:`LinExpr`, or ``None``.
+
+    Handles integer constants, ``n``/``t`` leaves (bare names or
+    self-rooted attribute chains ending in ``.n``/``.t``), unary minus,
+    ``+``/``-``, and multiplication by a constant.  Anything else —
+    ``%``, ``//``, variable operands — fails normalization; the caller
+    decides whether that is a Q505 triage case.
+    """
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, int) and not isinstance(node.value, bool):
+            return const(node.value)
+        return None
+    if isinstance(node, ast.Name):
+        return _PARAM_LEAVES.get(node.id)
+    if isinstance(node, ast.Attribute):
+        leaf = _PARAM_LEAVES.get(node.attr)
+        if leaf is not None and _rooted_at_self(node):
+            return leaf
+        return None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = parse_linear(node.operand)
+        return -inner if inner is not None else None
+    if isinstance(node, ast.BinOp):
+        left = parse_linear(node.left)
+        right = parse_linear(node.right)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Mult):
+            if not left.mentions_params:
+                return right.scale(left.const)
+            if not right.mentions_params:
+                return left.scale(right.const)
+            return None  # n*t: not linear
+        return None
+    return None
+
+
+def mentions_params(node: ast.expr) -> bool:
+    """True if any ``n``/``t`` parameter leaf occurs anywhere in ``node``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in _PARAM_LEAVES:
+            return True
+        if (
+            isinstance(sub, ast.Attribute)
+            and sub.attr in _PARAM_LEAVES
+            and _rooted_at_self(sub)
+        ):
+            return True
+    return False
+
+
+def admissible_domain(max_n: int = MAX_N) -> Iterator[Tuple[int, int]]:
+    """Every (n, t) with t >= 1, n >= 3t+1, n <= max_n."""
+    t = 1
+    while 3 * t + 1 <= max_n:
+        for n in range(3 * t + 1, max_n + 1):
+            yield n, t
+        t += 1
+
+
+def first_failure(
+    lhs: LinExpr, rhs: LinExpr, max_n: int = MAX_N
+) -> Optional[Tuple[int, int]]:
+    """First (n, t) in the admissible domain where ``lhs >= rhs`` fails,
+    or ``None`` when the inequality holds everywhere."""
+    for n, t in admissible_domain(max_n):
+        if lhs.eval(n, t) < rhs.eval(n, t):
+            return n, t
+    return None
+
+
+def always_ge(lhs: LinExpr, rhs: LinExpr, max_n: int = MAX_N) -> bool:
+    return first_failure(lhs, rhs, max_n) is None
+
+
+#: Tiny grammar for obligation annotations ("n-t", "2t+1", "t", "n").
+def parse_expr_text(text: str) -> Optional[LinExpr]:
+    cleaned = text.strip().replace(" ", "")
+    # Accept the render() shorthand: "2t" means "2*t".
+    cleaned = re.sub(r"(\d)([nt])\b", r"\1*\2", cleaned)
+    try:
+        node = ast.parse(cleaned, mode="eval").body
+    except SyntaxError:
+        return None
+    return parse_linear(node)

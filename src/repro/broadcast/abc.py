@@ -495,9 +495,13 @@ class AtomicBroadcast:
         prepare = AbcPrepare(msg.epoch, msg.seq, digest, self.me, signature)
         self._broadcast(prepare)
         self._on_prepare(self.me, prepare)
-        # Prepares may have reached quorum before the ORDER arrived.
+        # Prepares may have reached quorum before the ORDER arrived.  The
+        # prepare quorum is n-t, not 2t+1: two certificates for the same
+        # slot must share an honest signer for every n >= 3t+1, and
+        # 2*(n-t) - n = n - 2t >= t+1 always, while 2t+1 only intersects
+        # when n == 3t+1 exactly.
         pool = self._prepares.get((msg.epoch, msg.seq, digest))
-        if pool is not None and len(pool) >= 2 * self.t + 1:
+        if pool is not None and len(pool) >= self.n - self.t:
             self._form_certificate(msg.epoch, msg.seq, digest, pool)
         self._advance_delivery(fast=True)
 
@@ -518,7 +522,7 @@ class AtomicBroadcast:
         if msg.signer in pool:
             return
         pool[msg.signer] = msg.signature
-        if len(pool) >= 2 * self.t + 1:
+        if len(pool) >= self.n - self.t:
             self._form_certificate(msg.epoch, msg.seq, msg.digest, pool)
 
     def _admit_slot_digest(
@@ -569,7 +573,7 @@ class AtomicBroadcast:
                 seq=seq,
                 digest=digest,
                 payload=known[1],
-                signatures=tuple(sorted(pool.items()))[: 2 * self.t + 1],
+                signatures=tuple(sorted(pool.items()))[: self.n - self.t],
             )
         if (epoch, seq) not in self._commit_sent:
             self._commit_sent.add((epoch, seq))
@@ -894,7 +898,10 @@ class AtomicBroadcast:
             seen.add(signer)
             items.append((self.auth_public[signer], data, signature))
         # One amortized crypto-plane task checks the whole prepare pool.
-        return sum(self.crypto.verify_many(items)) >= 2 * self.t + 1
+        # Certificates need the full n-t intersection quorum (see
+        # _on_prepare); accepting 2t+1 here would admit certificates a
+        # Byzantine signer could duplicate for a conflicting digest.
+        return sum(self.crypto.verify_many(items)) >= self.n - self.t
 
     # ------------------------------------------------------------------
     # plumbing

@@ -187,7 +187,7 @@ class AbcCommit:
 
 @dataclass(frozen=True)
 class PrepareCertificate:
-    """2t+1 signed prepares — transferable proof that (seq, digest) is safe."""
+    """n-t signed prepares — transferable proof that (seq, digest) is safe."""
 
     epoch: int
     seq: int

@@ -97,7 +97,10 @@ class RbcInstance:
         if sender in voters:
             return []
         voters.add(sender)
-        if len(voters) >= 2 * self.t + 1 and not self._sent_ready:
+        # Bracha's echo quorum must pairwise-intersect in an honest
+        # replica for *every* n >= 3t+1: that is n-t (2*(n-t) - n =
+        # n - 2t >= t+1), not 2t+1, which only intersects at n == 3t+1.
+        if len(voters) >= self.n - self.t and not self._sent_ready:
             return self._send_ready(digest)
         return []
 

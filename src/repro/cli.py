@@ -369,9 +369,15 @@ def cmd_lint(args: argparse.Namespace) -> int:
     root = Path(args.root).resolve() if args.root else find_repo_root()
     rules = load_rules()
     if args.list_rules:
+        from repro.analysis import QUORUM_RULES, RACE_RULES
+
         print(report.render_rule_catalog(rules))
         for rule_id, (summary, _description) in sorted(TAINT_RULES.items()):
             print(f"{rule_id}  [{'taint':>13}]  {summary}")
+        for rule_id, (summary, _description) in sorted(QUORUM_RULES.items()):
+            print(f"{rule_id}  [{'quorum':>13}]  {summary}")
+        for rule_id, (summary, _description) in sorted(RACE_RULES.items()):
+            print(f"{rule_id}  [{'races':>13}]  {summary}")
         print(
             f"{STALE_SUPPRESSION_RULE}  [{'framework':>13}]  "
             "suppression comment no longer shields any finding"
@@ -408,6 +414,41 @@ def cmd_lint(args: argparse.Namespace) -> int:
         )
         active_rules.extend(TAINT_RULES)
 
+    if args.quorum or args.races:
+        from repro.analysis import (
+            QUORUM_RULES,
+            RACE_RULES,
+            analyze_quorum,
+            analyze_races,
+        )
+        from repro.taint.indexer import ProgramIndex, module_files
+
+        files = module_files(paths, root)
+        index = ProgramIndex.build(files)  # shared by both analyzers
+        shared_suppressions = {
+            path: ctx.suppressions for path, ctx in contexts.items()
+        }
+        if args.quorum:
+            findings.extend(
+                analyze_quorum(
+                    files,
+                    config=config,
+                    suppressions=shared_suppressions,
+                    index=index,
+                )
+            )
+            active_rules.extend(QUORUM_RULES)
+        if args.races:
+            findings.extend(
+                analyze_races(
+                    files,
+                    config=config,
+                    suppressions=shared_suppressions,
+                    index=index,
+                )
+            )
+            active_rules.extend(RACE_RULES)
+
     # Stale-suppression reporting must run after every producer above has
     # marked the comments it actually used.
     for ctx in contexts.values():
@@ -422,6 +463,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
             for rule in rules
         }
         catalog.update(TAINT_RULES)
+        from repro.analysis import QUORUM_RULES, RACE_RULES
+
+        catalog.update(QUORUM_RULES)
+        catalog.update(RACE_RULES)
         catalog[STALE_SUPPRESSION_RULE] = (
             "stale suppression comment",
             "A repro-lint suppression comment that no longer shields any "
@@ -611,6 +656,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--taint",
         action="store_true",
         help="also run the interprocedural Byzantine-taint analysis (T401-T408)",
+    )
+    p.add_argument(
+        "--quorum",
+        action="store_true",
+        help="also run symbolic quorum-arithmetic verification (Q501-Q505): "
+        "every n/t threshold must match a declared obligation proven over "
+        "all admissible (n, t) with n >= 3t+1",
+    )
+    p.add_argument(
+        "--races",
+        action="store_true",
+        help="also run asyncio yield-point atomicity checking (Y601-Y604) "
+        "over dispatcher-reachable async handlers",
     )
     p.add_argument(
         "--sarif",

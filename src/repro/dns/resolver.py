@@ -226,7 +226,9 @@ class IterativeResolver:
             )
             if result.cnames_followed >= self.MAX_CNAMES:
                 raise ResolutionError("CNAME chain too long")
-            chased = self.resolve(cname.rdata.target, rtype)  # type: ignore[union-attr]
+            chased = self.resolve(
+                cname.rdata.target, rtype  # type: ignore[attr-defined, union-attr]
+            )
             result.answers.extend(chased.answers)
             result.cnames_followed += 1 + chased.cnames_followed
             result.referrals_followed += chased.referrals_followed
@@ -500,9 +502,12 @@ class CachingResolver(IterativeResolver):
                 origin = rr.name
                 break
         nxt_rrs = [rr for rr in response.authority if rr.rtype == c.TYPE_NXT]
-        if len(nxt_rrs) != 1 or not isinstance(nxt_rrs[0].rdata, NXT):
+        if len(nxt_rrs) != 1:
             return
         nxt_rr = nxt_rrs[0]
+        nxt_rdata = nxt_rr.rdata
+        if not isinstance(nxt_rdata, NXT):
+            return
         ttl = self._negative_ttl(response, nxt_rr.ttl)
         verified = self._proof_verified(origin, response)
         if verified is None:
@@ -512,7 +517,7 @@ class CachingResolver(IterativeResolver):
             origin=origin,
             serial=serial,
             owner=nxt_rr.name,
-            nxt=nxt_rr.rdata,
+            nxt=nxt_rdata,
             authority_rrs=tuple(response.authority),
             verified=verified,
             expires=self._clock() + ttl,

@@ -74,6 +74,12 @@ class LintConfig:
     #: fnmatch patterns selecting modules for ``--taint`` analysis; empty
     #: means the taint engine's built-in protocol-surface default.
     taint_modules: Tuple[str, ...] = ()
+    #: fnmatch patterns scoping ``--quorum`` threshold verification;
+    #: empty means the analyzer's built-in broadcast/crypto default.
+    quorum_modules: Tuple[str, ...] = ()
+    #: fnmatch patterns scoping ``--races`` yield-point verification;
+    #: empty means every repro module.
+    races_modules: Tuple[str, ...] = ()
 
     @classmethod
     def from_pyproject(cls, pyproject: Path) -> "LintConfig":
@@ -93,6 +99,8 @@ class LintConfig:
                 config.scope_patterns[scope] = tuple(section[key])
         config.strict_modules = tuple(section.get("strict_modules", ()))
         config.taint_modules = tuple(section.get("taint_modules", ()))
+        config.quorum_modules = tuple(section.get("quorum_modules", ()))
+        config.races_modules = tuple(section.get("races_modules", ()))
         return config
 
     def module_in_scope(self, module: str, scope: str) -> bool:

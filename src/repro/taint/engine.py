@@ -139,13 +139,20 @@ class SinkHit:
 class Summary:
     returns: Taint = EMPTY
     sink_hits: FrozenSet[SinkHit] = frozenset()
-    #: (class qname, attribute, marker, cleared rules, laundered): param
-    #: flows into self.<attr>.  Carrying the cleared set is what lets a
-    #: callee's sanitization (``share_is_valid`` before the store) survive
-    #: summary substitution at the call site.
+    #: (class qname, attribute, marker, cleared rules, laundered, key):
+    #: param flows into self.<attr>.  Carrying the cleared set is what lets
+    #: a callee's sanitization (``share_is_valid`` before the store) survive
+    #: summary substitution at the call site.  ``key`` is the literal dict
+    #: key when the store targeted one slot (``self.cache['soa'] = x``),
+    #: else None for whole-attr / dynamic-key stores.
     attr_stores: FrozenSet[
-        Tuple[str, str, str, FrozenSet[str], bool]
+        Tuple[str, str, str, FrozenSet[str], bool, Optional[str]]
     ] = frozenset()
+    #: (marker, rules): the callee applied a sanitizer clearing ``rules``
+    #: to the parameter bound as ``marker``.  Replayed at call sites so a
+    #: sanitizer one call-hop below the sink still triggers T408 when the
+    #: caller's value already reached that sink (DESIGN.md §5e).
+    sanitizes: FrozenSet[Tuple[str, FrozenSet[str]]] = frozenset()
 
 
 # -- engine -------------------------------------------------------------------
@@ -157,7 +164,12 @@ class TaintEngine:
         self.module_patterns = modules or DEFAULT_TAINT_MODULES
         self.summaries: Dict[str, Summary] = {}
         #: (class qname, attr) -> real taint stored cross-function
+        #: (whole-attr assignments and dynamic-key stores)
         self.attr_map: Dict[Tuple[str, str], Taint] = {}
+        #: (class qname, attr) -> {literal key -> taint}: per-key slots so
+        #: a tainted value under one dict key does not taint reads of the
+        #: other keys (the T404/T405 over-approximation fix)
+        self.attr_keys: Dict[Tuple[str, str], Dict[str, Taint]] = {}
         self.changed = False
 
     def in_scope(self, fn: FunctionInfo) -> bool:
@@ -186,12 +198,41 @@ class TaintEngine:
             self.attr_map[key] = merged
             self.changed = True
 
+    def store_attr_key(
+        self, cls_qname: str, attr: str, key: str, taint: Taint
+    ) -> None:
+        slots = self.attr_keys.setdefault((cls_qname, attr), {})
+        merged = merge(slots.get(key, EMPTY), taint)
+        if merged != slots.get(key, EMPTY):
+            slots[key] = merged
+            self.changed = True
+
     def read_attr(self, cls_qname: Optional[str], attr: str) -> Taint:
+        """Whole-attribute read: merges the wildcard taint and every
+        per-key slot (reading the full dict sees all of its values)."""
         if cls_qname is None:
             return EMPTY
         out = EMPTY
         for cls in self.index.mro(cls_qname):
-            out = merge(out, self.attr_map.get((cls.qname, attr), EMPTY))
+            slot = (cls.qname, attr)
+            out = merge(out, self.attr_map.get(slot, EMPTY))
+            for keyed in self.attr_keys.get(slot, {}).values():
+                out = merge(out, keyed)
+        return out
+
+    def read_attr_key(
+        self, cls_qname: Optional[str], attr: str, key: str
+    ) -> Taint:
+        """Literal-key read: the key's own slot plus the wildcard taint
+        (dynamic-key stores may have hit any slot), but NOT the other
+        literal keys' slots — that is the precision this buys."""
+        if cls_qname is None:
+            return EMPTY
+        out = EMPTY
+        for cls in self.index.mro(cls_qname):
+            slot = (cls.qname, attr)
+            out = merge(out, self.attr_map.get(slot, EMPTY))
+            out = merge(out, self.attr_keys.get(slot, {}).get(key, EMPTY))
         return out
 
     def run(self) -> List[Finding]:
@@ -220,6 +261,16 @@ class TaintEngine:
         )
 
 
+def _literal_key(node: ast.expr) -> Optional[str]:
+    """Canonical form of a literal subscript key (str/int/bytes constants),
+    or None for dynamic keys.  bools are excluded: ``d[ok]`` is almost
+    always a computed flag, not a two-slot table."""
+    if isinstance(node, ast.Constant) and not isinstance(node.value, bool):
+        if isinstance(node.value, (str, int, bytes)):
+            return repr(node.value)
+    return None
+
+
 def _expr_text(node: ast.AST, limit: int = 48) -> str:
     try:
         text = ast.unparse(node)
@@ -238,7 +289,12 @@ class FunctionAnalyzer(ast.NodeVisitor):
         self.report = report
         self.findings: List[Finding] = []
         self.sink_hits: Set[SinkHit] = set()
-        self.attr_stores: Set[Tuple[str, str, str]] = set()
+        self.attr_stores: Set[
+            Tuple[str, str, str, FrozenSet[str], bool, Optional[str]]
+        ] = set()
+        #: (marker, rules) sanitizer applications to parameters, exported
+        #: in the summary for the cross-function T408 check
+        self.sanitizes: Set[Tuple[str, FrozenSet[str]]] = set()
         self.return_taint = EMPTY
         #: collections (self-attr or local names) with a membership/len guard
         self.guarded: Set[str] = set()
@@ -279,6 +335,7 @@ class FunctionAnalyzer(ast.NodeVisitor):
             returns=returns,
             sink_hits=frozenset(self.sink_hits),
             attr_stores=frozenset(self.attr_stores),
+            sanitizes=frozenset(self.sanitizes),
         )
 
     # -- statements -----------------------------------------------------------
@@ -444,9 +501,9 @@ class FunctionAnalyzer(ast.NodeVisitor):
     ) -> None:
         if isinstance(target, ast.Name):
             env[target.id] = taint
-            prefix = target.id + "."
-            for key in [k for k in env if k.startswith(prefix)]:
-                del env[key]
+            for prefix in (target.id + ".", target.id + "["):
+                for key in [k for k in env if k.startswith(prefix)]:
+                    del env[key]
             return
         if isinstance(target, (ast.Tuple, ast.List)):
             for elt in target.elts:
@@ -459,6 +516,10 @@ class FunctionAnalyzer(ast.NodeVisitor):
             path = self.path_of(target)
             if path is not None:
                 env[path] = taint
+                # whole-value assignment invalidates stale per-key slots
+                prefix = path + "["
+                for key in [k for k in env if k.startswith(prefix)]:
+                    del env[key]
             if (
                 isinstance(target.value, ast.Name)
                 and target.value.id == "self"
@@ -486,7 +547,14 @@ class FunctionAnalyzer(ast.NodeVisitor):
                 for marker in flat.markers:
                     if marker.startswith("p"):
                         self.attr_stores.add(
-                            (self.fn.cls, attr, marker, flat.cleared, flat.laundered)
+                            (
+                                self.fn.cls,
+                                attr,
+                                marker,
+                                flat.cleared,
+                                flat.laundered,
+                                None,
+                            )
                         )
             return
         if isinstance(target, ast.Subscript):
@@ -495,35 +563,52 @@ class FunctionAnalyzer(ast.NodeVisitor):
             self.check_growth(target.value, target.slice, key_taint, stmt)
             # the collection now holds the assigned *value* (keys are
             # checked by T404/T406 above, not mixed into content taint)
-            attr: Optional[str] = None
-            if (
+            direct_self = (
                 isinstance(target.value, ast.Attribute)
                 and isinstance(target.value.value, ast.Name)
                 and target.value.value.id == "self"
-            ):
-                attr = target.value.attr
+            )
+            attr: Optional[str] = None
+            if direct_self:
+                attr = target.value.attr  # type: ignore[union-attr]
             elif isinstance(target.value, ast.Name):
                 attr = self.aliases.get(target.value.id)
+            key_lit = _literal_key(target.slice)
+            if key_lit is not None and base_path is not None:
+                # literal key: the value lands in that key's slot only —
+                # the base wildcard and sibling keys stay untouched
+                env[f"{base_path}[{key_lit}]"] = taint
+                if attr is not None and self.fn.cls is not None:
+                    # alias-mediated writes (pool = self.x.setdefault(...))
+                    # may target a nested collection whose keys are not the
+                    # attr's own key space: fall back to the wildcard there
+                    self.store_content(
+                        attr, taint.flat(), key=key_lit if direct_self else None
+                    )
+                return
             if attr is not None and self.fn.cls is not None:
                 self.store_content(attr, taint.flat())
             if base_path is not None:
                 env[base_path] = merge(env.get(base_path, EMPTY), taint)
             return
 
-    def store_content(self, attr: str, flat: Taint) -> None:
-        """Record that ``self.<attr>`` now contains ``flat``-tainted data."""
+    def store_content(
+        self, attr: str, flat: Taint, key: Optional[str] = None
+    ) -> None:
+        """Record that ``self.<attr>`` now contains ``flat``-tainted data
+        (in the per-key slot when ``key`` is a literal, else wildcard)."""
         if self.fn.cls is None:
             return
         if "src" in flat.markers:
-            self.engine.store_attr(
-                self.fn.cls,
-                attr,
-                Taint(frozenset({"src"}), flat.cleared, flat.laundered),
-            )
+            stored = Taint(frozenset({"src"}), flat.cleared, flat.laundered)
+            if key is not None:
+                self.engine.store_attr_key(self.fn.cls, attr, key, stored)
+            else:
+                self.engine.store_attr(self.fn.cls, attr, stored)
         for marker in flat.markers:
             if marker.startswith("p"):
                 self.attr_stores.add(
-                    (self.fn.cls, attr, marker, flat.cleared, flat.laundered)
+                    (self.fn.cls, attr, marker, flat.cleared, flat.laundered, key)
                 )
 
     def _track_alias(self, target: ast.expr, value: ast.expr) -> None:
@@ -652,20 +737,32 @@ class FunctionAnalyzer(ast.NodeVisitor):
                 out.extend(self.paths_in(child))
         return out
 
+    def _with_keyed(
+        self, env: Dict[str, Taint], path: str, base: Taint
+    ) -> Taint:
+        """Whole-collection read: fold the env's per-key slots for ``path``
+        back into the base taint (reading the full dict sees all values)."""
+        prefix = path + "["
+        for key, taint in env.items():
+            if key.startswith(prefix):
+                base = merge(base, taint)
+        return base
+
     def eval(self, node: ast.expr, env: Dict[str, Taint]) -> Taint:
         if isinstance(node, ast.Constant):
             return EMPTY
         if isinstance(node, ast.Name):
-            return env.get(node.id, EMPTY)
+            return self._with_keyed(env, node.id, env.get(node.id, EMPTY))
         if isinstance(node, ast.Attribute):
             path = self.path_of(node)
             if path is not None and path in env:
-                return env[path]
+                return self._with_keyed(env, path, env[path])
             if (
                 isinstance(node.value, ast.Name)
                 and node.value.id == "self"
             ):
-                return self.engine.read_attr(self.fn.cls, node.attr)
+                out = self.engine.read_attr(self.fn.cls, node.attr)
+                return self._with_keyed(env, f"self.{node.attr}", out)
             base = self.eval(node.value, env)
             return base.field_taint(node.attr)
         if isinstance(node, ast.Call):
@@ -691,9 +788,28 @@ class FunctionAnalyzer(ast.NodeVisitor):
             return EMPTY
         if isinstance(node, ast.Subscript):
             self.check_identity_index(node, env)
-            value = self.eval(node.value, env)
             self.eval(node.slice, env)
-            return value
+            key_lit = _literal_key(node.slice)
+            base_path = self.path_of(node.value)
+            if key_lit is not None and base_path is not None:
+                # precise per-key read: this key's slot plus the base
+                # wildcard, but NOT the other literal keys' slots
+                out = env.get(f"{base_path}[{key_lit}]", EMPTY)
+                if base_path in env:
+                    return merge(out, env[base_path])
+                if (
+                    isinstance(node.value, ast.Attribute)
+                    and isinstance(node.value.value, ast.Name)
+                    and node.value.value.id == "self"
+                ):
+                    return merge(
+                        out,
+                        self.engine.read_attr_key(
+                            self.fn.cls, node.value.attr, key_lit
+                        ),
+                    )
+                return merge(out, self.eval(node.value, env))
+            return self.eval(node.value, env)
         if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
             out = EMPTY
             for elt in node.elts:
@@ -849,10 +965,10 @@ class FunctionAnalyzer(ast.NodeVisitor):
                         )
                     )
         env[path] = self.lookup_path(env, path).clear(rules)
-        prefix = path + "."
-        for key in list(env):
-            if key.startswith(prefix):
-                env[key] = env[key].clear(rules)
+        for prefix in (path + ".", path + "["):
+            for key in list(env):
+                if key.startswith(prefix):
+                    env[key] = env[key].clear(rules)
 
     # -- calls ----------------------------------------------------------------
 
@@ -973,6 +1089,9 @@ class FunctionAnalyzer(ast.NodeVisitor):
                 # must clear msg.share inside the list literal too
                 for path in self.paths_in(arg):
                     self.clear_path(env, path, rules, node.lineno, from_sanitizer=True)
+                for marker in taint.flat().markers:
+                    if marker.startswith("p"):
+                        self.sanitizes.add((marker, rules))
                 cleared_args.append(taint.clear(rules))
             arg_taints = cleared_args
             kw_taints = {k: t.clear(rules) for k, t in kw_taints.items()}
@@ -981,6 +1100,9 @@ class FunctionAnalyzer(ast.NodeVisitor):
                 rpath = self.path_of(func.value)
                 if rpath is not None:
                     self.clear_path(env, rpath, rules, node.lineno, from_sanitizer=True)
+                for marker in receiver.flat().markers:
+                    if marker.startswith("p"):
+                        self.sanitizes.add((marker, rules))
 
         # sources -------------------------------------------------------------
         if call_name in SOURCE_CALLS:
@@ -1012,7 +1134,7 @@ class FunctionAnalyzer(ast.NodeVisitor):
         # interprocedural: apply the callee's summary ------------------------
         if callee_qname is not None and callee_qname in self.engine.summaries:
             return self.apply_summary(
-                node, callee_qname, arg_taints, kw_taints, receiver
+                node, callee_qname, arg_taints, kw_taints, receiver, env
             )
 
         # unknown call: propagate conservatively
@@ -1021,6 +1143,28 @@ class FunctionAnalyzer(ast.NodeVisitor):
             out = merge(out, t.flat())
         return out
 
+    def _arg_for_marker(
+        self, node: ast.Call, callee: FunctionInfo, offset: int, marker: str
+    ) -> Optional[ast.expr]:
+        """Call-site expression bound to the callee parameter ``marker``
+        (``p<idx>``): the receiver for p0 of a method call, a positional
+        argument, or a keyword matched by parameter name."""
+        try:
+            idx = int(marker[1:])
+        except ValueError:
+            return None
+        pos = idx - offset
+        if pos == -1 and isinstance(node.func, ast.Attribute):
+            return node.func.value
+        if 0 <= pos < len(node.args):
+            return node.args[pos]
+        if idx < len(callee.params):
+            pname = callee.params[idx]
+            for kw in node.keywords:
+                if kw.arg == pname:
+                    return kw.value
+        return None
+
     def apply_summary(
         self,
         node: ast.Call,
@@ -1028,6 +1172,7 @@ class FunctionAnalyzer(ast.NodeVisitor):
         arg_taints: List[Taint],
         kw_taints: Dict[str, Taint],
         receiver: Taint = EMPTY,
+        env: Optional[Dict[str, Taint]] = None,
     ) -> Taint:
         callee = self.index.functions[callee_qname]
         summary = self.engine.summaries[callee_qname]
@@ -1063,7 +1208,25 @@ class FunctionAnalyzer(ast.NodeVisitor):
                 if marker.startswith("p"):
                     self.sink_hits.add(replace(hit, marker=marker))
 
-        for cls_qname, attr, marker, cleared, laundered in summary.attr_stores:
+        # sanitizers applied inside the callee act at this call site too:
+        # clearing the argument's path here is what trips T408 when the
+        # value already reached a sink earlier in THIS function
+        for marker, rules in summary.sanitizes:
+            bound = bindings.get(marker)
+            if bound is None:
+                continue
+            if env is not None:
+                arg_expr = self._arg_for_marker(node, callee, offset, marker)
+                if arg_expr is not None:
+                    for path in self.paths_in(arg_expr):
+                        self.clear_path(
+                            env, path, rules, node.lineno, from_sanitizer=True
+                        )
+            for m in bound.markers:
+                if m.startswith("p"):
+                    self.sanitizes.add((m, rules))
+
+        for cls_qname, attr, marker, cleared, laundered, key in summary.attr_stores:
             bound = bindings.get(marker)
             if bound is None:
                 continue
@@ -1072,15 +1235,15 @@ class FunctionAnalyzer(ast.NodeVisitor):
             eff_cleared = bound.cleared | cleared
             eff_laundered = bound.laundered or laundered
             if "src" in bound.markers:
-                self.engine.store_attr(
-                    cls_qname,
-                    attr,
-                    Taint(frozenset({"src"}), eff_cleared, eff_laundered),
-                )
+                stored = Taint(frozenset({"src"}), eff_cleared, eff_laundered)
+                if key is not None:
+                    self.engine.store_attr_key(cls_qname, attr, key, stored)
+                else:
+                    self.engine.store_attr(cls_qname, attr, stored)
             for m in bound.markers:
                 if m.startswith("p"):
                     self.attr_stores.add(
-                        (cls_qname, attr, m, eff_cleared, eff_laundered)
+                        (cls_qname, attr, m, eff_cleared, eff_laundered, key)
                     )
 
         markers: Set[str] = set()

@@ -28,6 +28,8 @@ _LEVELS = {
     "A": "warning",  # async safety
     "S": "note",  # stale suppressions
     "E": "error",  # parse errors
+    "Q": "error",  # quorum arithmetic: safety-breaking thresholds
+    "Y": "error",  # yield-point atomicity: async handler races
 }
 
 

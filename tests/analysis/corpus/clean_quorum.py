@@ -1,0 +1,27 @@
+"""Clean control: every threshold site declared and provable."""
+
+
+class Replica:
+    def __init__(self, n: int, t: int) -> None:
+        if n <= 3 * t:  # repro-quorum: config
+            raise ValueError("need n >= 3t+1")
+        self.n = n
+        self.t = t
+        self.pool: dict = {}
+        self.joins: set = set()
+        self.certificate = None
+        self.joined = False
+
+    def on_prepare(self, sender: int, sig: bytes) -> None:
+        if not 0 <= sender < self.n:  # repro-quorum: identity-bound
+            return
+        self.pool[sender] = sig
+        if len(self.pool) >= self.n - self.t:  # repro-quorum: intersect
+            self.certificate = tuple(
+                sorted(self.pool.items())
+            )[: self.n - self.t]  # repro-quorum: truncate:n-t
+
+    def on_join(self, sender: int) -> None:
+        self.joins.add(sender)
+        if len(self.joins) >= self.t + 1:  # repro-quorum: amplify
+            self.joined = True

@@ -1,0 +1,34 @@
+"""Clean control: awaits with re-validation, finally resets, kept tasks."""
+
+import asyncio
+
+
+class Careful:
+    def __init__(self, node) -> None:
+        self._pending = None
+        self._busy = False
+        self._task = None
+        node.set_handler(self.on_message)
+
+    async def fetch(self) -> bytes:
+        return b"zone"
+
+    async def on_message(self, sender: int, msg: object) -> None:
+        if self._pending is None:
+            data = await self.fetch()
+            if self._pending is None:  # re-validated after the yield
+                self._pending = data
+
+    async def on_flush(self, sender: int, msg: object) -> None:
+        if self._busy:
+            return
+        self._busy = True
+        try:
+            await self.fetch()
+        finally:
+            self._busy = False
+
+    async def on_spawn(self, sender: int, msg: object) -> None:
+        task = asyncio.create_task(self.fetch())
+        task.add_done_callback(lambda t: t.exception())
+        self._task = task

@@ -1,0 +1,15 @@
+"""Planted Q501: a 2t quorum never intersects another in t+1 replicas."""
+
+
+class Replica:
+    def __init__(self, n: int, t: int) -> None:
+        self.n = n
+        self.t = t
+        self.pool: dict = {}
+        self.certified = False
+
+    def on_vote(self, sender: int, sig: bytes) -> None:
+        self.pool[sender] = sig
+        # BUG: 2t admits two fully disjoint quorums at any admissible n.
+        if len(self.pool) >= 2 * self.t:  # repro-quorum: intersect
+            self.certified = True

@@ -1,0 +1,17 @@
+"""Planted Q502: certificate truncated below the quorum it certifies."""
+
+
+class Certifier:
+    def __init__(self, n: int, t: int) -> None:
+        self.n = n
+        self.t = t
+        self.pool: dict = {}
+        self.certificate = None
+
+    def on_prepare(self, sender: int, sig: bytes) -> None:
+        self.pool[sender] = sig
+        if len(self.pool) >= self.n - self.t:  # repro-quorum: intersect
+            # BUG: keeps only t+1 of the n-t signatures the quorum needs.
+            self.certificate = tuple(
+                sorted(self.pool.items())
+            )[: self.t + 1]  # repro-quorum: truncate:n-t

@@ -1,0 +1,15 @@
+"""Planted Q503: t senders can all be Byzantine; amplification needs t+1."""
+
+
+class Amplifier:
+    def __init__(self, n: int, t: int) -> None:
+        self.n = n
+        self.t = t
+        self.joins: set = set()
+        self.joined = False
+
+    def on_join(self, sender: int) -> None:
+        self.joins.add(sender)
+        # BUG: t Byzantine replicas can fabricate this quorum alone.
+        if len(self.joins) >= self.t:  # repro-quorum: amplify
+            self.joined = True

@@ -1,0 +1,16 @@
+"""Planted Q504: admission cap below what a correct run produces."""
+
+
+class Admission:
+    def __init__(self, n: int, t: int) -> None:
+        self.n = n
+        self.t = t
+        self.introducers: set = set()
+
+    def admit(self, sender: int) -> bool:
+        # BUG: every one of the n replicas may legitimately introduce a
+        # digest; capping the pool at 2t rejects honest volume.
+        if len(self.introducers) > 2 * self.t:  # repro-quorum: cap:n
+            return False
+        self.introducers.add(sender)
+        return True

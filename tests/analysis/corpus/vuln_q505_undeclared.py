@@ -1,0 +1,14 @@
+"""Planted Q505: a threshold comparison with no declared obligation."""
+
+
+class Mystery:
+    def __init__(self, n: int, t: int) -> None:
+        self.n = n
+        self.t = t
+        self.votes: set = set()
+        self.decided = False
+
+    def on_vote(self, sender: int) -> None:
+        self.votes.add(sender)
+        if len(self.votes) >= 2 * self.t + 1:
+            self.decided = True

@@ -1,0 +1,17 @@
+"""Planted Y601: guard read, await, dependent write — no re-validation."""
+
+
+class Session:
+    def __init__(self, node) -> None:
+        self._pending = None
+        node.set_handler(self.on_message)
+
+    async def fetch(self) -> bytes:
+        return b"zone"
+
+    async def on_message(self, sender: int, msg: object) -> None:
+        if self._pending is None:
+            data = await self.fetch()
+            # BUG: another activation may have set _pending while we
+            # were suspended; this write silently drops its work.
+            self._pending = data

@@ -1,0 +1,21 @@
+"""Planted Y602: state shared between handlers mutated across an await."""
+
+
+class ZoneView:
+    def __init__(self, node) -> None:
+        self.serial = 0
+        node.set_handler(self.on_update)
+        node.add_handler(self.on_reset)
+
+    async def sign(self, serial: int) -> int:
+        return serial
+
+    async def on_update(self, sender: int, msg: object) -> None:
+        serial = self.serial + 1
+        signed = await self.sign(serial)
+        # BUG: on_reset may have rewound self.serial during the await;
+        # this write clobbers it without a re-check.
+        self.serial = signed
+
+    async def on_reset(self, sender: int, msg: object) -> None:
+        self.serial = 0

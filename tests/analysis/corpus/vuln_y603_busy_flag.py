@@ -1,0 +1,18 @@
+"""Planted Y603: await while a busy flag is held, reset not in finally."""
+
+
+class Writer:
+    def __init__(self, node) -> None:
+        self._busy = False
+        node.set_handler(self.on_write)
+
+    async def flush(self) -> None:
+        return None
+
+    async def on_write(self, sender: int, msg: object) -> None:
+        if self._busy:
+            return
+        self._busy = True
+        # BUG: if flush() raises, _busy is wedged True forever.
+        await self.flush()
+        self._busy = False

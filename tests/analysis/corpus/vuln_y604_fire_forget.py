@@ -1,0 +1,16 @@
+"""Planted Y604: fire-and-forget task creation drops exceptions."""
+
+import asyncio
+
+
+class Gossiper:
+    def __init__(self, node) -> None:
+        node.set_handler(self.on_message)
+
+    async def _gossip(self) -> None:
+        return None
+
+    async def on_message(self, sender: int, msg: object) -> None:
+        # BUG: the task's exceptions are never retrieved.
+        asyncio.create_task(self._gossip())
+        orphan = asyncio.ensure_future(self._gossip())

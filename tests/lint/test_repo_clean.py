@@ -59,3 +59,22 @@ def test_taint_modules_configured():
     assert "repro.broadcast.*" in config.taint_modules
     # the fault injector is the modeled adversary, not the defended surface
     assert "!repro.core.faults" in config.taint_modules
+
+
+def test_tree_protocol_invariants_clean():
+    # The quorum-arithmetic and yield-point checkers (DESIGN.md §5h) must
+    # run clean: every first-run true positive (the 2t+1 quorums) was
+    # fixed to n-t, and every threshold site carries a declared kind.
+    from repro.analysis import analyze
+
+    config = LintConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
+    findings = analyze([REPO_ROOT / "src" / "repro"], REPO_ROOT, config=config)
+    assert findings == [], "\n".join(
+        f"{f.path}:{f.line} {f.rule} {f.message}" for f in findings
+    )
+
+
+def test_protocol_invariant_modules_configured():
+    config = LintConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
+    assert "repro.broadcast.*" in config.quorum_modules
+    assert "repro.*" in config.races_modules

@@ -1,0 +1,20 @@
+"""Clean control: per-key dict taint tracking.
+
+A remote share parked under its own literal key must not taint reads of
+the *other* keys — before per-key slots the engine merged the whole dict,
+so the locally-produced material below was flagged at the assembly sink
+(the T404/T405-adjacent over-approximation DESIGN.md §5e calls out).
+"""
+
+
+class Endpoint:
+    def __init__(self, public):
+        self.public = public
+        self.cache = {}
+        self.cache["trusted"] = public.sign(b"seed")
+
+    def on_message(self, sender, msg):
+        # the remote value lands in its own slot...
+        self.cache["remote"] = msg.share
+        # ...and must not contaminate the trusted slot next door
+        return self.public.assemble(b"m", [self.cache["trusted"]])

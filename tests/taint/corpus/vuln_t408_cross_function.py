@@ -1,0 +1,22 @@
+"""Seeded vulnerability: the sanitizer hides one call-hop below (T408).
+
+The handler assembles first and then calls a helper that verifies the
+share.  Intra-procedurally the handler never names a sanitizer, so only
+the cross-function summary replay (the callee's ``sanitizes`` set applied
+at the call site) can see that the verification arrived after the sink.
+"""
+
+
+class Endpoint:
+    def __init__(self, public):
+        self.public = public
+
+    def on_message(self, sender, msg):
+        # BUG: the signature is produced before _audit verifies the
+        # share; the buried check cannot protect the earlier assembly.
+        signature = self.public.assemble(b"m", [msg.share])
+        self._audit(msg.share)
+        return signature
+
+    def _audit(self, share):
+        return self.public.verify_shares(b"m", [share])

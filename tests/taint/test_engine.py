@@ -415,3 +415,182 @@ class TestVerdictFlow:
                         self.zone.add_rdata(msg.name, msg.rtype, msg.ttl, msg.rdata)
             """
         )
+
+
+class TestPerKeyDictTaint:
+    """Literal dict keys get their own taint slots (DESIGN.md §5e): a
+    remote value stored under one key must not taint reads of the others,
+    while dynamic-key stores and whole-dict reads stay conservative."""
+
+    def test_sibling_literal_key_read_stays_clean(self):
+        assert run(
+            """
+            class Endpoint:
+                def __init__(self, public):
+                    self.public = public
+                    self.cache = {}
+                    self.cache["trusted"] = public.sign(b"seed")
+
+                def on_message(self, sender, msg):
+                    self.cache["remote"] = msg.share
+                    return self.public.assemble(b"m", [self.cache["trusted"]])
+            """
+        ) == []
+
+    def test_same_literal_key_read_stays_tainted(self):
+        assert "T401" in run(
+            """
+            class Endpoint:
+                def __init__(self, public):
+                    self.public = public
+                    self.cache = {}
+
+                def on_message(self, sender, msg):
+                    self.cache["remote"] = msg.share
+                    return self.public.assemble(b"m", [self.cache["remote"]])
+            """
+        )
+
+    def test_dynamic_key_store_still_taints_literal_reads(self):
+        # A store under an attacker-chosen key may hit any slot: literal
+        # reads must keep seeing the wildcard taint (soundness).
+        assert "T401" in run(
+            """
+            class Endpoint:
+                def __init__(self, public):
+                    self.public = public
+                    self.cache = {}
+
+                def on_message(self, sender, msg):
+                    if msg.sid in self.cache:
+                        self.cache[msg.sid] = msg.share
+                    return self.public.assemble(b"m", [self.cache["trusted"]])
+            """
+        )
+
+    def test_whole_dict_read_merges_key_slots(self):
+        # Reading the full dict sees every slot, including literal ones.
+        assert "T401" in run(
+            """
+            class Endpoint:
+                def __init__(self, public):
+                    self.public = public
+                    self.cache = {}
+
+                def on_message(self, sender, msg):
+                    self.cache["remote"] = msg.share
+                    return self.public.assemble(b"m", list(self.cache.values()))
+            """
+        )
+
+    def test_local_dict_literal_keys_tracked(self):
+        assert run(
+            """
+            class Endpoint:
+                def __init__(self, public):
+                    self.public = public
+
+                def on_message(self, sender, msg):
+                    batch = {}
+                    batch["remote"] = msg.share
+                    batch["local"] = self.public.sign(b"seed")
+                    return self.public.assemble(b"m", [batch["local"]])
+            """
+        ) == []
+
+    def test_whole_reassignment_drops_stale_key_slots(self):
+        assert run(
+            """
+            class Endpoint:
+                def __init__(self, public):
+                    self.public = public
+
+                def on_message(self, sender, msg):
+                    batch = {}
+                    batch["remote"] = msg.share
+                    batch = {}
+                    return self.public.assemble(b"m", [batch["remote"]])
+            """
+        ) == []
+
+    def test_cross_function_store_keeps_its_key(self):
+        # The helper stores under a literal key; the handler reads the
+        # sibling slot.  The summary must carry the key through.
+        assert run(
+            """
+            class Endpoint:
+                def __init__(self, public):
+                    self.public = public
+                    self.cache = {}
+
+                def on_message(self, sender, msg):
+                    self._park(msg.share)
+                    return self.public.assemble(b"m", [self.cache["trusted"]])
+
+                def _park(self, share):
+                    self.cache["remote"] = share
+            """
+        ) == []
+
+
+class TestCrossFunctionT408:
+    """The callee's sanitizer applications replay at the call site, so a
+    verification buried one call-hop below still orders against sinks the
+    caller already hit."""
+
+    def test_sanitizer_one_hop_below_after_sink(self):
+        rules = run(
+            """
+            class Endpoint:
+                def __init__(self, public):
+                    self.public = public
+
+                def on_message(self, sender, msg):
+                    signature = self.public.assemble(b"m", [msg.share])
+                    self._audit(msg.share)
+                    return signature
+
+                def _audit(self, share):
+                    return self.public.verify_shares(b"m", [share])
+            """
+        )
+        assert "T408" in rules
+
+    def test_sanitizer_one_hop_below_before_sink_is_clean(self):
+        # Same helper called before the sink: the replayed clearing must
+        # sanitize the caller's value, and no T408 may fire.
+        assert run(
+            """
+            class Endpoint:
+                def __init__(self, public):
+                    self.public = public
+
+                def on_message(self, sender, msg):
+                    self._audit(msg.share)
+                    return self.public.assemble(b"m", [msg.share])
+
+                def _audit(self, share):
+                    return self.public.verify_shares(b"m", [share])
+            """
+        ) == []
+
+    def test_two_hops_propagate_transitively(self):
+        rules = run(
+            """
+            class Endpoint:
+                def __init__(self, public):
+                    self.public = public
+
+                def on_message(self, sender, msg):
+                    signature = self.public.assemble(b"m", [msg.share])
+                    self._outer(msg.share)
+                    return signature
+
+                def _outer(self, share):
+                    return self._inner(share)
+
+                def _inner(self, share):
+                    return self.public.verify_shares(b"m", [share])
+            """
+        )
+        assert "T408" in rules
