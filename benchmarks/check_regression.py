@@ -52,12 +52,21 @@ def _resolver_metrics(data: dict) -> Dict[str, float]:
     return {"offload_ratio": float(data["offload_ratio"])}
 
 
+def _broadcast_metrics(data: dict) -> Dict[str, float]:
+    return {
+        "digest_echo_reduction": float(data["digest_echo_reduction"]),
+        "erasure_echo_reduction": float(data["erasure_echo_reduction"]),
+        "erasure_flatness_headroom": float(data["erasure_flatness_headroom"]),
+    }
+
+
 #: filename -> extractor of {metric name: higher-is-better value}.
 EXTRACTORS = {
     "BENCH_batching.json": _batching_metrics,
     "BENCH_parallel.json": _parallel_metrics,
     "BENCH_writes.json": _writes_metrics,
     "BENCH_resolver.json": _resolver_metrics,
+    "BENCH_broadcast.json": _broadcast_metrics,
 }
 
 

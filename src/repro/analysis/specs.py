@@ -28,6 +28,10 @@ Obligation kinds
 ``threshold-sig``
     Q shares suffice to assemble the threshold signature: ``Q >= t+1``
     (the dealer uses degree-``t`` polynomials).
+``reconstruct``
+    Erasure-coded reconstruction threshold (DESIGN.md §5i): decoding
+    needs ``n-2t`` fragments, which is ``>= t+1`` for every admissible
+    ``n >= 3t+1`` and ``<= n-t`` so honest fragments alone suffice.
 ``truncate:<expr>``
     A slice bound must keep at least ``<expr>`` elements — never
     truncate a certificate below the quorum it certifies.
@@ -180,11 +184,26 @@ QUORUM_SPEC: Tuple[Tuple[str, str, str, str], ...] = (
     ("repro.broadcast.abc", "_on_new_epoch", "msg.epoch % self.n", "declared"),
     ("repro.broadcast.abc", "_validate_new_epoch", "n", "identity-bound"),
     ("repro.broadcast.abc", "_validate_new_epoch", "n-t", "intersect"),
+    # Digest-mode pull serving: requester identity bounds the per-peer
+    # serve budget table.
+    ("repro.broadcast.abc", "_on_pull", "n", "identity-bound"),
+    # Erasure dissemination: fragment indices are replica identities, and
+    # any n-2t verified fragments reconstruct the request payload.
+    ("repro.broadcast.abc", "_on_frag", "n", "identity-bound"),
+    ("repro.broadcast.abc", "_on_frag", "n-2t", "reconstruct"),
     # -- repro.broadcast.rbc: Bracha reliable broadcast -------------------
     ("repro.broadcast.rbc", "__init__", "3t", "config"),
-    ("repro.broadcast.rbc", "_on_echo", "n-t", "intersect"),
+    # Echo votes (payload-carrying or digest-only) funnel into one
+    # counter; the quorum must pairwise-intersect in an honest replica.
+    ("repro.broadcast.rbc", "_count_echo", "n-t", "intersect"),
     ("repro.broadcast.rbc", "_on_ready", "t+1", "amplify"),
-    ("repro.broadcast.rbc", "_on_ready", "2t+1", "honest-majority"),
+    ("repro.broadcast.rbc", "_ready_quorum", "2t+1", "honest-majority"),
+    # Erasure mode: fragment indices are replica identities; t+1 echoes
+    # prove an honest echoer vouches for the root; n-2t fragments decode.
+    ("repro.broadcast.rbc", "_on_val", "n", "identity-bound"),
+    ("repro.broadcast.rbc", "_on_frag", "n", "identity-bound"),
+    ("repro.broadcast.rbc", "_on_frag", "t+1", "amplify"),
+    ("repro.broadcast.rbc", "_reconstruct", "n-2t", "reconstruct"),
     # -- repro.broadcast.aba: binary agreement -----------------------------
     ("repro.broadcast.aba", "__init__", "3t", "config"),
     ("repro.broadcast.aba", "_on_est", "t+1", "amplify"),

@@ -49,20 +49,26 @@ from repro.broadcast.messages import (
     AbcCommit,
     AbcComplain,
     AbcEpochFinal,
+    AbcFrag,
     AbcInitiate,
     AbcNewEpoch,
     AbcOrder,
+    AbcPayload,
     AbcPrepare,
+    AbcPull,
     CoinShare,
     PrepareCertificate,
     decode_batch,
     encode_batch,
     is_batch_payload,
 )
+from repro.broadcast.stores import FragmentStore, PayloadStore
 from repro.crypto.executor import CryptoExecutor
+from repro.crypto.merkle import merkle_proof, merkle_root, merkle_verify
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
 from repro.crypto.shoup import ThresholdKeyShare
 from repro.errors import ConfigError
+from repro.util.erasure import ErasureError, rs_decode, rs_encode
 
 DeliverFn = Callable[[str, bytes], None]
 SendFn = Callable[[int, object], None]
@@ -92,10 +98,45 @@ MAX_EPOCH_AHEAD = 64
 MODE_FAST = "fast"
 MODE_RECOVERY = "recovery"
 
+#: Request-introduction modes for the fast path (DESIGN.md §5i).
+#: ``full`` ships the whole payload in both INITIATE and ORDER; ``digest``
+#: keeps the INITIATE fan-out but strips ORDER frames down to the
+#: payload-derived request id (with a pull fallback for withheld
+#: payloads); ``erasure`` additionally replaces the INITIATE fan-out with
+#: per-replica Reed-Solomon fragments so no link carries the whole batch.
+#: The recovery path (EPOCH_FINAL / NEW_EPOCH / re-batched orders) always
+#: travels full-payload — recovery is rare and must be self-contained.
+DISSEMINATION_MODES = ("full", "digest", "erasure")
+
+#: Delay before (re)pulling the payload behind an unresolved digest-mode
+#: ORDER.  The happy path never pulls: the INITIATE or the reconstructed
+#: erasure payload is already in flight when the ORDER arrives.
+PULL_RETRY_TIMEOUT = 0.25
+
+#: Pull attempts per request before giving up and letting the complaint /
+#: epoch-change machinery own liveness for the stalled slot.
+MAX_PULL_ATTEMPTS = 8
+
+#: Pull responses served per requesting peer — a pull serves a full
+#: payload, so without a budget a Byzantine peer could use an honest
+#: replica as a bandwidth amplifier.
+MAX_PULL_SERVES_PER_SENDER = 64
+
+#: Payloads below this size are cheaper to fan out whole than to frame as
+#: ``n`` Merkle-proven fragments; erasure mode sends them as plain
+#: INITIATEs.
+ERASURE_MIN_BYTES = 256
+
 
 def derive_request_id(payload: bytes) -> str:
     """Request ids are payload digests, so every replica derives the same id."""
     return hashlib.sha256(payload).hexdigest()[:32]
+
+
+#: Request id of the empty payload.  A digest-mode ORDER's wire frame
+#: carries ``payload=b""``; a genuine empty request is the one payload
+#: that collides with that framing, so empty requests always travel full.
+_EMPTY_RID = derive_request_id(b"")
 
 
 def request_digest(epoch: int, seq: int, payload: bytes) -> bytes:
@@ -253,6 +294,8 @@ class AtomicBroadcast:
         timeout: float = DEFAULT_TIMEOUT,
         crypto: Optional[AuthPlane] = None,
         rebatch_max: int = 1,
+        dissemination: str = "digest",
+        erasure_min_bytes: int = ERASURE_MIN_BYTES,
     ) -> None:
         if n <= 3 * t:
             raise ConfigError("atomic broadcast requires n > 3t")
@@ -260,6 +303,11 @@ class AtomicBroadcast:
             raise ConfigError("need one verification key per replica")
         if rebatch_max < 1:
             raise ConfigError("rebatch_max must be at least 1")
+        if dissemination not in DISSEMINATION_MODES:
+            raise ConfigError(
+                f"unknown dissemination mode {dissemination!r}; "
+                f"expected one of {DISSEMINATION_MODES}"
+            )
         self.n = n
         self.t = t
         self.me = me
@@ -271,6 +319,8 @@ class AtomicBroadcast:
         # payloads per sequence slot, instead of ordering the requests
         # that piled up during the switch one agreement instance each.
         self.rebatch_max = rebatch_max
+        self.dissemination = dissemination
+        self.erasure_min_bytes = erasure_min_bytes
         self._deliver = deliver
         self._send = send
         self._schedule = schedule
@@ -320,6 +370,18 @@ class AtomicBroadcast:
         self._timer: Optional[Any] = None
         self._recovery_timer: Optional[Any] = None
 
+        # Digest/erasure dissemination state (DESIGN.md §5i).  Buffered
+        # digest ORDERs whose payload has not arrived yet, keyed by
+        # request id; resolved by INITIATE, fragment reconstruction, or
+        # the pull fallback.  The payload archive keeps recently delivered
+        # payloads around so this replica can serve late peers' pulls.
+        self._awaiting_order: Dict[str, Tuple[int, AbcOrder]] = {}
+        self._pull_attempt: Dict[str, int] = {}
+        self._pull_served: Dict[int, int] = {}
+        self._payload_archive = PayloadStore()
+        self._frag_store = FragmentStore()
+        self._frag_forwarded: Dict[str, bytes] = {}
+
         self.aba = BinaryAgreement(
             n, t, me, coin_key, on_decide=self._on_switch_decided
         )
@@ -335,6 +397,10 @@ class AtomicBroadcast:
             "out_of_window": 0,
             "rebatches": 0,
             "rebatched_requests": 0,
+            "pulls_sent": 0,
+            "pulls_served": 0,
+            "erasure_disperses": 0,
+            "erasure_reconstructions": 0,
         }
 
     # ------------------------------------------------------------------
@@ -365,6 +431,9 @@ class AtomicBroadcast:
         do), which lets epoch recovery recompute ids deterministically.
         """
         rid = derive_request_id(payload)
+        if self.dissemination == "erasure" and len(payload) >= self.erasure_min_bytes:
+            self._disperse(rid, payload)
+            return rid
         msg = AbcInitiate(rid, payload)
         self._broadcast(msg)
         self.on_message(self.me, msg)
@@ -386,6 +455,12 @@ class AtomicBroadcast:
             self._on_epoch_final(sender, msg)
         elif isinstance(msg, AbcNewEpoch):
             self._on_new_epoch(sender, msg)
+        elif isinstance(msg, AbcPull):
+            self._on_pull(sender, msg)
+        elif isinstance(msg, AbcPayload):
+            self._on_payload(sender, msg)
+        elif isinstance(msg, AbcFrag):
+            self._on_frag(sender, msg)
         elif isinstance(msg, tuple) and len(msg) == 2 and isinstance(msg[0], AbcEpochFinal):
             self._on_epoch_final(sender, msg)
         elif isinstance(msg, (AbaEst, AbaAux, AbaDecided, CoinShare)):
@@ -405,6 +480,8 @@ class AtomicBroadcast:
                 return
             self.pending[msg.request_id] = msg.payload
             self._arm_timer()
+        if msg.request_id in self._awaiting_order:
+            self._replay_awaited(msg.request_id, msg.payload)
         if self.mode == MODE_FAST and self.me == self.leader:
             self._order_pending()
 
@@ -448,7 +525,14 @@ class AtomicBroadcast:
         seq = self._next_order_seq
         self._next_order_seq += 1
         order = AbcOrder(self.epoch, seq, rid, payload)
-        self._broadcast(order)
+        if self.dissemination != "full" and payload and rid in self.pending:
+            # Digest ORDER: followers hold (or will hold) the payload via
+            # INITIATE / fragment reconstruction, so the wire frame needs
+            # only the payload-derived request id.  Re-batched recovery
+            # frames never entered pending and always travel full.
+            self._broadcast(AbcOrder(self.epoch, seq, rid, b""))
+        else:
+            self._broadcast(order)
         self._on_order(self.me, order)
 
     def _seq_in_window(self, seq: int) -> bool:
@@ -483,11 +567,21 @@ class AtomicBroadcast:
         key = (msg.epoch, msg.seq)
         if key in self._prepared_digest:
             return  # first ORDER for a slot wins; equivocation is ignored
-        if msg.request_id != derive_request_id(msg.payload):
+        payload = msg.payload
+        if payload == b"" and msg.request_id != _EMPTY_RID:
+            # Digest-mode ORDER: the payload travels separately (INITIATE
+            # or erasure fragments).  Unknown ids are buffered; the pull
+            # fallback fires only if the payload never shows up.
+            resolved = self._resolve_payload(msg.request_id)
+            if resolved is None:
+                self._await_order(sender, msg)
+                return
+            payload = resolved
+        if msg.request_id != derive_request_id(payload):
             return  # ids are payload-derived; anything else is malformed
-        digest = request_digest(msg.epoch, msg.seq, msg.payload)
-        self._ordered[key] = (msg.request_id, msg.payload)
-        self._payload_by_digest[digest] = (msg.request_id, msg.payload)
+        digest = request_digest(msg.epoch, msg.seq, payload)
+        self._ordered[key] = (msg.request_id, payload)
+        self._payload_by_digest[digest] = (msg.request_id, payload)
         self._prepared_digest[key] = digest
         signature = self.crypto.sign(
             _prepare_signing_input(msg.epoch, msg.seq, digest)
@@ -504,6 +598,175 @@ class AtomicBroadcast:
         if pool is not None and len(pool) >= self.n - self.t:
             self._form_certificate(msg.epoch, msg.seq, digest, pool)
         self._advance_delivery(fast=True)
+
+    # ------------------------------------------------------------------
+    # digest/erasure dissemination (DESIGN.md §5i)
+    # ------------------------------------------------------------------
+
+    def _resolve_payload(self, rid: str) -> Optional[bytes]:
+        """The payload behind ``rid``, if this replica holds it.
+
+        ``pending`` entries come from unauthenticated INITIATEs, so the
+        payload-derived id is re-checked here rather than trusted.
+        """
+        payload = self.pending.get(rid)
+        if payload is not None and derive_request_id(payload) == rid:
+            return payload
+        archived = self._payload_archive.get(rid)
+        if archived is not None and derive_request_id(archived) == rid:
+            return archived
+        return None
+
+    def _await_order(self, sender: int, msg: AbcOrder) -> None:
+        """Buffer a digest ORDER whose payload has not arrived yet.
+
+        The happy path resolves itself: the INITIATE (or the reconstructed
+        erasure payload) is already in flight and replays the order on
+        arrival.  The pull timer only ends up sending traffic against a
+        gateway or leader that withheld the payload.
+        """
+        if msg.request_id in self._awaiting_order:
+            return  # one buffered order and one pull chain per request
+        if len(self._awaiting_order) >= MAX_SEQ_AHEAD:
+            return  # window-bounded; the slot stalls and complaints fire
+        self._awaiting_order[msg.request_id] = (sender, msg)
+        self._pull_attempt[msg.request_id] = 0
+        self._schedule(PULL_RETRY_TIMEOUT, lambda: self._retry_pull(msg.request_id))
+
+    def _replay_awaited(self, rid: str, payload: bytes) -> None:
+        """Re-dispatch a buffered digest ORDER now that its payload is known."""
+        entry = self._awaiting_order.pop(rid, None)
+        self._pull_attempt.pop(rid, None)
+        if entry is None:
+            return
+        sender, order = entry
+        self._on_order(
+            sender, AbcOrder(order.epoch, order.seq, order.request_id, payload)
+        )
+
+    def _retry_pull(self, rid: str) -> None:
+        if rid not in self._awaiting_order or rid in self.delivered_ids:
+            return
+        payload = self._resolve_payload(rid)
+        if payload is not None:
+            self._replay_awaited(rid, payload)
+            return
+        attempt = self._pull_attempt.get(rid, 0)
+        if attempt >= MAX_PULL_ATTEMPTS:
+            # Stop pulling; the complaint / epoch-change machinery owns
+            # liveness for the stalled slot from here.
+            return
+        self._pull_attempt[rid] = attempt + 1
+        # Start with the leader (an honest leader always holds what it
+        # ordered) and rotate through the other replicas on retry.
+        target = (self.leader + attempt) % self.n
+        if target == self.me:
+            target = (target + 1) % self.n
+        self.stats["pulls_sent"] += 1
+        self._send(target, AbcPull(rid))
+        self._schedule(PULL_RETRY_TIMEOUT, lambda: self._retry_pull(rid))
+
+    def _on_pull(self, sender: int, msg: AbcPull) -> None:
+        if sender == self.me or not 0 <= sender < self.n:  # repro-quorum: identity-bound
+            return
+        served = self._pull_served.get(sender, 0)
+        if served >= MAX_PULL_SERVES_PER_SENDER:
+            return  # per-peer budget: pulls cannot become an amplifier
+        payload = self._resolve_payload(msg.request_id)
+        if payload is None:
+            return
+        self._pull_served[sender] = served + 1
+        self.stats["pulls_served"] += 1
+        self._send(sender, AbcPayload(msg.request_id, payload))
+
+    def _on_payload(self, sender: int, msg: AbcPayload) -> None:
+        if msg.request_id not in self._awaiting_order:
+            return  # unsolicited payload push
+        if derive_request_id(msg.payload) != msg.request_id:
+            return  # forged response; the retry chain keeps pulling
+        if msg.request_id not in self.pending:
+            if len(self.pending) >= MAX_PENDING_REQUESTS:
+                self.stats["initiates_dropped"] += 1
+            else:
+                self.pending[msg.request_id] = msg.payload
+        self._replay_awaited(msg.request_id, msg.payload)
+
+    def _disperse(self, rid: str, payload: bytes) -> None:
+        """Erasure-mode request introduction (AVID-M style).
+
+        Frame the payload as ``n`` Reed-Solomon fragments (any ``n - 2t``
+        reconstruct), Merkle-prove each against the fragment-tree root,
+        and ship replica ``i`` only fragment ``i`` — no link out of the
+        gateway carries the whole payload.  Each replica forwards its own
+        fragment once, so every honest replica eventually holds at least
+        ``n - t`` verified fragments.
+        """
+        fragments = rs_encode(payload, self.n - 2 * self.t, self.n)
+        root = merkle_root(fragments)
+        self.stats["erasure_disperses"] += 1
+        own: Optional[AbcFrag] = None
+        for index in range(self.n):
+            frag = AbcFrag(
+                rid, root, index, fragments[index], merkle_proof(fragments, index)
+            )
+            if index == self.me:
+                own = frag
+            else:
+                self._send(index, frag)
+        # The gateway holds the full payload, so it introduces the request
+        # to itself directly; fragments were queued first so any ORDER a
+        # leader-gateway emits departs each link after that replica's
+        # direct fragment.
+        self._on_initiate(self.me, AbcInitiate(rid, payload))
+        if own is not None:
+            self._on_frag(self.me, own)
+
+    def _on_frag(self, sender: int, msg: AbcFrag) -> None:
+        if msg.request_id in self.delivered_ids or msg.request_id in self.pending:
+            return  # payload already known; fragments are redundant
+        if not 0 <= msg.index < self.n:  # repro-quorum: identity-bound
+            return
+        if not merkle_verify(msg.root, msg.fragment, msg.proof):
+            return
+        if not self._frag_store.put(
+            msg.request_id, msg.root, msg.index, msg.fragment, msg.proof
+        ):
+            return  # duplicate slot, or the group is at its cap
+        if msg.index == self.me:
+            self._forward_own_fragment(msg)
+        group = self._frag_store.group(msg.request_id, msg.root)
+        if len(group) >= self.n - 2 * self.t:  # repro-quorum: reconstruct
+            self._reconstruct_request(msg.request_id, msg.root)
+
+    def _forward_own_fragment(self, msg: AbcFrag) -> None:
+        """Forward the fragment addressed to this replica, exactly once.
+
+        One forward per request id keeps erasure traffic at one fragment
+        in plus ``n - 1`` fragments out per request — duplicate or
+        multi-root floods cannot amplify it.
+        """
+        if msg.request_id in self._frag_forwarded:
+            return
+        if len(self._frag_forwarded) >= MAX_PENDING_REQUESTS:
+            return
+        self._frag_forwarded[msg.request_id] = msg.root
+        self._broadcast(msg)
+
+    def _reconstruct_request(self, rid: str, root: bytes) -> None:
+        group = self._frag_store.group(rid, root)
+        fragments = {index: frag for index, (frag, _proof) in group.items()}
+        try:
+            payload = rs_decode(fragments, self.n - 2 * self.t, self.n)
+        except ErasureError:
+            return
+        if derive_request_id(payload) != rid:
+            # Inconsistent encoding, or a root that does not belong to
+            # this request id.  Ids are payload-derived, so the binding is
+            # self-certifying and every honest replica rejects identically.
+            return
+        self.stats["erasure_reconstructions"] += 1
+        self._frag_store.discard(rid)
+        self._on_initiate(self.me, AbcInitiate(rid, payload))
 
     def _on_prepare(self, sender: int, msg: AbcPrepare) -> None:
         if self._buffer_future(sender, msg, msg.epoch):
@@ -623,6 +886,13 @@ class AtomicBroadcast:
         self.delivered_ids.add(rid)
         self.delivered_log.append((seq, rid))
         self.pending.pop(rid, None)
+        self._awaiting_order.pop(rid, None)
+        self._pull_attempt.pop(rid, None)
+        self._frag_forwarded.pop(rid, None)
+        self._frag_store.discard(rid)
+        # Keep the payload pullable for peers whose digest ORDER outlived
+        # their copy (pending is popped on delivery).
+        self._payload_archive.put(rid, payload)
         self._mark_batch_delivered(payload)
         key = "fast_deliveries" if fast else "recovery_deliveries"
         self.stats[key] += 1

@@ -103,6 +103,58 @@ class RbcReady:
     digest: bytes
 
 
+#: One Merkle proof step per tree level: (sibling digest, sibling_is_right).
+MerkleProof = Tuple[Tuple[bytes, bool], ...]
+
+
+@dataclass(frozen=True)
+class RbcEchoDigest:
+    """Digest-only echo vote (digest/erasure modes): 32 bytes, not |m|."""
+
+    sid: str
+    digest: bytes
+
+
+@dataclass(frozen=True)
+class RbcVal:
+    """Erasure dispersal: the sender ships fragment ``index`` to replica
+    ``index`` with its Merkle proof against ``root`` (AVID-M)."""
+
+    sid: str
+    root: bytes
+    index: int
+    fragment: bytes
+    proof: MerkleProof
+
+
+@dataclass(frozen=True)
+class RbcFrag:
+    """A replica forwarding a proof-carrying fragment (the erasure-mode
+    echo: one |m|/k fragment per link instead of the whole payload)."""
+
+    sid: str
+    root: bytes
+    index: int
+    fragment: bytes
+    proof: MerkleProof
+
+
+@dataclass(frozen=True)
+class RbcPull:
+    """Request the payload (or fragments) behind a quorum-agreed digest."""
+
+    sid: str
+    digest: bytes
+
+
+@dataclass(frozen=True)
+class RbcPayload:
+    """Pull response: the full payload for a previously requested digest."""
+
+    sid: str
+    payload: bytes
+
+
 # --------------------------------------------------------------------------
 # Common coin (threshold-signature based)
 # --------------------------------------------------------------------------
@@ -232,6 +284,39 @@ class AbcNewEpoch:
     epoch: int  # the NEW epoch
     certificates: Tuple[Tuple[AbcEpochFinal, bytes], ...]
     start_seq: int
+
+
+@dataclass(frozen=True)
+class AbcPull:
+    """Request the payload behind a digest-mode ORDER we could not match."""
+
+    request_id: str
+
+
+@dataclass(frozen=True)
+class AbcPayload:
+    """Pull response: the full request payload for ``request_id``."""
+
+    request_id: str
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class AbcFrag:
+    """Erasure-mode request introduction: one Reed-Solomon fragment of the
+    payload behind ``request_id``, Merkle-proven against ``root``.
+
+    Replaces the full-payload :class:`AbcInitiate` fan-out: the gateway
+    ships fragment ``i`` to replica ``i`` (|m|/k per link), each replica
+    forwards its own fragment once, and any ``n - 2t`` fragments
+    reconstruct the payload.
+    """
+
+    request_id: str
+    root: bytes
+    index: int
+    fragment: bytes
+    proof: MerkleProof
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,4 @@
-"""Bracha reliable broadcast (the classic asynchronous BFT primitive).
+"""Bracha reliable broadcast with digest votes and erasure dissemination.
 
 Guarantees that if any honest replica delivers a payload for a session,
 every honest replica eventually delivers the *same* payload — even if the
@@ -6,13 +6,36 @@ broadcaster is Byzantine.  Used by the fall-back path of the atomic
 broadcast and available as a building block in its own right (SINTRA
 exposed the same primitive).
 
-Protocol (n > 3t):
+Three dissemination modes (DESIGN.md §5i), selected per multiplexer:
 
-1. broadcaster sends ``SEND(m)`` to all;
-2. on first ``SEND(m)``: broadcast ``ECHO(m)``;
-3. on ``2t+1`` matching ``ECHO``s (or ``t+1`` ``READY``s): broadcast
-   ``READY(digest(m))``;
-4. on ``2t+1`` matching ``READY``s: deliver ``m``.
+``full``
+    The classic textbook shape: ``SEND(m)`` to all, ``ECHO(m)`` carries
+    the whole payload all-to-all — O(n²·|m|) network traffic.  Kept as
+    the measured baseline.
+``digest`` (default)
+    ``SEND(m)`` ships the payload once; ``ECHO``/``READY`` are 32-byte
+    digest votes.  A replica that reaches the ready quorum without the
+    payload (Byzantine sender withheld its SEND) *pulls* it from an echo
+    voter, with a retry/timeout fallback cycling through candidates —
+    per-replica vote traffic drops from O(n·|m|) to O(n) hashes.
+``erasure``
+    AVID-M dispersal: the sender Reed-Solomon-encodes the payload into
+    ``n`` fragments (any ``k = n - 2t`` reconstruct), Merkle-proves each
+    against a fragment-tree root, and ships fragment ``i`` to replica
+    ``i`` only.  Each replica forwards its own proof-valid fragment once
+    (the erasure echo, |m|/k per link), votes on the *root*, and
+    reconstructs from any ``k`` stored fragments.  A reconstruction is
+    re-encoded and checked against the root, so an inconsistently
+    encoded batch is rejected identically everywhere.  No link ever
+    carries the whole payload.
+
+Vote quorums are shared across modes (n > 3t):
+
+1. on the first valid payload introduction: echo (vote) once;
+2. on ``n - t`` matching echo votes (or ``t + 1`` ``READY``\\ s):
+   broadcast ``READY(digest)``;
+3. on ``2t + 1`` matching ``READY``\\ s: deliver once the payload is
+   present (pulling or reconstructing it if not).
 """
 
 from __future__ import annotations
@@ -20,11 +43,38 @@ from __future__ import annotations
 import hashlib
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.broadcast.messages import RbcEcho, RbcReady, RbcSend
+from repro.broadcast.messages import (
+    MerkleProof,
+    RbcEcho,
+    RbcEchoDigest,
+    RbcFrag,
+    RbcPayload,
+    RbcPull,
+    RbcReady,
+    RbcSend,
+    RbcVal,
+)
+from repro.crypto.merkle import merkle_proof, merkle_root, merkle_verify
 from repro.errors import ConfigError
+from repro.util.erasure import ErasureError, rs_encode, rs_decode
 
 Outgoing = Tuple[int, object]
 BROADCAST = -1
+
+#: Dissemination modes accepted by :class:`ReliableBroadcast`.
+RBC_MODES = ("full", "digest", "erasure")
+
+#: A replica answers at most this many pulls per requester per session —
+#: enough to survive adversarial duplication, bounded against spam.
+MAX_PULL_SERVES = 3
+
+#: Pull retries stop after cycling the candidate list this many times;
+#: the final round falls back to pulling from every candidate at once,
+#: so delivery needs only one honest echo voter (>= t+1 of them exist).
+MAX_PULL_ROUNDS = 3
+
+#: Seconds between staged pull retries (when a scheduler is wired in).
+PULL_RETRY_TIMEOUT = 0.25
 
 
 def _digest(payload: bytes) -> bytes:
@@ -34,33 +84,62 @@ def _digest(payload: bytes) -> bytes:
 class RbcInstance:
     """State of one reliable-broadcast session at one replica.
 
-    Resource bound (KeyTrap class): an honest replica echoes exactly one
-    payload and readies exactly one digest per session, so each sender is
-    allowed to introduce at most one echo digest and one ready digest —
-    a second distinct digest from the same sender is equivocation and is
-    ignored outright.  That caps tracked digests at ``n`` per vote type
-    per instance without any first-come global limit a flooder could
+    Resource bound (KeyTrap class): an honest replica votes for exactly
+    one digest per vote type per session, so each sender may introduce at
+    most one echo digest and one ready digest — a second distinct digest
+    from the same sender is equivocation and is ignored outright.  That
+    caps tracked digests at ``n`` per vote type per instance, and (in
+    erasure mode) tracked fragment groups at ``n`` roots of at most ``n``
+    index slots each, without any first-come global limit a flooder could
     exhaust before honest votes arrive.
     """
 
-    def __init__(self, n: int, t: int, me: int, sid: str) -> None:
+    def __init__(self, n: int, t: int, me: int, sid: str, mode: str = "digest") -> None:
         self.n = n
         self.t = t
         self.me = me
         self.sid = sid
-        self.payload: Optional[bytes] = None
+        self.mode = mode
+        self.k = n - 2 * t  # erasure reconstruction threshold
         self.delivered: Optional[bytes] = None
+        #: Digest (or fragment root) this replica wants to pull, set when
+        #: the ready quorum formed before the payload arrived.  The
+        #: multiplexer owns the retry schedule.
+        self.want_pull: Optional[bytes] = None
+        self.pull_active = False
+        self.pull_attempt = 0
         self._echoes: Dict[bytes, Set[int]] = {}
         self._readies: Dict[bytes, Set[int]] = {}
         self._payload_by_digest: Dict[bytes, bytes] = {}
         self._echo_digest: Dict[int, bytes] = {}   # sender -> echoed digest
         self._ready_digest: Dict[int, bytes] = {}  # sender -> readied digest
+        #: root -> {fragment index -> (fragment, proof)}; bounded to the
+        #: <= n roots admitted by the per-sender echo guard.
+        self._frags: Dict[bytes, Dict[int, Tuple[bytes, MerkleProof]]] = {}
+        #: Roots whose reconstruction failed the re-encode check: the
+        #: sender encoded inconsistently, so no honest replica delivers.
+        self._bad_roots: Set[bytes] = set()
+        self._pull_served: Dict[int, int] = {}
         self._sent_echo = False
         self._sent_ready = False
 
-    def broadcast(self, payload: bytes) -> List[Outgoing]:
-        """Called at the broadcaster to start the session."""
+    # -- sender side ----------------------------------------------------------
+
+    def start(self, payload: bytes) -> List[Outgoing]:
+        """Full/digest modes: ship the payload once via SEND."""
         return [(BROADCAST, RbcSend(self.sid, payload))]
+
+    def disperse(self, payload: bytes) -> List[Outgoing]:
+        """Erasure mode: one proof-carrying fragment per replica."""
+        frags = rs_encode(payload, self.k, self.n)
+        root = merkle_root(frags)
+        self._payload_by_digest[root] = payload  # sender serves pulls
+        return [
+            (i, RbcVal(self.sid, root, i, frags[i], merkle_proof(frags, i)))
+            for i in range(self.n)
+        ]
+
+    # -- dispatch -------------------------------------------------------------
 
     def on_message(self, sender: int, msg: object) -> List[Outgoing]:
         out: List[Outgoing] = []
@@ -68,31 +147,101 @@ class RbcInstance:
             out.extend(self._on_send(sender, msg))
         elif isinstance(msg, RbcEcho):
             out.extend(self._on_echo(sender, msg))
+        elif isinstance(msg, RbcEchoDigest):
+            out.extend(self._on_echo_digest(sender, msg))
+        elif isinstance(msg, RbcVal):
+            out.extend(self._on_val(sender, msg))
+        elif isinstance(msg, RbcFrag):
+            out.extend(self._on_frag(sender, msg))
         elif isinstance(msg, RbcReady):
             out.extend(self._on_ready(sender, msg))
+        elif isinstance(msg, RbcPull):
+            out.extend(self._on_pull(sender, msg))
+        elif isinstance(msg, RbcPayload):
+            out.extend(self._on_payload(sender, msg))
         return out
+
+    # -- payload introduction -------------------------------------------------
 
     def _on_send(self, sender: int, msg: RbcSend) -> List[Outgoing]:
         if self._sent_echo:
             return []
         self._sent_echo = True
+        digest = _digest(msg.payload)
         # Bounded: guarded by _sent_echo — at most one store per instance.
         # repro-lint: disable=C304
-        self._payload_by_digest[_digest(msg.payload)] = msg.payload
-        echo = RbcEcho(self.sid, msg.payload)
-        # Echo to everyone, then process our own echo locally.
-        return [(BROADCAST, echo)] + self._on_echo(self.me, echo)
+        self._payload_by_digest[digest] = msg.payload
+        if self.mode == "full":
+            echo = RbcEcho(self.sid, msg.payload)
+            return [(BROADCAST, echo)] + self._on_echo(self.me, echo)
+        vote = RbcEchoDigest(self.sid, digest)
+        return [(BROADCAST, vote)] + self._count_echo(self.me, digest)
 
     def _on_echo(self, sender: int, msg: RbcEcho) -> List[Outgoing]:
         digest = _digest(msg.payload)
-        # One echo digest per sender: a second distinct digest from the
-        # same sender is equivocation, so its vote (and payload) is
-        # dropped.  Tracked state is thereby ≤ n digests per instance.
         prev = self._echo_digest.get(sender)
         if prev is not None and prev != digest:
-            return []
-        self._echo_digest[sender] = digest
+            return []  # equivocating echo: vote and payload dropped
+        # Bounded: the per-sender guard above admits one digest per
+        # sender, so at most n payloads are retained per instance.
+        # repro-lint: disable=C304
         self._payload_by_digest[digest] = msg.payload
+        return self._count_echo(sender, digest)
+
+    def _on_echo_digest(self, sender: int, msg: RbcEchoDigest) -> List[Outgoing]:
+        return self._count_echo(sender, msg.digest)
+
+    def _on_val(self, sender: int, msg: RbcVal) -> List[Outgoing]:
+        if self._sent_echo:
+            return []
+        if not 0 <= msg.index < self.n:  # repro-quorum: identity-bound
+            return []
+        if msg.index != self.me:
+            return []  # dispersal addresses fragment i to replica i
+        if not merkle_verify(msg.root, msg.fragment, msg.proof):
+            return []
+        self._sent_echo = True
+        frag = RbcFrag(self.sid, msg.root, msg.index, msg.fragment, msg.proof)
+        return [(BROADCAST, frag)] + self._on_frag(self.me, frag)
+
+    def _on_frag(self, sender: int, msg: RbcFrag) -> List[Outgoing]:
+        if not 0 <= msg.index < self.n:  # repro-quorum: identity-bound
+            return []
+        if msg.root in self._bad_roots:
+            return []
+        if not merkle_verify(msg.root, msg.fragment, msg.proof):
+            return []
+        out = self._count_echo(sender, msg.root)
+        if self._echo_digest.get(sender) != msg.root:
+            return out  # equivocating sender: fragment dropped with vote
+        # Bounded: one root per sender (guard above) caps _frags at n
+        # groups; the index identity bound caps each group at n slots.
+        group = self._frags.setdefault(msg.root, {})
+        if msg.index not in group:
+            group[msg.index] = (msg.fragment, msg.proof)
+        # A replica the sender skipped (withheld VAL) adopts the root once
+        # t+1 distinct replicas vouch proof-valid fragments for it — at
+        # least one honest — and pulls the missing fragments early.
+        if (
+            len(self._echoes.get(msg.root, ())) >= self.t + 1  # repro-quorum: amplify
+            and not self._sent_echo
+            and self.want_pull is None
+            and self.delivered is None
+        ):
+            self.want_pull = msg.root
+        self._maybe_complete(msg.root)
+        return out
+
+    # -- vote counting --------------------------------------------------------
+
+    def _count_echo(self, sender: int, digest: bytes) -> List[Outgoing]:
+        prev = self._echo_digest.get(sender)
+        if prev is not None and prev != digest:
+            return []  # one echo digest per sender (equivocation guard)
+        self._echo_digest[sender] = digest
+        # Bounded: the per-sender equivocation guard above admits at most
+        # one digest per sender, so _echoes holds <= n keys per instance.
+        # repro-lint: disable=T404
         voters = self._echoes.setdefault(digest, set())
         if sender in voters:
             return []
@@ -100,7 +249,7 @@ class RbcInstance:
         # Bracha's echo quorum must pairwise-intersect in an honest
         # replica for *every* n >= 3t+1: that is n-t (2*(n-t) - n =
         # n - 2t >= t+1), not 2t+1, which only intersects at n == 3t+1.
-        if len(voters) >= self.n - self.t and not self._sent_ready:
+        if len(voters) >= self.n - self.t and not self._sent_ready:  # repro-quorum: intersect
             return self._send_ready(digest)
         return []
 
@@ -112,7 +261,7 @@ class RbcInstance:
             return []
         self._ready_digest[sender] = msg.digest
         # Bounded: the per-sender equivocation guard above admits at most
-        # one digest per sender, so _readies holds ≤ n keys.
+        # one digest per sender, so _readies holds <= n keys.
         # repro-lint: disable=T404
         voters = self._readies.setdefault(msg.digest, set())
         if sender in voters:
@@ -121,12 +270,7 @@ class RbcInstance:
         out: List[Outgoing] = []
         if len(voters) >= self.t + 1 and not self._sent_ready:
             out.extend(self._send_ready(msg.digest))
-        if (
-            len(self._readies.get(msg.digest, ())) >= 2 * self.t + 1
-            and self.delivered is None
-            and msg.digest in self._payload_by_digest
-        ):
-            self.delivered = self._payload_by_digest[msg.digest]
+        self._maybe_complete(msg.digest)
         return out
 
     def _send_ready(self, digest: bytes) -> List[Outgoing]:
@@ -136,9 +280,107 @@ class RbcInstance:
         out.extend(self._on_ready(self.me, ready))
         return out
 
+    def _ready_quorum(self, digest: bytes) -> bool:
+        # 2t+1 readies guarantee t+1 honest ones, and t+1 honest readies
+        # block any conflicting digest from ever reaching its own quorum.
+        return len(self._readies.get(digest, ())) >= 2 * self.t + 1  # repro-quorum: honest-majority
+
+    # -- delivery / reconstruction / pull -------------------------------------
+
+    def _maybe_complete(self, digest: bytes) -> None:
+        """Deliver once the ready quorum holds and the payload is known."""
+        if self.delivered is not None or digest in self._bad_roots:
+            return
+        if not self._ready_quorum(digest):
+            return
+        payload = self._payload_by_digest.get(digest)
+        if payload is None and digest in self._frags:
+            payload = self._reconstruct(digest)
+        if payload is not None:
+            self.delivered = payload
+            self.want_pull = None
+            return
+        if self.want_pull is None:
+            self.want_pull = digest
+
+    def _reconstruct(self, root: bytes) -> Optional[bytes]:
+        """Erasure decode + AVID-M consistency check for one root."""
+        group = self._frags.get(root, {})
+        if len(group) < self.n - 2 * self.t:  # repro-quorum: reconstruct
+            return None
+        try:
+            payload = rs_decode(
+                {i: frag for i, (frag, _proof) in group.items()}, self.k, self.n
+            )
+        except ErasureError:
+            self._bad_roots.add(root)
+            return None
+        # Re-encode and compare roots: either every fragment equals the
+        # re-encoding (all honest subsets decode this same payload) or
+        # the sender encoded inconsistently and *no* honest replica
+        # delivers — the same verdict from any k-subset.
+        if merkle_root(rs_encode(payload, self.k, self.n)) != root:  # repro-quorum: declared
+            self._bad_roots.add(root)
+            return None
+        self._payload_by_digest[root] = payload
+        return payload
+
+    def pull_candidates(self) -> List[int]:
+        """Echo voters for the wanted digest — they held the payload (or
+        a fragment of it) when they voted; deterministic order."""
+        if self.want_pull is None:
+            return []
+        return sorted(self._echoes.get(self.want_pull, set()) - {self.me})
+
+    def _on_pull(self, sender: int, msg: RbcPull) -> List[Outgoing]:
+        served = self._pull_served.get(sender, 0)
+        if sender == self.me or served >= MAX_PULL_SERVES:
+            return []
+        payload = self._payload_by_digest.get(msg.digest)
+        if payload is not None:
+            self._pull_served[sender] = served + 1
+            return [(sender, RbcPayload(self.sid, payload))]
+        group = self._frags.get(msg.digest)
+        if group:
+            self._pull_served[sender] = served + 1
+            return [
+                (sender, RbcFrag(self.sid, msg.digest, idx, frag, proof))
+                for idx, (frag, proof) in sorted(group.items())
+            ]
+        return []
+
+    def _on_payload(self, sender: int, msg: RbcPayload) -> List[Outgoing]:
+        if self.delivered is not None or self.want_pull is None:
+            return []
+        digest = self.want_pull
+        if not self._payload_matches(digest, msg.payload):
+            return []  # unsolicited or forged payload: dropped
+        # Bounded: only the single quorum-agreed digest is ever stored
+        # from a pull response.
+        # repro-lint: disable=C304
+        self._payload_by_digest[digest] = msg.payload
+        self._maybe_complete(digest)
+        return []
+
+    def _payload_matches(self, digest: bytes, payload: bytes) -> bool:
+        if _digest(payload) == digest:
+            return True
+        if self.mode == "erasure" or digest in self._frags:
+            # The awaited digest may be a fragment-tree root.
+            return merkle_root(rs_encode(payload, self.k, self.n)) == digest  # repro-quorum: declared
+        return False
+
 
 class ReliableBroadcast:
-    """Session multiplexer: one per replica, any number of concurrent sids."""
+    """Session multiplexer: one per replica, any number of concurrent sids.
+
+    ``schedule``/``emit`` wire in staged pull retries: ``schedule(delay,
+    thunk)`` arms a timer and ``emit(outgoing)`` transmits messages from
+    timer context.  Without them, a needed pull degrades to one burst to
+    every candidate — correct (>= t+1 candidates are honest) but less
+    frugal; with them, candidates are tried one at a time with a timeout,
+    ending in a burst after :data:`MAX_PULL_ROUNDS` cycles.
+    """
 
     def __init__(
         self,
@@ -146,34 +388,56 @@ class ReliableBroadcast:
         t: int,
         me: int,
         deliver: Callable[[str, bytes], None],
+        mode: str = "digest",
+        schedule: Optional[Callable[[float, Callable[[], None]], object]] = None,
+        emit: Optional[Callable[[List[Outgoing]], None]] = None,
+        pull_timeout: float = PULL_RETRY_TIMEOUT,
     ) -> None:
         if n <= 3 * t:
             raise ConfigError("reliable broadcast requires n > 3t")
+        if mode not in RBC_MODES:
+            raise ConfigError(f"unknown rbc mode {mode!r} (want {RBC_MODES})")
         self.n = n
         self.t = t
         self.me = me
+        self.mode = mode
+        self.pull_timeout = pull_timeout
         self._deliver = deliver
+        self._schedule = schedule
+        self._emit = emit
         self._instances: Dict[str, RbcInstance] = {}
 
     def _instance(self, sid: str) -> RbcInstance:
         if sid not in self._instances:
-            self._instances[sid] = RbcInstance(self.n, self.t, self.me, sid)
+            self._instances[sid] = RbcInstance(
+                self.n, self.t, self.me, sid, self.mode
+            )
         return self._instances[sid]
 
     def broadcast(self, sid: str, payload: bytes) -> List[Outgoing]:
         instance = self._instance(sid)
-        out = instance.broadcast(payload)
+        if self.mode == "erasure":
+            out: List[Outgoing] = []
+            for dest, msg in instance.disperse(payload):
+                if dest == self.me:
+                    out.extend(self.on_message(self.me, msg))
+                else:
+                    out.append((dest, msg))
+            return out
+        out = instance.start(payload)
         # The broadcaster also processes its own SEND.
         out.extend(self.on_message(self.me, RbcSend(sid, payload)))
         return out
 
     def on_message(self, sender: int, msg: object) -> List[Outgoing]:
         sid = getattr(msg, "sid", None)
-        if sid is None:
+        if not isinstance(sid, str):
             return []
         instance = self._instance(sid)
         already = instance.delivered is not None
         out = instance.on_message(sender, msg)
+        if instance.delivered is None and instance.want_pull is not None:
+            out.extend(self._start_pull(instance))
         if instance.delivered is not None and not already:
             self._deliver(sid, instance.delivered)
         return out
@@ -181,3 +445,55 @@ class ReliableBroadcast:
     def delivered(self, sid: str) -> Optional[bytes]:
         instance = self._instances.get(sid)
         return instance.delivered if instance else None
+
+    # -- pull fallback ---------------------------------------------------------
+
+    def _start_pull(self, instance: RbcInstance) -> List[Outgoing]:
+        if instance.pull_active or instance.want_pull is None:
+            return []
+        candidates = instance.pull_candidates()
+        if not candidates:
+            return []  # re-triggered when the next vote arrives
+        instance.pull_active = True
+        if self._schedule is None or self._emit is None:
+            # No timer plumbing: pull from everyone at once.  At least
+            # t+1 candidates are honest, so one response is guaranteed.
+            return [
+                (dest, RbcPull(instance.sid, instance.want_pull))
+                for dest in candidates
+            ]
+        target = candidates[instance.pull_attempt % len(candidates)]
+        instance.pull_attempt += 1
+        self._schedule(
+            self.pull_timeout, lambda: self._retry_pull(instance.sid)
+        )
+        return [(target, RbcPull(instance.sid, instance.want_pull))]
+
+    def _retry_pull(self, sid: str) -> None:
+        instance = self._instances.get(sid)
+        if (
+            instance is None
+            or instance.delivered is not None
+            or instance.want_pull is None
+            or self._emit is None
+        ):
+            return
+        candidates = instance.pull_candidates()
+        if not candidates:
+            return
+        if instance.pull_attempt >= MAX_PULL_ROUNDS * len(candidates):
+            # Terminal burst: ask every candidate, stop the timer chain.
+            self._emit(
+                [
+                    (dest, RbcPull(instance.sid, instance.want_pull))
+                    for dest in candidates
+                ]
+            )
+            return
+        target = candidates[instance.pull_attempt % len(candidates)]
+        instance.pull_attempt += 1
+        self._emit([(target, RbcPull(instance.sid, instance.want_pull))])
+        if self._schedule is not None:
+            self._schedule(
+                self.pull_timeout, lambda: self._retry_pull(sid)
+            )

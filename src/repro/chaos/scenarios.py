@@ -55,6 +55,11 @@ class Scenario:
     sign_every_response: bool = False
     abc_timeout: float = 3.0
     client_timeout: float = 6.0
+    # Broadcast-plane dissemination (DESIGN.md §5i): "full", "digest",
+    # or "erasure"; erasure_min_bytes lowers the fragmentation floor so
+    # small chaos payloads still exercise the fragment path.
+    broadcast_mode: str = "digest"
+    erasure_min_bytes: int = 256
     # Corruption placement: ``corruptions[i]`` is applied to replica
     # ``placement[i]``; only the first ``t`` pairs are used, so the same
     # scenario scales from (4,1) to (7,2).
@@ -163,6 +168,27 @@ SCENARIOS: Dict[str, Scenario] = {
             gap=(0.002, 0.02),
             read_weight=0.85,
             expects=("malformed_batch", "batched"),
+        ),
+        Scenario(
+            name="erasure",
+            description=(
+                "erasure-coded dissemination under drops, duplicates and "
+                "delays: every request travels as Reed-Solomon fragments "
+                "(no link carries a whole payload) and a corrupted replica "
+                "withholds its signature shares on top"
+            ),
+            broadcast_mode="erasure",
+            erasure_min_bytes=1,
+            corruptions=(
+                CorruptionMode.WITHHOLD_SHARES,
+                CorruptionMode.BAD_SHARES,
+            ),
+            placement=(1, 4),
+            dup_rate=0.1,
+            delay_rate=0.25,
+            max_delay=0.2,
+            ops=12,
+            expects=("erasure",),
         ),
         Scenario(
             name="poison",
@@ -397,6 +423,8 @@ def run_scenario(
         sign_every_response=scenario.sign_every_response,
         abc_timeout=scenario.abc_timeout,
         client_timeout=scenario.client_timeout,
+        broadcast_mode=scenario.broadcast_mode,
+        erasure_min_bytes=scenario.erasure_min_bytes,
     )
     service = ReplicatedNameService(
         config,
@@ -498,6 +526,32 @@ def run_scenario(
             sum(r.coordinator.fallback_rounds() for r in honest),
             sum(r.stats["batches_delivered"] for r in honest),
         )
+    )
+    lines.append(
+        "bcast stats mode={} pulls_sent={} pulls_served={} "
+        "erasure_disperses={} erasure_reconstructions={}".format(
+            scenario.broadcast_mode,
+            sum(s["pulls_sent"] for s in abc_stats),
+            sum(s["pulls_served"] for s in abc_stats),
+            sum(s["erasure_disperses"] for s in abc_stats),
+            sum(s["erasure_reconstructions"] for s in abc_stats),
+        )
+    )
+    # Per-replica bandwidth ledger (replica node ids are 0..n-1; higher
+    # ids are client endpoints).  Deterministic: byte counters are part
+    # of the seed-determined event stream.
+    lines.append(
+        "bandwidth total={} per_replica_out={} per_replica_in={}".format(
+            service.net.bytes_sent,
+            ",".join(str(service.net.bytes_out.get(i, 0)) for i in range(n)),
+            ",".join(str(service.net.bytes_in.get(i, 0)) for i in range(n)),
+        )
+    )
+    top_types = sorted(
+        service.net.bytes_by_type.items(), key=lambda kv: (-kv[1], kv[0])
+    )[:8]
+    lines.append(
+        "bandwidth types " + " ".join(f"{name}={size}" for name, size in top_types)
     )
     lines.append(
         "adv stats dropped={dropped} duplicated={duplicated} "

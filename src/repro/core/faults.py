@@ -218,6 +218,20 @@ class FaultInjector:
         if dest % 2 == 0:
             return msg  # even-numbered replicas see the honest ORDER
         payload = msg.payload
+        if payload == b"":
+            # Digest-mode ORDER: there is no payload to tamper, so the
+            # leader equivocates on the request id itself.  Odd replicas
+            # chase a payload that does not exist (their pulls are
+            # bounded), the slot can never gather two certificates, and
+            # the complaint path takes over exactly as below.
+            flipped = "0" if msg.request_id[-1] != "0" else "1"
+            self.stats["equivocations"] += 1
+            return AbcOrder(
+                epoch=msg.epoch,
+                seq=msg.seq,
+                request_id=msg.request_id[:-1] + flipped,
+                payload=b"",
+            )
         if len(payload) < 5:
             return msg
         tampered = payload[:-1] + bytes([payload[-1] ^ 0xFF])

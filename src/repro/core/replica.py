@@ -218,6 +218,8 @@ class ReplicaServer:
                     executor=executor,
                 ),
                 rebatch_max=self.config.recovery_batch_size,
+                dissemination=self.config.broadcast_mode,
+                erasure_min_bytes=self.config.erasure_min_bytes,
             )
         else:
             self.abc = None

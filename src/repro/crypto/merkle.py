@@ -1,0 +1,100 @@
+"""Merkle trees for erasure-fragment authenticity (DESIGN.md §5i).
+
+The erasure-coded dissemination mode ships each replica one Reed-Solomon
+fragment plus a Merkle inclusion proof against the batch's fragment-tree
+root, so a replica can verify *its own* fragment without seeing the other
+``n - 1`` — the AVID-M trick that keeps per-link traffic at ``|m|/k``.
+
+Hashing is domain-separated (leaf vs. interior prefixes) so an interior
+node can never be replayed as a leaf, and an odd node at any level is
+*promoted* unchanged rather than paired with a duplicate of itself (the
+duplicate-last-leaf construction admits well-known second-preimage
+mischief).  Proof verification is strictly bounded: a proof longer than
+:data:`MAX_PROOF_DEPTH` is rejected before any hashing happens, so a
+Byzantine peer cannot buy CPU with an absurd proof.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence, Tuple
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+#: A proof is one sibling hash per tree level; 32 levels covers 2^32
+#: leaves — vastly above any fragment count (n <= 255) — while keeping
+#: verification cost strictly bounded against Byzantine proofs.
+MAX_PROOF_DEPTH = 32
+
+#: One proof step: (sibling digest, sibling_is_right).
+ProofStep = Tuple[bytes, bool]
+Proof = Tuple[ProofStep, ...]
+
+
+def _leaf(data: bytes) -> bytes:
+    return hashlib.sha256(_LEAF_PREFIX + data).digest()
+
+
+def _node(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(_NODE_PREFIX + left + right).digest()
+
+
+def merkle_root(leaves: Sequence[bytes]) -> bytes:
+    """Root of the tree over ``leaves`` (raw leaf data, not digests)."""
+    if not leaves:
+        raise ValueError("merkle tree needs at least one leaf")
+    level: List[bytes] = [_leaf(data) for data in leaves]
+    while len(level) > 1:
+        nxt: List[bytes] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(_node(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])  # odd node promoted unchanged
+        level = nxt
+    return level[0]
+
+
+def merkle_proof(leaves: Sequence[bytes], index: int) -> Proof:
+    """Inclusion proof for ``leaves[index]`` against ``merkle_root(leaves)``."""
+    if not 0 <= index < len(leaves):
+        raise ValueError(f"leaf index {index} out of range 0..{len(leaves) - 1}")
+    level: List[bytes] = [_leaf(data) for data in leaves]
+    pos = index
+    steps: List[ProofStep] = []
+    while len(level) > 1:
+        nxt: List[bytes] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(_node(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        paired = pos ^ 1
+        if paired < len(level):
+            steps.append((level[paired], paired > pos))
+        # A promoted odd node keeps its hash and lands at index L//2 of
+        # the next level, which for even pos is exactly pos // 2.
+        pos //= 2
+        level = nxt
+    return tuple(steps)
+
+
+def merkle_verify(root: bytes, leaf_data: bytes, proof: Proof) -> bool:
+    """Check ``leaf_data``'s inclusion under ``root`` via ``proof``.
+
+    Total and bounded: malformed or over-long proofs return ``False``
+    (after at most :data:`MAX_PROOF_DEPTH` hash evaluations), never raise.
+    """
+    if len(proof) > MAX_PROOF_DEPTH:
+        return False
+    acc = _leaf(leaf_data)
+    for step in proof:
+        if not isinstance(step, tuple) or len(step) != 2:
+            return False
+        sibling, sibling_is_right = step
+        if not isinstance(sibling, bytes) or len(sibling) != 32:
+            return False
+        if sibling_is_right:
+            acc = _node(acc, sibling)
+        else:
+            acc = _node(sibling, acc)
+    return acc == root

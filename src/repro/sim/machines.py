@@ -135,6 +135,23 @@ def paper_setup(n: int) -> Topology:
         names = ["zurich-1", "zurich-2", "newyork-1", "sanjose-1"]
     elif n == 7:
         names = [m.name for m in PAPER_MACHINES]
+    elif n > 7:
+        # Big-n ablations (e.g. the (10, 3) broadcast-plane sweep) extend
+        # the paper's seven machines with synthetic extras that reuse the
+        # existing sites round-robin, so the latency matrix stays within
+        # Figure 1's measured RTTs.
+        extras = [
+            MachineSpec(
+                f"extra-{i}",
+                PAPER_MACHINES[i % len(PAPER_MACHINES)].location,
+                "Linux 2.4.x",
+                "P III",
+                930,
+                "Sun 1.4.2",
+            )
+            for i in range(n - 7)
+        ]
+        return Topology(list(PAPER_MACHINES) + extras)
     else:
         raise ConfigError(f"the paper has no {n}-server Internet setup")
     return Topology([machines_by_name[name] for name in names])

@@ -15,6 +15,10 @@ test — and an operator — can audit the whole set:
   (not process-global, so audited through their own ``stats`` dict)
 * per-resolver :class:`repro.dns.negcache.PositiveAnswerCache` and
   :class:`repro.dns.negcache.NxtProofCache` instances (ditto)
+* per-replica :class:`repro.broadcast.stores.PayloadStore` and
+  :class:`repro.broadcast.stores.FragmentStore` instances — the
+  digest-vote broadcast plane buffers payloads/fragments keyed by
+  attacker-visible request ids and Merkle roots (ditto)
 
 Instance caches cannot be reached by dotted path (one per zone or per
 resolver, not process-global), so :data:`AUDITED_INSTANCE_CACHES` lists
@@ -45,6 +49,8 @@ AUDITED_INSTANCE_CACHES: List[str] = [
     "repro.dns.rendercache.CanonicalRenderCache",
     "repro.dns.negcache.PositiveAnswerCache",
     "repro.dns.negcache.NxtProofCache",
+    "repro.broadcast.stores.PayloadStore",
+    "repro.broadcast.stores.FragmentStore",
 ]
 
 #: Stats keys every instance cache must expose.

@@ -1,0 +1,193 @@
+"""Reed-Solomon erasure coding over GF(256), pure python.
+
+The erasure-coded dissemination mode (DESIGN.md §5i) splits an atomic
+broadcast batch into ``n`` fragments of which any ``k = n - 2t``
+reconstruct the original payload, so no single link ever carries the
+whole batch.  This module is the codec only — fragment authenticity is
+the Merkle layer's job (:mod:`repro.crypto.merkle`).
+
+Encoding is *systematic*: fragment ``i`` for ``i < k`` is the ``i``-th
+data shard verbatim, and fragments ``k..n-1`` are parity shards obtained
+by evaluating, for every byte position, the degree-``k-1`` polynomial
+interpolating the data shards at field points ``0..k-1``.  Decoding from
+any ``k`` distinct fragments is Lagrange interpolation back onto points
+``0..k-1``.  Arithmetic is GF(2^8) with the AES-adjacent primitive
+polynomial ``x^8+x^4+x^3+x^2+1`` (0x11d) and generator 2.
+
+The payload is framed with a 4-byte big-endian length prefix and
+zero-padded to a multiple of ``k``, so ``rs_decode(rs_encode(m))``
+round-trips exactly for any ``m`` (including empty).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+
+class ErasureError(ValueError):
+    """Malformed fragments / parameters handed to the codec."""
+
+
+#: GF(256) can address at most 255 distinct non-conflicting evaluation
+#: points the way we lay them out (0..n-1), far above any cluster size.
+MAX_SHARDS = 255
+
+# -- field tables -------------------------------------------------------------
+
+_EXP: List[int] = [0] * 512
+_LOG: List[int] = [0] * 256
+
+
+def _build_tables() -> None:
+    x = 1
+    for i in range(255):
+        _EXP[i] = x
+        _LOG[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= 0x11D
+    for i in range(255, 512):
+        _EXP[i] = _EXP[i - 255]
+
+
+_build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_inv(a: int) -> int:
+    if a == 0:
+        raise ErasureError("zero has no inverse in GF(256)")
+    return _EXP[255 - _LOG[a]]
+
+
+def gf_div(a: int, b: int) -> int:
+    return gf_mul(a, gf_inv(b))
+
+
+# -- Lagrange coefficient matrices --------------------------------------------
+
+
+def _lagrange_row(points: Sequence[int], x: int) -> List[int]:
+    """Coefficients ``c_j`` with ``p(x) = sum c_j * p(points[j])``.
+
+    Standard Lagrange basis evaluation; in GF(2^8) subtraction is XOR.
+    """
+    row: List[int] = []
+    for j, pj in enumerate(points):
+        num = 1
+        den = 1
+        for m, pm in enumerate(points):
+            if m == j:
+                continue
+            num = gf_mul(num, x ^ pm)
+            den = gf_mul(den, pj ^ pm)
+        row.append(gf_div(num, den))
+    return row
+
+
+def _check_params(k: int, n: int) -> None:
+    if not 1 <= k <= n:
+        raise ConfigError(f"need 1 <= k <= n, got k={k} n={n}")
+    if n > MAX_SHARDS:
+        raise ConfigError(f"GF(256) codec supports at most {MAX_SHARDS} shards")
+
+
+# -- public API ---------------------------------------------------------------
+
+
+def shard_size(payload_len: int, k: int) -> int:
+    """Bytes per fragment for a ``payload_len``-byte message split ``k`` ways."""
+    framed = 4 + payload_len
+    return (framed + k - 1) // k
+
+
+def rs_encode(payload: bytes, k: int, n: int) -> List[bytes]:
+    """Encode ``payload`` into ``n`` fragments, any ``k`` of which decode."""
+    _check_params(k, n)
+    framed = struct.pack(">I", len(payload)) + payload
+    size = (len(framed) + k - 1) // k
+    framed = framed.ljust(k * size, b"\x00")
+    shards: List[bytearray] = [
+        bytearray(framed[i * size : (i + 1) * size]) for i in range(k)
+    ]
+    data_points = list(range(k))
+    for x in range(k, n):
+        row = _lagrange_row(data_points, x)
+        parity = bytearray(size)
+        for j, coeff in enumerate(row):
+            if coeff == 0:
+                continue
+            shard = shards[j]
+            for pos in range(size):
+                byte = shard[pos]
+                if byte:
+                    parity[pos] ^= _EXP[_LOG[coeff] + _LOG[byte]]
+        shards.append(parity)
+    return [bytes(s) for s in shards]
+
+
+def rs_decode(
+    fragments: Mapping[int, bytes] | Sequence[Tuple[int, bytes]],
+    k: int,
+    n: int,
+) -> bytes:
+    """Reconstruct the payload from any ``k`` distinct valid fragments.
+
+    ``fragments`` maps fragment index -> fragment bytes; extra fragments
+    beyond ``k`` are ignored (the first ``k`` in index order are used).
+    Raises :class:`ErasureError` on inconsistent sizes, bad indices, or
+    an undecodable frame.
+    """
+    _check_params(k, n)
+    if not isinstance(fragments, Mapping):
+        fragments = dict(fragments)
+    if len(fragments) < k:
+        raise ErasureError(f"need {k} fragments, have {len(fragments)}")
+    indices = sorted(fragments)[:k]
+    if indices[0] < 0 or indices[-1] >= n:
+        raise ErasureError(f"fragment index out of range 0..{n - 1}")
+    size = len(fragments[indices[0]])
+    shards: List[bytes] = []
+    avail: Dict[int, bytes] = {}
+    for idx in indices:
+        frag = bytes(fragments[idx])
+        if len(frag) != size:
+            raise ErasureError("fragments have inconsistent sizes")
+        shards.append(frag)
+        avail[idx] = frag
+    if indices == list(range(k)):
+        data_shards = shards
+    else:
+        data_shards = []
+        for x in range(k):
+            if x in avail:
+                data_shards.append(avail[x])
+                continue
+            row = _lagrange_row(indices, x)
+            out = bytearray(size)
+            for j, coeff in enumerate(row):
+                if coeff == 0:
+                    continue
+                shard = shards[j]
+                for pos in range(size):
+                    byte = shard[pos]
+                    if byte:
+                        out[pos] ^= _EXP[_LOG[coeff] + _LOG[byte]]
+            data_shards.append(bytes(out))
+    framed = b"".join(data_shards)
+    if len(framed) < 4:
+        raise ErasureError("decoded frame shorter than its length prefix")
+    (length,) = struct.unpack_from(">I", framed, 0)
+    if 4 + length > len(framed):
+        raise ErasureError("decoded length prefix exceeds frame")
+    if any(b != 0 for b in framed[4 + length :]):
+        raise ErasureError("nonzero padding in decoded frame")
+    return framed[4 : 4 + length]

@@ -47,6 +47,12 @@ class TestInvariantsHold:
         result = run_scenario(name, cluster=(7, 2), seed=3)
         assert result.ok, result.transcript
 
+    @pytest.mark.parametrize("name", ["mixed", "erasure"])
+    def test_big_cluster(self, name):
+        """(10, 3): the digest/erasure broadcast plane's target scale."""
+        result = run_scenario(name, cluster=(10, 3), seed=3)
+        assert result.ok, result.transcript
+
 
 class TestScenarioExpectations:
     @staticmethod

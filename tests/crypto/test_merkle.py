@@ -1,0 +1,85 @@
+"""Merkle fragment trees: inclusion proofs, tamper rejection, bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.merkle import (
+    MAX_PROOF_DEPTH,
+    merkle_proof,
+    merkle_root,
+    merkle_verify,
+)
+
+
+def _leaves(count):
+    return [f"frag-{i}".encode() * (i + 1) for i in range(count)]
+
+
+class TestProofs:
+    @pytest.mark.parametrize("count", list(range(1, 13)))
+    def test_every_index_proves(self, count):
+        # 1..12 leaves covers the odd-promotion shapes at every level.
+        leaves = _leaves(count)
+        root = merkle_root(leaves)
+        for i, leaf in enumerate(leaves):
+            assert merkle_verify(root, leaf, merkle_proof(leaves, i)), (
+                f"index {i} of {count}"
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        leaves=st.lists(st.binary(max_size=64), min_size=1, max_size=20),
+        data=st.data(),
+    )
+    def test_proof_round_trip_property(self, leaves, data):
+        index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+        root = merkle_root(leaves)
+        assert merkle_verify(root, leaves[index], merkle_proof(leaves, index))
+
+    def test_root_depends_on_order_and_content(self):
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"b", b"a"])
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"a", b"c"])
+
+
+class TestRejection:
+    def test_tampered_leaf_fails(self):
+        leaves = _leaves(10)
+        root = merkle_root(leaves)
+        proof = merkle_proof(leaves, 3)
+        assert not merkle_verify(root, leaves[3] + b"!", proof)
+
+    def test_wrong_index_proof_fails(self):
+        leaves = _leaves(10)
+        root = merkle_root(leaves)
+        assert not merkle_verify(root, leaves[2], merkle_proof(leaves, 3))
+
+    def test_wrong_root_fails(self):
+        leaves = _leaves(8)
+        other = merkle_root(_leaves(9))
+        assert not merkle_verify(other, leaves[0], merkle_proof(leaves, 0))
+
+    def test_overlong_proof_rejected_cheaply(self):
+        root = merkle_root([b"x"])
+        bloat = tuple((b"\x00" * 32, False) for _ in range(MAX_PROOF_DEPTH + 1))
+        assert not merkle_verify(root, b"x", bloat)
+
+    def test_malformed_proof_steps_return_false(self):
+        root = merkle_root([b"a", b"b"])
+        assert not merkle_verify(root, b"a", (("not-bytes", True),))
+        assert not merkle_verify(root, b"a", ((b"short", True),))
+        assert not merkle_verify(root, b"a", ((b"\x00" * 32,),))
+
+    def test_interior_node_cannot_pose_as_leaf(self):
+        # Domain separation: feeding an interior digest as leaf data must
+        # not verify against a two-level tree's root.
+        leaves = _leaves(4)
+        root = merkle_root(leaves)
+        sub = merkle_root(leaves[:2])
+        assert not merkle_verify(root, sub, merkle_proof(leaves, 0)[1:])
+
+    def test_out_of_range_proof_index(self):
+        with pytest.raises(ValueError):
+            merkle_proof([b"a"], 1)
+        with pytest.raises(ValueError):
+            merkle_root([])

@@ -83,11 +83,16 @@ def _flood_instance(cache) -> None:
     )
     from repro.dns.rdata import NXT
     from repro.dns.rendercache import CanonicalRenderCache
+    from repro.broadcast.stores import FragmentStore, PayloadStore
 
     origin = Name.from_text("audit.example.")
     for i in range(cache.max_entries * 4):
         name = Name((f"n{i:05d}".encode(),) + origin.labels)
-        if isinstance(cache, CanonicalRenderCache):
+        if isinstance(cache, PayloadStore):
+            cache.put(f"rid-{i:05d}", b"payload")
+        elif isinstance(cache, FragmentStore):
+            cache.put(f"rid-{i:05d}", b"root", 0, b"frag", None)
+        elif isinstance(cache, CanonicalRenderCache):
             cache.store(name, c.TYPE_A, 1, b"wire")
         elif isinstance(cache, PositiveAnswerCache):
             cache.store(
