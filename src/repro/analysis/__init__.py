@@ -23,7 +23,7 @@ from repro.lint.framework import Finding, LintConfig, Suppression
 from repro.taint.indexer import ProgramIndex, module_files
 
 from .quorum import QuorumChecker
-from .races import RaceChecker
+from .races import RaceChecker, RaceWindow
 from .specs import (
     DEFAULT_QUORUM_MODULES,
     DEFAULT_RACES_MODULES,
@@ -34,8 +34,10 @@ from .specs import (
 __all__ = [
     "QUORUM_RULES",
     "RACE_RULES",
+    "RaceWindow",
     "analyze_quorum",
     "analyze_races",
+    "race_windows",
     "analyze",
 ]
 
@@ -93,6 +95,30 @@ def analyze_races(
     modules = tuple(config.races_modules) or DEFAULT_RACES_MODULES
     findings = RaceChecker(index, modules).run()
     return _filter_suppressed(findings, files, suppressions)
+
+
+def race_windows(
+    files: Files,
+    config: Optional[LintConfig] = None,
+    suppressions: Optional[Dict[str, List[Suppression]]] = None,
+    index: Optional[ProgramIndex] = None,
+) -> List[Tuple[Finding, RaceWindow]]:
+    """Race findings paired with their structured await windows.
+
+    Same filtering as :func:`analyze_races`; used by ``repro explore
+    --confirm-races`` to search for a schedule exercising each window.
+    """
+    config = config or LintConfig()
+    index = index or ProgramIndex.build(files)
+    modules = tuple(config.races_modules) or DEFAULT_RACES_MODULES
+    checker = RaceChecker(index, modules)
+    findings = checker.run()
+    by_key = {
+        (f.rule, f.path, f.line, f.col): w
+        for f, w in zip(findings, checker.last_windows, strict=True)
+    }
+    kept = _filter_suppressed(findings, files, suppressions)
+    return [(f, by_key[(f.rule, f.path, f.line, f.col)]) for f in kept]
 
 
 def analyze(

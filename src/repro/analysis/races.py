@@ -54,6 +54,24 @@ def _is_busy_name(attr: str) -> bool:
     return any(hint in lowered for hint in BUSY_FLAG_HINTS)
 
 
+@dataclass(frozen=True)
+class RaceWindow:
+    """Structured form of one Y-finding, for the explorer's confirm mode.
+
+    Identifies the await window a finding points at — enough for
+    ``repro explore --confirm-races`` to search for a schedule whose
+    interleaving exercises exactly this suspension point.
+    """
+
+    rule: str
+    path: str
+    line: int
+    fn_qname: str
+    cls: Optional[str]
+    attr: Optional[str]
+    yield_line: Optional[int]
+
+
 @dataclass
 class _Events:
     """Line-indexed access summary of one async function."""
@@ -105,6 +123,9 @@ class RaceChecker:
         self.modules = tuple(modules)
         self.reachable = self._handler_closure()
         self.attr_users = self._attr_users()
+        #: RaceWindow per finding of the most recent :meth:`run`, aligned
+        #: with the returned findings (same sort order).
+        self.last_windows: List[RaceWindow] = []
 
     def in_scope(self, module: str) -> bool:
         if not module or module.endswith(".py"):
@@ -112,21 +133,12 @@ class RaceChecker:
         return any(fnmatch.fnmatchcase(module, pat) for pat in self.modules)
 
     def _handler_closure(self) -> Set[str]:
-        seen = {
+        seeds = {
             qname
             for qname, fn in self.index.functions.items()
             if fn.is_handler
         }
-        queue = list(seen)
-        while queue:
-            fn = self.index.functions[queue.pop()]
-            for node in ast.walk(fn.node):
-                if isinstance(node, ast.Call):
-                    qname, _name = self.index.resolve_call(node, fn)
-                    if qname and qname in self.index.functions and qname not in seen:
-                        seen.add(qname)
-                        queue.append(qname)
-        return seen
+        return self.index.call_closure(seeds)
 
     def _attr_users(self) -> Dict[Tuple[str, str], Set[str]]:
         """(class qname, attr) -> handler-reachable methods touching it."""
@@ -139,6 +151,24 @@ class RaceChecker:
                 if attr is not None:
                     users.setdefault((fn.cls, attr), set()).add(qname)
         return users
+
+    def _note_window(
+        self,
+        finding: Finding,
+        fn: FunctionInfo,
+        attr: Optional[str],
+        yield_line: Optional[int],
+    ) -> None:
+        key = (finding.rule, finding.path, finding.line, finding.col)
+        self._window_map[key] = RaceWindow(
+            rule=finding.rule,
+            path=finding.path,
+            line=finding.line,
+            fn_qname=fn.qname,
+            cls=fn.cls,
+            attr=attr,
+            yield_line=yield_line,
+        )
 
     # -- per-function checks --------------------------------------------------
 
@@ -186,6 +216,7 @@ class RaceChecker:
                         f"while suspended",
                     )
                 )
+                self._note_window(findings[-1], fn, attr, yield_line)
         return findings
 
     def _check_shared_state(
@@ -225,6 +256,7 @@ class RaceChecker:
                     f"or the write clobbers concurrent updates",
                 )
             )
+            self._note_window(findings[-1], fn, attr, yield_line)
         return findings
 
     def _check_busy_flags(self, fn: FunctionInfo, ev: _Events) -> List[Finding]:
@@ -278,6 +310,7 @@ class RaceChecker:
                         f"reset it in a try/finally",
                     )
                 )
+                self._note_window(findings[-1], fn, attr, a)
                 break  # one finding per critical section
         return findings
 
@@ -304,6 +337,7 @@ class RaceChecker:
                             f"done callback or await it",
                         )
                     )
+                    self._note_window(findings[-1], fn, None, None)
             elif isinstance(node, ast.Assign) and isinstance(
                 node.value, ast.Call
             ):
@@ -330,12 +364,14 @@ class RaceChecker:
                             f"exceptions are dropped",
                         )
                     )
+                    self._note_window(findings[-1], fn, None, None)
         return findings
 
     # -- driver ---------------------------------------------------------------
 
     def run(self) -> List[Finding]:
         findings: List[Finding] = []
+        self._window_map: Dict[Tuple[str, str, int, int], RaceWindow] = {}
         for fn in sorted(
             self.index.functions.values(), key=lambda f: (f.path, f.lineno)
         ):
@@ -352,4 +388,7 @@ class RaceChecker:
             findings.extend(self._check_shared_state(fn, ev, reported))
             findings.extend(self._check_busy_flags(fn, ev))
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        self.last_windows = [
+            self._window_map[(f.rule, f.path, f.line, f.col)] for f in findings
+        ]
         return findings

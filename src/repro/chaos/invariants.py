@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.client import CompletedOp
 from repro.dns import constants as c
@@ -224,3 +224,113 @@ def check_invariants(
     check_g3(service, results, report)
     check_expectations(scenario, service, adversary, report)
     return report
+
+
+# --------------------------------------------------------------------------
+# Protocol-level invariants over plain data (used by ``repro explore``)
+# --------------------------------------------------------------------------
+#
+# The systematic explorer (DESIGN.md §5j) checks the same goals as the
+# chaos harness but at the protocol layer, against whatever each honest
+# replica has delivered/decided so far.  These helpers are pure functions
+# over plain data so that the explorer's models — which hold raw protocol
+# objects, not a ReplicatedNameService — can call them at every quiescent
+# state without any service plumbing.
+
+
+def check_broadcast_agreement(
+    delivered: "Dict[int, Optional[bytes]]",
+) -> List[str]:
+    """Bracha agreement (G1): no two honest replicas deliver different
+    payloads for the same broadcast instance.  ``None`` = not delivered
+    yet, which is always admissible mid-run."""
+    values = {i: v for i, v in delivered.items() if v is not None}
+    if len(set(values.values())) > 1:
+        detail = ", ".join(
+            f"replica {i}: {v!r:.40}" for i, v in sorted(values.items())
+        )
+        return [f"broadcast agreement violated: {detail}"]
+    return []
+
+
+def check_broadcast_validity(
+    delivered: "Dict[int, Optional[bytes]]", payload: bytes
+) -> List[str]:
+    """With an honest sender (G3 direction): anything delivered must be
+    the sender's payload."""
+    out = []
+    for i, value in sorted(delivered.items()):
+        if value is not None and value != payload:
+            out.append(
+                f"broadcast validity violated: replica {i} delivered"
+                f" {value!r:.40} != sender payload {payload!r:.40}"
+            )
+    return out
+
+
+def check_broadcast_totality(
+    delivered: "Dict[int, Optional[bytes]]",
+) -> List[str]:
+    """At quiescence (all messages drained): if any honest replica
+    delivered, every honest replica must have (G2 at the protocol layer)."""
+    values = [v for v in delivered.values() if v is not None]
+    if not values:
+        return []
+    missing = sorted(i for i, v in delivered.items() if v is None)
+    if missing:
+        return [
+            f"broadcast totality violated: replicas {missing} never"
+            " delivered while others did"
+        ]
+    return []
+
+
+def check_agreement_decisions(
+    decisions: "Dict[int, Optional[int]]",
+    proposed: "Optional[Sequence[int]]" = None,
+) -> List[str]:
+    """Binary-agreement safety: honest decisions agree, and (when every
+    honest proposal is known and unanimous) match the proposals."""
+    out = []
+    values = {i: v for i, v in decisions.items() if v is not None}
+    if len(set(values.values())) > 1:
+        detail = ", ".join(f"replica {i}: {v}" for i, v in sorted(values.items()))
+        out.append(f"agreement violated: {detail}")
+    if proposed and len(set(proposed)) == 1 and values:
+        want = next(iter(set(proposed)))
+        for i, got in sorted(values.items()):
+            if got != want:
+                out.append(
+                    f"agreement validity violated: replica {i} decided"
+                    f" {got} from unanimous honest proposals {want}"
+                )
+    return out
+
+
+def check_agreement_termination(
+    decisions: "Dict[int, Optional[int]]",
+) -> List[str]:
+    """At quiescence: every honest replica must have decided."""
+    missing = sorted(i for i, v in decisions.items() if v is None)
+    if missing:
+        return [f"agreement termination violated: replicas {missing} undecided"]
+    return []
+
+
+def check_total_order(logs: "Dict[int, Sequence[Tuple[int, str]]]") -> List[str]:
+    """Atomic-broadcast total order (G1): every honest replica's
+    ``delivered_log`` must be a prefix of every longer honest log."""
+    out = []
+    items = sorted(logs.items())
+    for ai in range(len(items)):
+        for bi in range(ai + 1, len(items)):
+            a, la = items[ai]
+            b, lb = items[bi]
+            short, long_ = (la, lb) if len(la) <= len(lb) else (lb, la)
+            if list(short) != list(long_[: len(short)]):
+                out.append(
+                    f"total order violated: replica {a} log"
+                    f" {list(la)[:6]}... diverges from replica {b} log"
+                    f" {list(lb)[:6]}..."
+                )
+    return out

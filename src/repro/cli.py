@@ -12,6 +12,9 @@ Subcommands mirror the utilities the prototype relied on:
 * ``bench``    — run one Table 2 cell and print read/add/delete latency.
 * ``chaos``    — run seed-replayable Byzantine fault-injection scenarios
   and check the paper's G1/G2/G3 goals; failures print the replaying seed.
+* ``explore``  — systematically enumerate message interleavings of the
+  replicated protocols (DPOR model checking), replay counterexample
+  schedule files, and dynamically confirm static race findings.
 
 Run ``python -m repro.cli <subcommand> --help`` for details.
 """
@@ -507,6 +510,120 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return max(exit_code, 1 if findings else 0)
 
 
+def cmd_explore(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.explore import (
+        EXPLORE_RULES,
+        confirm_races,
+        explore_protocol,
+        replay_file,
+        save_schedule,
+    )
+    from repro.lint import report
+    from repro.taint.sarif import render_sarif
+
+    if args.list_rules:
+        for rule_id, (summary, _description) in sorted(EXPLORE_RULES.items()):
+            print(f"{rule_id}  [{'explore':>13}]  {summary}")
+        return 0
+
+    if args.replay:
+        outcome = replay_file(Path(args.replay))
+        print(f"replayed {args.replay}")
+        print(f"  fingerprint:     {outcome.fingerprint}")
+        print(f"  transcript hash: {outcome.transcript_hash}")
+        if outcome.problems:
+            for problem in outcome.problems:
+                print(f"  violation: {problem}")
+        else:
+            print("  no violation observed")
+        print("  reproduced" if outcome.reproduced else "  NOT reproduced")
+        return 0 if outcome.reproduced else 1
+
+    try:
+        n_str, t_str = args.cluster.split(",")
+        n, t = int(n_str), int(t_str)
+    except ValueError:
+        print(f"error: --cluster must be 'n,t', got {args.cluster!r}", file=sys.stderr)
+        return 2
+
+    if args.confirm_races:
+        from repro.lint.framework import find_repo_root
+        from repro.taint.indexer import module_files
+
+        root = Path(args.root).resolve() if args.root else find_repo_root()
+        paths = [Path(p) for p in args.paths] if args.paths else [root / "src" / "repro"]
+        files = module_files(paths, root)
+        outcomes = confirm_races(
+            files,
+            max_schedules=args.max_schedules or 5_000,
+            deadline_s=args.deadline,
+        )
+        findings = [o.finding() for o in outcomes]
+        if args.format == "json":
+            print(report.render_json(findings))
+        else:
+            if not outcomes:
+                print("confirm-races: no Y601-Y604 findings to confirm")
+            for o in outcomes:
+                f = o.finding()
+                print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+        if args.sarif:
+            Path(args.sarif).write_text(
+                render_sarif(findings, EXPLORE_RULES), encoding="utf-8"
+            )
+            print(f"SARIF written to {args.sarif}")
+        return 1 if any(o.status == "confirmed" for o in outcomes) else 0
+
+    if args.protocol is None:
+        print("error: --protocol is required (or --replay/--confirm-races/--list-rules)", file=sys.stderr)
+        return 2
+    try:
+        result = explore_protocol(
+            args.protocol,
+            mode=args.mode or "",
+            n=n,
+            t=t,
+            strategies=args.strategy or None,
+            bound=args.bound,
+            max_schedules=args.max_schedules,
+            max_steps=args.max_steps,
+            deadline_s=args.deadline,
+            stop_on_first=args.stop_on_first,
+            use_dpor=not args.no_dpor,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for i, sf in enumerate(result.counterexamples):
+            path = out_dir / (
+                f"{result.protocol}-{sf.strategy or 'honest'}-{sf.kind}-{i}.schedule.json"
+            )
+            save_schedule(sf, path)
+            print(f"counterexample written to {path}")
+
+    findings = result.findings()
+    if args.format == "json":
+        payload = result.to_dict()
+        payload["findings"] = json.loads(report.render_json(findings))
+        print(json.dumps(payload, indent=2))
+    else:
+        for line in result.summary_lines():
+            print(line)
+    if args.sarif:
+        Path(args.sarif).write_text(
+            render_sarif(findings, EXPLORE_RULES), encoding="utf-8"
+        )
+        print(f"SARIF written to {args.sarif}")
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Secure Distributed DNS tools"
@@ -707,6 +824,109 @@ def build_parser() -> argparse.ArgumentParser:
         help="check the per-module mypy strictness ratchet",
     )
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "explore",
+        help="systematic interleaving exploration (DPOR model checking, DESIGN.md §5j)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files to analyze with --confirm-races (default: src/repro)",
+    )
+    p.add_argument(
+        "--protocol",
+        choices=["rbc", "aba", "abc", "e2e"],
+        default=None,
+        help="which protocol layer to explore",
+    )
+    p.add_argument(
+        "--mode",
+        choices=["full", "digest", "erasure"],
+        default=None,
+        help="dissemination mode (rbc/abc/e2e; default: full for rbc, digest otherwise)",
+    )
+    p.add_argument(
+        "--cluster",
+        default="4,1",
+        metavar="N,T",
+        help="cluster size as 'n,t' (default: 4,1)",
+    )
+    p.add_argument(
+        "--strategy",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to this Byzantine strategy (repeatable; default: all)",
+    )
+    p.add_argument(
+        "--bound",
+        type=int,
+        default=None,
+        help="delay bound: max deviations from the default schedule "
+        "(default: unbounded; required for --protocol e2e)",
+    )
+    p.add_argument(
+        "--max-schedules",
+        type=int,
+        default=None,
+        help="stop after this many explored schedules",
+    )
+    p.add_argument(
+        "--max-steps", type=int, default=None, help="stop after this many executed steps"
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per strategy",
+    )
+    p.add_argument(
+        "--stop-on-first",
+        action="store_true",
+        help="stop at the first violation instead of enumerating all",
+    )
+    p.add_argument(
+        "--no-dpor",
+        action="store_true",
+        help="disable partial-order reduction (naive enumeration, for comparison)",
+    )
+    p.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="replay a counterexample schedule file and exit",
+    )
+    p.add_argument(
+        "--confirm-races",
+        action="store_true",
+        help="dynamically confirm static Y601-Y604 findings (X702/X703)",
+    )
+    p.add_argument(
+        "--root",
+        default=None,
+        help="repository root for --confirm-races (default: auto-discovered)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write counterexample schedule files to DIR",
+    )
+    p.add_argument(
+        "--sarif",
+        default=None,
+        metavar="FILE",
+        help="write findings as a SARIF 2.1.0 log to FILE",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the exploration rule catalog and exit",
+    )
+    p.set_defaults(func=cmd_explore)
 
     return parser
 

@@ -116,6 +116,40 @@ class Simulator:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
 
+    def next_event_time(self) -> Optional[float]:
+        """Time of the next live event, or None when the queue is empty.
+
+        Public peek for external drivers (the systematic explorer) that
+        interleave their own delivery choices with the kernel's events
+        and must know how far the kernel wants to jump before letting it.
+        """
+        return self._peek_time()
+
+    def run_available(
+        self, horizon: Optional[float] = None, max_events: int = 100_000
+    ) -> int:
+        """Process every event at or before ``horizon`` (default: ``now``).
+
+        Used by the systematic explorer to drain the zero-delay cascade
+        (``call_soon`` chains, busy-CPU re-deliveries) after injecting
+        one message delivery, without letting protocol timeouts — which
+        sit further out on the heap — fire out of turn.  Returns the
+        number of events processed.
+        """
+        limit = self.now if horizon is None else horizon
+        processed = 0
+        while True:
+            next_time = self._peek_time()
+            if next_time is None or next_time > limit:
+                return processed
+            if not self.step():  # pragma: no cover - peek said non-empty
+                return processed
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"cascade exceeded {max_events} events; likely livelock"
+                )
+
     @property
     def pending_events(self) -> int:
         return sum(1 for e in self._heap if not e.cancelled)

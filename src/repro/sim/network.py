@@ -368,6 +368,12 @@ class SimNetwork:
         #: much of the traffic was echo votes vs. payload dissemination.
         self.bytes_by_type: Dict[str, int] = {}
         self.adversary: Optional[AdversarialScheduler] = None
+        #: Explorer intercept: when set, ``transmit`` hands every message
+        #: to this hook *after* byte accounting.  Returning True parks
+        #: the message (the hook owns delivery order from then on — the
+        #: systematic explorer's frontier); False falls through to the
+        #: normal latency-model delivery path.
+        self.delivery_hook: Optional[Callable[[int, int, Any], bool]] = None
 
     def set_adversary(self, adversary: Optional[AdversarialScheduler]) -> None:
         """Hand message scheduling to an adversary (None restores calm)."""
@@ -407,6 +413,10 @@ class SimNetwork:
         self.bytes_by_type[type_name] = (
             self.bytes_by_type.get(type_name, 0) + size
         )
+        if self.delivery_hook is not None and self.delivery_hook(
+            src, dest, payload
+        ):
+            return
         delay = self._link_delay(src, dest)
         if self.adversary is not None:
             extras = self.adversary.schedule_deliveries(src, dest, departure)

@@ -19,7 +19,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.lint.framework import ImportMap, module_name_for_path
 
@@ -380,6 +380,25 @@ class ProgramIndex:
                 return candidates[0], name
             return None, name
         return None, ""
+
+    def call_closure(self, roots: Iterable[str]) -> Set[str]:
+        """Transitive call-graph closure of ``roots`` (function qnames).
+
+        BFS through :meth:`resolve_call` over every call site of every
+        reached function — shared by the race checker's handler
+        reachability and the explorer's commutativity footprints.
+        """
+        seen: Set[str] = {q for q in roots if q in self.functions}
+        queue = list(seen)
+        while queue:
+            fn = self.functions[queue.pop()]
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Call):
+                    qname, _name = self.resolve_call(node, fn)
+                    if qname and qname in self.functions and qname not in seen:
+                        seen.add(qname)
+                        queue.append(qname)
+        return seen
 
     def resolve_constructor(
         self, call: ast.Call, caller: FunctionInfo

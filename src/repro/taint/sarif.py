@@ -30,6 +30,7 @@ _LEVELS = {
     "E": "error",  # parse errors
     "Q": "error",  # quorum arithmetic: safety-breaking thresholds
     "Y": "error",  # yield-point atomicity: async handler races
+    "X": "error",  # systematic exploration: schedule-witnessed violations
 }
 
 

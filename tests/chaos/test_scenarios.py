@@ -53,6 +53,17 @@ class TestInvariantsHold:
         result = run_scenario(name, cluster=(10, 3), seed=3)
         assert result.ok, result.transcript
 
+    def test_xl_cluster(self):
+        """(16, 5): one erasure run at the sweep's new ceiling.
+
+        The full scenario set at this size belongs to the nightly
+        matrix; tier-1 pins the cheapest representative so a scaling
+        regression (quorum arithmetic, fragment fan-out, key material)
+        fails fast without doubling suite time.
+        """
+        result = run_scenario("erasure", cluster=(16, 5), seed=3)
+        assert result.ok, result.transcript
+
 
 class TestScenarioExpectations:
     @staticmethod

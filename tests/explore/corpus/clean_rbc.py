@@ -1,0 +1,29 @@
+"""Clean control: an RBC subclass with the *correct* echo quorum.
+
+Identical override surface to ``vuln_rbc_weak_echo_quorum`` but with the
+sound ``n - t`` threshold, so the corpus can show the explorer flags the
+weakened arithmetic and not the mere act of subclassing.  Explored at
+(5, 1) under the same equivocating-sender palette, this class must stay
+violation-free.
+"""
+
+from typing import List
+
+from repro.broadcast.rbc import Outgoing, RbcInstance
+
+
+class CleanRbcEchoQuorum(RbcInstance):
+    """``_count_echo`` restated with the production n - t threshold."""
+
+    def _count_echo(self, sender: int, digest: bytes) -> List[Outgoing]:
+        prev = self._echo_digest.get(sender)
+        if prev is not None and prev != digest:
+            return []
+        self._echo_digest[sender] = digest
+        voters = self._echoes.setdefault(digest, set())
+        if sender in voters:
+            return []
+        voters.add(sender)
+        if len(voters) >= self.n - self.t and not self._sent_ready:
+            return self._send_ready(digest)
+        return []

@@ -1,0 +1,121 @@
+"""Clean control: the corpus race patterns with the correct guards.
+
+Mirrors the planted Y601/Y603/Y604 shapes with the fixes the checker is
+supposed to accept — a re-validated guard, a ``finally``-released busy
+flag, and a flush that revalidates instead of raising.  The static
+checker must stay silent on this file and every harness exploration
+must complete with zero violations.
+"""
+
+from repro.explore.confirm import RaceHarness
+from repro.explore.tasks import Scheduler, TrackedObject
+
+
+class CleanApply(TrackedObject):
+    """Apply-once update that re-checks its guard after the yield."""
+
+    def __init__(self, sched: Scheduler) -> None:
+        super().__init__(sched)
+        self.applied = False
+        self.value = 0
+
+    async def on_update(self, amount: int) -> None:
+        if not self.applied:
+            await self._sched.point()
+            if self.applied:
+                return
+            self.value = self.value + amount
+            self.applied = True
+
+
+class CleanSigningGate(TrackedObject):
+    """Single-flight gate that releases its flag in ``finally``."""
+
+    def __init__(self, sched: Scheduler) -> None:
+        super().__init__(sched)
+        self.busy = False
+        self.poisoned = False
+        self.completed = 0
+
+    async def on_sign(self) -> None:
+        if self.busy:
+            return
+        self.busy = True
+        try:
+            await self._sched.point()
+            if self.poisoned:
+                self.poisoned = False
+                return
+            self.completed = self.completed + 1
+        finally:
+            self.busy = False
+
+    async def on_corrupt_share(self) -> None:
+        await self._sched.point()
+        self.poisoned = True
+
+
+class CleanBatchFlusher(TrackedObject):
+    """Request batcher whose flush task is retained and revalidates."""
+
+    def __init__(self, sched: Scheduler) -> None:
+        super().__init__(sched)
+        self.pending = 0
+        self.flushed = 0
+        self.flush_task = None
+
+    async def on_request(self) -> None:
+        self.pending = self.pending + 1
+        await self._sched.point()
+        self.flush_task = self._sched.create_task(self._flush())
+
+    async def _flush(self) -> None:
+        await self._sched.point()
+        if self.pending > 0:
+            self.pending = self.pending - 1
+            self.flushed = self.flushed + 1
+
+    async def on_cancel(self) -> None:
+        await self._sched.point()
+        self.pending = 0
+
+
+def _build_apply(sched: Scheduler):
+    shared = CleanApply(sched)
+    return shared, [("a", shared.on_update(5)), ("b", shared.on_update(5))]
+
+
+def _final_apply(shared):
+    if shared.value != 5:
+        return [f"apply-once update ran {shared.value // 5} times"]
+    return []
+
+
+def _build_gate(sched: Scheduler):
+    shared = CleanSigningGate(sched)
+    return shared, [
+        ("sign-a", shared.on_sign()),
+        ("sign-b", shared.on_sign()),
+        ("byz", shared.on_corrupt_share()),
+    ]
+
+
+def _final_gate(shared):
+    if shared.busy:
+        return ["busy flag still held after every activation drained"]
+    return []
+
+
+def _build_flush(sched: Scheduler):
+    shared = CleanBatchFlusher(sched)
+    return shared, [
+        ("req", shared.on_request()),
+        ("cancel", shared.on_cancel()),
+    ]
+
+
+EXPLORE_HARNESSES = [
+    RaceHarness("clean-apply", _build_apply, final=_final_apply),
+    RaceHarness("clean-gate", _build_gate, final=_final_gate),
+    RaceHarness("clean-flush", _build_flush),
+]

@@ -1,0 +1,60 @@
+"""Planted bug: ABA round completion without the coin re-entrancy guard.
+
+Re-introduces the PR-2 defect: releasing our own coin share inside
+``coin.request`` can complete the coin *synchronously* (when the peer
+shares arrived first) and re-enter ``_try_finish_round`` through the
+coin-ready callback.  The production code re-checks ``_round_done`` and
+``self.round`` after ``request`` returns; this subclass omits that
+re-validation, so the outer activation finishes the round a second time
+and advances ``self.round`` twice — stranding the replica in a round no
+quorum ever joins.  The explorer witnesses it as a termination violation
+at a drained leaf, but only under schedules that deliver a peer's coin
+share *before* this replica reaches its own aux quorum.
+"""
+
+from typing import List
+
+from repro.broadcast.aba import AbaInstance, Outgoing
+
+
+class VulnAbaCoinReentry(AbaInstance):
+    """``_try_finish_round`` minus the post-``request`` re-validation."""
+
+    def _try_finish_round(self, round_: int) -> List[Outgoing]:
+        if round_ != self.round or self.decision is not None:
+            return []
+        if round_ in self._round_done:
+            return []
+        accepted = self._bin_values.get(round_, set())
+        per_round = self._aux_senders.get(round_, {})
+        valid_aux = {
+            sender: value
+            for sender, value in per_round.items()
+            if value in accepted
+        }
+        if len(valid_aux) < self.n - self.t:
+            return []
+        out: List[Outgoing] = []
+        if round_ not in self._coin_requested:
+            self._coin_requested.add(round_)
+            out.extend(self.coin.request(self.sid, round_))
+            # BUG: no re-check of _round_done / self.round here — a
+            # synchronous coin completion already finished this round.
+        coin = self.coin.value(self.sid, round_)
+        if coin is None:
+            return out
+        self._round_done.add(round_)
+        values = set(valid_aux.values())
+        if len(values) == 1:
+            (b,) = values
+            if b == coin:
+                out.extend(self._decide(b))
+                return out
+            self.estimate = b
+        else:
+            self.estimate = coin
+        self.round += 1
+        out.extend(self._send_est(self.round, self.estimate))
+        out.extend(self._maybe_send_aux(self.round))
+        out.extend(self._try_finish_round(self.round))
+        return out

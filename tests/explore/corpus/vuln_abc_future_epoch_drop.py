@@ -1,0 +1,27 @@
+"""Planted bug: atomic broadcast drops future-epoch messages.
+
+Re-introduces the PR-2 defect: a fast-path message stamped with an epoch
+this replica has not reached yet must be *buffered* and replayed on
+epoch entry — dropping it silently wedges recovery, because the message
+is never retransmitted.  The drop only matters under interleavings where
+an epoch-1 message actually overtakes the receiver's own epoch change
+(one replica's complaint timer fires before another's), which is exactly
+the schedule the explorer has to find.  The subclass records the drop in
+``dropped_future`` so the corpus harness can pin reachability of the
+bug without relying on a liveness bound.
+"""
+
+from repro.broadcast.abc import AtomicBroadcast
+
+
+class VulnAbcFutureEpochDrop(AtomicBroadcast):
+    """``_buffer_future`` that discards instead of buffering."""
+
+    dropped_future = 0
+
+    def _buffer_future(self, sender: int, msg: object, epoch: int) -> bool:
+        if epoch > self.epoch:
+            # BUG: claim the message handled but throw it away.
+            self.dropped_future += 1
+            return True
+        return super()._buffer_future(sender, msg, epoch)

@@ -1,0 +1,20 @@
+"""Planted bug: pulled payloads accepted without digest verification.
+
+A replica that saw the READY quorum but never the payload pulls it from
+its peers; the response must hash to the quorum-agreed digest or a
+Byzantine peer can substitute an arbitrary payload.  This subclass skips
+the check, so whichever pull response arrives *first* wins — delivering
+a forged payload under schedules where the Byzantine response beats the
+honest ones, an agreement violation between the starved replica and the
+replicas that got the real payload.
+"""
+
+from repro.broadcast.rbc import RbcInstance
+
+
+class VulnRbcUnverifiedPull(RbcInstance):
+    """``_payload_matches`` that trusts whatever arrives."""
+
+    def _payload_matches(self, digest: bytes, payload: bytes) -> bool:
+        # BUG: no digest (or fragment-root) check — first responder wins.
+        return True

@@ -1,0 +1,33 @@
+"""Planted bug: Bracha echo quorum weakened from n-t to 2t+1.
+
+At n == 3t+1 the two thresholds coincide, so the bug is invisible at
+(4, 1) — the corpus explores it at (5, 1), where 2t+1 = 3 < n-t = 4 and
+two echo quorums no longer pairwise-intersect in an honest replica.  An
+equivocating Byzantine sender can then drive disjoint honest camps to
+READY for different digests and the ready-amplification rule carries
+both to delivery: an agreement violation the explorer finds as a
+concrete schedule.
+"""
+
+from typing import List
+
+from repro.broadcast.rbc import Outgoing, RbcInstance
+
+
+class VulnRbcWeakEchoQuorum(RbcInstance):
+    """``_count_echo`` with the classic 2t+1 mistake."""
+
+    def _count_echo(self, sender: int, digest: bytes) -> List[Outgoing]:
+        prev = self._echo_digest.get(sender)
+        if prev is not None and prev != digest:
+            return []
+        self._echo_digest[sender] = digest
+        voters = self._echoes.setdefault(digest, set())
+        if sender in voters:
+            return []
+        voters.add(sender)
+        # BUG: 2t+1 echoes only guarantee quorum intersection at the
+        # minimum cluster size n == 3t+1; the sound threshold is n - t.
+        if len(voters) >= 2 * self.t + 1 and not self._sent_ready:
+            return self._send_ready(digest)
+        return []

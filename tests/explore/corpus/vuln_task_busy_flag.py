@@ -1,0 +1,61 @@
+"""Planted bug Y603: busy flag held across an await, not reset on error.
+
+``on_sign`` sets ``self.busy`` before suspending and only clears it on
+the success path: when the post-await work raises (a poisoned share,
+injected by a concurrent handler), the ``except`` swallows the error and
+returns with the flag still set.  Every later signing request then
+early-returns forever.  The harness's invariant is that the flag is
+released once all activations have drained — a wedge-specific witness
+(a crash-based one would also fire on the correctly-guarded control,
+and a completed-count one has legitimate zero-completion schedules).
+"""
+
+from repro.explore.confirm import RaceHarness
+from repro.explore.tasks import Scheduler, TrackedObject
+
+
+class VulnSigningGate(TrackedObject):
+    """Single-flight signing gate with a leak on the error path."""
+
+    def __init__(self, sched: Scheduler) -> None:
+        super().__init__(sched)
+        self.busy = False
+        self.poisoned = False
+        self.completed = 0
+
+    async def on_sign(self) -> None:
+        if self.busy:
+            return
+        self.busy = True
+        await self._sched.point()  # e.g. gather shares from peers
+        try:
+            if self.poisoned:
+                self.poisoned = False
+                raise RuntimeError("share verification failed")
+            self.completed = self.completed + 1
+        except RuntimeError:
+            # BUG: swallowed without resetting self.busy — the gate wedges.
+            return
+        self.busy = False
+
+    async def on_corrupt_share(self) -> None:
+        await self._sched.point()
+        self.poisoned = True
+
+
+def _build(sched: Scheduler):
+    shared = VulnSigningGate(sched)
+    return shared, [
+        ("sign-a", shared.on_sign()),
+        ("sign-b", shared.on_sign()),
+        ("byz", shared.on_corrupt_share()),
+    ]
+
+
+def _final(shared):
+    if shared.busy:
+        return ["busy flag still held after every activation drained"]
+    return []
+
+
+EXPLORE_HARNESSES = [RaceHarness("busy-flag-wedge", _build, final=_final)]

@@ -1,0 +1,52 @@
+"""Planted bug Y604: fire-and-forget task whose failure is invisible.
+
+``on_request`` spawns ``_flush`` with ``create_task`` and drops the
+handle.  Under schedules where ``on_cancel`` zeroes the pending count
+between the spawn and the flush body running, the flush raises — and in
+production asyncio that exception evaporates with the discarded task.
+The explorer surfaces it as a handler crash; the static checker flags
+the discarded handle as Y604 (no awaited line, so the harness confirms
+by rule rather than by suspension point).
+"""
+
+from repro.explore.confirm import RaceHarness
+from repro.explore.tasks import Scheduler, TrackedObject
+
+
+class VulnBatchFlusher(TrackedObject):
+    """Request batcher that detaches its flush task."""
+
+    def __init__(self, sched: Scheduler) -> None:
+        super().__init__(sched)
+        self.pending = 0
+        self.flushed = 0
+
+    async def on_request(self) -> None:
+        self.pending = self.pending + 1
+        await self._sched.point()
+        # BUG: handle discarded — a failing flush is never observed.
+        self._sched.create_task(self._flush())
+
+    async def _flush(self) -> None:
+        await self._sched.point()
+        if self.pending == 0:
+            raise RuntimeError("flush of an empty batch")
+        self.pending = self.pending - 1
+        self.flushed = self.flushed + 1
+
+    async def on_cancel(self) -> None:
+        await self._sched.point()
+        self.pending = 0
+
+
+def _build(sched: Scheduler):
+    shared = VulnBatchFlusher(sched)
+    return shared, [
+        ("req", shared.on_request()),
+        ("cancel", shared.on_cancel()),
+    ]
+
+
+EXPLORE_HARNESSES = [
+    RaceHarness("fire-forget-flush", _build, confirm_rules=("Y604",)),
+]

@@ -1,0 +1,48 @@
+"""Planted bug Y602: read-modify-write split across an await.
+
+``on_add`` loads ``self.total`` into a local, suspends, and writes the
+stale sum back.  Two concurrent additions both read the same base value
+and one increment is lost.  ``self.total`` is also touched by a second
+handler (``on_snapshot``), which is what promotes the stale write from a
+style nit to a cross-handler lost update for the static checker.
+"""
+
+from repro.explore.confirm import RaceHarness
+from repro.explore.tasks import Scheduler, TrackedObject
+
+
+class VulnByteCounter(TrackedObject):
+    """Accumulator that caches the running total across a yield."""
+
+    def __init__(self, sched: Scheduler) -> None:
+        super().__init__(sched)
+        self.total = 0
+        self.last_snapshot = -1
+
+    async def on_add(self, n: int) -> None:
+        total = self.total
+        await self._sched.point()  # e.g. flush accounting to the metrics sink
+        # BUG: writes back a value computed from the pre-await read.
+        self.total = total + n
+
+    async def on_snapshot(self) -> None:
+        await self._sched.point()
+        self.last_snapshot = self.total
+
+
+def _build(sched: Scheduler):
+    shared = VulnByteCounter(sched)
+    return shared, [
+        ("a", shared.on_add(3)),
+        ("b", shared.on_add(4)),
+        ("snap", shared.on_snapshot()),
+    ]
+
+
+def _final(shared):
+    if shared.total != 7:
+        return [f"lost update: total is {shared.total}, expected 7"]
+    return []
+
+
+EXPLORE_HARNESSES = [RaceHarness("lost-update", _build, final=_final)]

@@ -1,0 +1,43 @@
+"""Planted bug Y601: guard checked before an await, acted on after.
+
+``on_update`` tests ``self.applied`` and then suspends before writing;
+a concurrent activation passes the same guard while the first is parked,
+so the update applies twice.  The static checker flags the unvalidated
+window; the harness lets the explorer prove it with a two-task schedule.
+"""
+
+from repro.explore.confirm import RaceHarness
+from repro.explore.tasks import Scheduler, TrackedObject
+
+
+class VulnIdempotentApply(TrackedObject):
+    """Apply-once update whose guard is not re-checked after the yield."""
+
+    def __init__(self, sched: Scheduler) -> None:
+        super().__init__(sched)
+        self.applied = False
+        self.value = 0
+
+    async def on_update(self, amount: int) -> None:
+        if not self.applied:
+            await self._sched.point()  # e.g. threshold-sign the new RRset
+            # BUG: no re-check of self.applied after the suspension.
+            self.value = self.value + amount
+            self.applied = True
+
+
+def _build(sched: Scheduler):
+    shared = VulnIdempotentApply(sched)
+    return shared, [("a", shared.on_update(5)), ("b", shared.on_update(5))]
+
+
+def _final(shared):
+    if shared.value != 5:
+        return [
+            f"apply-once update ran {shared.value // 5} times "
+            f"(guard invalidated across await)"
+        ]
+    return []
+
+
+EXPLORE_HARNESSES = [RaceHarness("toctou-apply", _build, final=_final)]

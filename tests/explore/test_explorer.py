@@ -1,0 +1,420 @@
+"""Engine-level tests for the DPOR interleaving explorer.
+
+Covers the frontier's FIFO/happens-before bookkeeping, schedule-file
+round-trips, DPOR soundness against naive enumeration on toy models
+(leaf-fingerprint set equality — the property the sleep-set seeding
+regression below once broke), counterexample minimization, replay
+determinism, and small end-to-end explorations of the real protocol
+models.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.broadcast.messages import RbcPayload
+from repro.broadcast.rbc import RbcInstance
+from repro.explore.dpor import (
+    DporEngine,
+    StepMeta,
+    count_linear_extensions,
+    replay_schedule,
+)
+from repro.explore.frontier import ChannelFrontier
+from repro.explore.models import ByzStrategy, RbcModel, rbc_strategies
+from repro.explore.runner import (
+    build_model,
+    explore_protocol,
+    replay_file,
+    strategy_specs,
+)
+from repro.explore.schedule import (
+    SCHEDULE_VERSION,
+    ScheduleFile,
+    load_schedule,
+    minimize_violation,
+    save_schedule,
+    transcript_hash,
+)
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+# -- frontier ---------------------------------------------------------------
+
+
+def test_frontier_is_fifo_per_channel():
+    f = ChannelFrontier()
+    f.push(0, 1, "a")
+    f.push(0, 1, "b")
+    f.push(2, 1, "c")
+    assert f.enabled() == [(0, 1), (2, 1)]
+    assert f.pop((0, 1), 0).payload == "a"
+    assert f.pop((0, 1), 1).payload == "b"
+    assert f.enabled() == [(2, 1)]
+    assert f.pop((2, 1), 2).payload == "c"
+    assert f.enabled() == []
+    assert not f
+
+
+def test_frontier_records_fifo_predecessor_edges():
+    f = ChannelFrontier()
+    f.push(0, 1, "a", sent_by=-1)
+    f.push(0, 1, "b", sent_by=3)
+    assert f.fifo_predecessor((0, 1)) == -1
+    f.pop((0, 1), 7)
+    assert f.fifo_predecessor((0, 1)) == 7
+    assert f.peek((0, 1)).sent_by == 3
+
+
+# -- schedule files ---------------------------------------------------------
+
+
+def test_schedule_file_round_trip(tmp_path):
+    sf = ScheduleFile(
+        protocol="rbc",
+        mode="full",
+        cluster=(4, 1),
+        strategy="sender-equivocate-split",
+        schedule=[(0, 1), (2, 3), "timer"],
+        kind="invariant",
+        messages=["broadcast agreement violated"],
+        fingerprint="abc123",
+        transcript_hash="def456",
+    )
+    path = tmp_path / "witness.schedule.json"
+    save_schedule(sf, path)
+    loaded = load_schedule(path)
+    assert loaded == sf
+    assert loaded.schedule == [(0, 1), (2, 3), "timer"]
+
+
+def test_schedule_file_rejects_unknown_version(tmp_path):
+    sf = ScheduleFile(
+        protocol="rbc", mode="full", cluster=(4, 1), strategy="", schedule=[]
+    )
+    path = tmp_path / "bad.schedule.json"
+    save_schedule(sf, path)
+    path.write_text(
+        path.read_text().replace(
+            f'"version": {SCHEDULE_VERSION}', '"version": 999'
+        )
+    )
+    with pytest.raises(ValueError, match="version"):
+        load_schedule(path)
+
+
+def test_transcript_hash_is_order_sensitive():
+    assert transcript_hash(["a", "b"]) != transcript_hash(["b", "a"])
+    assert transcript_hash(["ab"]) != transcript_hash(["a", "b"])
+
+
+# -- linear-extension counting ---------------------------------------------
+
+
+def test_count_linear_extensions_chain_and_antichain():
+    # Total order: exactly one extension.
+    assert count_linear_extensions([0b000, 0b001, 0b011]) == 1
+    # Antichain of 3: 3! extensions.
+    assert count_linear_extensions([0, 0, 0]) == 6
+    # Budget exhaustion returns None rather than a wrong number.
+    assert count_linear_extensions([0] * 20, budget=4) is None
+
+
+# -- toy-model soundness ----------------------------------------------------
+
+
+class _ToyModel:
+    """Deterministic handlers over per-dest logs; no timers.
+
+    ``spec`` maps channel -> list of messages.  Every delivery appends
+    ``(src, msg)`` to the destination's log, so the fingerprint captures
+    the per-dest delivery order exactly: two schedules are
+    Mazurkiewicz-equivalent iff their fingerprints agree.
+    """
+
+    sids_isolated = False
+
+    def __init__(self, spec):
+        self.spec = {k: list(v) for k, v in spec.items()}
+        self.reset()
+
+    def reset(self):
+        self.pending = {k: list(v) for k, v in self.spec.items()}
+        self.logs = {}
+
+    def enabled(self):
+        return sorted(k for k, v in self.pending.items() if v)
+
+    def execute(self, choice, index):
+        src, dest = choice
+        msg = self.pending[choice].pop(0)
+        self.logs.setdefault(dest, []).append((src, msg))
+        return StepMeta(choice=choice, dest=dest, label=f"{src}->{dest}:{msg}")
+
+    def peek(self, choice):
+        return StepMeta(choice=choice, dest=choice[1])
+
+    def fire_next_timer(self, index):
+        return None
+
+    def check_now(self):
+        return []
+
+    def check_leaf(self):
+        return []
+
+    def snapshot(self):
+        return (
+            {k: list(v) for k, v in self.pending.items()},
+            {k: list(v) for k, v in self.logs.items()},
+        )
+
+    def restore(self, snap):
+        pending, logs = snap
+        self.pending = {k: list(v) for k, v in pending.items()}
+        self.logs = {k: list(v) for k, v in logs.items()}
+
+    def fingerprint(self):
+        return repr(sorted(self.logs.items()))
+
+
+def _leaf_fingerprints(spec, **engine_kwargs):
+    """Explore and collect the fingerprint of every drained leaf."""
+    model = _ToyModel(spec)
+    fingerprints = set()
+    original_check_leaf = model.check_leaf
+
+    def capture():
+        fingerprints.add(model.fingerprint())
+        return original_check_leaf()
+
+    model.check_leaf = capture
+    result = DporEngine(model, **engine_kwargs).run()
+    assert result.complete
+    return fingerprints, result
+
+
+TOY_SPECS = [
+    # Three independent dests: pure cross-dest reduction.
+    {(0, 1): ["a"], (2, 3): ["b"], (4, 5): ["c"]},
+    # All to one dest: no reduction possible, orders all distinct.
+    {(0, 1): ["a", "b"], (2, 1): ["c"], (3, 1): ["d"]},
+    # The mixed shape that exercised sleep inheritance: two dests with
+    # multiple same-dest channels each.
+    {(0, 1): ["a"], (2, 1): ["b"], (0, 3): ["c"], (2, 3): ["d"]},
+    {(0, 1): ["a", "b"], (2, 1): ["c"], (0, 3): ["d"], (2, 3): ["e"]},
+]
+
+
+@pytest.mark.parametrize("spec", TOY_SPECS)
+def test_dpor_covers_every_mazurkiewicz_class(spec):
+    naive_fps, naive_res = _leaf_fingerprints(spec, use_dpor=False)
+    dpor_fps, dpor_res = _leaf_fingerprints(spec, use_dpor=True)
+    # Soundness: every reachable per-dest delivery order is still
+    # reached (this is exactly what unsound sleep pruning loses).
+    assert dpor_fps == naive_fps
+    assert dpor_res.schedules <= naive_res.schedules
+    # Naive accounting: with no reduction the lower bound is exact and
+    # equals the number of explored schedules.
+    assert naive_res.naive_exact
+    assert naive_res.naive_lower_bound == naive_res.schedules
+    # On these toys dest-disjointness exactly characterizes commutation,
+    # so the DPOR run's summed class sizes recover the naive count.
+    assert dpor_res.naive_lower_bound == naive_res.schedules
+
+
+def test_naive_count_matches_dependence_classes():
+    # 4 all-dependent steps (one dest) -> 4! = 24 interleavings; DPOR
+    # must count the same naive space from its reduced exploration.
+    spec = {(0, 1): ["a"], (2, 1): ["b"], (3, 1): ["c"], (4, 1): ["d"]}
+    _fps, res = _leaf_fingerprints(spec, use_dpor=True)
+    assert res.naive_lower_bound == 24
+
+
+# -- sleep-set seeding regression ------------------------------------------
+
+
+def _forge_pull_model(rbc_cls):
+    base = next(
+        s
+        for s in rbc_strategies(4, 1, "s", "digest", 0, [1, 2, 3])
+        if s.name == "withhold-partial"
+    )
+    strategy = ByzStrategy(
+        "withhold-forge-pull",
+        tuple(base.messages) + ((3, RbcPayload("s", b"forged")),),
+    )
+    return RbcModel(
+        4, 1, mode="digest", byz=0, strategy=strategy, rbc_cls=rbc_cls
+    )
+
+
+def test_sleep_set_seeding_regression():
+    """The engine once seeded each frame's backtrack with ``enabled[0]``
+    even when that choice was in the inherited sleep set, abandoning the
+    node unexecuted and silently pruning reachable orders.  This
+    scenario — a forged pull response that must land inside the starved
+    replica's pull window, *after* every vote — only violates in orders
+    the unsound prune lost: the buggy engine reported 96 schedules,
+    "complete", zero violations."""
+    sys.path.insert(0, str(CORPUS))
+    try:
+        from vuln_rbc_unverified_pull import VulnRbcUnverifiedPull
+    finally:
+        sys.path.remove(str(CORPUS))
+    result = DporEngine(
+        _forge_pull_model(VulnRbcUnverifiedPull),
+        stop_on_first=True,
+        max_schedules=50_000,
+    ).run()
+    assert result.violations, "sleep-set pruning lost the violating order"
+    assert any("forged" in m for v in result.violations for m in v.messages)
+
+
+def test_sleep_fix_keeps_production_pull_exhaustive_and_clean():
+    # Same adversary against the real digest check: the forged payload
+    # is dropped in every one of the (completely explored) orders.
+    result = DporEngine(
+        _forge_pull_model(RbcInstance), max_schedules=200_000
+    ).run()
+    assert result.complete
+    assert not result.violations
+    # The cross-dest reduction must still be pulling its weight.
+    assert result.naive_lower_bound >= 10 * result.schedules
+
+
+# -- minimization and replay determinism ------------------------------------
+
+
+def _weak_quorum_violation():
+    sys.path.insert(0, str(CORPUS))
+    try:
+        from vuln_rbc_weak_echo_quorum import VulnRbcWeakEchoQuorum
+    finally:
+        sys.path.remove(str(CORPUS))
+    strategy = next(
+        s
+        for s in rbc_strategies(5, 1, "s", "full", 0, [1, 2, 3, 4])
+        if s.name == "equivocate-split"
+    )
+
+    def make():
+        return RbcModel(
+            5,
+            1,
+            mode="full",
+            byz=0,
+            strategy=strategy,
+            rbc_cls=VulnRbcWeakEchoQuorum,
+        )
+
+    result = DporEngine(
+        make(), stop_on_first=True, max_schedules=50_000
+    ).run()
+    assert result.violations
+    return make, result.violations[0]
+
+
+def test_minimized_counterexample_replays_deterministically():
+    make, violation = _weak_quorum_violation()
+    schedule, messages, fingerprint, digest = minimize_violation(
+        make(), violation
+    )
+    assert len(schedule) <= len(violation.schedule)
+    assert messages and digest
+    # Replay the minimized schedule twice on fresh models: identical
+    # violation, state fingerprint, and transcript hash both times.
+    replays = []
+    for _ in range(2):
+        problems, fp, labels = replay_schedule(
+            make(), list(schedule), complete=True
+        )
+        replays.append((problems, fp, transcript_hash(labels)))
+    assert replays[0] == replays[1]
+    problems, fp, t_hash = replays[0]
+    assert problems == messages
+    assert fp == fingerprint
+    assert t_hash == digest
+
+
+def test_replay_file_round_trip_detects_clean_witness(tmp_path):
+    # A clean witness file (kind="") replays the canonical default
+    # schedule of a production configuration; reproduced means "still
+    # clean", and the transcript hash pins the whole step sequence.
+    sf = ScheduleFile(
+        protocol="rbc",
+        mode="full",
+        cluster=(4, 1),
+        strategy="honest",
+        schedule=[],
+    )
+    path = tmp_path / "clean.schedule.json"
+    save_schedule(sf, path)
+    first = replay_file(path)
+    second = replay_file(path)
+    assert first.reproduced and second.reproduced
+    assert not first.problems
+    assert first.fingerprint == second.fingerprint
+    assert first.transcript_hash == second.transcript_hash
+
+
+# -- real-model explorations ------------------------------------------------
+
+
+def test_rbc_withhold_partial_exhaustive_and_clean():
+    # One full Byzantine-sender palette entry, exhaustively: Bracha's
+    # quorums hold over every schedule (G2 agreement + totality).
+    report = explore_protocol(
+        "rbc", mode="full", n=4, t=1, strategies=["sender-withhold-partial"]
+    )
+    assert report.complete
+    assert not report.violations
+    assert report.ok
+    run = report.runs[0]
+    assert run.result.naive_lower_bound >= 10 * run.result.schedules, (
+        "DPOR reduction fell below the 10x acceptance floor"
+    )
+
+
+def test_aba_split_est_budget_bounded_and_clean():
+    # ABA's coin rounds make even (4, 1) exhaustion intractable (the
+    # naive bound passes 10^14 inside 90 s); tier-1 pins a bounded
+    # prefix of the space, nightly pushes the frontier under a deadline.
+    report = explore_protocol(
+        "aba", n=4, t=1, strategies=["split-est"], max_schedules=2_000
+    )
+    assert report.ok, [v.kind for v in report.violations]
+    assert report.schedules >= 2_000, "budget should bind, not the space"
+
+
+def test_e2e_delay_bounded_smoke():
+    report = explore_protocol(
+        "e2e", mode="digest", n=4, t=1, strategies=["honest"], bound=1
+    )
+    assert report.complete
+    assert not report.violations
+    assert report.schedules >= 1
+
+
+def test_e2e_requires_a_bound():
+    with pytest.raises(ValueError, match="bound"):
+        explore_protocol("e2e", mode="digest", n=4, t=1)
+
+
+def test_strategy_specs_cover_documented_palettes():
+    rbc = [s.name for s in strategy_specs("rbc", "full", 4, 1)]
+    assert "honest" in rbc
+    assert "sender-equivocate-split" in rbc
+    assert any(name.startswith("voter-") for name in rbc)
+    aba = [s.name for s in strategy_specs("aba", "", 4, 1)]
+    assert "honest-mixed" in aba
+    e2e = [s.name for s in strategy_specs("e2e", "digest", 4, 1)]
+    assert e2e == ["honest", "crash-follower"]
+
+
+def test_build_model_rejects_unknown_strategy():
+    with pytest.raises(ValueError):
+        build_model("rbc", "full", 4, 1, "no-such-strategy")
